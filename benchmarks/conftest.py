@@ -1,0 +1,78 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (default "standard"):
+
+* ``fast``     — small corpus, few samples; smoke-checks the shapes;
+* ``standard`` — the scale the committed EXPERIMENTS.md numbers used;
+* ``full``     — bigger corpus and more samples (slowest, tightest).
+
+Expensive artefacts (the curated dataset, Table I rows) are computed
+once per session and shared across benchmark modules.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.pyranet import PyraNet, TableOneRow, run_table1
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    n_github_files: int
+    n_llm_prompts: int
+    n_queries: int
+    n_samples: int
+    n_test_vectors: int
+    n_problems: int | None
+
+
+_SCALES = {
+    "fast": BenchScale("fast", 250, 10, 5, 5, 12, 16),
+    "standard": BenchScale("standard", 700, 25, 7, 8, 14, None),
+    "full": BenchScale("full", 2000, 38, 10, 15, 24, None),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "standard")
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={name!r}; choose from {sorted(_SCALES)}"
+        )
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def pyranet(scale: BenchScale) -> PyraNet:
+    """A PyraNet driver with the curated dataset built."""
+    driver = PyraNet(
+        seed=0,
+        n_samples=scale.n_samples,
+        n_test_vectors=scale.n_test_vectors,
+    )
+    driver.build_dataset(
+        n_github_files=scale.n_github_files,
+        n_llm_prompts=scale.n_llm_prompts,
+        n_queries_per_prompt=scale.n_queries,
+    )
+    return driver
+
+
+_TABLE1_CACHE: dict = {}
+
+
+@pytest.fixture(scope="session")
+def table1_rows(pyranet: PyraNet, scale: BenchScale) -> list:
+    """Table I rows, computed once and reused by Table III."""
+    key = scale.name
+    if key not in _TABLE1_CACHE:
+        _TABLE1_CACHE[key] = run_table1(
+            pyranet, n_problems=scale.n_problems
+        )
+    return _TABLE1_CACHE[key]

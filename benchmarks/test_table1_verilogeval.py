@@ -1,0 +1,67 @@
+"""Table I — PyraNet vs SOTA on VerilogEval (Machine + Human).
+
+Regenerates the paper's main table: three base models × {baseline,
+PyraNet-Dataset, PyraNet-Architecture} plus the MG-Verilog, RTLCoder,
+and OriGen recipes, reporting pass@{1,5,10} on both suites.
+
+Shape assertions (the reproduction contract — absolute values differ
+because the substrate is a simulator, not an H100 fine-tune):
+
+* within every base model and every column:
+  PyraNet-Architecture ≥ PyraNet-Dataset ≥ baseline;
+* pass@1 ≤ pass@5 ≤ pass@10 everywhere;
+* Machine ≥ Human for every model (VerilogEval's persistent gap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.report import render_table
+from repro.model.generator import CODELLAMA_7B, CODELLAMA_13B, DEEPSEEK_7B
+
+
+def _row(rows, needle):
+    for row in rows:
+        if needle in row.label:
+            return row
+    raise AssertionError(f"row {needle!r} missing")
+
+
+def test_table1(benchmark, table1_rows, capsys):
+    rows = benchmark.pedantic(lambda: table1_rows, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_table(
+            "Table I — PyraNet vs SOTA models on VerilogEval "
+            "(reproduction)", rows))
+
+    for profile in (CODELLAMA_7B.name, CODELLAMA_13B.name,
+                    DEEPSEEK_7B.name):
+        base = _row(rows, f"{profile} baseline")
+        dataset = _row(rows, f"{profile} dataset")
+        arch = _row(rows, f"{profile} architecture")
+        # Monotone improvement, column by column (small tolerance for
+        # sampling noise on individual cells).
+        for b, d, a in zip(base.cells(), dataset.cells(), arch.cells()):
+            assert d >= b - 3.0, (profile, "dataset < baseline", b, d)
+            assert a >= d - 3.0, (profile, "arch < dataset", d, a)
+        # Aggregate improvement must be strict.
+        assert sum(dataset.cells()) > sum(base.cells())
+        assert sum(arch.cells()) > sum(dataset.cells())
+
+    for row in rows:
+        cells = row.cells()
+        machine, human = cells[:3], cells[3:]
+        assert machine[0] <= machine[1] + 1e-9 <= machine[2] + 1e-9
+        assert human[0] <= human[1] + 1e-9 <= human[2] + 1e-9
+
+    # Machine phrasing is consistently easier than human phrasing for
+    # the model/recipe grid (SOTA recipe rows are exempt: at reduced
+    # problem counts the two suites sample different family subsets).
+    for profile in (CODELLAMA_7B.name, CODELLAMA_13B.name,
+                    DEEPSEEK_7B.name):
+        for recipe in ("baseline", "dataset", "architecture"):
+            row = _row(rows, f"{profile} {recipe}")
+            cells = row.cells()
+            assert sum(cells[:3]) >= sum(cells[3:]) - 10.0, row.label

@@ -1,0 +1,65 @@
+"""Weighted fine-tuning on the numpy transformer substrate.
+
+Demonstrates that the PyraNet loss-weighting machinery is model-
+agnostic: the same Trainer that drives the retrieval model fine-tunes
+a real (tiny) neural LM, and per-sample loss weights visibly steer
+what the network learns.
+
+    python examples/train_transformer.py
+"""
+
+from repro.model import TinyTransformer, TransformerConfig, TrainingExample
+
+CLEAN = TrainingExample(
+    description="a two input and gate",
+    code=("module and_gate(input a, input b, output y);\n"
+          "  assign y = a & b;\nendmodule"),
+    ranking=20,
+)
+JUNK = TrainingExample(
+    description="a two input and gate",
+    code=("module zz1(input a, input b, output y);\n"
+          "  assign y = a | b;  // wrong operator\nendmodule"),
+    ranking=3,
+)
+
+
+def train(weight_clean: float, weight_junk: float) -> TinyTransformer:
+    model = TinyTransformer(config=TransformerConfig(
+        d_model=32, n_heads=2, n_layers=1, d_ff=64, max_len=96,
+        learning_rate=3e-3, seed=0))
+    for _ in range(40):
+        model.train_batch([CLEAN], weight_clean)
+        model.train_batch([JUNK], weight_junk)
+    return model
+
+
+def main() -> None:
+    print("Training two transformers on the same mixed-quality stream…")
+    print("  A: PyraNet-style weights (clean 1.0, junk 0.1)")
+    weighted = train(1.0, 0.1)
+    print("  B: uniform weights       (clean 1.0, junk 1.0)")
+    uniform = train(1.0, 1.0)
+
+    loss_w_clean = weighted.sequence_loss(CLEAN)
+    loss_w_junk = weighted.sequence_loss(JUNK)
+    loss_u_clean = uniform.sequence_loss(CLEAN)
+    loss_u_junk = uniform.sequence_loss(JUNK)
+
+    print("\nheld-in cross-entropy (lower = better fit):")
+    print(f"                   clean-code   junk-code")
+    print(f"  weighted (A)  :    {loss_w_clean:6.3f}      {loss_w_junk:6.3f}")
+    print(f"  uniform  (B)  :    {loss_u_clean:6.3f}      {loss_u_junk:6.3f}")
+
+    margin_weighted = loss_w_junk - loss_w_clean
+    margin_uniform = loss_u_junk - loss_u_clean
+    print(f"\npreference margin for clean code: "
+          f"weighted {margin_weighted:+.3f} vs uniform "
+          f"{margin_uniform:+.3f}")
+    if margin_weighted > margin_uniform:
+        print("loss weighting steered the network toward the "
+              "high-quality sample, as the PyraNet recipe intends.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""PyraNet reproduction.
+
+A full from-scratch reproduction of *PyraNet: A Multi-Layered
+Hierarchical Dataset for Verilog* (DAC 2025): the six-layer dataset and
+its curation pipeline, the loss-weighting + curriculum fine-tuning
+recipe, a VerilogEval-style evaluation platform, the compared baselines
+(RTLCoder, OriGen, MG-Verilog, MEV-LLM), and every substrate they need
+— including a four-state event-driven Verilog simulator.
+
+Quickstart::
+
+    from repro import PyraNet
+
+    pn = PyraNet(seed=0)
+    pn.build_dataset(n_github_files=400)
+    model = pn.finetune("codellama-7b-instruct-sim", recipe="architecture")
+    print(pn.evaluate(model, suite="machine").summary())
+"""
+
+from .core.pyranet import PyraNet, run_table1, run_table4, gains
+
+__version__ = "1.0.0"
+
+__all__ = ["PyraNet", "run_table1", "run_table4", "gains", "__version__"]

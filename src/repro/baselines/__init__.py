@@ -1,0 +1,13 @@
+"""Compared baselines: RTLCoder, OriGen, MG-Verilog, MEV-LLM recipes."""
+
+from .rtlcoder import finetune_rtlcoder
+from .origen import SelfReflectiveModel, augment_code, finetune_origen
+from .mgverilog import finetune_mgverilog, high_level_summary, low_level_gloss
+from .mevllm import MultiExpertModel, classify_prompt, finetune_mevllm
+
+__all__ = [
+    "finetune_rtlcoder",
+    "SelfReflectiveModel", "augment_code", "finetune_origen",
+    "finetune_mgverilog", "high_level_summary", "low_level_gloss",
+    "MultiExpertModel", "classify_prompt", "finetune_mevllm",
+]

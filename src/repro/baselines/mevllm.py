@@ -1,0 +1,104 @@
+"""MEV-LLM baseline recipe (Nadimi & Zheng, 2024).
+
+MEV-LLM routes generation across *multiple expert models*, each
+fine-tuned on one design-complexity tier (Basic / Intermediate /
+Advanced / Expert), with a categorised dataset providing the tier
+labels.  Our re-implementation trains one expert per tier on that
+tier's samples and routes each prompt to the expert whose tier a
+lightweight prompt classifier predicts.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..dataset.records import Complexity, CompileStatus, PyraNetDataset
+from ..model.interfaces import FineTunable, TrainStats, TrainingExample
+
+#: Vocabulary cues for prompt-complexity routing.
+_EXPERT_CUES = ("fifo", "queue", "state machine", "fsm", "traffic",
+                "uart", "pipeline", "arbiter")
+_ADVANCED_CUES = ("alu", "lfsr", "barrel", "sequence", "detector",
+                  "memory", "gray counter", "multiplier", "rotate")
+_INTERMEDIATE_CUES = ("counter", "shift", "encoder", "decoder",
+                      "accumulator", "pwm", "parity", "edge", "divider",
+                      "converter")
+
+
+def classify_prompt(description: str) -> Complexity:
+    """Heuristic prompt-complexity router."""
+    text = description.lower()
+    if any(cue in text for cue in _EXPERT_CUES):
+        return Complexity.EXPERT
+    if any(cue in text for cue in _ADVANCED_CUES):
+        return Complexity.ADVANCED
+    if any(cue in text for cue in _INTERMEDIATE_CUES):
+        return Complexity.INTERMEDIATE
+    return Complexity.BASIC
+
+
+@dataclass
+class MultiExpertModel(FineTunable):
+    """Four experts + router (the MEV-LLM architecture).
+
+    ``expert_factory`` builds one fresh model per tier so experts do
+    not share state.
+    """
+
+    expert_factory: Callable[[], FineTunable]
+    experts: Dict[Complexity, FineTunable] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for tier in Complexity:
+            self.experts[tier] = self.expert_factory()
+
+    def train_batch(self, examples: List[TrainingExample],
+                    loss_weight: float) -> TrainStats:
+        stats = TrainStats()
+        buckets: Dict[Complexity, List[TrainingExample]] = {}
+        for example in examples:
+            tier = Complexity(example.complexity)
+            buckets.setdefault(tier, []).append(example)
+        for tier, bucket in buckets.items():
+            stats = stats.merge(
+                self.experts[tier].train_batch(bucket, loss_weight)
+            )
+        return stats
+
+    def finish_phase(self) -> None:
+        for expert in self.experts.values():
+            expert.finish_phase()
+
+    def generate(self, description, temperature=0.8, rng=None,
+                 module_header=None) -> str:
+        tier = classify_prompt(description)
+        return self.experts[tier].generate(
+            description, temperature, rng, module_header
+        )
+
+
+def finetune_mevllm(
+    model: MultiExpertModel,
+    dataset: PyraNetDataset,
+    seed: int = 0,
+    batch_size: int = 32,
+) -> None:
+    """Train each expert on its complexity tier (compiling subset)."""
+    rng = random.Random(seed)
+    entries = [e for e in dataset.entries
+               if e.compile_status is CompileStatus.CLEAN]
+    rng.shuffle(entries)
+    for start in range(0, len(entries), batch_size):
+        chunk = entries[start:start + batch_size]
+        examples = [
+            TrainingExample(
+                description=e.description, code=e.code, layer=e.layer,
+                complexity=int(e.complexity), ranking=e.ranking,
+            )
+            for e in chunk
+        ]
+        model.train_batch(examples, 1.0)
+        model.finish_phase()

@@ -1,0 +1,81 @@
+"""MG-Verilog baseline recipe (Zhang et al., 2024).
+
+MG-Verilog's contribution is *multi-grained* descriptions: each of its
+11k+ samples carries a high-level summary, block summaries, and
+line-by-line comments, and fine-tuning on the mixture improves both
+accuracy and generalisation.  Our re-implementation derives three
+granularities for every training sample — the full description, a
+one-sentence summary, and a low-level interface/keyword gloss — and
+trains on all of them, flat order, uniform weight.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import List
+
+from ..dataset.records import CompileStatus, PyraNetDataset
+from ..finetune.trainer import PhaseLog, TrainingLog
+from ..model.interfaces import FineTunable, TrainingExample
+
+
+def high_level_summary(description: str) -> str:
+    """First sentence only (MG-Verilog's 'high-level summary')."""
+    match = re.search(r"[^.!?]*[.!?]", description)
+    return match.group(0).strip() if match else description
+
+
+def low_level_gloss(code: str) -> str:
+    """Interface-oriented gloss (the 'line-by-line' granularity).
+
+    Lists the declarations the code contains, phrased tersely — the
+    kind of text produced by summarising code one line at a time.
+    """
+    ports = re.findall(
+        r"\b(input|output|inout)\b[^;,)]*?([a-zA-Z_][a-zA-Z0-9_]*)\s*[,;)\n]",
+        code,
+    )
+    pieces = [f"{direction} {name}" for direction, name in ports[:10]]
+    regs = re.findall(r"\breg\b[^;]*?([a-zA-Z_][a-zA-Z0-9_]*)\s*;", code)
+    pieces.extend(f"register {name}" for name in regs[:5])
+    if re.search(r"\balways\s*@\s*\(\s*posedge", code):
+        pieces.append("rising edge clocked logic")
+    if re.search(r"\bcase\b", code):
+        pieces.append("case selection")
+    return "Verilog module with " + ", ".join(pieces) + "."
+
+
+def finetune_mgverilog(
+    model: FineTunable,
+    dataset: PyraNetDataset,
+    seed: int = 0,
+    batch_size: int = 32,
+) -> TrainingLog:
+    """Multi-grained fine-tuning on the compiling subset."""
+    rng = random.Random(seed)
+    examples: List[TrainingExample] = []
+    for entry in dataset.entries:
+        if entry.compile_status is not CompileStatus.CLEAN:
+            continue
+        for description in (
+            entry.description,
+            high_level_summary(entry.description),
+            low_level_gloss(entry.code),
+        ):
+            examples.append(TrainingExample(
+                description=description, code=entry.code,
+                layer=entry.layer, complexity=int(entry.complexity),
+                ranking=entry.ranking,
+            ))
+    rng.shuffle(examples)
+    log = TrainingLog()
+    for start in range(0, len(examples), batch_size):
+        chunk = examples[start:start + batch_size]
+        stats = model.train_batch(chunk, 1.0)
+        model.finish_phase()
+        log.phases.append(PhaseLog(
+            label=f"mgverilog/batch{start // batch_size}",
+            layer=0, loss_weight=1.0, stats=stats,
+        ))
+    return log

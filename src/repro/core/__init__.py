@@ -1,0 +1,13 @@
+"""Top-level reproduction driver and experiment runners."""
+
+from .pyranet import (
+    PyraNet,
+    RECIPES,
+    TableOneRow,
+    gains,
+    run_table1,
+    run_table4,
+)
+
+__all__ = ["PyraNet", "RECIPES", "TableOneRow", "gains", "run_table1",
+           "run_table4"]

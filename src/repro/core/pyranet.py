@@ -1,0 +1,272 @@
+"""The PyraNet facade: one import for the whole reproduction.
+
+:class:`PyraNet` wires the pipeline together — corpus synthesis,
+curation, fine-tuning, evaluation — and the ``run_*`` functions execute
+the paper's experiments (Tables I, III, IV and the figures) end to end.
+
+Typical use::
+
+    from repro.core import PyraNet
+
+    pn = PyraNet(seed=0)
+    pn.build_dataset(n_github_files=900)
+    model = pn.finetune("codellama-7b-instruct-sim", recipe="architecture")
+    report = pn.evaluate(model, suite="machine")
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.mevllm import MultiExpertModel, finetune_mevllm
+from ..baselines.mgverilog import finetune_mgverilog
+from ..baselines.origen import SelfReflectiveModel, finetune_origen
+from ..baselines.rtlcoder import finetune_rtlcoder
+from ..dataset.corrupt import shuffle_labels
+from ..dataset.pipeline import CurationResult, build_pyranet
+from ..dataset.records import PyraNetDataset
+from ..eval.harness import EvalProblem, EvalReport, evaluate_model
+from ..eval.problems.human import build_human_problems
+from ..eval.problems.machine import build_machine_problems
+from ..finetune.trainer import (
+    finetune_pyranet_architecture,
+    finetune_pyranet_dataset,
+)
+from ..model.generator import (
+    CODELLAMA_7B,
+    CODELLAMA_13B,
+    DEEPSEEK_7B,
+    PROFILES,
+    ConditionalCodeModel,
+    ModelProfile,
+)
+from ..model.interfaces import FineTunable
+
+#: Recipe names accepted by :meth:`PyraNet.finetune`.
+RECIPES = ("baseline", "dataset", "architecture", "rtlcoder", "origen",
+           "mgverilog", "mevllm")
+
+
+@dataclass
+class PyraNet:
+    """End-to-end reproduction driver.
+
+    Args:
+        seed: master seed for corpus synthesis and fine-tuning.
+        n_samples: completions per problem during evaluation.
+        temperature: sampling temperature during evaluation.
+        n_test_vectors: stimulus per functional test.
+    """
+
+    seed: int = 0
+    n_samples: int = 10
+    temperature: float = 0.8
+    n_test_vectors: int = 24
+
+    curation: Optional[CurationResult] = None
+    _machine_problems: Optional[List[EvalProblem]] = None
+    _human_problems: Optional[List[EvalProblem]] = None
+
+    # -- dataset ------------------------------------------------------------
+
+    def build_dataset(
+        self,
+        n_github_files: int = 900,
+        n_llm_prompts: int = 30,
+        n_queries_per_prompt: int = 8,
+        dedup_threshold: float = 0.8,
+    ) -> PyraNetDataset:
+        """Synthesize + curate the PyraNet dataset."""
+        self.curation = build_pyranet(
+            n_github_files=n_github_files,
+            n_llm_prompts=n_llm_prompts,
+            n_queries_per_prompt=n_queries_per_prompt,
+            seed=self.seed,
+            dedup_threshold=dedup_threshold,
+        )
+        return self.curation.dataset
+
+    @property
+    def dataset(self) -> PyraNetDataset:
+        if self.curation is None:
+            raise RuntimeError("call build_dataset() first")
+        return self.curation.dataset
+
+    def erroneous_dataset(self) -> PyraNetDataset:
+        """The Table IV distortion: shuffled code↔description↔ranking."""
+        return shuffle_labels(self.dataset, seed=self.seed + 77)
+
+    # -- models ------------------------------------------------------------
+
+    def base_model(self, profile_name: str) -> ConditionalCodeModel:
+        profile = PROFILES.get(profile_name)
+        if profile is None:
+            raise KeyError(
+                f"unknown profile {profile_name!r}; known: "
+                f"{sorted(PROFILES)}"
+            )
+        return ConditionalCodeModel(profile, seed=self.seed + 1)
+
+    def finetune(
+        self,
+        profile_name: str,
+        recipe: str = "architecture",
+        dataset: Optional[PyraNetDataset] = None,
+        epochs: int = 1,
+    ) -> FineTunable:
+        """Build a model and apply one of the named recipes."""
+        if recipe not in RECIPES:
+            raise ValueError(
+                f"unknown recipe {recipe!r}; choose from {RECIPES}"
+            )
+        data = dataset if dataset is not None else self.dataset
+        if recipe == "mevllm":
+            model: FineTunable = MultiExpertModel(
+                expert_factory=lambda: self.base_model(profile_name)
+            )
+            finetune_mevllm(model, data, seed=self.seed + 2)
+            return model
+        model = self.base_model(profile_name)
+        if recipe == "baseline":
+            return model
+        if recipe == "dataset":
+            finetune_pyranet_dataset(model, data, epochs=epochs,
+                                     seed=self.seed + 2)
+        elif recipe == "architecture":
+            finetune_pyranet_architecture(model, data, epochs=epochs,
+                                          seed=self.seed + 2)
+        elif recipe == "rtlcoder":
+            finetune_rtlcoder(model, data, seed=self.seed + 2)
+        elif recipe == "origen":
+            finetune_origen(model, data, seed=self.seed + 2)
+        elif recipe == "mgverilog":
+            finetune_mgverilog(model, data, seed=self.seed + 2)
+        return model
+
+    def with_self_reflection(self, model: FineTunable) -> FineTunable:
+        """Wrap a model with OriGen's compile-feedback repair loop."""
+        return SelfReflectiveModel(model)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def problems(self, suite: str) -> List[EvalProblem]:
+        if suite == "machine":
+            if self._machine_problems is None:
+                self._machine_problems = build_machine_problems()
+            return self._machine_problems
+        if suite == "human":
+            if self._human_problems is None:
+                self._human_problems = build_human_problems()
+            return self._human_problems
+        raise ValueError(f"unknown suite {suite!r} (machine|human)")
+
+    def evaluate(
+        self,
+        model: FineTunable,
+        suite: str = "machine",
+        n_problems: Optional[int] = None,
+        model_name: Optional[str] = None,
+    ) -> EvalReport:
+        problems = self.problems(suite)
+        if n_problems is not None:
+            problems = problems[:n_problems]
+        return evaluate_model(
+            model, problems,
+            n_samples=self.n_samples,
+            temperature=self.temperature,
+            seed=self.seed + 3,
+            n_test_vectors=self.n_test_vectors,
+            model_name=model_name,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Experiment runners (one per table)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TableOneRow:
+    """One Table I row: a model/recipe over both suites."""
+
+    label: str
+    machine: Dict[str, float]
+    human: Dict[str, float]
+
+    def cells(self) -> List[float]:
+        return [
+            self.machine["pass@1"], self.machine["pass@5"],
+            self.machine["pass@10"],
+            self.human["pass@1"], self.human["pass@5"],
+            self.human["pass@10"],
+        ]
+
+
+def run_table1(
+    pyranet: PyraNet,
+    profile_names: Sequence[str] = (
+        CODELLAMA_7B.name, CODELLAMA_13B.name, DEEPSEEK_7B.name
+    ),
+    recipes: Sequence[str] = ("baseline", "dataset", "architecture"),
+    sota_recipes: Sequence[Tuple[str, str]] = (
+        ("mgverilog", CODELLAMA_7B.name),
+        ("rtlcoder", DEEPSEEK_7B.name),
+        ("origen", DEEPSEEK_7B.name),
+    ),
+    n_problems: Optional[int] = None,
+) -> List[TableOneRow]:
+    """Reproduce Table I: SOTA recipes + the 3×3 model/recipe grid."""
+    rows: List[TableOneRow] = []
+    for recipe, profile in sota_recipes:
+        model = pyranet.finetune(profile, recipe=recipe)
+        label = f"{recipe}-{profile}"
+        rows.append(_evaluate_both(pyranet, model, label, n_problems))
+    for profile in profile_names:
+        for recipe in recipes:
+            model = pyranet.finetune(profile, recipe=recipe)
+            label = f"{profile} {recipe}"
+            rows.append(_evaluate_both(pyranet, model, label, n_problems))
+    return rows
+
+
+def _evaluate_both(
+    pyranet: PyraNet,
+    model: FineTunable,
+    label: str,
+    n_problems: Optional[int],
+) -> TableOneRow:
+    machine = pyranet.evaluate(model, "machine", n_problems, label)
+    human = pyranet.evaluate(model, "human", n_problems, label)
+    return TableOneRow(
+        label=label,
+        machine=machine.summary((1, 5, 10)),
+        human=human.summary((1, 5, 10)),
+    )
+
+
+def run_table4(
+    pyranet: PyraNet,
+    profile_name: str = CODELLAMA_7B.name,
+    n_problems: Optional[int] = None,
+) -> Dict[str, TableOneRow]:
+    """Reproduce Table IV: correct vs erroneous (shuffled) dataset."""
+    erroneous = pyranet.erroneous_dataset()
+    model_bad = pyranet.finetune(profile_name, recipe="dataset",
+                                 dataset=erroneous)
+    row_bad = _evaluate_both(
+        pyranet, model_bad, f"{profile_name} erroneous", n_problems
+    )
+    model_good = pyranet.finetune(profile_name, recipe="dataset")
+    row_good = _evaluate_both(
+        pyranet, model_good, f"{profile_name} correct", n_problems
+    )
+    return {"erroneous": row_bad, "correct": row_good}
+
+
+def gains(row: TableOneRow, reference: TableOneRow) -> List[float]:
+    """Per-column deltas (Table III derivation)."""
+    return [round(a - b, 1) for a, b in zip(row.cells(),
+                                            reference.cells())]

@@ -1,0 +1,39 @@
+"""Synthetic Verilog corpus: design families, defect injectors, the
+GitHub-scrape simulator, and the simulated commercial LLM."""
+
+from .spec import DesignSpec, GoldenModel, PortDef
+from .templates import (
+    FAMILY_REGISTRY,
+    Family,
+    RenderedDesign,
+    family_names,
+    generate_design,
+    generate_random_design,
+    get_family,
+    register_family,
+)
+from .github_sim import GitHubScrapeSimulator, QualityProfile, RawFile
+from .keywords import (
+    ExpandedKeyword,
+    KeywordDatabase,
+    build_keyword_database,
+    craft_prompt,
+)
+from .llm_sim import (
+    GeneratedSample,
+    LLMExchange,
+    SimulatedCommercialLLM,
+    strip_markdown_fences,
+)
+
+__all__ = [
+    "DesignSpec", "GoldenModel", "PortDef",
+    "Family", "RenderedDesign", "FAMILY_REGISTRY", "family_names",
+    "generate_design", "generate_random_design", "get_family",
+    "register_family",
+    "GitHubScrapeSimulator", "QualityProfile", "RawFile",
+    "ExpandedKeyword", "KeywordDatabase", "build_keyword_database",
+    "craft_prompt",
+    "GeneratedSample", "LLMExchange", "SimulatedCommercialLLM",
+    "strip_markdown_fences",
+]

@@ -1,0 +1,1151 @@
+"""Combinational design families.
+
+Each family is registered with :mod:`repro.corpus.templates` and knows
+how to (a) sample a parameter point, (b) render clean Verilog
+implementing the design, and (c) provide a golden Python model used by
+functional testbenches.  The rendered code is idiomatic — ANSI ports,
+parameters where natural, ``@*`` combinational blocks — so that
+top-layer corpus samples genuinely deserve high ranking scores.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from .spec import DesignSpec, GoldenModel, PortDef, mask, to_signed
+from .templates import Family, register_family
+
+
+def _pick_width(rng: random.Random, lo: int = 2, hi: int = 16) -> int:
+    return rng.choice([w for w in (2, 4, 8, 12, 16, 24, 32) if lo <= w <= hi])
+
+
+@register_family
+class HalfAdder(Family):
+    name = "half_adder"
+    keyword = "adder"
+    expanded_keyword = "half adder"
+    category = "combinational"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng: random.Random) -> Dict[str, int]:
+        return {}
+
+    def build(self, params: Dict[str, int], module_name: str) -> Tuple[DesignSpec, str]:
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("a"), PortDef("b")],
+            outputs=[PortDef("sum"), PortDef("cout")],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=lambda i: {
+                "sum": i["a"] ^ i["b"], "cout": i["a"] & i["b"]}),
+        )
+        source = f"""\
+// Half adder: single-bit addition without carry input.
+module {module_name} (
+  input  a,
+  input  b,
+  output sum,
+  output cout
+);
+
+  assign sum  = a ^ b;
+  assign cout = a & b;
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec: DesignSpec, rng: random.Random) -> str:
+        return rng.choice([
+            "Design a half adder that adds two single-bit inputs 'a' and "
+            "'b', producing a 'sum' output and a carry output 'cout'.",
+            "Implement a combinational half adder. Inputs: a, b (1 bit "
+            "each). Outputs: sum = a XOR b, cout = a AND b.",
+            "Write a Verilog module for a half adder with inputs a and b "
+            "and outputs sum and cout.",
+        ])
+
+
+@register_family
+class FullAdder(Family):
+    name = "full_adder"
+    keyword = "adder"
+    expanded_keyword = "full adder"
+    category = "combinational"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng: random.Random) -> Dict[str, int]:
+        return {}
+
+    def build(self, params, module_name):
+        def golden(i):
+            total = i["a"] + i["b"] + i["cin"]
+            return {"sum": total & 1, "cout": total >> 1}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("a"), PortDef("b"), PortDef("cin")],
+            outputs=[PortDef("sum"), PortDef("cout")],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// Full adder: single-bit addition with carry input.
+module {module_name} (
+  input  a,
+  input  b,
+  input  cin,
+  output sum,
+  output cout
+);
+
+  assign sum  = a ^ b ^ cin;
+  assign cout = (a & b) | (cin & (a ^ b));
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        return rng.choice([
+            "Design a full adder with inputs a, b, and carry-in cin, "
+            "producing sum and carry-out cout.",
+            "Implement a 1-bit full adder: sum = a ^ b ^ cin and "
+            "cout = majority(a, b, cin). Outputs are sum and cout.",
+            "Write a combinational full adder module with ports a, b, "
+            "cin, sum, cout.",
+        ])
+
+
+@register_family
+class RippleCarryAdder(Family):
+    name = "ripple_carry_adder"
+    keyword = "adder"
+    expanded_keyword = "ripple carry adder"
+    category = "combinational"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng, 2, 16)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def golden(i):
+            total = i["a"] + i["b"] + i["cin"]
+            return {"sum": total & mask(width), "cout": total >> width}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("a", width), PortDef("b", width),
+                    PortDef("cin")],
+            outputs=[PortDef("sum", width), PortDef("cout")],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// {width}-bit ripple carry adder built from a carry chain.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  [WIDTH-1:0] a,
+  input  [WIDTH-1:0] b,
+  input              cin,
+  output [WIDTH-1:0] sum,
+  output             cout
+);
+
+  wire [WIDTH:0] carry;
+  assign carry[0] = cin;
+
+  genvar i;
+  generate
+    for (i = 0; i < WIDTH; i = i + 1) begin : adder_stage
+      assign sum[i]     = a[i] ^ b[i] ^ carry[i];
+      assign carry[i+1] = (a[i] & b[i]) | (carry[i] & (a[i] ^ b[i]));
+    end
+  endgenerate
+
+  assign cout = carry[WIDTH];
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return rng.choice([
+            f"Design a {width}-bit ripple carry adder. Inputs: a and b "
+            f"({width} bits each) and a carry-in cin. Outputs: the "
+            f"{width}-bit sum and carry-out cout.",
+            f"Implement a {width}-bit adder with carry-in and carry-out "
+            "using a ripple carry structure. Ports: a, b, cin, sum, cout.",
+            f"Write Verilog for an unsigned {width}-bit ripple carry "
+            "adder producing sum and cout from a, b, and cin.",
+        ])
+
+
+@register_family
+class AdderSubtractor(Family):
+    name = "adder_subtractor"
+    keyword = "adder"
+    expanded_keyword = "adder-subtractor"
+    category = "combinational"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng, 4, 16)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def golden(i):
+            # Hardware computes a + (b ^ {W{sub}}) + sub; the carry is
+            # the adder's carry-out (inverted borrow when subtracting).
+            operand = i["b"] ^ (mask(width) if i["sub"] else 0)
+            total = i["a"] + operand + i["sub"]
+            return {"result": total & mask(width),
+                    "carry": (total >> width) & 1}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("a", width), PortDef("b", width),
+                    PortDef("sub")],
+            outputs=[PortDef("result", width), PortDef("carry")],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// {width}-bit adder/subtractor: sub=0 adds, sub=1 subtracts (a - b).
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  [WIDTH-1:0] a,
+  input  [WIDTH-1:0] b,
+  input              sub,
+  output [WIDTH-1:0] result,
+  output             carry
+);
+
+  wire [WIDTH-1:0] b_oper = b ^ {{WIDTH{{sub}}}};
+
+  assign {{carry, result}} = a + b_oper + sub;
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return rng.choice([
+            f"Design a {width}-bit adder-subtractor. When sub is 0 the "
+            "module computes result = a + b; when sub is 1 it computes "
+            "result = a - b using two's complement. The carry output is "
+            "the carry out of the internal addition.",
+            f"Implement a combined {width}-bit adder and subtractor "
+            "controlled by a 'sub' input (ports: a, b, sub, result, "
+            "carry).",
+        ])
+
+
+@register_family
+class Comparator(Family):
+    name = "comparator"
+    keyword = "comparator"
+    expanded_keyword = "magnitude comparator"
+    category = "combinational"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng, 2, 16)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def golden(i):
+            return {
+                "eq": int(i["a"] == i["b"]),
+                "gt": int(i["a"] > i["b"]),
+                "lt": int(i["a"] < i["b"]),
+            }
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("a", width), PortDef("b", width)],
+            outputs=[PortDef("eq"), PortDef("gt"), PortDef("lt")],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// {width}-bit unsigned magnitude comparator.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  [WIDTH-1:0] a,
+  input  [WIDTH-1:0] b,
+  output             eq,
+  output             gt,
+  output             lt
+);
+
+  assign eq = (a == b);
+  assign gt = (a > b);
+  assign lt = (a < b);
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return rng.choice([
+            f"Design a {width}-bit unsigned comparator with outputs eq "
+            "(a equals b), gt (a greater than b), and lt (a less than b).",
+            f"Implement a magnitude comparator for two {width}-bit "
+            "unsigned numbers a and b, driving eq, gt, and lt.",
+        ])
+
+
+@register_family
+class Mux(Family):
+    name = "mux"
+    keyword = "multiplexer"
+    expanded_keyword = "N-to-1 multiplexer"
+    category = "combinational"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng, 2, 16),
+                "INPUTS": rng.choice([2, 4, 8])}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+        n = params["INPUTS"]
+        sel_bits = max((n - 1).bit_length(), 1)
+        names = [f"d{k}" for k in range(n)]
+
+        def golden(i):
+            sel = i["sel"] % n
+            return {"y": i[names[sel]]}
+
+        inputs = [PortDef(nm, width) for nm in names]
+        inputs.append(PortDef("sel", sel_bits))
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=inputs, outputs=[PortDef("y", width)],
+            keyword=self.keyword,
+            expanded_keyword=f"{n}-to-1 multiplexer",
+            golden=GoldenModel(comb=golden),
+        )
+        ports = ",\n".join(f"  input  [{width-1}:0] {nm}" for nm in names)
+        cases = "\n".join(
+            f"      {sel_bits}'d{k}: y = {names[k]};" for k in range(n)
+        )
+        source = f"""\
+// {n}-to-1 multiplexer, {width} bits wide.
+module {module_name} (
+{ports},
+  input  [{sel_bits-1}:0] sel,
+  output reg [{width-1}:0] y
+);
+
+  always @(*) begin
+    case (sel)
+{cases}
+      default: y = {names[0]};
+    endcase
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        n = spec.params["INPUTS"]
+        width = spec.params["WIDTH"]
+        names = ", ".join(f"d{k}" for k in range(n))
+        return rng.choice([
+            f"Design a {n}-to-1 multiplexer with {width}-bit data inputs "
+            f"{names}, a select input sel, and output y. When sel selects"
+            " an out-of-range value the first input is forwarded.",
+            f"Implement a {width}-bit wide {n}-input multiplexer "
+            f"(inputs {names}, select sel, output y).",
+        ])
+
+
+@register_family
+class Demux(Family):
+    name = "demux"
+    keyword = "multiplexer"
+    expanded_keyword = "1-to-N demultiplexer"
+    category = "combinational"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {"OUTPUTS": rng.choice([2, 4, 8])}
+
+    def build(self, params, module_name):
+        n = params["OUTPUTS"]
+        sel_bits = max((n - 1).bit_length(), 1)
+        names = [f"y{k}" for k in range(n)]
+
+        def golden(i):
+            sel = i["sel"] % n
+            return {nm: (i["d"] if k == sel else 0)
+                    for k, nm in enumerate(names)}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("d"), PortDef("sel", sel_bits)],
+            outputs=[PortDef(nm) for nm in names],
+            keyword=self.keyword,
+            expanded_keyword=f"1-to-{n} demultiplexer",
+            golden=GoldenModel(comb=golden),
+        )
+        assigns = "\n".join(
+            f"  assign {names[k]} = (sel == {sel_bits}'d{k}) ? d : 1'b0;"
+            for k in range(n)
+        )
+        out_ports = ",\n".join(f"  output {nm}" for nm in names)
+        source = f"""\
+// 1-to-{n} demultiplexer.
+module {module_name} (
+  input  d,
+  input  [{sel_bits-1}:0] sel,
+{out_ports}
+);
+
+{assigns}
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        n = spec.params["OUTPUTS"]
+        return (
+            f"Design a 1-to-{n} demultiplexer that routes the single-bit "
+            f"input d to one of {n} outputs (y0..y{n-1}) chosen by sel; "
+            "all other outputs are 0."
+        )
+
+
+@register_family
+class Decoder(Family):
+    name = "decoder"
+    keyword = "decoder"
+    expanded_keyword = "binary decoder"
+    category = "combinational"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {"IN_WIDTH": rng.choice([2, 3, 4])}
+
+    def build(self, params, module_name):
+        in_w = params["IN_WIDTH"]
+        out_w = 1 << in_w
+
+        def golden(i):
+            return {"y": (1 << i["a"]) if i["en"] else 0}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("a", in_w), PortDef("en")],
+            outputs=[PortDef("y", out_w)],
+            keyword=self.keyword,
+            expanded_keyword=f"{in_w}-to-{out_w} decoder",
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// {in_w}-to-{out_w} binary decoder with enable.
+module {module_name} (
+  input  [{in_w-1}:0] a,
+  input  en,
+  output [{out_w-1}:0] y
+);
+
+  assign y = en ? ({out_w}'d1 << a) : {out_w}'d0;
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        in_w = spec.params["IN_WIDTH"]
+        out_w = 1 << in_w
+        return rng.choice([
+            f"Design a {in_w}-to-{out_w} one-hot decoder with an enable "
+            "input. When en is high, output bit a is set and all others "
+            "are clear; when en is low the output is all zeros.",
+            f"Implement a binary decoder that converts a {in_w}-bit code "
+            f"a into a {out_w}-bit one-hot output y, gated by en.",
+        ])
+
+
+@register_family
+class PriorityEncoder(Family):
+    name = "priority_encoder"
+    keyword = "encoder"
+    expanded_keyword = "priority encoder"
+    category = "combinational"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {"IN_WIDTH": rng.choice([4, 8])}
+
+    def build(self, params, module_name):
+        in_w = params["IN_WIDTH"]
+        out_w = max((in_w - 1).bit_length(), 1)
+
+        def golden(i):
+            req = i["req"]
+            for k in range(in_w - 1, -1, -1):
+                if req & (1 << k):
+                    return {"idx": k, "valid": 1}
+            return {"idx": 0, "valid": 0}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("req", in_w)],
+            outputs=[PortDef("idx", out_w), PortDef("valid")],
+            keyword=self.keyword,
+            expanded_keyword=f"{in_w}-bit priority encoder",
+            golden=GoldenModel(comb=golden),
+        )
+        branches = "\n".join(
+            f"      else if (req[{k}]) idx = {out_w}'d{k};"
+            for k in range(in_w - 2, -1, -1)
+        )
+        source = f"""\
+// {in_w}-bit priority encoder; highest set bit wins.
+module {module_name} (
+  input  [{in_w-1}:0] req,
+  output reg [{out_w-1}:0] idx,
+  output valid
+);
+
+  assign valid = |req;
+
+  always @(*) begin
+      if (req[{in_w-1}]) idx = {out_w}'d{in_w-1};
+{branches}
+      else idx = {out_w}'d0;
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        in_w = spec.params["IN_WIDTH"]
+        return rng.choice([
+            f"Design a {in_w}-bit priority encoder. Output idx holds the "
+            "index of the highest-priority (most significant) set bit of "
+            "req, and valid indicates whether any bit is set. When no "
+            "request is active idx is 0.",
+            f"Implement a priority encoder over a {in_w}-bit request "
+            "vector req with outputs idx (binary index of the highest "
+            "set bit) and valid.",
+        ])
+
+
+@register_family
+class ParityGenerator(Family):
+    name = "parity"
+    keyword = "parity"
+    expanded_keyword = "parity generator"
+    category = "combinational"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng, 4, 32)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def golden(i):
+            even = bin(i["data"]).count("1") & 1
+            return {"even_parity": even, "odd_parity": even ^ 1}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("data", width)],
+            outputs=[PortDef("even_parity"), PortDef("odd_parity")],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// {width}-bit parity generator.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  [WIDTH-1:0] data,
+  output even_parity,
+  output odd_parity
+);
+
+  assign even_parity = ^data;
+  assign odd_parity  = ~even_parity;
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a parity generator for a {width}-bit input 'data'. "
+            "even_parity is the XOR reduction of all bits and odd_parity "
+            "is its complement."
+        )
+
+
+@register_family
+class GrayConverter(Family):
+    name = "gray_converter"
+    keyword = "gray code"
+    expanded_keyword = "binary/gray code converter"
+    category = "combinational"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng, 3, 16)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def golden(i):
+            b = i["bin_in"]
+            gray = b ^ (b >> 1)
+            g = i["gray_in"]
+            binary = 0
+            for k in range(width - 1, -1, -1):
+                binary = (binary << 1) | (((binary & 1) ^ (g >> k)) & 1)
+            return {"gray_out": gray, "bin_out": binary & mask(width)}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("bin_in", width), PortDef("gray_in", width)],
+            outputs=[PortDef("gray_out", width), PortDef("bin_out", width)],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// {width}-bit binary-to-Gray and Gray-to-binary converter.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  [WIDTH-1:0] bin_in,
+  input  [WIDTH-1:0] gray_in,
+  output [WIDTH-1:0] gray_out,
+  output reg [WIDTH-1:0] bin_out
+);
+
+  assign gray_out = bin_in ^ (bin_in >> 1);
+
+  integer i;
+  always @(*) begin
+    bin_out[WIDTH-1] = gray_in[WIDTH-1];
+    for (i = WIDTH - 2; i >= 0; i = i - 1)
+      bin_out[i] = bin_out[i+1] ^ gray_in[i];
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a {width}-bit code converter with two independent "
+            "paths: gray_out is the Gray code of bin_in, and bin_out is "
+            "the binary value of gray_in."
+        )
+
+
+@register_family
+class Alu(Family):
+    name = "alu"
+    keyword = "alu"
+    expanded_keyword = "arithmetic logic unit"
+    category = "combinational"
+    complexity_hint = "advanced"
+
+    OPS = ["add", "sub", "and", "or", "xor", "slt", "shl", "shr"]
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng, 4, 32)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def golden(i):
+            a, b, op = i["a"], i["b"], i["op"] & 7
+            if op == 0:
+                r = a + b
+            elif op == 1:
+                r = a - b
+            elif op == 2:
+                r = a & b
+            elif op == 3:
+                r = a | b
+            elif op == 4:
+                r = a ^ b
+            elif op == 5:
+                r = int(to_signed(a, width) < to_signed(b, width))
+            elif op == 6:
+                r = a << (b & 7)
+            else:
+                r = a >> (b & 7)
+            r &= mask(width)
+            return {"result": r, "zero": int(r == 0)}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("a", width), PortDef("b", width),
+                    PortDef("op", 3)],
+            outputs=[PortDef("result", width), PortDef("zero")],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// {width}-bit ALU: add, sub, and, or, xor, slt, shl, shr.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  [WIDTH-1:0] a,
+  input  [WIDTH-1:0] b,
+  input  [2:0]       op,
+  output reg [WIDTH-1:0] result,
+  output zero
+);
+
+  localparam OP_ADD = 3'd0;
+  localparam OP_SUB = 3'd1;
+  localparam OP_AND = 3'd2;
+  localparam OP_OR  = 3'd3;
+  localparam OP_XOR = 3'd4;
+  localparam OP_SLT = 3'd5;
+  localparam OP_SHL = 3'd6;
+  localparam OP_SHR = 3'd7;
+
+  always @(*) begin
+    case (op)
+      OP_ADD: result = a + b;
+      OP_SUB: result = a - b;
+      OP_AND: result = a & b;
+      OP_OR:  result = a | b;
+      OP_XOR: result = a ^ b;
+      OP_SLT: result = ($signed(a) < $signed(b)) ? {{{{(WIDTH-1){{1'b0}}}}, 1'b1}} : {{WIDTH{{1'b0}}}};
+      OP_SHL: result = a << b[2:0];
+      OP_SHR: result = a >> b[2:0];
+      default: result = {{WIDTH{{1'b0}}}};
+    endcase
+  end
+
+  assign zero = (result == {{WIDTH{{1'b0}}}});
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return rng.choice([
+            f"Design a {width}-bit ALU with a 3-bit opcode: 0 add, "
+            "1 subtract, 2 bitwise AND, 3 OR, 4 XOR, 5 signed set-less-"
+            "than, 6 logical shift left by b[2:0], 7 logical shift right "
+            "by b[2:0]. Outputs are result and a zero flag.",
+            f"Implement an arithmetic logic unit for {width}-bit operands "
+            "a and b selected by op[2:0] (add/sub/and/or/xor/slt/shl/shr) "
+            "with outputs result and zero.",
+        ])
+
+
+@register_family
+class BarrelShifter(Family):
+    name = "barrel_shifter"
+    keyword = "shifter"
+    expanded_keyword = "barrel shifter"
+    category = "combinational"
+    complexity_hint = "advanced"
+
+    def sample_params(self, rng):
+        return {"WIDTH": rng.choice([8, 16, 32])}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+        sh_bits = (width - 1).bit_length()
+
+        def golden(i):
+            amt = i["amount"] % width
+            d = i["data"]
+            if i["left"]:
+                r = ((d << amt) | (d >> (width - amt))) if amt else d
+            else:
+                r = ((d >> amt) | (d << (width - amt))) if amt else d
+            return {"out": r & mask(width)}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("data", width), PortDef("amount", sh_bits),
+                    PortDef("left")],
+            outputs=[PortDef("out", width)],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// {width}-bit rotating barrel shifter (left=1 rotates left).
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  [WIDTH-1:0] data,
+  input  [{sh_bits-1}:0] amount,
+  input  left,
+  output [WIDTH-1:0] out
+);
+
+  wire [2*WIDTH-1:0] doubled = {{data, data}};
+  wire [WIDTH-1:0] rot_right = doubled >> amount;
+  wire [2*WIDTH-1:0] shifted_left = doubled << amount;
+  wire [WIDTH-1:0] rot_left = shifted_left[2*WIDTH-1:WIDTH];
+
+  assign out = left ? rot_left : rot_right;
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a {width}-bit barrel shifter that rotates 'data' by "
+            "'amount' positions: left rotation when left=1, right "
+            "rotation when left=0. The output is 'out'."
+        )
+
+
+@register_family
+class Popcount(Family):
+    name = "popcount"
+    keyword = "counter"
+    expanded_keyword = "population count"
+    category = "combinational"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng, 4, 32)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+        out_w = width.bit_length()
+
+        def golden(i):
+            return {"count": bin(i["data"]).count("1")}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("data", width)],
+            outputs=[PortDef("count", out_w)],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// Count the set bits of a {width}-bit word.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  [WIDTH-1:0] data,
+  output reg [{out_w-1}:0] count
+);
+
+  integer i;
+  always @(*) begin
+    count = 0;
+    for (i = 0; i < WIDTH; i = i + 1)
+      count = count + data[i];
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a population-count circuit that outputs how many of "
+            f"the {width} bits of input 'data' are set; the result is "
+            "'count'."
+        )
+
+
+@register_family
+class AbsValue(Family):
+    name = "absolute_value"
+    keyword = "arithmetic"
+    expanded_keyword = "absolute value"
+    category = "combinational"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng, 4, 16)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def golden(i):
+            return {"y": abs(to_signed(i["x"], width)) & mask(width)}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("x", width, signed=True)],
+            outputs=[PortDef("y", width)],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// Absolute value of a signed {width}-bit input.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  signed [WIDTH-1:0] x,
+  output [WIDTH-1:0] y
+);
+
+  assign y = x[WIDTH-1] ? (~x + 1'b1) : x;
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a module computing the absolute value of a signed "
+            f"{width}-bit two's complement input x; output y is unsigned."
+        )
+
+
+@register_family
+class MinMax(Family):
+    name = "min_max"
+    keyword = "comparator"
+    expanded_keyword = "min/max selector"
+    category = "combinational"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng, 4, 16)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def golden(i):
+            return {"min_val": min(i["a"], i["b"]),
+                    "max_val": max(i["a"], i["b"])}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("a", width), PortDef("b", width)],
+            outputs=[PortDef("min_val", width), PortDef("max_val", width)],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// Unsigned {width}-bit min/max selector.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  [WIDTH-1:0] a,
+  input  [WIDTH-1:0] b,
+  output [WIDTH-1:0] min_val,
+  output [WIDTH-1:0] max_val
+);
+
+  wire a_smaller = (a < b);
+
+  assign min_val = a_smaller ? a : b;
+  assign max_val = a_smaller ? b : a;
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a {width}-bit unsigned min/max unit: min_val is the "
+            "smaller of inputs a and b, max_val is the larger."
+        )
+
+
+@register_family
+class Multiplier(Family):
+    name = "multiplier"
+    keyword = "multiplier"
+    expanded_keyword = "combinational multiplier"
+    category = "combinational"
+    complexity_hint = "advanced"
+
+    def sample_params(self, rng):
+        return {"WIDTH": rng.choice([4, 8])}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def golden(i):
+            return {"product": (i["a"] * i["b"]) & mask(2 * width)}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("a", width), PortDef("b", width)],
+            outputs=[PortDef("product", 2 * width)],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// {width}x{width} unsigned array multiplier (shift-and-add form).
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  [WIDTH-1:0] a,
+  input  [WIDTH-1:0] b,
+  output reg [2*WIDTH-1:0] product
+);
+
+  integer i;
+  always @(*) begin
+    product = {{(2*WIDTH){{1'b0}}}};
+    for (i = 0; i < WIDTH; i = i + 1)
+      if (b[i])
+        product = product + ({{{{WIDTH{{1'b0}}}}, a}} << i);
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return rng.choice([
+            f"Design an unsigned {width}x{width}-bit combinational "
+            f"multiplier producing a {2*width}-bit product from inputs a "
+            "and b.",
+            f"Implement a {width}-bit multiplier: product = a * b, "
+            f"where product is {2*width} bits wide.",
+        ])
+
+
+@register_family
+class Bcd7Seg(Family):
+    name = "bcd_to_7seg"
+    keyword = "decoder"
+    expanded_keyword = "BCD to seven-segment decoder"
+    category = "combinational"
+    complexity_hint = "intermediate"
+
+    #: Segment patterns for digits 0-9 (active-high, segments gfedcba).
+    PATTERNS = [0x3F, 0x06, 0x5B, 0x4F, 0x66, 0x6D, 0x7D, 0x07, 0x7F, 0x6F]
+
+    def sample_params(self, rng):
+        return {}
+
+    def build(self, params, module_name):
+        patterns = self.PATTERNS
+
+        def golden(i):
+            d = i["digit"]
+            return {"segments": patterns[d] if d < 10 else 0}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("digit", 4)],
+            outputs=[PortDef("segments", 7)],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        cases = "\n".join(
+            f"      4'd{d}: segments = 7'h{patterns[d]:02x};"
+            for d in range(10)
+        )
+        source = f"""\
+// BCD digit to seven-segment decoder (active-high, gfedcba order).
+module {module_name} (
+  input  [3:0] digit,
+  output reg [6:0] segments
+);
+
+  always @(*) begin
+    case (digit)
+{cases}
+      default: segments = 7'h00;
+    endcase
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        return (
+            "Design a BCD to seven-segment decoder. Input 'digit' is a "
+            "4-bit BCD value; output 'segments' drives active-high "
+            "segments in gfedcba order (segments[0] is segment a). "
+            "Digits above 9 blank the display (all segments off). Use "
+            "the standard patterns, e.g. 0 -> 7'h3f, 1 -> 7'h06."
+        )
+
+
+@register_family
+class ZeroExtender(Family):
+    name = "sign_extender"
+    keyword = "arithmetic"
+    expanded_keyword = "sign extender"
+    category = "combinational"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        in_w = rng.choice([4, 8])
+        return {"IN_WIDTH": in_w, "OUT_WIDTH": in_w * 2}
+
+    def build(self, params, module_name):
+        in_w, out_w = params["IN_WIDTH"], params["OUT_WIDTH"]
+
+        def golden(i):
+            return {
+                "sext": to_signed(i["x"], in_w) & mask(out_w),
+                "zext": i["x"],
+            }
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("x", in_w)],
+            outputs=[PortDef("sext", out_w), PortDef("zext", out_w)],
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(comb=golden),
+        )
+        source = f"""\
+// Sign / zero extension from {in_w} to {out_w} bits.
+module {module_name} (
+  input  [{in_w-1}:0] x,
+  output [{out_w-1}:0] sext,
+  output [{out_w-1}:0] zext
+);
+
+  assign sext = {{{{{out_w - in_w}{{x[{in_w-1}]}}}}, x}};
+  assign zext = {{{{{out_w - in_w}{{1'b0}}}}, x}};
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        in_w = spec.params["IN_WIDTH"]
+        out_w = spec.params["OUT_WIDTH"]
+        return (
+            f"Design an extender that widens a {in_w}-bit input x to "
+            f"{out_w} bits two ways: sext sign-extends (replicating the "
+            "MSB) and zext zero-extends."
+        )

@@ -1,0 +1,1398 @@
+"""Sequential design families.
+
+All families here follow a Moore discipline: every output is a function
+of the register state only, which lets the golden models expose a
+simple ``step`` interface (inputs sampled before the rising edge, new
+state and outputs visible after it).  Clock is always ``clk``; reset
+naming and polarity vary per family, mirroring the diversity of real
+corpora.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from .spec import DesignSpec, GoldenModel, PortDef, mask
+from .templates import Family, register_family
+
+
+def _pick_width(rng: random.Random, lo: int = 2, hi: int = 16) -> int:
+    return rng.choice([w for w in (2, 4, 8, 12, 16) if lo <= w <= hi])
+
+
+@register_family
+class DFlipFlop(Family):
+    name = "d_flip_flop"
+    keyword = "flip-flop"
+    expanded_keyword = "D flip-flop"
+    category = "sequential"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {}
+
+    def build(self, params, module_name):
+        def reset():
+            return 0
+
+        def step(state, i):
+            new = i["d"]
+            return new, {"q": new, "qn": new ^ 1}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"), PortDef("d")],
+            outputs=[PortDef("q"), PortDef("qn")],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// D flip-flop with synchronous reset and complementary outputs.
+module {module_name} (
+  input  clk,
+  input  rst,
+  input  d,
+  output reg q,
+  output qn
+);
+
+  always @(posedge clk) begin
+    if (rst)
+      q <= 1'b0;
+    else
+      q <= d;
+  end
+
+  assign qn = ~q;
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        return rng.choice([
+            "Design a D flip-flop with synchronous active-high reset "
+            "'rst'. On each rising clock edge q takes the value of d; qn "
+            "is always the complement of q.",
+            "Implement a positive-edge-triggered D flip-flop (ports clk, "
+            "rst, d, q, qn) where rst synchronously clears q and qn "
+            "outputs ~q.",
+        ])
+
+
+@register_family
+class TFlipFlop(Family):
+    name = "t_flip_flop"
+    keyword = "flip-flop"
+    expanded_keyword = "T flip-flop"
+    category = "sequential"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {}
+
+    def build(self, params, module_name):
+        def reset():
+            return 0
+
+        def step(state, i):
+            new = state ^ i["t"]
+            return new, {"q": new}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"), PortDef("t")],
+            outputs=[PortDef("q")],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// T flip-flop: toggles when t is high.
+module {module_name} (
+  input  clk,
+  input  rst,
+  input  t,
+  output reg q
+);
+
+  always @(posedge clk) begin
+    if (rst)
+      q <= 1'b0;
+    else if (t)
+      q <= ~q;
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        return (
+            "Design a T flip-flop with synchronous reset: when t is high "
+            "the output q toggles on the rising clock edge, otherwise it "
+            "holds. rst clears q."
+        )
+
+
+@register_family
+class RegisterEn(Family):
+    name = "register"
+    keyword = "register"
+    expanded_keyword = "register with enable"
+    category = "sequential"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def reset():
+            return 0
+
+        def step(state, i):
+            new = i["d"] if i["en"] else state
+            return new, {"q": new}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"),
+                    PortDef("en"), PortDef("d", width)],
+            outputs=[PortDef("q", width)],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// {width}-bit register with clock enable and synchronous reset.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  clk,
+  input  rst,
+  input  en,
+  input  [WIDTH-1:0] d,
+  output reg [WIDTH-1:0] q
+);
+
+  always @(posedge clk) begin
+    if (rst)
+      q <= {{WIDTH{{1'b0}}}};
+    else if (en)
+      q <= d;
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return rng.choice([
+            f"Design a {width}-bit register with clock-enable. On a "
+            "rising clock edge, q loads d when en is high and holds "
+            "otherwise; rst synchronously clears q.",
+            f"Implement a {width}-bit D register (clk, rst, en, d, q) "
+            "with synchronous active-high reset and write enable.",
+        ])
+
+
+@register_family
+class UpCounter(Family):
+    name = "up_counter"
+    keyword = "counter"
+    expanded_keyword = "up counter"
+    category = "sequential"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def reset():
+            return 0
+
+        def step(state, i):
+            new = (state + 1) & mask(width) if i["en"] else state
+            return new, {"count": new}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst_n", role="reset"), PortDef("en")],
+            outputs=[PortDef("count", width)],
+            clocked=True, clock_name="clk", reset_name="rst_n",
+            reset_active_low=True,
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// {width}-bit up counter with enable and asynchronous active-low reset.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  clk,
+  input  rst_n,
+  input  en,
+  output reg [WIDTH-1:0] count
+);
+
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n)
+      count <= {{WIDTH{{1'b0}}}};
+    else if (en)
+      count <= count + 1'b1;
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return rng.choice([
+            f"Design a {width}-bit up counter with an enable input and "
+            "an asynchronous active-low reset rst_n. The counter "
+            "increments on each rising clock edge while en is high and "
+            "wraps around at its maximum value.",
+            f"Implement a {width}-bit binary counter (clk, rst_n, en, "
+            "count) that counts up when enabled; rst_n asynchronously "
+            "clears it.",
+        ])
+
+
+@register_family
+class DownCounter(Family):
+    name = "down_counter"
+    keyword = "counter"
+    expanded_keyword = "down counter"
+    category = "sequential"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def reset():
+            return mask(width)
+
+        def step(state, i):
+            new = (state - 1) & mask(width) if i["en"] else state
+            return new, {"count": new, "zero": int(new == 0)}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"), PortDef("en")],
+            outputs=[PortDef("count", width), PortDef("zero")],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// {width}-bit down counter; resets to all ones, flags zero.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  clk,
+  input  rst,
+  input  en,
+  output reg [WIDTH-1:0] count,
+  output zero
+);
+
+  always @(posedge clk) begin
+    if (rst)
+      count <= {{WIDTH{{1'b1}}}};
+    else if (en)
+      count <= count - 1'b1;
+  end
+
+  assign zero = (count == {{WIDTH{{1'b0}}}});
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a {width}-bit down counter that synchronously "
+            "resets to all ones, decrements while en is high, and "
+            "asserts 'zero' when the count is zero."
+        )
+
+
+@register_family
+class UpDownCounter(Family):
+    name = "updown_counter"
+    keyword = "counter"
+    expanded_keyword = "up/down counter"
+    category = "sequential"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def reset():
+            return 0
+
+        def step(state, i):
+            if not i["en"]:
+                new = state
+            elif i["up"]:
+                new = (state + 1) & mask(width)
+            else:
+                new = (state - 1) & mask(width)
+            return new, {"count": new}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"),
+                    PortDef("en"), PortDef("up")],
+            outputs=[PortDef("count", width)],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// {width}-bit up/down counter.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  clk,
+  input  rst,
+  input  en,
+  input  up,
+  output reg [WIDTH-1:0] count
+);
+
+  always @(posedge clk) begin
+    if (rst)
+      count <= {{WIDTH{{1'b0}}}};
+    else if (en) begin
+      if (up)
+        count <= count + 1'b1;
+      else
+        count <= count - 1'b1;
+    end
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a {width}-bit up/down counter: while en is high it "
+            "increments when up=1 and decrements when up=0, wrapping on "
+            "overflow/underflow; rst synchronously clears it."
+        )
+
+
+@register_family
+class ModNCounter(Family):
+    name = "mod_n_counter"
+    keyword = "counter"
+    expanded_keyword = "modulo-N counter"
+    category = "sequential"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {"MODULO": rng.choice([3, 5, 6, 10, 12, 13])}
+
+    def build(self, params, module_name):
+        modulo = params["MODULO"]
+        width = max((modulo - 1).bit_length(), 1)
+
+        def reset():
+            return 0
+
+        def step(state, i):
+            new = (state + 1) % modulo if i["en"] else state
+            return new, {"count": new, "tick": int(new == modulo - 1)}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"), PortDef("en")],
+            outputs=[PortDef("count", width), PortDef("tick")],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword,
+            expanded_keyword=f"modulo-{modulo} counter",
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// Modulo-{modulo} counter with terminal-count tick.
+module {module_name} (
+  input  clk,
+  input  rst,
+  input  en,
+  output reg [{width-1}:0] count,
+  output tick
+);
+
+  localparam MODULO = {modulo};
+
+  always @(posedge clk) begin
+    if (rst)
+      count <= 0;
+    else if (en) begin
+      if (count == MODULO - 1)
+        count <= 0;
+      else
+        count <= count + 1'b1;
+    end
+  end
+
+  assign tick = (count == MODULO - 1);
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        modulo = spec.params["MODULO"]
+        return rng.choice([
+            f"Design a modulo-{modulo} counter that counts 0 to "
+            f"{modulo-1} and wraps. 'tick' is high whenever the count "
+            "equals the terminal value. Counting is gated by en and rst "
+            "synchronously clears the count.",
+            f"Implement a counter that divides by {modulo}: it cycles "
+            f"through {modulo} states and raises tick in the last state.",
+        ])
+
+
+@register_family
+class ShiftRegister(Family):
+    name = "shift_register"
+    keyword = "shift register"
+    expanded_keyword = "serial-in shift register"
+    category = "sequential"
+    complexity_hint = "basic"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng, 4, 16)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def reset():
+            return 0
+
+        def step(state, i):
+            new = ((state << 1) | i["sin"]) & mask(width)
+            return new, {"q": new, "sout": (new >> (width - 1)) & 1}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"), PortDef("sin")],
+            outputs=[PortDef("q", width), PortDef("sout")],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// {width}-bit serial-in parallel-out shift register (MSB out).
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  clk,
+  input  rst,
+  input  sin,
+  output reg [WIDTH-1:0] q,
+  output sout
+);
+
+  always @(posedge clk) begin
+    if (rst)
+      q <= {{WIDTH{{1'b0}}}};
+    else
+      q <= {{q[WIDTH-2:0], sin}};
+  end
+
+  assign sout = q[WIDTH-1];
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a {width}-bit shift register that shifts in 'sin' "
+            "at the LSB on every rising clock edge. q exposes the "
+            "parallel contents and sout is the MSB. rst synchronously "
+            "clears the register."
+        )
+
+
+@register_family
+class RingCounter(Family):
+    name = "ring_counter"
+    keyword = "counter"
+    expanded_keyword = "ring counter"
+    category = "sequential"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {"WIDTH": rng.choice([4, 8])}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def reset():
+            return 1
+
+        def step(state, i):
+            new = ((state << 1) | (state >> (width - 1))) & mask(width)
+            return new, {"q": new}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset")],
+            outputs=[PortDef("q", width)],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// {width}-bit one-hot ring counter.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  clk,
+  input  rst,
+  output reg [WIDTH-1:0] q
+);
+
+  always @(posedge clk) begin
+    if (rst)
+      q <= {{{{(WIDTH-1){{1'b0}}}}, 1'b1}};
+    else
+      q <= {{q[WIDTH-2:0], q[WIDTH-1]}};
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a {width}-bit ring counter. Reset loads the one-hot "
+            "pattern 0...01 and every clock edge rotates it left by one "
+            "position."
+        )
+
+
+@register_family
+class JohnsonCounter(Family):
+    name = "johnson_counter"
+    keyword = "counter"
+    expanded_keyword = "Johnson counter"
+    category = "sequential"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {"WIDTH": rng.choice([4, 8])}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def reset():
+            return 0
+
+        def step(state, i):
+            inverted_msb = ((state >> (width - 1)) & 1) ^ 1
+            new = ((state << 1) | inverted_msb) & mask(width)
+            return new, {"q": new}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset")],
+            outputs=[PortDef("q", width)],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// {width}-bit Johnson (twisted-ring) counter.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  clk,
+  input  rst,
+  output reg [WIDTH-1:0] q
+);
+
+  always @(posedge clk) begin
+    if (rst)
+      q <= {{WIDTH{{1'b0}}}};
+    else
+      q <= {{q[WIDTH-2:0], ~q[WIDTH-1]}};
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a {width}-bit Johnson counter: on each clock edge "
+            "the register shifts left and the complement of the old MSB "
+            "enters at the LSB. rst clears the register."
+        )
+
+
+@register_family
+class GrayCounter(Family):
+    name = "gray_counter"
+    keyword = "counter"
+    expanded_keyword = "Gray code counter"
+    category = "sequential"
+    complexity_hint = "advanced"
+
+    def sample_params(self, rng):
+        return {"WIDTH": rng.choice([3, 4, 5, 8])}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def reset():
+            return 0  # binary state
+
+        def step(state, i):
+            new = (state + 1) & mask(width) if i["en"] else state
+            return new, {"gray": new ^ (new >> 1)}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"), PortDef("en")],
+            outputs=[PortDef("gray", width)],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// {width}-bit Gray code counter (binary core, Gray output).
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  clk,
+  input  rst,
+  input  en,
+  output [WIDTH-1:0] gray
+);
+
+  reg [WIDTH-1:0] binary;
+
+  always @(posedge clk) begin
+    if (rst)
+      binary <= {{WIDTH{{1'b0}}}};
+    else if (en)
+      binary <= binary + 1'b1;
+  end
+
+  assign gray = binary ^ (binary >> 1);
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a {width}-bit Gray code counter: an internal binary "
+            "counter increments while en is high and the output 'gray' "
+            "is its Gray encoding (binary XOR binary>>1)."
+        )
+
+
+@register_family
+class Lfsr(Family):
+    name = "lfsr"
+    keyword = "lfsr"
+    expanded_keyword = "linear feedback shift register"
+    category = "sequential"
+    complexity_hint = "advanced"
+
+    #: Maximal-length Fibonacci taps (XNOR form) per width.
+    TAPS = {4: (3, 2), 8: (7, 5, 4, 3), 16: (15, 14, 12, 3)}
+
+    def sample_params(self, rng):
+        return {"WIDTH": rng.choice(sorted(self.TAPS))}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+        taps = self.TAPS[width]
+
+        def reset():
+            return 0
+
+        def step(state, i):
+            xor_taps = 0
+            for t in taps:
+                xor_taps ^= (state >> t) & 1
+            feedback = xor_taps ^ 1  # XNOR form
+            new = ((state << 1) | feedback) & mask(width)
+            return new, {"lfsr_out": new}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset")],
+            outputs=[PortDef("lfsr_out", width)],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        xor_expr = " ^ ".join(f"state[{t}]" for t in taps)
+        source = f"""\
+// {width}-bit maximal-length LFSR (XNOR feedback, all-zeros start).
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  clk,
+  input  rst,
+  output [WIDTH-1:0] lfsr_out
+);
+
+  reg [WIDTH-1:0] state;
+  wire feedback = ~({xor_expr});
+
+  always @(posedge clk) begin
+    if (rst)
+      state <= {{WIDTH{{1'b0}}}};
+    else
+      state <= {{state[WIDTH-2:0], feedback}};
+  end
+
+  assign lfsr_out = state;
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        taps = ", ".join(str(t) for t in self.TAPS[width])
+        return (
+            f"Design a {width}-bit LFSR with XNOR feedback from taps "
+            f"[{taps}] shifted into the LSB; reset clears the state to "
+            "all zeros (valid for the XNOR form). Output lfsr_out "
+            "exposes the register."
+        )
+
+
+@register_family
+class EdgeDetector(Family):
+    name = "edge_detector"
+    keyword = "detector"
+    expanded_keyword = "edge detector"
+    category = "sequential"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {}
+
+    def build(self, params, module_name):
+        def reset():
+            return (0, 0, 0)  # prev, rise_ff, fall_ff
+
+        def step(state, i):
+            prev, _, _ = state
+            rise = int(i["sig"] == 1 and prev == 0)
+            fall = int(i["sig"] == 0 and prev == 1)
+            return (i["sig"], rise, fall), {"rise": rise, "fall": fall}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"), PortDef("sig")],
+            outputs=[PortDef("rise"), PortDef("fall")],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// Registered edge detector: one-cycle pulses on rise/fall of sig.
+module {module_name} (
+  input  clk,
+  input  rst,
+  input  sig,
+  output reg rise,
+  output reg fall
+);
+
+  reg sig_prev;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      sig_prev <= 1'b0;
+      rise <= 1'b0;
+      fall <= 1'b0;
+    end else begin
+      rise <= sig & ~sig_prev;
+      fall <= ~sig & sig_prev;
+      sig_prev <= sig;
+    end
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        return (
+            "Design a registered edge detector for input 'sig'. One "
+            "clock after sig goes 0->1 the output 'rise' pulses high for "
+            "one cycle; 'fall' does the same for 1->0 transitions. rst "
+            "clears all state."
+        )
+
+
+@register_family
+class SequenceDetector(Family):
+    name = "sequence_detector"
+    keyword = "fsm"
+    expanded_keyword = "sequence detector FSM"
+    category = "sequential"
+    complexity_hint = "advanced"
+
+    PATTERNS = {"1011": 4, "1101": 4, "110": 3, "101": 3}
+
+    def sample_params(self, rng):
+        pattern = rng.choice(sorted(self.PATTERNS))
+        return {"PATTERN": int(pattern, 2), "LENGTH": len(pattern)}
+
+    def build(self, params, module_name):
+        length = params["LENGTH"]
+        pattern_bits = format(params["PATTERN"], f"0{length}b")
+
+        def reset():
+            return ("", 0)  # matched prefix, detected flag
+
+        def step(state, i):
+            history, _ = state
+            history = (history + str(i["din"]))[-8:]
+            # Overlapping detection: registered 'found' output.
+            found = int(history.endswith(pattern_bits))
+            return (history, found), {"found": found}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"), PortDef("din")],
+            outputs=[PortDef("found")],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword,
+            expanded_keyword=f'"{pattern_bits}" sequence detector',
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        # Build a shift-register matcher: simple, correct, overlapping.
+        source = f"""\
+// Overlapping detector for the serial bit pattern {pattern_bits}.
+module {module_name} (
+  input  clk,
+  input  rst,
+  input  din,
+  output reg found
+);
+
+  reg [{length-2}:0] history;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      history <= 0;
+      found <= 1'b0;
+    end else begin
+      found <= ({{history, din}} == {length}'b{pattern_bits});
+      history <= {{history[{length-3}:0], din}};
+    end
+  end
+
+endmodule
+"""
+        if length == 3:
+            # history holds 2 bits; the generic template's slice
+            # [length-3:0] would degenerate, so use a fixed form.
+            source = f"""\
+// Overlapping detector for the serial bit pattern {pattern_bits}.
+module {module_name} (
+  input  clk,
+  input  rst,
+  input  din,
+  output reg found
+);
+
+  reg [1:0] history;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      history <= 2'b00;
+      found <= 1'b0;
+    end else begin
+      found <= ({{history, din}} == 3'b{pattern_bits});
+      history <= {{history[0], din}};
+    end
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        length = spec.params["LENGTH"]
+        pattern_bits = format(spec.params["PATTERN"], f"0{length}b")
+        return rng.choice([
+            f"Design a sequence detector for the serial pattern "
+            f"{pattern_bits} on input din (MSB first, overlapping "
+            "allowed). The registered output 'found' pulses high one "
+            "cycle after the final bit of the pattern arrives.",
+            f"Implement an overlapping {pattern_bits} bit-sequence "
+            "detector with a one-cycle registered 'found' pulse.",
+        ])
+
+
+@register_family
+class Pwm(Family):
+    name = "pwm"
+    keyword = "pwm"
+    expanded_keyword = "PWM generator"
+    category = "sequential"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {"WIDTH": rng.choice([4, 8])}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def reset():
+            return 0
+
+        def step(state, i):
+            new = (state + 1) & mask(width)
+            return new, {"pwm_out": int(new < i["duty"])}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"),
+                    PortDef("duty", width)],
+            outputs=[PortDef("pwm_out")],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step,
+                               mealy_outputs=("pwm_out",)),
+        )
+        source = f"""\
+// PWM generator: output high while counter < duty.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  clk,
+  input  rst,
+  input  [WIDTH-1:0] duty,
+  output pwm_out
+);
+
+  reg [WIDTH-1:0] counter;
+
+  always @(posedge clk) begin
+    if (rst)
+      counter <= {{WIDTH{{1'b0}}}};
+    else
+      counter <= counter + 1'b1;
+  end
+
+  assign pwm_out = (counter < duty);
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a {width}-bit PWM generator: a free-running counter "
+            "increments every clock, and pwm_out is high while the "
+            "counter is less than the 'duty' input."
+        )
+
+
+@register_family
+class Accumulator(Family):
+    name = "accumulator"
+    keyword = "arithmetic"
+    expanded_keyword = "accumulator"
+    category = "sequential"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {"WIDTH": _pick_width(rng, 8, 16)}
+
+    def build(self, params, module_name):
+        width = params["WIDTH"]
+
+        def reset():
+            return 0
+
+        def step(state, i):
+            if i["clear"]:
+                new = 0
+            elif i["add"]:
+                new = (state + i["din"]) & mask(width)
+            else:
+                new = state
+            return new, {"acc": new}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"),
+                    PortDef("clear"), PortDef("add"),
+                    PortDef("din", width)],
+            outputs=[PortDef("acc", width)],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// {width}-bit accumulator with clear and add-enable.
+module {module_name} #(
+  parameter WIDTH = {width}
+) (
+  input  clk,
+  input  rst,
+  input  clear,
+  input  add,
+  input  [WIDTH-1:0] din,
+  output reg [WIDTH-1:0] acc
+);
+
+  always @(posedge clk) begin
+    if (rst || clear)
+      acc <= {{WIDTH{{1'b0}}}};
+    else if (add)
+      acc <= acc + din;
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        width = spec.params["WIDTH"]
+        return (
+            f"Design a {width}-bit accumulator. Each rising clock edge "
+            "with add=1 adds din to the running total 'acc' (wrapping); "
+            "clear (or rst) zeroes the total and takes priority over "
+            "add."
+        )
+
+
+@register_family
+class SyncFifo(Family):
+    name = "sync_fifo"
+    keyword = "fifo"
+    expanded_keyword = "synchronous FIFO"
+    category = "sequential"
+    complexity_hint = "expert"
+
+    def sample_params(self, rng):
+        return {"DEPTH": rng.choice([4, 8]), "WIDTH": rng.choice([8, 16])}
+
+    def build(self, params, module_name):
+        depth, width = params["DEPTH"], params["WIDTH"]
+        ptr_w = (depth - 1).bit_length()  # log2(depth); +1 wrap bit
+
+        def reset():
+            # None marks never-written slots (x in hardware) so the
+            # harness skips comparing dout until real data arrives.
+            return ([None] * depth, 0, 0)  # mem, wp, rp (w/ wrap bits)
+
+        def step(state, i):
+            mem, wp, rp = state
+            mem = list(mem)
+            count = (wp - rp) % (2 * depth)
+            full = count == depth
+            empty = count == 0
+            if i["wr"] and not full:
+                mem[wp % depth] = i["din"]
+                wp = (wp + 1) % (2 * depth)
+            if i["rd"] and not empty:
+                rp = (rp + 1) % (2 * depth)
+            count = (wp - rp) % (2 * depth)
+            return (mem, wp, rp), {
+                "dout": mem[rp % depth],
+                "full": int(count == depth),
+                "empty": int(count == 0),
+            }
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset"),
+                    PortDef("wr"), PortDef("rd"),
+                    PortDef("din", width)],
+            outputs=[PortDef("dout", width), PortDef("full"),
+                     PortDef("empty")],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// Synchronous FIFO, depth {depth}, width {width}.
+module {module_name} #(
+  parameter DEPTH = {depth},
+  parameter WIDTH = {width},
+  parameter PTR_W = {ptr_w}
+) (
+  input  clk,
+  input  rst,
+  input  wr,
+  input  rd,
+  input  [WIDTH-1:0] din,
+  output [WIDTH-1:0] dout,
+  output full,
+  output empty
+);
+
+  reg [WIDTH-1:0] mem [0:DEPTH-1];
+  reg [PTR_W:0] wp, rp;
+
+  wire [PTR_W:0] count = wp - rp;
+  assign full  = (count == DEPTH);
+  assign empty = (count == 0);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      wp <= 0;
+      rp <= 0;
+    end else begin
+      if (wr && !full) begin
+        mem[wp[PTR_W-1:0]] <= din;
+        wp <= wp + 1'b1;
+      end
+      if (rd && !empty)
+        rp <= rp + 1'b1;
+    end
+  end
+
+  assign dout = mem[rp[PTR_W-1:0]];
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        depth = spec.params["DEPTH"]
+        width = spec.params["WIDTH"]
+        return rng.choice([
+            f"Design a synchronous FIFO with depth {depth} and data "
+            f"width {width}. Writes (wr) push din when not full; reads "
+            "(rd) pop when not empty; dout shows the oldest element "
+            "(first-word fall-through). full and empty reflect the "
+            "occupancy. rst synchronously empties the FIFO.",
+            f"Implement a {depth}-entry, {width}-bit synchronous FIFO "
+            "with wr/rd handshakes, first-word-fall-through dout, and "
+            "full/empty flags.",
+        ])
+
+
+@register_family
+class TrafficLight(Family):
+    name = "traffic_light"
+    keyword = "fsm"
+    expanded_keyword = "traffic light controller"
+    category = "sequential"
+    complexity_hint = "expert"
+
+    #: (duration, one-hot output {red,yellow,green}) per state.
+    PLAN = [("RED", 3, 0b100), ("GREEN", 3, 0b001), ("YELLOW", 1, 0b010)]
+
+    def sample_params(self, rng):
+        return {}
+
+    def build(self, params, module_name):
+        plan = self.PLAN
+
+        def reset():
+            return (0, 0)  # state index, timer
+
+        def step(state, i):
+            idx, timer = state
+            duration = plan[idx][1]
+            if timer >= duration - 1:
+                idx = (idx + 1) % len(plan)
+                timer = 0
+            else:
+                timer += 1
+            lights = plan[idx][2]
+            return (idx, timer), {
+                "red": (lights >> 2) & 1,
+                "yellow": (lights >> 1) & 1,
+                "green": lights & 1,
+            }
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset")],
+            outputs=[PortDef("red"), PortDef("yellow"), PortDef("green")],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword, expanded_keyword=self.expanded_keyword,
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// Traffic light FSM: red (3 cycles) -> green (3) -> yellow (1).
+module {module_name} (
+  input  clk,
+  input  rst,
+  output red,
+  output yellow,
+  output green
+);
+
+  localparam S_RED    = 2'd0;
+  localparam S_GREEN  = 2'd1;
+  localparam S_YELLOW = 2'd2;
+
+  reg [1:0] state;
+  reg [1:0] timer;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= S_RED;
+      timer <= 0;
+    end else begin
+      case (state)
+        S_RED:
+          if (timer == 2) begin state <= S_GREEN; timer <= 0; end
+          else timer <= timer + 1'b1;
+        S_GREEN:
+          if (timer == 2) begin state <= S_YELLOW; timer <= 0; end
+          else timer <= timer + 1'b1;
+        S_YELLOW: begin
+          state <= S_RED;
+          timer <= 0;
+        end
+        default: begin
+          state <= S_RED;
+          timer <= 0;
+        end
+      endcase
+    end
+  end
+
+  assign red    = (state == S_RED);
+  assign yellow = (state == S_YELLOW);
+  assign green  = (state == S_GREEN);
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        return (
+            "Design a traffic light controller FSM with three one-hot "
+            "outputs red, yellow, green. After reset the light is red "
+            "for 3 clock cycles, then green for 3 cycles, then yellow "
+            "for 1 cycle, and the sequence repeats."
+        )
+
+
+@register_family
+class ClockDivider(Family):
+    name = "clock_divider"
+    keyword = "clock"
+    expanded_keyword = "clock divider"
+    category = "sequential"
+    complexity_hint = "intermediate"
+
+    def sample_params(self, rng):
+        return {"DIVIDE_BY": rng.choice([2, 4, 8])}
+
+    def build(self, params, module_name):
+        div = params["DIVIDE_BY"]
+        half = div // 2
+        width = max((div - 1).bit_length(), 1)
+
+        def reset():
+            return (0, 0)  # counter, out
+
+        def step(state, i):
+            counter, out = state
+            if counter == half - 1:
+                counter = 0
+                out ^= 1
+            else:
+                counter += 1
+            return (counter, out), {"clk_out": out}
+
+        spec = DesignSpec(
+            family=self.name, module_name=module_name, params=params,
+            inputs=[PortDef("clk", role="clock"),
+                    PortDef("rst", role="reset")],
+            outputs=[PortDef("clk_out")],
+            clocked=True, clock_name="clk", reset_name="rst",
+            keyword=self.keyword,
+            expanded_keyword=f"divide-by-{div} clock divider",
+            golden=GoldenModel(reset=reset, step=step),
+        )
+        source = f"""\
+// Divide-by-{div} clock divider (50% duty cycle).
+module {module_name} (
+  input  clk,
+  input  rst,
+  output reg clk_out
+);
+
+  reg [{width-1}:0] counter;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      counter <= 0;
+      clk_out <= 1'b0;
+    end else if (counter == {half} - 1) begin
+      counter <= 0;
+      clk_out <= ~clk_out;
+    end else begin
+      counter <= counter + 1'b1;
+    end
+  end
+
+endmodule
+"""
+        return spec, source
+
+    def describe(self, spec, rng):
+        div = spec.params["DIVIDE_BY"]
+        return (
+            f"Design a divide-by-{div} clock divider producing a 50% "
+            f"duty-cycle output clk_out that toggles every {div // 2} "
+            "input clock cycles. rst clears the divider."
+        )

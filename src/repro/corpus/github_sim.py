@@ -1,0 +1,224 @@
+"""GitHub-scrape simulator.
+
+The paper's raw material is ~2.4 M Verilog files collected from public
+GitHub repositories — a population full of duplicates, empty/corrupted
+files, syntax errors, files depending on missing modules/includes, and
+a long quality gradient among the files that do compile.  This module
+synthesises such a population with known ground truth so every
+downstream pipeline stage can be validated quantitatively.
+
+The default :class:`QualityProfile` is calibrated so the pipeline's
+funnel proportions resemble the paper's (2.4 M collected → ~29%
+surviving filters, with the majority of survivors having dependency
+issues only).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import mutate
+from .templates import generate_random_design
+
+
+@dataclass
+class RawFile:
+    """One scraped file plus hidden ground truth (for validation)."""
+
+    path: str
+    content: str
+    origin: str = "github"
+    #: Ground truth, unknown to the pipeline under test.
+    truth_family: Optional[str] = None
+    truth_status: str = "clean"
+    truth_mutations: List[str] = field(default_factory=list)
+    truth_functional_risk: bool = False
+    truth_duplicate_of: Optional[str] = None
+    #: The pristine reference description when the file derives from a
+    #: registry design (None for junk).
+    truth_description: Optional[str] = None
+
+
+@dataclass
+class QualityProfile:
+    """Mixture weights for the scraped population.
+
+    The categories are disjoint; weights need not sum to 1 (they are
+    normalised).  ``style_spectrum`` maps degradation strength ranges
+    to weights for the "clean" slice.
+    """
+
+    junk: float = 0.07
+    syntax_broken: float = 0.18
+    dependency: float = 0.17
+    duplicate: float = 0.28
+    clean: float = 0.30
+    #: Within 'clean': (strength_lo, strength_hi, functional_bug_p, weight)
+    #: Strengths above 1.0 apply the style damage in two passes.
+    style_spectrum: List = field(default_factory=lambda: [
+        (0.0, 0.0, 0.0, 0.07),   # pristine
+        (0.1, 0.4, 0.0, 0.33),   # lightly degraded
+        (0.4, 0.8, 0.15, 0.33),  # heavily degraded
+        (0.7, 1.0, 0.65, 0.17),  # ugly and often wrong
+        (1.2, 1.8, 0.80, 0.10),  # barely-maintained junk that compiles
+    ])
+
+    def normalised(self) -> List:
+        total = (self.junk + self.syntax_broken + self.dependency
+                 + self.duplicate + self.clean)
+        return [
+            ("junk", self.junk / total),
+            ("syntax", self.syntax_broken / total),
+            ("dependency", self.dependency / total),
+            ("duplicate", self.duplicate / total),
+            ("clean", self.clean / total),
+        ]
+
+
+_REPO_WORDS = ["core", "soc", "fpga", "hdl", "chip", "rtl", "ip", "logic"]
+_DIR_WORDS = ["rtl", "src", "hdl", "verilog", "hw", "design"]
+
+
+class GitHubScrapeSimulator:
+    """Produces a raw-file population with a controlled defect mix."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        profile: Optional[QualityProfile] = None,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self._profile = profile or QualityProfile()
+        self._emitted: List[RawFile] = []
+        self._file_counter = 0
+
+    def _path(self, hint: str) -> str:
+        rng = self._rng
+        self._file_counter += 1
+        repo = (f"{rng.choice(_REPO_WORDS)}-"
+                f"{rng.choice(_REPO_WORDS)}{rng.randint(1, 99)}")
+        directory = rng.choice(_DIR_WORDS)
+        return f"{repo}/{directory}/{hint}_{self._file_counter}.v"
+
+    def scrape(self, n_files: int) -> List[RawFile]:
+        """Generate ``n_files`` raw files following the profile."""
+        categories = self._profile.normalised()
+        files: List[RawFile] = []
+        for _ in range(n_files):
+            roll = self._rng.random()
+            cumulative = 0.0
+            chosen = categories[-1][0]
+            for name, weight in categories:
+                cumulative += weight
+                if roll < cumulative:
+                    chosen = name
+                    break
+            produced = self._produce(chosen)
+            files.append(produced)
+            self._emitted.append(produced)
+        return files
+
+    # -- category producers ----------------------------------------------------
+
+    def _produce(self, category: str) -> RawFile:
+        if category == "junk":
+            return self._produce_junk()
+        if category == "syntax":
+            return self._produce_broken(mutate.break_syntax, "syntax")
+        if category == "dependency":
+            return self._produce_broken(mutate.break_dependency,
+                                        "dependency")
+        if category == "duplicate" and self._emitted:
+            return self._produce_duplicate()
+        return self._produce_clean()
+
+    def _produce_junk(self) -> RawFile:
+        result = mutate.make_junk_file(self._rng)
+        return RawFile(
+            path=self._path("misc"), content=result.source,
+            truth_status="junk", truth_mutations=result.applied,
+        )
+
+    def _produce_broken(self, mutator, status: str) -> RawFile:
+        design = generate_random_design(self._rng)
+        result = mutator(design.source, self._rng)
+        return RawFile(
+            path=self._path(design.spec.family),
+            content=result.source,
+            truth_family=design.spec.family,
+            truth_status=status,
+            truth_mutations=result.applied,
+            truth_description=design.description,
+        )
+
+    def _produce_duplicate(self) -> RawFile:
+        candidates = [f for f in self._emitted
+                      if f.truth_status in ("clean", "dependency")
+                      and len(f.content) > 40]
+        if not candidates:
+            return self._produce_clean()
+        original = self._rng.choice(candidates)
+        content = original.content
+        mutations = ["duplicate"]
+        if self._rng.random() < 0.6:
+            # Near-duplicate: whitespace and comment tweaks only, so
+            # Jaccard-over-tokens still flags it.
+            content = content.replace("  ", " ")
+            if self._rng.random() < 0.5:
+                content = f"// forked from {original.path}\n" + content
+            mutations.append("near_duplicate")
+        return RawFile(
+            path=self._path("copy"), content=content,
+            truth_family=original.truth_family,
+            truth_status=original.truth_status,
+            truth_mutations=mutations,
+            truth_duplicate_of=original.path,
+            truth_description=original.truth_description,
+        )
+
+    def _produce_clean(self) -> RawFile:
+        design = generate_random_design(self._rng)
+        spectrum = self._profile.style_spectrum
+        total = sum(w for (_, _, _, w) in spectrum)
+        roll = self._rng.random() * total
+        cumulative = 0.0
+        band = spectrum[-1]
+        for entry in spectrum:
+            cumulative += entry[3]
+            if roll < cumulative:
+                band = entry
+                break
+        lo, hi, bug_p, _ = band
+        source = design.source
+        mutations: List[str] = []
+        functional_risk = False
+        if hi > 0:
+            strength = self._rng.uniform(lo, hi)
+            result = mutate.degrade_style(
+                source, self._rng, min(strength, 1.0)
+            )
+            source = result.source
+            mutations = result.applied
+            functional_risk = result.functional_risk
+            if strength > 1.0:
+                second = mutate.degrade_style(
+                    source, self._rng, strength - 1.0 + 0.5
+                )
+                source = second.source
+                mutations = mutations + second.applied
+                functional_risk |= second.functional_risk
+        if self._rng.random() < bug_p:
+            result = mutate.corrupt_function(source, self._rng)
+            source = result.source
+            mutations = mutations + result.applied
+            functional_risk = True
+        return RawFile(
+            path=self._path(design.spec.family), content=source,
+            truth_family=design.spec.family,
+            truth_status="clean",
+            truth_mutations=mutations,
+            truth_functional_risk=functional_risk,
+            truth_description=design.description,
+        )

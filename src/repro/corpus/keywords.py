@@ -1,0 +1,109 @@
+"""Keyword database for commercial-LLM generation (paper Fig. 2).
+
+The paper's generation pipeline starts from "a database of keywords …
+categorized into combinational and sequential circuits", expands each
+keyword into specific variations ("expanded-keywords"), then crafts a
+detailed prompt per expanded keyword.  This module reproduces that
+database and the expansion step, grounded in the design-family registry
+so every expanded keyword maps to a generator that can actually produce
+the design.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .templates import FAMILY_REGISTRY, family_names, get_family
+
+
+@dataclass(frozen=True)
+class ExpandedKeyword:
+    """One expanded keyword: a specific design variation.
+
+    ``family`` names the registry generator behind the variation.
+    """
+
+    keyword: str
+    expansion: str
+    category: str
+    family: str
+
+
+@dataclass
+class KeywordDatabase:
+    """The keyword DB: base keywords and their expansions."""
+
+    entries: List[ExpandedKeyword] = field(default_factory=list)
+
+    @property
+    def keywords(self) -> List[str]:
+        seen: List[str] = []
+        for entry in self.entries:
+            if entry.keyword not in seen:
+                seen.append(entry.keyword)
+        return seen
+
+    def by_keyword(self, keyword: str) -> List[ExpandedKeyword]:
+        return [e for e in self.entries if e.keyword == keyword]
+
+    def by_category(self, category: str) -> List[ExpandedKeyword]:
+        return [e for e in self.entries if e.category == category]
+
+    def sample(self, rng: random.Random) -> ExpandedKeyword:
+        return rng.choice(self.entries)
+
+    def funnel_stats(self) -> Dict[str, int]:
+        """Statistics for the Fig. 2 pipeline report."""
+        return {
+            "keywords": len(self.keywords),
+            "expanded_keywords": len(self.entries),
+            "combinational": len(self.by_category("combinational")),
+            "sequential": len(self.by_category("sequential")),
+        }
+
+
+def build_keyword_database() -> KeywordDatabase:
+    """Build the database from the family registry.
+
+    Each registered family contributes one expanded keyword under its
+    base keyword; families whose parameter space covers distinct
+    variations (e.g. different multiplexer fan-ins) still map to one
+    expansion here — parameter variety is exercised at prompt time.
+    """
+    db = KeywordDatabase()
+    for name in family_names():
+        family = get_family(name)
+        db.entries.append(
+            ExpandedKeyword(
+                keyword=family.keyword,
+                expansion=family.expanded_keyword or family.name,
+                category=family.category,
+                family=name,
+            )
+        )
+    return db
+
+
+def craft_prompt(
+    entry: ExpandedKeyword, rng: Optional[random.Random] = None
+) -> str:
+    """Craft a detailed design-description prompt for one expanded
+    keyword, as fed to the commercial LLM in the paper's pipeline."""
+    rng = rng or random.Random(0)
+    family = get_family(entry.family)
+    params = family.sample_params(rng)
+    detail = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+    detail_clause = f" Use {detail}." if detail else ""
+    opener = rng.choice([
+        "Write a synthesizable Verilog-2001 module implementing",
+        "Generate clean, commented Verilog code for",
+        "Produce a Verilog RTL implementation of",
+    ])
+    return (
+        f"{opener} a {entry.expansion} ({entry.category} logic)."
+        f"{detail_clause} Follow good coding style: ANSI ports, "
+        "non-blocking assignments in clocked blocks, and a default in "
+        "every case statement."
+    )

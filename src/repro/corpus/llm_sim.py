@@ -1,0 +1,199 @@
+"""Simulated commercial LLM (the GPT-4o-mini stand-in).
+
+The paper uses GPT-4o-mini in three roles: generating extra Verilog
+samples from crafted prompts (Fig. 2), ranking every dataset entry 0–20
+(Fig. 3), and producing design descriptions.  With no network access we
+substitute a deterministic simulacrum whose *interface and failure
+modes* match a real model:
+
+* **generation** renders the requested design from the family registry
+  and then injects temperature-dependent imperfections — style decay at
+  moderate temperature, functional bugs at high temperature, outright
+  syntax damage near the top of the range, and the occasional markdown
+  code fence that real chat models love to emit;
+* **ranking** delegates to the deterministic style/efficiency judge in
+  :mod:`repro.dataset.ranking`, formatted as the Fig. 3 prompt/response
+  exchange;
+* **description** phrases the design's spec (for generated code) or
+  falls back to the AST-derived describer.
+
+Determinism: one seed fixes every response, so pipeline runs are
+reproducible end-to-end.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from . import mutate
+from .keywords import ExpandedKeyword, craft_prompt
+from .templates import RenderedDesign, generate_design, get_family
+
+
+@dataclass
+class LLMExchange:
+    """One prompt/response pair (kept for audit trails and Fig. 3)."""
+
+    prompt: str
+    response: str
+    temperature: float
+
+
+@dataclass
+class GeneratedSample:
+    """One generation-pipeline output."""
+
+    design: RenderedDesign
+    raw_response: str
+    temperature: float
+    prompt: str
+    #: Ground truth about injected imperfections.
+    mutations: List[str] = field(default_factory=list)
+    intended_status: str = "clean"
+    functional_risk: bool = False
+
+
+def strip_markdown_fences(text: str) -> str:
+    """Remove ```verilog fences that chat models wrap code in."""
+    match = re.search(r"```(?:verilog|systemverilog|v)?\s*\n(.*?)```",
+                      text, flags=re.S)
+    if match:
+        return match.group(1)
+    return text
+
+
+class SimulatedCommercialLLM:
+    """Deterministic GPT-4o-mini simulacrum.
+
+    Args:
+        seed: fixes all sampling.
+        fence_probability: chance a response is wrapped in markdown.
+    """
+
+    model_name = "gpt-4o-mini-sim"
+
+    def __init__(self, seed: int = 0, fence_probability: float = 0.15) -> None:
+        self._rng = random.Random(seed)
+        self._fence_probability = fence_probability
+        self.exchanges: List[LLMExchange] = []
+
+    # -- generation (Fig. 2) -------------------------------------------------
+
+    def generate(
+        self,
+        entry: ExpandedKeyword,
+        temperature: float,
+        params: Optional[Dict[str, int]] = None,
+    ) -> GeneratedSample:
+        """Answer one design-generation prompt at ``temperature``.
+
+        Low temperature yields near-template code; increasing
+        temperature progressively risks style decay (>= 0.3), functional
+        bugs (>= 0.8), and syntax damage (>= 1.2).
+        """
+        rng = random.Random(self._rng.getrandbits(32))
+        prompt = craft_prompt(entry, rng)
+        design = generate_design(entry.family, rng, params=params)
+        source = design.source
+        mutations: List[str] = []
+        intended_status = "clean"
+        functional_risk = False
+
+        style_p = min(0.9, max(0.0, (temperature - 0.2) * 0.9))
+        if rng.random() < style_p:
+            result = mutate.degrade_style(
+                source, rng, strength=min(temperature, 1.0) * 0.7
+            )
+            source = result.source
+            mutations.extend(result.applied)
+            functional_risk |= result.functional_risk
+
+        bug_p = max(0.0, (temperature - 0.8) * 0.6)
+        if rng.random() < bug_p:
+            result = mutate.corrupt_function(source, rng)
+            source = result.source
+            mutations.extend(result.applied)
+            functional_risk = True
+
+        syntax_p = max(0.0, (temperature - 1.0) * 0.6)
+        if rng.random() < syntax_p:
+            result = mutate.break_syntax(source, rng)
+            source = result.source
+            mutations.extend(result.applied)
+            intended_status = "syntax"
+
+        raw = source
+        if rng.random() < self._fence_probability:
+            raw = f"```verilog\n{source}```"
+            mutations.append("markdown_fence")
+
+        design = RenderedDesign(
+            spec=design.spec, source=source,
+            description=design.description,
+        )
+        self.exchanges.append(LLMExchange(prompt, raw, temperature))
+        return GeneratedSample(
+            design=design, raw_response=raw, temperature=temperature,
+            prompt=prompt, mutations=mutations,
+            intended_status=intended_status,
+            functional_risk=functional_risk,
+        )
+
+    def generate_batch(
+        self,
+        entry: ExpandedKeyword,
+        n_queries: int = 10,
+        temperature_range: Tuple[float, float] = (0.2, 1.4),
+    ) -> List[GeneratedSample]:
+        """The paper's per-prompt procedure: query ``n_queries`` times
+        with evenly spread temperatures."""
+        lo, hi = temperature_range
+        samples = []
+        for index in range(n_queries):
+            if n_queries > 1:
+                temperature = lo + (hi - lo) * index / (n_queries - 1)
+            else:
+                temperature = lo
+            samples.append(self.generate(entry, temperature))
+        return samples
+
+    # -- ranking (Fig. 3) ------------------------------------------------------
+
+    RANKING_PREPROMPT = (
+        "Act as a teacher and rank the quality of this Verilog code in "
+        "scale of 0 to 20, with 0 being syntactically incorrect and 20 "
+        "being a good Verilog code in terms of efficiency and coding "
+        "style:"
+    )
+
+    def rank(self, code: str) -> int:
+        """Score ``code`` 0–20, recording the Fig. 3-style exchange."""
+        from ..dataset.ranking import score_code
+
+        score = score_code(code)
+        prompt = (
+            f"{self.RANKING_PREPROMPT}\n\n{code}\n\n"
+            "Just give me the score only."
+        )
+        self.exchanges.append(
+            LLMExchange(prompt, f"Score: {score} out of 20.", 0.0)
+        )
+        return score
+
+    # -- description ---------------------------------------------------------
+
+    def describe(self, code: str) -> str:
+        """Produce a design description for arbitrary Verilog text."""
+        from ..dataset.describe import describe_source
+
+        description = describe_source(code)
+        self.exchanges.append(
+            LLMExchange(
+                f"Describe the following Verilog design:\n\n{code}",
+                description, 0.0,
+            )
+        )
+        return description

@@ -1,0 +1,320 @@
+"""Quality-degradation operators for corpus synthesis.
+
+A real GitHub scrape is a quality gradient: pristine IP cores down to
+student homework with syntax errors.  PyraNet's six layers exist
+precisely because of that gradient.  These mutators manufacture it with
+*known ground truth*, which lets the pipeline tests assert that filters
+and the ranking judge respond correctly.
+
+Severity ladder (matching the intended destination layer):
+
+* :func:`degrade_style` — style/efficiency damage only; the code still
+  compiles and usually still works (Layers 2–4 material);
+* :func:`corrupt_function` — compilable but functionally wrong
+  (operator swaps, inverted conditions; Layers 4–5 material);
+* :func:`break_dependency` — well-formed code referencing modules or
+  includes that do not exist (Layer 6 "dependency issues");
+* :func:`break_syntax` — outright syntax damage (filtered out);
+* :func:`make_junk_file` — empty/corrupted/non-Verilog files (removed
+  by the first filter).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass
+class MutationResult:
+    """A mutated source plus bookkeeping about what was done.
+
+    ``intended_status`` is the expected compile-check outcome:
+    ``"clean"``, ``"dependency"``, ``"syntax"``, or ``"junk"``.
+    ``functional_risk`` flags mutations that may change behaviour.
+    """
+
+    source: str
+    applied: List[str] = field(default_factory=list)
+    intended_status: str = "clean"
+    functional_risk: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Style degradation (compilable)
+# ---------------------------------------------------------------------------
+
+
+def _strip_comments(source: str, rng: random.Random) -> str:
+    text = re.sub(r"//[^\n]*", "", source)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+
+def _mangle_indentation(source: str, rng: random.Random) -> str:
+    out = []
+    for line in source.splitlines():
+        stripped = line.lstrip()
+        if not stripped:
+            out.append("")
+            continue
+        indent = rng.choice(["", " ", "  ", "    ", "\t", "\t ", "      "])
+        out.append(indent + stripped)
+    return "\n".join(out) + "\n"
+
+
+def _add_trailing_whitespace(source: str, rng: random.Random) -> str:
+    out = []
+    for line in source.splitlines():
+        if line.strip() and rng.random() < 0.4:
+            line = line + " " * rng.randint(1, 5)
+        out.append(line)
+    return "\n".join(out) + "\n"
+
+
+_IDENT_DEF_RE = re.compile(
+    r"\b(?:input|output|inout|wire|reg)\b[^;=]*?\b([a-zA-Z_][a-zA-Z0-9_]*)\s*[,;)]"
+)
+
+
+def _cryptic_rename(source: str, rng: random.Random) -> str:
+    """Rename some internal wires/regs to meaningless names.
+
+    Ports are left alone so interfaces (and testbenches) keep working.
+    """
+    # Find names declared as internal wire/reg only (not in the header).
+    header_end = source.find(");")
+    body = source[header_end:] if header_end >= 0 else source
+    decls = re.findall(
+        r"\b(?:wire|reg)\s*(?:\[[^\]]*\]\s*)?([a-zA-Z_][a-zA-Z0-9_]*)\s*[;,=]",
+        body,
+    )
+    out = source
+    counter = 0
+    for name in decls:
+        if len(name) <= 2 or rng.random() < 0.5:
+            continue
+        counter += 1
+        new_name = rng.choice(["n", "t", "w", "s", "x"]) + str(
+            rng.randint(0, 99)
+        )
+        out = re.sub(rf"\b{re.escape(name)}\b", new_name, out)
+    return out
+
+
+def _remove_case_default(source: str, rng: random.Random) -> str:
+    return re.sub(r"^\s*default\s*:[^\n]*\n", "", source, count=1,
+                  flags=re.M)
+
+
+def _blockify_nonblocking(source: str, rng: random.Random) -> str:
+    """Turn some non-blocking assigns into blocking ones (bad style in
+    clocked logic; may also change behaviour)."""
+    parts = source.split("<=")
+    if len(parts) < 2:
+        return source
+    out = parts[0]
+    for chunk in parts[1:]:
+        # Keep comparisons intact: "<=" in an if-condition stays.
+        if rng.random() < 0.6:
+            out += "=" + chunk
+        else:
+            out += "<=" + chunk
+    return out
+
+
+def _add_unused_signal(source: str, rng: random.Random) -> str:
+    name = f"unused_{rng.randint(0, 999)}"
+    width = rng.choice(["", "[3:0] ", "[7:0] "])
+    decl = f"  wire {width}{name};\n"
+    index = source.find(");")
+    if index < 0:
+        return source
+    insertion = source.find("\n", index) + 1
+    return source[:insertion] + decl + source[insertion:]
+
+
+_STYLE_OPS: List[Tuple[str, Callable[[str, random.Random], str]]] = [
+    ("strip_comments", _strip_comments),
+    ("mangle_indentation", _mangle_indentation),
+    ("trailing_whitespace", _add_trailing_whitespace),
+    ("cryptic_rename", _cryptic_rename),
+    ("remove_case_default", _remove_case_default),
+    ("add_unused_signal", _add_unused_signal),
+]
+
+
+def degrade_style(
+    source: str, rng: random.Random, strength: float = 0.5
+) -> MutationResult:
+    """Apply style damage proportional to ``strength`` in [0, 1]."""
+    result = MutationResult(source=source)
+    n_ops = max(1, round(strength * len(_STYLE_OPS)))
+    ops = rng.sample(_STYLE_OPS, min(n_ops, len(_STYLE_OPS)))
+    for name, op in ops:
+        mutated = op(result.source, rng)
+        if mutated != result.source:
+            result.source = mutated
+            result.applied.append(name)
+    if strength > 0.7 and rng.random() < 0.7:
+        mutated = _blockify_nonblocking(result.source, rng)
+        if mutated != result.source:
+            result.source = mutated
+            result.applied.append("blockify_nonblocking")
+            result.functional_risk = True
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Functional corruption (compilable, wrong)
+# ---------------------------------------------------------------------------
+
+_OPERATOR_SWAPS = [
+    (r"(?<![&|^~<>=!+\-*])\+(?!:)", "-"),
+    (r"(?<![&|^~<>=!+\-*])-(?!:)(?![0-9]* *1'b1)", "+"),
+    (r"&(?![&=])", "|"),
+    (r"\|(?![|=])", "&"),
+    (r"\^", "&"),
+    (r"<(?![<==])", ">"),
+    (r"==", "!="),
+]
+
+
+def corrupt_function(
+    source: str, rng: random.Random, n_mutations: int = 1
+) -> MutationResult:
+    """Swap operators / perturb constants so behaviour changes but the
+    file still compiles."""
+    result = MutationResult(source=source, functional_risk=True)
+    body_start = source.find(");")
+    attempts = 0
+    while len(result.applied) < n_mutations and attempts < 20:
+        attempts += 1
+        pattern, replacement = rng.choice(_OPERATOR_SWAPS)
+        matches = list(re.finditer(pattern, result.source[body_start:]))
+        if not matches:
+            continue
+        match = rng.choice(matches)
+        start = body_start + match.start()
+        end = body_start + match.end()
+        result.source = (
+            result.source[:start] + replacement + result.source[end:]
+        )
+        result.applied.append(f"swap:{pattern}->{replacement}")
+    if not result.applied:
+        # Fall back to constant perturbation.
+        nums = list(re.finditer(r"\b(\d+)'d(\d+)\b", result.source))
+        if nums:
+            match = rng.choice(nums)
+            width, value = match.group(1), int(match.group(2))
+            result.source = (
+                result.source[:match.start()]
+                + f"{width}'d{value + 1}"
+                + result.source[match.end():]
+            )
+            result.applied.append("perturb_constant")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Dependency breakage (Layer 6 material)
+# ---------------------------------------------------------------------------
+
+
+def break_dependency(source: str, rng: random.Random) -> MutationResult:
+    """Make the file reference something defined elsewhere."""
+    result = MutationResult(source=source, intended_status="dependency")
+    choice = rng.random()
+    insert_at = source.find(");")
+    insert_at = source.find("\n", insert_at) + 1 if insert_at >= 0 else 0
+    if choice < 0.4:
+        ghost = rng.choice(
+            ["sync_cell", "clk_gate", "pad_buffer", "scan_mux", "tech_ff"]
+        )
+        inst = (
+            f"  {ghost} u_{ghost}{rng.randint(0, 99)} "
+            f"(.a(1'b0), .y());\n"
+        )
+        result.source = source[:insert_at] + inst + source[insert_at:]
+        result.applied.append(f"ghost_module:{ghost}")
+    elif choice < 0.7:
+        ghost_sig = rng.choice(
+            ["ext_enable", "global_rst", "cfg_bus_data", "scan_mode"]
+        )
+        assign = f"  wire probe_{rng.randint(0, 99)} = {ghost_sig};\n"
+        result.source = source[:insert_at] + assign + source[insert_at:]
+        result.applied.append(f"ghost_signal:{ghost_sig}")
+    else:
+        header = rng.choice(
+            ['`include "defines.vh"', '`include "params.svh"',
+             '`include "company_macros.vh"']
+        )
+        result.source = header + "\n" + source
+        result.applied.append("missing_include")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Syntax breakage (filtered out)
+# ---------------------------------------------------------------------------
+
+
+def break_syntax(source: str, rng: random.Random) -> MutationResult:
+    """Damage the file so it no longer parses."""
+    result = MutationResult(source=source, intended_status="syntax")
+    choice = rng.random()
+    if choice < 0.3 and ";" in source:
+        # Drop a semicolon.
+        positions = [m.start() for m in re.finditer(";", source)]
+        pos = rng.choice(positions)
+        result.source = source[:pos] + source[pos + 1:]
+        result.applied.append("drop_semicolon")
+    elif choice < 0.5 and "endmodule" in source:
+        result.source = source.replace("endmodule", "", 1)
+        result.applied.append("drop_endmodule")
+    elif choice < 0.7 and "begin" in source:
+        result.source = source.replace("begin", "begn", 1)
+        result.applied.append("typo_begin")
+    elif choice < 0.85:
+        # Truncate mid-file.
+        cut = rng.randint(len(source) // 3, max(len(source) - 10,
+                                                len(source) // 3 + 1))
+        result.source = source[:cut]
+        result.applied.append("truncate")
+    else:
+        pos = rng.randint(0, max(len(source) - 1, 0))
+        result.source = source[:pos] + "@@ %% ##" + source[pos:]
+        result.applied.append("garbage_insert")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Junk files (removed by the first filter)
+# ---------------------------------------------------------------------------
+
+
+def make_junk_file(rng: random.Random) -> MutationResult:
+    """An empty, corrupted, or non-Verilog file."""
+    result = MutationResult(source="", intended_status="junk")
+    choice = rng.random()
+    if choice < 0.3:
+        result.source = ""
+        result.applied.append("empty")
+    elif choice < 0.5:
+        result.source = " \n\t\n   \n"
+        result.applied.append("whitespace_only")
+    elif choice < 0.7:
+        result.source = "".join(
+            chr(rng.randint(0x80, 0xFF)) for _ in range(rng.randint(16, 128))
+        )
+        result.applied.append("binary_garbage")
+    elif choice < 0.85:
+        result.source = (
+            "# Makefile fragment\nall:\n\ticarus -o out src.v\n"
+        )
+        result.applied.append("not_verilog")
+    else:
+        result.source = "// TODO: write the actual module\n"
+        result.applied.append("no_module")
+    return result

@@ -1,0 +1,140 @@
+"""Design specifications and golden models.
+
+Every synthetic design family produces a :class:`DesignSpec` describing
+its interface (ports, clocking, reset discipline) together with a
+*golden model* — a pure-Python behavioural reference.  The spec serves
+three consumers:
+
+* the corpus **templates** render Verilog that implements the spec;
+* the **evaluation harness** builds functional testbenches by driving
+  random stimulus into a candidate module and comparing against the
+  golden model;
+* the **description generator** phrases natural-language prompts from
+  the structured fields.
+
+Golden models come in two shapes: combinational (``comb(inputs) ->
+outputs``) and sequential (``reset() -> state`` then ``step(state,
+inputs) -> (state, outputs)``), with all values plain unsigned ints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: inputs -> outputs, both name -> unsigned int.
+CombFunc = Callable[[Dict[str, int]], Dict[str, int]]
+#: (state, inputs) -> (new_state, outputs); state is family-defined.
+StepFunc = Callable[[object, Dict[str, int]], Tuple[object, Dict[str, int]]]
+ResetFunc = Callable[[], object]
+
+
+@dataclass(frozen=True)
+class PortDef:
+    """One port of a design.
+
+    ``role`` is ``"clock"``, ``"reset"``, or ``"data"``; the testbench
+    generator treats clock/reset ports specially.
+    """
+
+    name: str
+    width: int = 1
+    role: str = "data"
+    signed: bool = False
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+
+@dataclass
+class GoldenModel:
+    """Behavioural reference for a design family instance.
+
+    For combinational designs only ``comb`` is set.  For sequential
+    designs ``reset`` and ``step`` are set; ``step`` is called once per
+    rising clock edge with the input values sampled *before* the edge,
+    and ``mealy_outputs`` lists outputs that depend combinationally on
+    current inputs (checked after settling, not only after edges).
+    """
+
+    comb: Optional[CombFunc] = None
+    reset: Optional[ResetFunc] = None
+    step: Optional[StepFunc] = None
+    #: Output names that are pure functions of (state, current inputs).
+    mealy_outputs: Tuple[str, ...] = ()
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.step is not None
+
+
+@dataclass
+class DesignSpec:
+    """Complete interface + behaviour contract for one design."""
+
+    family: str
+    module_name: str
+    params: Dict[str, int] = field(default_factory=dict)
+    inputs: List[PortDef] = field(default_factory=list)
+    outputs: List[PortDef] = field(default_factory=list)
+    clocked: bool = False
+    clock_name: Optional[str] = None
+    reset_name: Optional[str] = None
+    reset_active_low: bool = False
+    reset_synchronous: bool = False
+    golden: Optional[GoldenModel] = None
+    #: Primary keyword ("adder", "counter", …) for the keyword DB.
+    keyword: str = ""
+    #: Expanded keyword ("ripple carry adder", …).
+    expanded_keyword: str = ""
+
+    @property
+    def category(self) -> str:
+        return "sequential" if self.clocked else "combinational"
+
+    def data_inputs(self) -> List[PortDef]:
+        return [p for p in self.inputs if p.role == "data"]
+
+    def find_input(self, name: str) -> Optional[PortDef]:
+        for port in self.inputs:
+            if port.name == name:
+                return port
+        return None
+
+    def find_output(self, name: str) -> Optional[PortDef]:
+        for port in self.outputs:
+            if port.name == name:
+                return port
+        return None
+
+    def port_header(self) -> str:
+        """Render the ANSI module header implied by this spec.
+
+        Evaluation problems hand this header to the model, mirroring
+        VerilogEval's "complete this module" format.
+        """
+        parts: List[str] = []
+        for port in self.inputs:
+            rng = f" [{port.width - 1}:0]" if port.width > 1 else ""
+            sgn = " signed" if port.signed else ""
+            parts.append(f"  input{sgn}{rng} {port.name}")
+        for port in self.outputs:
+            rng = f" [{port.width - 1}:0]" if port.width > 1 else ""
+            sgn = " signed" if port.signed else ""
+            parts.append(f"  output{sgn}{rng} {port.name}")
+        body = ",\n".join(parts)
+        return f"module {self.module_name} (\n{body}\n);"
+
+
+def mask(width: int) -> int:
+    """All-ones mask of ``width`` bits."""
+    return (1 << width) - 1
+
+
+def to_signed(value: int, width: int) -> int:
+    """Two's-complement interpretation of ``value``."""
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value

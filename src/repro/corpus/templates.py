@@ -1,0 +1,161 @@
+"""Design-family registry and rendering.
+
+A *family* is a parameterised hardware design generator — one entry in
+the keyword database of Fig. 2 (adders, multiplexers, counters, FSMs,
+…).  Families register themselves via :func:`register_family`;
+:func:`generate_design` samples a parameter point, renders Verilog, and
+attaches a natural-language description, returning a
+:class:`RenderedDesign` the corpus/curation layers consume.
+
+The registry replaces the paper's GitHub scrape + GPT-4o-mini
+generation as the *source of Verilog text*; downstream pipeline stages
+(filters, dedup, ranking, layering) are identical to the paper's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type
+
+from .spec import DesignSpec
+
+
+class Family:
+    """Base class for design families.
+
+    Subclasses set the class attributes and implement
+    :meth:`sample_params`, :meth:`build`, and :meth:`describe`.
+    """
+
+    #: Unique family identifier, e.g. ``"ripple_carry_adder"``.
+    name: str = ""
+    #: Keyword-database entry this family belongs to (Fig. 2).
+    keyword: str = ""
+    #: Expanded keyword, e.g. ``"ripple carry adder"``.
+    expanded_keyword: str = ""
+    #: ``"combinational"`` or ``"sequential"``.
+    category: str = "combinational"
+    #: Typical complexity of this family's instances (a hint only; the
+    #: labeler measures the actual code).
+    complexity_hint: str = "basic"
+
+    def sample_params(self, rng: random.Random) -> Dict[str, int]:
+        """Sample a parameter point for this family."""
+        raise NotImplementedError
+
+    def build(
+        self, params: Dict[str, int], module_name: str
+    ) -> Tuple[DesignSpec, str]:
+        """Render (spec, source) for the given parameters."""
+        raise NotImplementedError
+
+    def describe(self, spec: DesignSpec, rng: random.Random) -> str:
+        """Produce a natural-language description of ``spec``."""
+        raise NotImplementedError
+
+
+@dataclass
+class RenderedDesign:
+    """A generated design: interface contract, code, and description."""
+
+    spec: DesignSpec
+    source: str
+    description: str
+
+    @property
+    def family(self) -> str:
+        return self.spec.family
+
+    @property
+    def module_name(self) -> str:
+        return self.spec.module_name
+
+
+#: All registered families by name.
+FAMILY_REGISTRY: Dict[str, Family] = {}
+
+
+def register_family(cls: Type[Family]) -> Type[Family]:
+    """Class decorator adding a family instance to the registry."""
+    instance = cls()
+    if not instance.name:
+        raise ValueError(f"family {cls.__name__} has no name")
+    if instance.name in FAMILY_REGISTRY:
+        raise ValueError(f"duplicate family {instance.name!r}")
+    FAMILY_REGISTRY[instance.name] = instance
+    return cls
+
+
+def family_names(category: Optional[str] = None) -> List[str]:
+    """Registered family names, optionally filtered by category."""
+    _ensure_loaded()
+    return sorted(
+        name for name, fam in FAMILY_REGISTRY.items()
+        if category is None or fam.category == category
+    )
+
+
+def get_family(name: str) -> Family:
+    _ensure_loaded()
+    family = FAMILY_REGISTRY.get(name)
+    if family is None:
+        raise KeyError(
+            f"unknown design family {name!r}; known: {family_names()}"
+        )
+    return family
+
+
+_NAME_STYLES = [
+    lambda base, rng: base,
+    lambda base, rng: f"{base}_{rng.randrange(100)}",
+    lambda base, rng: f"my_{base}",
+    lambda base, rng: f"{base}_top",
+    lambda base, rng: f"u_{base}",
+]
+
+
+def generate_design(
+    family_name: str,
+    rng: Optional[random.Random] = None,
+    params: Optional[Dict[str, int]] = None,
+    module_name: Optional[str] = None,
+) -> RenderedDesign:
+    """Generate one design from ``family_name``.
+
+    Args:
+        family_name: a registered family.
+        rng: randomness source (a fresh seeded one when omitted).
+        params: explicit parameter point; sampled when omitted.
+        module_name: explicit module name; derived when omitted.
+    """
+    rng = rng or random.Random(0)
+    family = get_family(family_name)
+    chosen = params if params is not None else family.sample_params(rng)
+    if module_name is None:
+        module_name = rng.choice(_NAME_STYLES)(family.name, rng)
+    spec, source = family.build(chosen, module_name)
+    description = family.describe(spec, rng)
+    return RenderedDesign(spec=spec, source=source, description=description)
+
+
+def generate_random_design(
+    rng: random.Random, category: Optional[str] = None
+) -> RenderedDesign:
+    """Generate a design from a uniformly chosen family."""
+    names = family_names(category)
+    return generate_design(rng.choice(names), rng)
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    """Import the family modules exactly once (registration side
+    effects)."""
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    from . import families_comb  # noqa: F401
+    from . import families_seq  # noqa: F401

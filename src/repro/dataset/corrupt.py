@@ -1,0 +1,62 @@
+"""Dataset corruption for the quality-verification study (Table IV).
+
+The paper validates its GPT-generated labels by *shuffling* the codes,
+descriptions, and rankings across rows — creating mismatched
+(code, description, ranking) triples — fine-tuning on the distorted
+dataset, and showing the resulting model collapses.  :func:`shuffle_labels`
+reproduces exactly that distortion.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import List, Optional
+
+from .records import DatasetEntry, PyraNetDataset
+
+
+def shuffle_labels(
+    dataset: PyraNetDataset,
+    seed: int = 0,
+    shuffle_descriptions: bool = True,
+    shuffle_rankings: bool = True,
+) -> PyraNetDataset:
+    """Return a copy with descriptions/rankings permuted across rows.
+
+    Codes stay in place; the labels rotate with a derangement-style
+    shuffle (every row receives some other row's labels whenever the
+    dataset has more than one row), so code↔description alignment is
+    destroyed rather than merely perturbed.
+    """
+    rng = random.Random(seed)
+    entries = [copy.deepcopy(e) for e in dataset.entries]
+    n = len(entries)
+    if n > 1:
+        permutation = _derangement(n, rng)
+        if shuffle_descriptions:
+            descriptions = [e.description for e in entries]
+            for index, entry in enumerate(entries):
+                entry.description = descriptions[permutation[index]]
+        if shuffle_rankings:
+            rankings = [e.ranking for e in entries]
+            complexities = [e.complexity for e in entries]
+            for index, entry in enumerate(entries):
+                entry.ranking = rankings[permutation[index]]
+                entry.complexity = complexities[permutation[index]]
+    shuffled = PyraNetDataset(entries=entries)
+    # Re-layer with the (now wrong) rankings, as the paper's distorted
+    # dataset would be organised by its shuffled labels.
+    from .layering import assign_layers
+
+    assign_layers(shuffled.entries)
+    return shuffled
+
+
+def _derangement(n: int, rng: random.Random) -> List[int]:
+    """A permutation with no fixed points (for n > 1)."""
+    while True:
+        permutation = list(range(n))
+        rng.shuffle(permutation)
+        if all(permutation[i] != i for i in range(n)):
+            return permutation

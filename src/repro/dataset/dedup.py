@@ -1,0 +1,157 @@
+"""Code deduplication: token Jaccard similarity with MinHash/LSH.
+
+The paper deduplicates with "the Jaccard similarity algorithm … the
+intersection over the union of the sets" of code tokens, dropping pairs
+above a threshold.  Pairwise Jaccard is O(n²); for corpus-scale inputs
+we index MinHash signatures with locality-sensitive hashing and verify
+candidate pairs exactly, which preserves the paper's decision rule
+while staying near-linear.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+_TOKEN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|\d+|[^\sA-Za-z0-9_]")
+
+
+def tokenize_for_dedup(code: str) -> FrozenSet[str]:
+    """Token shingles used for similarity.
+
+    Comments are stripped first (forked files often only differ in
+    headers), then 3-token shingles are formed so ordering matters —
+    plain bags of tokens make all small counters look identical.
+    """
+    text = re.sub(r"//[^\n]*", "", code)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    tokens = _TOKEN_RE.findall(text)
+    if len(tokens) < 3:
+        return frozenset(tokens)
+    return frozenset(
+        " ".join(tokens[i:i + 3]) for i in range(len(tokens) - 2)
+    )
+
+
+def jaccard(a: FrozenSet[str], b: FrozenSet[str]) -> float:
+    """Exact Jaccard similarity of two shingle sets."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    intersection = len(a & b)
+    union = len(a) + len(b) - intersection
+    return intersection / union
+
+
+def _hash64(text: str, salt: int) -> int:
+    digest = hashlib.blake2b(
+        text.encode("utf-8", "replace"), digest_size=8,
+        salt=salt.to_bytes(8, "little"),
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+@dataclass
+class MinHasher:
+    """MinHash signatures over shingle sets.
+
+    ``n_perm`` permutations are simulated with salted 64-bit hashes.
+    """
+
+    n_perm: int = 64
+
+    def signature(self, shingles: FrozenSet[str]) -> Tuple[int, ...]:
+        if not shingles:
+            return tuple([0] * self.n_perm)
+        return tuple(
+            min(_hash64(s, salt) for s in shingles)
+            for salt in range(self.n_perm)
+        )
+
+    @staticmethod
+    def estimate(sig_a: Sequence[int], sig_b: Sequence[int]) -> float:
+        matches = sum(1 for x, y in zip(sig_a, sig_b) if x == y)
+        return matches / len(sig_a)
+
+
+@dataclass
+class DedupReport:
+    """Outcome of :func:`deduplicate`."""
+
+    kept_indices: List[int] = field(default_factory=list)
+    #: Mapping duplicate index -> representative (kept) index.
+    duplicate_of: Dict[int, int] = field(default_factory=dict)
+    candidate_pairs_checked: int = 0
+
+    @property
+    def n_removed(self) -> int:
+        return len(self.duplicate_of)
+
+
+def deduplicate(
+    codes: Sequence[str],
+    threshold: float = 0.8,
+    n_perm: int = 64,
+    bands: int = 16,
+) -> DedupReport:
+    """Drop near-duplicates by Jaccard threshold.
+
+    Args:
+        codes: the code texts.
+        threshold: Jaccard similarity above which the later file is
+            considered a duplicate of the earlier one.
+        n_perm: MinHash permutations.
+        bands: LSH bands (must divide ``n_perm``); more bands catch
+            lower similarities at the cost of more candidates.
+
+    Returns:
+        A :class:`DedupReport` whose ``kept_indices`` preserve input
+        order (first occurrence wins).
+    """
+    if n_perm % bands != 0:
+        raise ValueError(f"bands={bands} must divide n_perm={n_perm}")
+    rows = n_perm // bands
+    hasher = MinHasher(n_perm)
+    shingle_sets = [tokenize_for_dedup(code) for code in codes]
+    signatures = [hasher.signature(s) for s in shingle_sets]
+
+    report = DedupReport()
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for index, signature in enumerate(signatures):
+        if index in report.duplicate_of:
+            continue
+        # Gather LSH candidates.
+        candidates: Set[int] = set()
+        keys = []
+        for band in range(bands):
+            chunk = signature[band * rows:(band + 1) * rows]
+            key = (band, hash(chunk))
+            keys.append(key)
+            candidates.update(buckets.get(key, ()))
+        duplicate = None
+        for candidate in sorted(candidates):
+            if candidate in report.duplicate_of:
+                continue
+            report.candidate_pairs_checked += 1
+            similarity = jaccard(shingle_sets[index],
+                                 shingle_sets[candidate])
+            if similarity >= threshold:
+                duplicate = candidate
+                break
+        if duplicate is not None:
+            report.duplicate_of[index] = duplicate
+            continue
+        report.kept_indices.append(index)
+        for key in keys:
+            buckets.setdefault(key, []).append(index)
+    return report
+
+
+def dedup_keep_indices(
+    codes: Sequence[str], threshold: float = 0.8
+) -> List[int]:
+    """Convenience adapter for the filter funnel: indices to keep."""
+    return deduplicate(codes, threshold).kept_indices

@@ -1,0 +1,111 @@
+"""Design-description generation for collected code.
+
+Entries scraped from repositories arrive without descriptions; the
+paper fills them in with GPT-4o-mini.  Our describer derives a faithful
+natural-language description from the parsed AST: interface summary
+(ports, widths, clocking), detected behavioural features (FSM, memory,
+arithmetic, case-based selection), and structural notes (hierarchy,
+generate loops).  Faithfulness matters because Table IV shows that
+mismatched descriptions destroy fine-tuning quality — the description
+must actually talk about *this* code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..verilog import ast_nodes as ast
+from ..verilog import measure_module
+from ..verilog.parser import ParseError, parse
+
+
+def _port_phrase(port: ast.Port) -> str:
+    width = ""
+    if port.range is not None and isinstance(port.range.msb, ast.Number) \
+            and isinstance(port.range.lsb, ast.Number):
+        bits = abs(port.range.msb.value - port.range.lsb.value) + 1
+        width = f"{bits}-bit "
+    return f"{width}{port.direction} '{port.name}'"
+
+
+_CLOCK_HINTS = ("clk", "clock")
+_RESET_HINTS = ("rst", "reset", "clear")
+
+
+def describe_module(module: ast.Module) -> str:
+    """One-paragraph description of a parsed module."""
+    metrics = measure_module(module)
+    sentences: List[str] = []
+
+    kind = "sequential" if metrics.is_sequential else "combinational"
+    sentences.append(
+        f"Module '{module.name}' is a {kind} Verilog design with "
+        f"{len(module.ports)} port(s)."
+    )
+
+    inputs = [p for p in module.ports if p.direction == "input"]
+    outputs = [p for p in module.ports if p.direction == "output"]
+    clock = next(
+        (p.name for p in inputs
+         if any(h in p.name.lower() for h in _CLOCK_HINTS)), None)
+    reset = next(
+        (p.name for p in inputs
+         if any(h in p.name.lower() for h in _RESET_HINTS)), None)
+    data_inputs = [p for p in inputs if p.name not in (clock, reset)]
+    if data_inputs:
+        sentences.append(
+            "Inputs: " + ", ".join(_port_phrase(p) for p in data_inputs[:6])
+            + ("." if len(data_inputs) <= 6 else ", and more.")
+        )
+    if outputs:
+        sentences.append(
+            "Outputs: " + ", ".join(_port_phrase(p) for p in outputs[:6])
+            + ("." if len(outputs) <= 6 else ", and more.")
+        )
+    if clock:
+        reset_clause = (
+            f" and reset '{reset}'" if reset else ""
+        )
+        sentences.append(
+            f"State updates on the rising edge of '{clock}'{reset_clause}."
+        )
+
+    features: List[str] = []
+    if metrics.has_fsm:
+        features.append("a finite-state machine with case-based "
+                        "state transitions")
+    if metrics.has_memory:
+        features.append(f"{metrics.memories} memory array(s)")
+    if metrics.case_statements and not metrics.has_fsm:
+        features.append("case-based output selection")
+    if metrics.loops:
+        features.append("iterative (loop-based) logic")
+    if metrics.functions:
+        features.append(f"{metrics.functions} helper function(s)")
+    if metrics.has_hierarchy:
+        features.append(f"{metrics.instances} submodule instance(s)")
+    if metrics.has_generate:
+        features.append("generate-based replication")
+    if features:
+        sentences.append("The implementation uses " + ", ".join(features)
+                         + ".")
+
+    if module.parameters:
+        names = ", ".join(p.name for p in module.parameters[:4]
+                          if not p.local)
+        if names:
+            sentences.append(f"It is parameterised by {names}.")
+    return " ".join(sentences)
+
+
+def describe_source(code: str) -> str:
+    """Describe source text (all modules)."""
+    try:
+        tree = parse(code)
+    except ParseError:
+        return ("A Verilog source file (could not be parsed for a "
+                "detailed description).")
+    if not tree.modules:
+        return "A Verilog source file with no module declarations."
+    descriptions = [describe_module(m) for m in tree.modules[:3]]
+    return " ".join(descriptions)

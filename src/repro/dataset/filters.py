@@ -1,0 +1,158 @@
+"""Post-download dataset filters (paper Section III-A.2).
+
+The paper applies, in order of increasing cost:
+
+1. **empty/broken** — unreadable (encoding) or empty files;
+2. **module declaration** — files with no module declaration;
+3. **deduplication** — Jaccard similarity (see :mod:`.dedup`);
+4. **syntax check** — the expensive compile check, run last on the
+   reduced set, classifying survivors as clean or dependency-only.
+
+:func:`run_filter_funnel` chains the stages and reports per-stage
+counts — the funnel that turns ~2.4 M raw files into the usable set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..verilog import check, has_module_declaration
+from ..verilog.syntax_checker import CheckResult
+
+
+@dataclass
+class FilterDecision:
+    """Outcome for one file at one stage."""
+
+    kept: bool
+    stage: str
+    reason: str = ""
+
+
+def is_readable(content: str) -> FilterDecision:
+    """Encoding/corruption filter.
+
+    Real scrapes hit undecodable bytes; our in-memory corpus models
+    them as non-ASCII garbage.  A file is 'broken' when a significant
+    fraction of characters are outside the printable range.
+    """
+    if not content:
+        return FilterDecision(False, "empty_broken", "empty file")
+    printable = sum(
+        1 for ch in content if ch.isprintable() or ch in "\n\r\t"
+    )
+    if printable / len(content) < 0.9:
+        return FilterDecision(False, "empty_broken", "encoding issues")
+    if not content.strip():
+        return FilterDecision(False, "empty_broken", "whitespace only")
+    return FilterDecision(True, "empty_broken")
+
+
+def has_module(content: str) -> FilterDecision:
+    """Module-declaration filter."""
+    if has_module_declaration(content):
+        return FilterDecision(True, "module_decl")
+    return FilterDecision(False, "module_decl", "no module declaration")
+
+
+def syntax_filter(content: str) -> Tuple[FilterDecision, CheckResult]:
+    """The expensive compile check (run last).
+
+    Files with syntax errors are dropped; files with dependency issues
+    are *kept* and labelled (they populate Layer 6).
+    """
+    result = check(content)
+    if result.status == "syntax":
+        first = result.syntax_errors[0].message if result.syntax_errors else ""
+        return (
+            FilterDecision(False, "syntax_check", first or "syntax error"),
+            result,
+        )
+    reason = "dependency issues" if result.status == "dependency" else ""
+    return FilterDecision(True, "syntax_check", reason), result
+
+
+@dataclass
+class FunnelStats:
+    """Per-stage counts of the filter funnel."""
+
+    collected: int = 0
+    after_empty_broken: int = 0
+    after_module_decl: int = 0
+    after_dedup: int = 0
+    after_syntax: int = 0
+    clean: int = 0
+    dependency_only: int = 0
+    removed: dict = field(default_factory=dict)
+
+    def record_removal(self, stage: str) -> None:
+        self.removed[stage] = self.removed.get(stage, 0) + 1
+
+
+@dataclass
+class FilteredFile:
+    """A survivor of the funnel, with its compile classification."""
+
+    index: int
+    content: str
+    check_result: CheckResult
+
+
+def run_filter_funnel(
+    contents: Sequence[str],
+    dedup: Optional[Callable[[Sequence[str]], List[int]]] = None,
+) -> Tuple[List[FilteredFile], FunnelStats]:
+    """Run the four-stage funnel over ``contents``.
+
+    Args:
+        contents: raw file texts, index-aligned with the caller's
+            bookkeeping.
+        dedup: callable returning the indices (into its argument) of
+            files to *keep*; defaults to no deduplication.
+
+    Returns:
+        (survivors, stats); each survivor keeps its original index.
+    """
+    stats = FunnelStats(collected=len(contents))
+
+    stage1: List[Tuple[int, str]] = []
+    for index, content in enumerate(contents):
+        decision = is_readable(content)
+        if decision.kept:
+            stage1.append((index, content))
+        else:
+            stats.record_removal("empty_broken")
+    stats.after_empty_broken = len(stage1)
+
+    stage2: List[Tuple[int, str]] = []
+    for index, content in stage1:
+        decision = has_module(content)
+        if decision.kept:
+            stage2.append((index, content))
+        else:
+            stats.record_removal("module_decl")
+    stats.after_module_decl = len(stage2)
+
+    if dedup is not None and stage2:
+        keep_positions = set(dedup([content for _, content in stage2]))
+        stage3 = [pair for position, pair in enumerate(stage2)
+                  if position in keep_positions]
+        stats.removed["dedup"] = len(stage2) - len(stage3)
+    else:
+        stage3 = stage2
+    stats.after_dedup = len(stage3)
+
+    survivors: List[FilteredFile] = []
+    for index, content in stage3:
+        decision, result = syntax_filter(content)
+        if not decision.kept:
+            stats.record_removal("syntax_check")
+            continue
+        survivors.append(FilteredFile(index, content, result))
+        if result.status == "clean":
+            stats.clean += 1
+        else:
+            stats.dependency_only += 1
+    stats.after_syntax = len(survivors)
+    return survivors, stats

@@ -1,0 +1,46 @@
+"""Dataset persistence: JSONL, the lingua franca of LLM datasets.
+
+One entry per line with all PyraNet labels, mirroring how the published
+HuggingFace dataset is distributed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from .records import DatasetEntry, PyraNetDataset
+
+PathLike = Union[str, Path]
+
+
+def save_jsonl(dataset: PyraNetDataset, path: PathLike) -> int:
+    """Write ``dataset`` to ``path``; returns the number of rows."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for entry in dataset:
+            handle.write(json.dumps(entry.to_dict(), ensure_ascii=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: PathLike) -> PyraNetDataset:
+    """Read a dataset written by :func:`save_jsonl`."""
+    dataset = PyraNetDataset()
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            dataset.add(DatasetEntry.from_dict(data))
+    return dataset

@@ -1,0 +1,125 @@
+"""Dataset records and the PyraNet container.
+
+A :class:`DatasetEntry` is one row of the PyraNet dataset with the
+labels the paper describes (Section III-A): the Verilog code, a design
+description, a 0–20 ranking, a complexity tier, and compile details.
+:class:`PyraNetDataset` holds the layered collection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, asdict
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class Complexity(enum.IntEnum):
+    """MEV-LLM's four complexity tiers (paper Section III-A.4)."""
+
+    BASIC = 0
+    INTERMEDIATE = 1
+    ADVANCED = 2
+    EXPERT = 3
+
+    @property
+    def label(self) -> str:
+        return self.name.capitalize()
+
+
+class CompileStatus(enum.Enum):
+    """Compile-check outcome recorded per entry."""
+
+    CLEAN = "clean"
+    DEPENDENCY = "dependency"
+    SYNTAX = "syntax"
+
+    @classmethod
+    def from_string(cls, text: str) -> "CompileStatus":
+        return cls(text)
+
+
+@dataclass
+class DatasetEntry:
+    """One PyraNet row.
+
+    ``layer`` is assigned during organisation (1 = best … 6 = worst);
+    0 means unassigned.
+    """
+
+    entry_id: str
+    code: str
+    description: str = ""
+    ranking: int = 0
+    complexity: Complexity = Complexity.BASIC
+    compile_status: CompileStatus = CompileStatus.CLEAN
+    compile_detail: str = ""
+    layer: int = 0
+    origin: str = "github"
+    source_path: str = ""
+    module_names: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        data["complexity"] = self.complexity.name
+        data["compile_status"] = self.compile_status.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DatasetEntry":
+        data = dict(data)
+        data["complexity"] = Complexity[data["complexity"]]
+        data["compile_status"] = CompileStatus(data["compile_status"])
+        return cls(**data)
+
+
+@dataclass
+class PyraNetDataset:
+    """The layered dataset.
+
+    Entries keep their layer assignment; helpers expose per-layer and
+    per-complexity views in the order fine-tuning consumes them.
+    """
+
+    entries: List[DatasetEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[DatasetEntry]:
+        return iter(self.entries)
+
+    def add(self, entry: DatasetEntry) -> None:
+        self.entries.append(entry)
+
+    def layer(self, number: int) -> List[DatasetEntry]:
+        """Entries of one layer (1-based)."""
+        return [e for e in self.entries if e.layer == number]
+
+    def layers(self) -> Dict[int, List[DatasetEntry]]:
+        result: Dict[int, List[DatasetEntry]] = {}
+        for entry in self.entries:
+            result.setdefault(entry.layer, []).append(entry)
+        return result
+
+    def layer_sizes(self) -> Dict[int, int]:
+        return {number: len(items)
+                for number, items in sorted(self.layers().items())}
+
+    def curriculum_order(
+        self, layer_number: int
+    ) -> List[DatasetEntry]:
+        """One layer ordered Basic → Intermediate → Advanced → Expert
+        (the curriculum inside a tier, Section III-B.2)."""
+        items = self.layer(layer_number)
+        return sorted(items, key=lambda e: int(e.complexity))
+
+    def trainable_layers(self) -> List[int]:
+        """Layer numbers that exist, best first."""
+        return sorted(n for n in self.layers() if n > 0)
+
+    def complexity_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for entry in self.entries:
+            histogram[entry.complexity.label] = histogram.get(
+                entry.complexity.label, 0) + 1
+        return histogram

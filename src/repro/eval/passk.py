@@ -1,0 +1,51 @@
+"""The unbiased pass@k estimator.
+
+pass@k is estimated per problem from n samples with c functionally
+correct, using the combinatorial estimator of Chen et al. (2021),
+the standard VerilogEval metric::
+
+    pass@k = 1 - C(n - c, k) / C(n, k)
+
+and averaged across problems.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+
+def pass_at_k(n: int, c: int, k: int) -> float:
+    """Unbiased pass@k for one problem.
+
+    Args:
+        n: samples drawn.
+        c: samples that passed.
+        k: the k of pass@k (requires ``k <= n``).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= c <= n:
+        raise ValueError(f"c={c} out of range for n={n}")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > n:
+        raise ValueError(f"k={k} exceeds n={n}")
+    if c == 0:
+        return 0.0
+    if n - c < k:
+        return 1.0
+    # 1 - prod_{i=n-c+1..n} (1 - k / i), the stable product form.
+    result = 1.0
+    for i in range(n - c + 1, n + 1):
+        result *= 1.0 - k / i
+    return 1.0 - result
+
+
+def mean_pass_at_k(
+    outcomes: Sequence[Tuple[int, int]], k: int
+) -> float:
+    """Average pass@k over per-problem (n, c) outcomes."""
+    if not outcomes:
+        return 0.0
+    return sum(pass_at_k(n, c, k) for n, c in outcomes) / len(outcomes)

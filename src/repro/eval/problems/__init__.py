@@ -1,0 +1,6 @@
+"""Benchmark problem suites (VerilogEval-Machine / -Human analogues)."""
+
+from .machine import build_machine_problems
+from .human import build_human_problems
+
+__all__ = ["build_machine_problems", "build_human_problems"]

@@ -1,0 +1,164 @@
+"""VerilogEval-Human style problems.
+
+VerilogEval-Human descriptions were written *by people*: they
+paraphrase, use informal vocabulary, and rarely echo the canonical
+design-family terminology.  Retrieval-style models (and real LLMs)
+find them measurably harder than machine phrasing, which is exactly
+the Machine/Human gap visible in the paper's Table I.  Every
+description below is hand-authored to avoid the corpus describer's
+wording while still specifying the same behavioural contract.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ...corpus.templates import generate_design
+from ..harness import EvalProblem
+
+#: (family, params, hand-written description)
+_HUMAN_POINTS: List[Tuple[str, Optional[Dict[str, int]], str]] = [
+    ("half_adder", None,
+     "I need a tiny piece of combinational logic: two wires a and b "
+     "come in, and I want 'sum' to tell me if exactly one of them is "
+     "high, and 'cout' to tell me if both are high."),
+    ("full_adder", None,
+     "Build the classic one-bit adding cell. Three single-bit inputs "
+     "a, b, cin. 'sum' is their XOR; 'cout' goes high whenever at "
+     "least two of the three are high."),
+    ("ripple_carry_adder", {"WIDTH": 8},
+     "Add two unsigned 8-bit numbers a and b together with an extra "
+     "carry-in bit cin. Give me the 8-bit result on 'sum' and the "
+     "overflow bit on 'cout'."),
+    ("adder_subtractor", {"WIDTH": 8},
+     "One 8-bit datapath, two operations: if the control wire sub is "
+     "low, result gets a plus b; if it is high, result gets a minus b "
+     "(two's complement). Also expose the internal adder's carry-out "
+     "on 'carry'."),
+    ("comparator", {"WIDTH": 8},
+     "Compare two unsigned bytes a and b. Drive three flags: eq when "
+     "they match, gt when the first is bigger, lt when the second is "
+     "bigger."),
+    ("mux", {"WIDTH": 8, "INPUTS": 4},
+     "Four byte-wide buses d0, d1, d2, d3 feed one output y. A 2-bit "
+     "control 'sel' picks which bus gets through."),
+    ("decoder", {"IN_WIDTH": 3},
+     "Take a 3-bit code 'a' and light up exactly one of the 8 wires of "
+     "y — the one whose position equals the code — but only while en "
+     "is high; otherwise keep everything low."),
+    ("priority_encoder", {"IN_WIDTH": 8},
+     "Eight request lines arrive on req. Tell me the position of the "
+     "most significant line that is asserted (on idx) and raise valid "
+     "if anything is asserted at all. With no requests, idx should "
+     "read zero."),
+    ("parity", {"WIDTH": 8},
+     "For a byte of data, compute the XOR of all its bits on "
+     "even_parity, and the opposite on odd_parity."),
+    ("alu", {"WIDTH": 8},
+     "A small 8-bit math unit with operands a and b and a 3-bit "
+     "operation code: 0 adds, 1 subtracts, 2 ANDs, 3 ORs, 4 XORs, 5 "
+     "does signed less-than (result 1 or 0), 6 shifts a left by "
+     "b[2:0], 7 shifts a right by b[2:0]. Raise 'zero' when the "
+     "result is all zeros."),
+    ("barrel_shifter", {"WIDTH": 8},
+     "Rotate — not shift — the 8 bits of 'data' by 'amount' places. "
+     "Direction wire 'left' high means rotate toward the MSB, low "
+     "means toward the LSB. Result on 'out'."),
+    ("popcount", {"WIDTH": 8},
+     "Count how many ones appear in the byte 'data' and put that "
+     "number on 'count'."),
+    ("min_max", {"WIDTH": 8},
+     "Given two unsigned bytes, route the smaller one to min_val and "
+     "the larger one to max_val."),
+    ("multiplier", {"WIDTH": 4},
+     "Multiply two unsigned 4-bit values a and b and give the full "
+     "8-bit result on 'product'. Pure combinational logic."),
+    ("bcd_to_7seg", None,
+     "Drive a seven-segment display from a decimal digit. Input "
+     "'digit' is 4 bits; output 'segments' is 7 bits, active high, "
+     "segment a in bit 0 up to segment g in bit 6 (so 0 shows as "
+     "7'h3f). Anything above 9 blanks the display."),
+    ("d_flip_flop", None,
+     "A single storage bit: every rising edge of clk, q captures d. "
+     "A synchronous rst wire forces q low. Also give me qn, the "
+     "inverted copy of q."),
+    ("register", {"WIDTH": 8},
+     "A byte-wide storage element. On the clock's rising edge it "
+     "loads d, but only while en is high; otherwise it keeps its "
+     "value. rst clears it synchronously."),
+    ("up_counter", {"WIDTH": 8},
+     "Keep a running tally on 'count': each rising clock edge with en "
+     "high bumps it by one, rolling over past the top. Pulling rst_n "
+     "low at any time (asynchronously) zeroes it."),
+    ("updown_counter", {"WIDTH": 4},
+     "A 4-bit counter that can go both ways: while en is high, each "
+     "clock edge moves count up when 'up' is high and down when it is "
+     "low, wrapping at both ends. rst synchronously clears it."),
+    ("mod_n_counter", {"MODULO": 10},
+     "A decade counter: count 0 through 9 and wrap back to 0, "
+     "advancing only while en is high. Pulse 'tick' during the 9 "
+     "state. rst synchronously restarts from 0."),
+    ("shift_register", {"WIDTH": 8},
+     "Serial data arrives on 'sin', one bit per clock edge, entering "
+     "at the low end of an 8-bit register q whose old contents slide "
+     "up. The bit falling off the top appears on sout. rst clears "
+     "everything."),
+    ("ring_counter", {"WIDTH": 4},
+     "Four flip-flops in a circle: after reset exactly one of them "
+     "(q[0]) holds a one, and each clock edge passes that one token "
+     "to the next position, wrapping around forever."),
+    ("johnson_counter", {"WIDTH": 4},
+     "A twisted ring of four bits: each clock edge shifts q left and "
+     "feeds the complement of the old top bit back into the bottom. "
+     "Reset empties the register."),
+    ("edge_detector", None,
+     "Watch the wire 'sig'. One clock after it climbs from low to "
+     "high, pulse 'rise' for a single cycle; one clock after it drops "
+     "from high to low, pulse 'fall'. rst clears the state."),
+    ("sequence_detector", {"PATTERN": 0b1011, "LENGTH": 4},
+     "Scan a serial bit stream on din for the pattern one-zero-one-"
+     "one (oldest bit first), overlaps included. The cycle after the "
+     "pattern completes, raise 'found' for one clock. rst restarts "
+     "the search."),
+    ("pwm", {"WIDTH": 8},
+     "Pulse-width modulation: run a free 8-bit counter off the clock "
+     "and keep pwm_out high exactly while the counter is below the "
+     "programmed 'duty' level."),
+    ("accumulator", {"WIDTH": 8},
+     "A running 8-bit total named acc. Each clock edge with 'add' "
+     "high folds din into the total (wrap on overflow). 'clear' (or "
+     "rst) empties it and wins over add."),
+    ("sync_fifo", {"DEPTH": 4, "WIDTH": 8},
+     "A four-slot byte queue with one clock. Assert wr to push din "
+     "when there is room; assert rd to pop when something is stored; "
+     "dout always shows the oldest byte. Flags full and empty track "
+     "occupancy, and rst wipes the queue."),
+    ("traffic_light", None,
+     "Control a three-lamp signal: after reset show red for three "
+     "clock ticks, then green for three, then yellow for one, and "
+     "loop. Exactly one of the outputs red, yellow, green is high at "
+     "any time."),
+    ("gray_counter", {"WIDTH": 4},
+     "A counter whose output 'gray' only ever changes one bit per "
+     "step: internally count in binary while en is high and expose "
+     "the Gray-coded value. rst zeroes it."),
+]
+
+
+def build_human_problems() -> List[EvalProblem]:
+    """The Human suite: hand-authored paraphrased descriptions."""
+    rng = random.Random(991)
+    problems: List[EvalProblem] = []
+    for index, (family, params, description) in enumerate(_HUMAN_POINTS):
+        design = generate_design(
+            family, rng, params=params, module_name="top_module"
+        )
+        problems.append(EvalProblem(
+            problem_id=f"human_{index:03d}_{family}",
+            suite="human",
+            spec=design.spec,
+            description=description,
+            module_header=design.spec.port_header(),
+        ))
+    return problems

@@ -1,0 +1,86 @@
+"""VerilogEval-Machine style problems.
+
+VerilogEval-Machine descriptions were *machine generated* (by an LLM
+reading the reference solution), so their wording closely matches how
+training descriptions are phrased.  We reproduce that regime: each
+problem's description comes from the same family describer the corpus
+uses, with a held-out RNG stream, over a spread of parameter points.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ...corpus.templates import generate_design
+from ..harness import EvalProblem
+
+#: (family, params or None for family default sampling)
+_MACHINE_POINTS: List[Tuple[str, Optional[Dict[str, int]]]] = [
+    ("half_adder", None),
+    ("full_adder", None),
+    ("ripple_carry_adder", {"WIDTH": 4}),
+    ("ripple_carry_adder", {"WIDTH": 8}),
+    ("ripple_carry_adder", {"WIDTH": 16}),
+    ("adder_subtractor", {"WIDTH": 8}),
+    ("comparator", {"WIDTH": 4}),
+    ("comparator", {"WIDTH": 8}),
+    ("mux", {"WIDTH": 8, "INPUTS": 2}),
+    ("mux", {"WIDTH": 8, "INPUTS": 4}),
+    ("mux", {"WIDTH": 16, "INPUTS": 8}),
+    ("demux", {"OUTPUTS": 4}),
+    ("decoder", {"IN_WIDTH": 2}),
+    ("decoder", {"IN_WIDTH": 3}),
+    ("priority_encoder", {"IN_WIDTH": 4}),
+    ("priority_encoder", {"IN_WIDTH": 8}),
+    ("parity", {"WIDTH": 8}),
+    ("gray_converter", {"WIDTH": 4}),
+    ("alu", {"WIDTH": 8}),
+    ("alu", {"WIDTH": 16}),
+    ("barrel_shifter", {"WIDTH": 8}),
+    ("popcount", {"WIDTH": 8}),
+    ("absolute_value", {"WIDTH": 8}),
+    ("min_max", {"WIDTH": 8}),
+    ("multiplier", {"WIDTH": 4}),
+    ("bcd_to_7seg", None),
+    ("sign_extender", {"IN_WIDTH": 4, "OUT_WIDTH": 8}),
+    ("d_flip_flop", None),
+    ("t_flip_flop", None),
+    ("register", {"WIDTH": 8}),
+    ("up_counter", {"WIDTH": 4}),
+    ("up_counter", {"WIDTH": 8}),
+    ("down_counter", {"WIDTH": 8}),
+    ("updown_counter", {"WIDTH": 4}),
+    ("mod_n_counter", {"MODULO": 10}),
+    ("mod_n_counter", {"MODULO": 12}),
+    ("shift_register", {"WIDTH": 8}),
+    ("ring_counter", {"WIDTH": 4}),
+    ("johnson_counter", {"WIDTH": 4}),
+    ("gray_counter", {"WIDTH": 4}),
+    ("lfsr", {"WIDTH": 8}),
+    ("edge_detector", None),
+    ("sequence_detector", {"PATTERN": 0b1011, "LENGTH": 4}),
+    ("pwm", {"WIDTH": 8}),
+    ("accumulator", {"WIDTH": 8}),
+    ("sync_fifo", {"DEPTH": 4, "WIDTH": 8}),
+    ("traffic_light", None),
+    ("clock_divider", {"DIVIDE_BY": 4}),
+]
+
+
+def build_machine_problems(seed: int = 20240) -> List[EvalProblem]:
+    """The Machine suite: auto-phrased descriptions, held-out RNG."""
+    rng = random.Random(seed)
+    problems: List[EvalProblem] = []
+    for index, (family, params) in enumerate(_MACHINE_POINTS):
+        design = generate_design(
+            family, rng, params=params, module_name="top_module"
+        )
+        problems.append(EvalProblem(
+            problem_id=f"machine_{index:03d}_{family}",
+            suite="machine",
+            spec=design.spec,
+            description=design.description,
+            module_header=design.spec.port_header(),
+        ))
+    return problems

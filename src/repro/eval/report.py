@@ -1,0 +1,78 @@
+"""Table renderers for the benchmark harness.
+
+Prints the same row/column structure the paper's tables use, so a
+bench run is directly comparable against the published numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_COLUMNS = ["pass@1", "pass@5", "pass@10"]
+
+
+def render_table(
+    title: str,
+    rows: Sequence,
+    label_width: int = 52,
+) -> str:
+    """Render Table I/IV-shaped results.
+
+    ``rows`` are objects with ``label`` and ``cells()`` (six floats:
+    Machine pass@{1,5,10} then Human pass@{1,5,10}).
+    """
+    header_1 = (
+        f"{'Model':<{label_width}} | {'Verilog-Machine':^23} | "
+        f"{'Verilog-Human':^23}"
+    )
+    header_2 = (
+        f"{'':<{label_width}} | "
+        + " ".join(f"{c:>7}" for c in _COLUMNS) + " | "
+        + " ".join(f"{c:>7}" for c in _COLUMNS)
+    )
+    rule = "-" * len(header_2)
+    lines = [title, rule, header_1, header_2, rule]
+    for row in rows:
+        cells = row.cells()
+        machine = " ".join(f"{value:7.1f}" for value in cells[:3])
+        human = " ".join(f"{value:7.1f}" for value in cells[3:])
+        lines.append(f"{row.label:<{label_width}} | {machine} | {human}")
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def render_gains_table(
+    title: str,
+    entries: Sequence,  # (label, vs_label, deltas[6])
+    label_width: int = 40,
+) -> str:
+    """Render Table III-shaped gains."""
+    header = (
+        f"{'Model':<{label_width}} {'vs':<24} "
+        + " ".join(f"{c:>7}" for c in _COLUMNS) + "  | "
+        + " ".join(f"{c:>7}" for c in _COLUMNS)
+    )
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for label, vs_label, deltas in entries:
+        machine = " ".join(f"{value:+7.1f}" for value in deltas[:3])
+        human = " ".join(f"{value:+7.1f}" for value in deltas[3:])
+        lines.append(
+            f"{label:<{label_width}} {vs_label:<24} {machine}  | {human}"
+        )
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def render_pyramid(title: str, sizes: Dict[int, int]) -> str:
+    """Render the Fig. 1-a layer pyramid as ASCII art."""
+    total = max(sum(sizes.values()), 1)
+    biggest = max(sizes.values()) if sizes else 1
+    lines = [title, "-" * 64]
+    for layer in range(1, 7):
+        size = sizes.get(layer, 0)
+        bar = "#" * max(1, round(40 * size / biggest)) if size else ""
+        share = 100.0 * size / total
+        lines.append(f"Layer {layer}: {size:>8}  ({share:5.1f}%)  {bar}")
+    lines.append("-" * 64)
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Fine-tuning: loss-weight schedules, curriculum phases, the trainer."""
+
+from .weighting import (
+    PAPER_WEIGHTS,
+    WeightSchedule,
+    inverse_schedule,
+    no_layer6_schedule,
+    paper_schedule,
+    top_layers_only,
+    uniform_schedule,
+)
+from .curriculum import (
+    Phase,
+    anti_curriculum_phases,
+    curriculum_phases,
+    layered_random_phases,
+    random_phases,
+)
+from .trainer import (
+    PhaseLog,
+    Trainer,
+    TrainingLog,
+    finetune_anti_curriculum,
+    finetune_pyranet_architecture,
+    finetune_pyranet_dataset,
+    finetune_weighting_only,
+)
+
+__all__ = [
+    "PAPER_WEIGHTS", "WeightSchedule", "paper_schedule",
+    "uniform_schedule", "inverse_schedule", "top_layers_only",
+    "no_layer6_schedule",
+    "Phase", "curriculum_phases", "anti_curriculum_phases",
+    "random_phases", "layered_random_phases",
+    "Trainer", "TrainingLog", "PhaseLog",
+    "finetune_pyranet_architecture", "finetune_pyranet_dataset",
+    "finetune_anti_curriculum", "finetune_weighting_only",
+]

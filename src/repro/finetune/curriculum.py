@@ -1,0 +1,98 @@
+"""Curriculum scheduling (paper Section III-B.2).
+
+PyraNet fine-tuning walks the dataset top layer first; inside each
+layer, samples are presented Basic → Intermediate → Advanced → Expert.
+Alternative orderings (random, anti-curriculum) support the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..dataset.records import Complexity, DatasetEntry, PyraNetDataset
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One fine-tuning phase: a (layer, complexity) bucket."""
+
+    layer: int
+    complexity: Optional[Complexity]
+    entries: Tuple[DatasetEntry, ...]
+
+    @property
+    def label(self) -> str:
+        tier = (self.complexity.label if self.complexity is not None
+                else "mixed")
+        return f"L{self.layer}/{tier}"
+
+
+def curriculum_phases(
+    dataset: PyraNetDataset,
+    shuffle_within: bool = True,
+    seed: int = 0,
+) -> List[Phase]:
+    """The paper's order: layers 1→6, Basic→Expert inside each."""
+    rng = random.Random(seed)
+    phases: List[Phase] = []
+    for layer in dataset.trainable_layers():
+        entries = dataset.layer(layer)
+        for complexity in Complexity:
+            bucket = [e for e in entries if e.complexity == complexity]
+            if not bucket:
+                continue
+            if shuffle_within:
+                rng.shuffle(bucket)
+            phases.append(Phase(layer, complexity, tuple(bucket)))
+    return phases
+
+
+def anti_curriculum_phases(
+    dataset: PyraNetDataset, seed: int = 0
+) -> List[Phase]:
+    """Expert → Basic inside each layer (ablation)."""
+    phases = curriculum_phases(dataset, seed=seed)
+    # Regroup per layer, reversing the complexity order.
+    by_layer: dict = {}
+    for phase in phases:
+        by_layer.setdefault(phase.layer, []).append(phase)
+    out: List[Phase] = []
+    for layer in sorted(by_layer):
+        out.extend(reversed(by_layer[layer]))
+    return out
+
+
+def random_phases(
+    dataset: PyraNetDataset, seed: int = 0, batch_size: int = 64
+) -> List[Phase]:
+    """Fully shuffled single stream (standard fine-tuning order).
+
+    Batches are emitted as phases with no layer identity (layer 0), so
+    the trainer applies whatever uniform weight its schedule gives.
+    """
+    rng = random.Random(seed)
+    entries = list(dataset.entries)
+    rng.shuffle(entries)
+    phases: List[Phase] = []
+    for start in range(0, len(entries), batch_size):
+        chunk = tuple(entries[start:start + batch_size])
+        if chunk:
+            phases.append(Phase(0, None, chunk))
+    return phases
+
+
+def layered_random_phases(
+    dataset: PyraNetDataset, seed: int = 0
+) -> List[Phase]:
+    """Layers in order, but complexity shuffled inside each layer
+    (isolates the curriculum component from the layer walk)."""
+    rng = random.Random(seed)
+    phases: List[Phase] = []
+    for layer in dataset.trainable_layers():
+        entries = list(dataset.layer(layer))
+        rng.shuffle(entries)
+        phases.append(Phase(layer, None, tuple(entries)))
+    return phases

@@ -1,0 +1,145 @@
+"""The PyraNet fine-tuning loop (paper Section III-B, Fig. 1-b).
+
+:class:`Trainer` drives any :class:`~repro.model.interfaces.FineTunable`
+through a phase plan: each phase is one (layer, complexity) bucket, the
+layer's loss weight scales every sample in it, and phases run in
+curriculum order.  Three presets mirror the paper's experiments:
+
+* :func:`finetune_pyranet_architecture` — loss weighting + curriculum
+  (the full "PyraNet-Architecture" recipe);
+* :func:`finetune_pyranet_dataset` — plain fine-tuning on the same
+  data: uniform weights, shuffled order ("PyraNet-Dataset");
+* no call at all — the base model ("Baseline").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dataset.records import PyraNetDataset
+from ..model.interfaces import FineTunable, TrainStats, TrainingExample
+from .curriculum import (
+    Phase,
+    anti_curriculum_phases,
+    curriculum_phases,
+    layered_random_phases,
+    random_phases,
+)
+from .weighting import WeightSchedule, paper_schedule, uniform_schedule
+
+
+@dataclass
+class PhaseLog:
+    """Record of one executed phase."""
+
+    label: str
+    layer: int
+    loss_weight: float
+    stats: TrainStats
+
+
+@dataclass
+class TrainingLog:
+    """Full fine-tuning trace (used by the Fig. 1 bench and tests)."""
+
+    phases: List[PhaseLog] = field(default_factory=list)
+
+    @property
+    def total(self) -> TrainStats:
+        total = TrainStats()
+        for phase in self.phases:
+            total = total.merge(phase.stats)
+        return total
+
+    def phase_labels(self) -> List[str]:
+        return [phase.label for phase in self.phases]
+
+
+@dataclass
+class Trainer:
+    """Fine-tunes a model over a phase plan with a weight schedule.
+
+    Args:
+        schedule: layer → loss weight.
+        epochs: passes over the phase plan (the paper trains 1–3).
+    """
+
+    schedule: WeightSchedule
+    epochs: int = 1
+
+    def run(self, model: FineTunable, phases: List[Phase]) -> TrainingLog:
+        log = TrainingLog()
+        for _ in range(self.epochs):
+            for phase in phases:
+                weight = (
+                    self.schedule.weight_for(phase.layer)
+                    if phase.layer > 0 else
+                    self.schedule.weight_for(1)
+                )
+                examples = [
+                    TrainingExample(
+                        description=entry.description,
+                        code=entry.code,
+                        layer=entry.layer,
+                        complexity=int(entry.complexity),
+                        ranking=entry.ranking,
+                    )
+                    for entry in phase.entries
+                ]
+                stats = model.train_batch(examples, weight)
+                model.finish_phase()
+                log.phases.append(PhaseLog(
+                    label=phase.label, layer=phase.layer,
+                    loss_weight=weight, stats=stats,
+                ))
+        return log
+
+
+def finetune_pyranet_architecture(
+    model: FineTunable,
+    dataset: PyraNetDataset,
+    epochs: int = 1,
+    seed: int = 0,
+    schedule: Optional[WeightSchedule] = None,
+) -> TrainingLog:
+    """The full PyraNet recipe: loss weighting + curriculum learning."""
+    trainer = Trainer(schedule=schedule or paper_schedule(), epochs=epochs)
+    phases = curriculum_phases(dataset, seed=seed)
+    return trainer.run(model, phases)
+
+
+def finetune_pyranet_dataset(
+    model: FineTunable,
+    dataset: PyraNetDataset,
+    epochs: int = 1,
+    seed: int = 0,
+) -> TrainingLog:
+    """Plain fine-tuning on the PyraNet data (no weighting, shuffled)."""
+    trainer = Trainer(schedule=uniform_schedule(), epochs=epochs)
+    phases = random_phases(dataset, seed=seed)
+    return trainer.run(model, phases)
+
+
+def finetune_anti_curriculum(
+    model: FineTunable,
+    dataset: PyraNetDataset,
+    epochs: int = 1,
+    seed: int = 0,
+) -> TrainingLog:
+    """Ablation: paper weights, Expert→Basic order inside layers."""
+    trainer = Trainer(schedule=paper_schedule(), epochs=epochs)
+    phases = anti_curriculum_phases(dataset, seed=seed)
+    return trainer.run(model, phases)
+
+
+def finetune_weighting_only(
+    model: FineTunable,
+    dataset: PyraNetDataset,
+    epochs: int = 1,
+    seed: int = 0,
+) -> TrainingLog:
+    """Ablation: paper weights, complexity order shuffled inside layers."""
+    trainer = Trainer(schedule=paper_schedule(), epochs=epochs)
+    phases = layered_random_phases(dataset, seed=seed)
+    return trainer.run(model, phases)

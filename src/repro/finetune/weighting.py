@@ -1,0 +1,62 @@
+"""Loss-weight schedules over PyraNet layers (paper Section III-B.1).
+
+The paper assigns loss weight 1.0 to Layer 1 and progressively smaller
+weights descending the pyramid: 0.8, 0.6, 0.4, 0.2, 0.1 for Layers
+2–6.  Alternative schedules (uniform, inverse, truncated) exist for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: The paper's schedule (Fig. 1-b).
+PAPER_WEIGHTS: Dict[int, float] = {
+    1: 1.0, 2: 0.8, 3: 0.6, 4: 0.4, 5: 0.2, 6: 0.1,
+}
+
+
+@dataclass(frozen=True)
+class WeightSchedule:
+    """Layer → loss weight mapping."""
+
+    name: str
+    weights: Dict[int, float] = field(default_factory=dict)
+
+    def weight_for(self, layer: int) -> float:
+        return self.weights.get(layer, 0.0)
+
+    def as_rows(self) -> List[str]:
+        return [f"layer {layer}: {weight:.2f}"
+                for layer, weight in sorted(self.weights.items())]
+
+
+def paper_schedule() -> WeightSchedule:
+    """The published 1.0/0.8/0.6/0.4/0.2/0.1 schedule."""
+    return WeightSchedule("paper", dict(PAPER_WEIGHTS))
+
+
+def uniform_schedule(weight: float = 1.0) -> WeightSchedule:
+    """All layers weighted equally (PyraNet-Dataset mode)."""
+    return WeightSchedule("uniform", {n: weight for n in range(1, 7)})
+
+
+def inverse_schedule() -> WeightSchedule:
+    """The paper's schedule upside down (ablation: reward junk)."""
+    inverted = {layer: PAPER_WEIGHTS[7 - layer] for layer in range(1, 7)}
+    return WeightSchedule("inverse", inverted)
+
+
+def top_layers_only(n_layers: int = 3) -> WeightSchedule:
+    """Keep the best ``n_layers`` at full weight, drop the rest."""
+    weights = {layer: (1.0 if layer <= n_layers else 0.0)
+               for layer in range(1, 7)}
+    return WeightSchedule(f"top{n_layers}", weights)
+
+
+def no_layer6_schedule() -> WeightSchedule:
+    """The paper's schedule with Layer 6 excluded entirely."""
+    weights = dict(PAPER_WEIGHTS)
+    weights[6] = 0.0
+    return WeightSchedule("no-layer6", weights)

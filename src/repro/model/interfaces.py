@@ -1,0 +1,70 @@
+"""Model-facing training/generation interfaces.
+
+The fine-tuning machinery (:mod:`repro.finetune`) is generic over any
+model implementing :class:`FineTunable` — the description-conditioned
+retrieval model used for the paper-scale experiments, and the numpy
+transformer used to demonstrate the same machinery over a real neural
+substrate.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class TrainingExample:
+    """One (description, code) fine-tuning pair with its PyraNet labels."""
+
+    description: str
+    code: str
+    layer: int = 0
+    complexity: int = 0
+    ranking: int = 10
+
+
+@dataclass
+class TrainStats:
+    """What one training call consumed."""
+
+    examples: int = 0
+    tokens: int = 0
+    effective_weight: float = 0.0
+
+    def merge(self, other: "TrainStats") -> "TrainStats":
+        return TrainStats(
+            examples=self.examples + other.examples,
+            tokens=self.tokens + other.tokens,
+            effective_weight=self.effective_weight + other.effective_weight,
+        )
+
+
+class FineTunable(abc.ABC):
+    """A model that can be fine-tuned with per-sample loss weights and
+    queried for code generation."""
+
+    @abc.abstractmethod
+    def train_batch(
+        self, examples: List[TrainingExample], loss_weight: float
+    ) -> TrainStats:
+        """Consume ``examples`` at ``loss_weight`` (1.0 = full)."""
+
+    def finish_phase(self) -> None:
+        """Hook called between fine-tuning phases (layers/tiers)."""
+
+    @abc.abstractmethod
+    def generate(
+        self,
+        description: str,
+        temperature: float = 0.8,
+        rng: Optional[random.Random] = None,
+        module_header: Optional[str] = None,
+    ) -> str:
+        """Generate Verilog for ``description``.
+
+        ``module_header`` is the interface stub evaluation hands to the
+        model (VerilogEval's completion format).
+        """

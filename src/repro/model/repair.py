@@ -1,0 +1,155 @@
+"""Compiler-feedback syntax repair (OriGen's self-reflection mechanism).
+
+OriGen's second LoRA model consumes compiler error reports and rewrites
+the code.  Our stand-in is a rule-based fixer driven by the diagnostics
+of :func:`repro.verilog.check`: each iteration reads the first syntax
+error and applies the matching textual remedy (insert the missing
+semicolon, close an unbalanced ``begin``, restore a dropped
+``endmodule``, strip garbage bytes, fix keyword typos), then re-checks.
+It repairs exactly the classes of damage LLM sampling and the corpus
+mutators introduce, and reports what it did.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..verilog import check
+from ..verilog.syntax_checker import CheckResult
+
+_KEYWORD_TYPOS = {
+    "begn": "begin", "bgin": "begin", "endmodul": "endmodule",
+    "modul": "module", "asign": "assign", "alway": "always",
+    "endcas": "endcase",
+}
+
+_GARBAGE_RE = re.compile(r"[@#%$&]{2,}|[^\x09\x0a\x0d\x20-\x7e]+")
+
+
+@dataclass
+class RepairResult:
+    """Outcome of a repair session."""
+
+    code: str
+    fixed: bool
+    iterations: int = 0
+    actions: List[str] = field(default_factory=list)
+    final_status: str = "syntax"
+
+
+def _insert_semicolon(code: str, line: int) -> Optional[str]:
+    """Insert ``;`` at the end of the line before the error."""
+    lines = code.split("\n")
+    for candidate in (line - 2, line - 1):
+        if 0 <= candidate < len(lines):
+            text = lines[candidate].rstrip()
+            if text and not text.endswith((";", "begin", "end", "(",
+                                           ",")):
+                lines[candidate] = text + ";"
+                return "\n".join(lines)
+    return None
+
+
+def _fix_keyword_typos(code: str) -> Optional[str]:
+    fixed = code
+    for typo, correct in _KEYWORD_TYPOS.items():
+        fixed = re.sub(rf"\b{typo}\b", correct, fixed)
+    return fixed if fixed != code else None
+
+
+def _strip_garbage(code: str) -> Optional[str]:
+    cleaned = _GARBAGE_RE.sub(" ", code)
+    return cleaned if cleaned != code else None
+
+
+def _balance_endmodule(code: str) -> Optional[str]:
+    opens = len(re.findall(r"\bmodule\b", code))
+    closes = len(re.findall(r"\bendmodule\b", code))
+    if opens > closes:
+        return code.rstrip() + "\n" + "endmodule\n" * (opens - closes)
+    return None
+
+
+def _balance_begin_end(code: str) -> Optional[str]:
+    opens = len(re.findall(r"\bbegin\b", code))
+    closes = len(re.findall(r"\bend\b(?!module|case|function|task|generate)",
+                            code))
+    if opens > closes:
+        # Close before the final endmodule when present.
+        index = code.rfind("endmodule")
+        filler = "end\n" * (opens - closes)
+        if index >= 0:
+            return code[:index] + filler + code[index:]
+        return code + filler
+    return None
+
+
+def _close_dangling_paren(code: str, line: int) -> Optional[str]:
+    opens = code.count("(")
+    closes = code.count(")")
+    if opens > closes:
+        lines = code.split("\n")
+        target = min(max(line - 1, 0), len(lines) - 1)
+        lines[target] = lines[target] + ")" * (opens - closes)
+        return "\n".join(lines)
+    return None
+
+
+def repair(code: str, max_iterations: int = 4) -> RepairResult:
+    """Iteratively repair ``code`` using compiler feedback.
+
+    Returns the best attempt; ``fixed`` is True when the final check
+    reports no syntax errors (dependency issues are acceptable — they
+    are not the repair model's job).
+    """
+    result = RepairResult(code=code, fixed=False)
+    current = code
+    for iteration in range(max_iterations):
+        report: CheckResult = check(current)
+        if report.status != "syntax":
+            result.code = current
+            result.fixed = True
+            result.iterations = iteration
+            result.final_status = report.status
+            return result
+        error = report.syntax_errors[0]
+        attempt = self_reflect_once(current, error.message, error.line)
+        if attempt is None or attempt[0] == current:
+            break
+        current, action = attempt
+        result.actions.append(action)
+    final = check(current)
+    result.code = current
+    result.fixed = final.status != "syntax"
+    result.iterations = max_iterations
+    result.final_status = final.status
+    return result
+
+
+def self_reflect_once(
+    code: str, error_message: str, error_line: int
+) -> Optional[Tuple[str, str]]:
+    """One repair step from one compiler diagnostic."""
+    message = error_message.lower()
+    candidates: List[Tuple[str, Optional[str]]] = []
+    if "';'" in message or "expected ';'" in message:
+        candidates.append(("insert_semicolon",
+                           _insert_semicolon(code, error_line)))
+    if "unexpected" in message or "expected" in message:
+        candidates.append(("fix_typos", _fix_keyword_typos(code)))
+        candidates.append(("balance_begin_end", _balance_begin_end(code)))
+        candidates.append(("close_paren",
+                           _close_dangling_paren(code, error_line)))
+    if "end of file" in message or "eof" in message:
+        candidates.append(("balance_begin_end", _balance_begin_end(code)))
+        candidates.append(("append_endmodule", _balance_endmodule(code)))
+    candidates.append(("strip_garbage", _strip_garbage(code)))
+    candidates.append(("append_endmodule", _balance_endmodule(code)))
+    candidates.append(("insert_semicolon",
+                       _insert_semicolon(code, error_line)))
+    for action, attempt in candidates:
+        if attempt is not None and attempt != code:
+            return attempt, action
+    return None

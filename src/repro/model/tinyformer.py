@@ -1,0 +1,391 @@
+"""A small causal transformer LM in pure numpy, with manual backprop.
+
+This is the neural counterpart of the retrieval model: a real
+decoder-only transformer (token+positional embeddings, pre-norm blocks
+with multi-head causal self-attention and GELU MLPs, weight-tied output
+head, Adam) whose cross-entropy supports **per-sample loss weights** —
+the exact mechanism the paper's loss-weighting recipe needs.  It
+implements :class:`~.interfaces.FineTunable`, so the same Trainer that
+drives the retrieval model drives this network; unit tests and the
+weighting ablation use it to show the machinery is substrate-agnostic.
+
+It trains description→code sequences of the form::
+
+    <bos> description tokens … <sep> code tokens … <eos>
+
+with the loss applied to the code region only.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .interfaces import FineTunable, TrainStats, TrainingExample
+from .tokenizer import Vocabulary, detokenize, tokenize_code, tokenize_text
+
+_SEP = "<sep>"
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    return 0.5 * x * (1.0 + np.tanh(
+        math.sqrt(2.0 / math.pi) * (x + 0.044715 * x ** 3)))
+
+
+def _gelu_grad(x: np.ndarray) -> np.ndarray:
+    tanh_arg = math.sqrt(2.0 / math.pi) * (x + 0.044715 * x ** 3)
+    tanh_val = np.tanh(tanh_arg)
+    sech2 = 1.0 - tanh_val ** 2
+    inner = math.sqrt(2.0 / math.pi) * (1.0 + 3 * 0.044715 * x ** 2)
+    return 0.5 * (1.0 + tanh_val) + 0.5 * x * sech2 * inner
+
+
+class _Adam:
+    """Adam over a dict of parameter arrays."""
+
+    def __init__(self, params: Dict[str, np.ndarray], lr: float = 2e-4,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8) -> None:
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.m = {k: np.zeros_like(v) for k, v in params.items()}
+        self.v = {k: np.zeros_like(v) for k, v in params.items()}
+        self.t = 0
+
+    def step(self, grads: Dict[str, np.ndarray]) -> None:
+        self.t += 1
+        bias1 = 1.0 - self.beta1 ** self.t
+        bias2 = 1.0 - self.beta2 ** self.t
+        for key, grad in grads.items():
+            if grad is None:
+                continue
+            param = self.params[key]
+            m = self.m[key]
+            v = self.v[key]
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+@dataclass
+class TransformerConfig:
+    """Hyper-parameters (Table II analogue for the tiny substrate)."""
+
+    d_model: int = 64
+    n_heads: int = 4
+    n_layers: int = 2
+    d_ff: int = 128
+    max_len: int = 192
+    learning_rate: float = 2e-4
+    seed: int = 0
+
+    @property
+    def head_size(self) -> int:
+        return self.d_model // self.n_heads
+
+
+class TinyTransformer(FineTunable):
+    """Decoder-only LM with weighted cross-entropy fine-tuning."""
+
+    def __init__(
+        self,
+        vocab: Optional[Vocabulary] = None,
+        config: Optional[TransformerConfig] = None,
+    ) -> None:
+        self.config = config or TransformerConfig()
+        self.vocab = vocab or Vocabulary()
+        self.vocab.add(_SEP)
+        self._rng = np.random.default_rng(self.config.seed)
+        self._params: Dict[str, np.ndarray] = {}
+        self._capacity = 0
+        self._grow_embeddings()
+        cfg = self.config
+        scale = 0.02
+        for layer in range(cfg.n_layers):
+            p = f"l{layer}."
+            for name, shape in [
+                ("wq", (cfg.d_model, cfg.d_model)),
+                ("wk", (cfg.d_model, cfg.d_model)),
+                ("wv", (cfg.d_model, cfg.d_model)),
+                ("wo", (cfg.d_model, cfg.d_model)),
+                ("w1", (cfg.d_model, cfg.d_ff)),
+                ("w2", (cfg.d_ff, cfg.d_model)),
+            ]:
+                self._params[p + name] = (
+                    self._rng.standard_normal(shape) * scale
+                ).astype(np.float64)
+            self._params[p + "b1"] = np.zeros(cfg.d_ff)
+            self._params[p + "b2"] = np.zeros(cfg.d_model)
+            self._params[p + "ln1g"] = np.ones(cfg.d_model)
+            self._params[p + "ln1b"] = np.zeros(cfg.d_model)
+            self._params[p + "ln2g"] = np.ones(cfg.d_model)
+            self._params[p + "ln2b"] = np.zeros(cfg.d_model)
+        self._params["lnfg"] = np.ones(cfg.d_model)
+        self._params["lnfb"] = np.zeros(cfg.d_model)
+        self._opt = _Adam(self._params, lr=cfg.learning_rate)
+        self.trained_examples = 0
+
+    # -- embedding growth (open vocabulary) --------------------------------
+
+    def _grow_embeddings(self) -> None:
+        """(Re)allocate embeddings when the vocabulary grows."""
+        needed = max(len(self.vocab), 8)
+        if needed <= self._capacity:
+            return
+        new_capacity = max(needed * 2, 64)
+        cfg = self.config
+        emb = (self._rng.standard_normal((new_capacity, cfg.d_model))
+               * 0.02)
+        pos = (self._rng.standard_normal((cfg.max_len, cfg.d_model))
+               * 0.02)
+        if "emb" in self._params:
+            old = self._params["emb"]
+            emb[: old.shape[0]] = old
+            pos = self._params["pos"]
+        self._params["emb"] = emb
+        self._params["pos"] = pos
+        self._capacity = new_capacity
+        if hasattr(self, "_opt"):
+            # Re-seat optimizer state for the grown embedding.
+            old_m = self._opt.m.get("emb")
+            old_v = self._opt.v.get("emb")
+            self._opt.params = self._params
+            self._opt.m["emb"] = np.zeros_like(emb)
+            self._opt.v["emb"] = np.zeros_like(emb)
+            if old_m is not None:
+                self._opt.m["emb"][: old_m.shape[0]] = old_m
+                self._opt.v["emb"][: old_v.shape[0]] = old_v
+            self._opt.m.setdefault("pos", np.zeros_like(pos))
+            self._opt.v.setdefault("pos", np.zeros_like(pos))
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode_example(self, example: TrainingExample) -> List[int]:
+        tokens = (["<bos>"] + tokenize_text(example.description)[:48]
+                  + [_SEP]
+                  + tokenize_code(example.code, keep_newlines=False)
+                  + ["<eos>"])
+        ids = self.vocab.encode(tokens, grow=True)
+        self._grow_embeddings()
+        return ids[: self.config.max_len]
+
+    # -- forward/backward ------------------------------------------------------
+
+    def _layernorm(self, x, gamma, beta):
+        mu = x.mean(-1, keepdims=True)
+        var = x.var(-1, keepdims=True)
+        std = np.sqrt(var + 1e-5)
+        norm = (x - mu) / std
+        return norm * gamma + beta, (norm, std, gamma)
+
+    @staticmethod
+    def _layernorm_backward(dout, cache):
+        norm, std, gamma = cache
+        d = norm.shape[-1]
+        dgamma = (dout * norm).sum(axis=tuple(range(dout.ndim - 1)))
+        dbeta = dout.sum(axis=tuple(range(dout.ndim - 1)))
+        dnorm = dout * gamma
+        dx = (dnorm - dnorm.mean(-1, keepdims=True)
+              - norm * (dnorm * norm).mean(-1, keepdims=True)) / std
+        return dx, dgamma, dbeta
+
+    def _forward(self, ids: Sequence[int]):
+        """Forward pass for one sequence; returns logits and caches."""
+        cfg = self.config
+        T = len(ids)
+        x = self._params["emb"][list(ids)] + self._params["pos"][:T]
+        caches = []
+        mask = np.triu(np.full((T, T), -1e9), k=1)
+        for layer in range(cfg.n_layers):
+            p = f"l{layer}."
+            ln1, ln1_cache = self._layernorm(
+                x, self._params[p + "ln1g"], self._params[p + "ln1b"])
+            q = ln1 @ self._params[p + "wq"]
+            k = ln1 @ self._params[p + "wk"]
+            v = ln1 @ self._params[p + "wv"]
+            H, hs = cfg.n_heads, cfg.head_size
+            qh = q.reshape(T, H, hs).transpose(1, 0, 2)
+            kh = k.reshape(T, H, hs).transpose(1, 0, 2)
+            vh = v.reshape(T, H, hs).transpose(1, 0, 2)
+            scores = qh @ kh.transpose(0, 2, 1) / math.sqrt(hs) + mask
+            scores -= scores.max(-1, keepdims=True)
+            attn = np.exp(scores)
+            attn /= attn.sum(-1, keepdims=True)
+            ctx = attn @ vh
+            ctx2 = ctx.transpose(1, 0, 2).reshape(T, cfg.d_model)
+            attn_out = ctx2 @ self._params[p + "wo"]
+            x1 = x + attn_out
+            ln2, ln2_cache = self._layernorm(
+                x1, self._params[p + "ln2g"], self._params[p + "ln2b"])
+            h_pre = ln2 @ self._params[p + "w1"] + self._params[p + "b1"]
+            h_act = _gelu(h_pre)
+            ff_out = h_act @ self._params[p + "w2"] + self._params[p + "b2"]
+            x2 = x1 + ff_out
+            caches.append((ln1, ln1_cache, qh, kh, vh, attn, ctx2,
+                           x, x1, ln2, ln2_cache, h_pre, h_act))
+            x = x2
+        final, final_cache = self._layernorm(
+            x, self._params["lnfg"], self._params["lnfb"])
+        logits = final @ self._params["emb"][: len(self.vocab)].T
+        return logits, (caches, final, final_cache, ids)
+
+    def _backward(self, dlogits, cache, grads):
+        cfg = self.config
+        caches, final, final_cache, ids = cache
+        T = len(ids)
+        emb_head = self._params["emb"][: len(self.vocab)]
+        dfinal = dlogits @ emb_head
+        demb_head = dlogits.T @ final
+        grads["emb"][: len(self.vocab)] += demb_head
+        dx, dg, db = self._layernorm_backward(dfinal, final_cache)
+        grads["lnfg"] += dg
+        grads["lnfb"] += db
+        for layer in range(cfg.n_layers - 1, -1, -1):
+            p = f"l{layer}."
+            (ln1, ln1_cache, qh, kh, vh, attn, ctx2,
+             x_in, x1, ln2, ln2_cache, h_pre, h_act) = caches[layer]
+            # FF branch.
+            dff_out = dx
+            grads[p + "w2"] += h_act.T @ dff_out
+            grads[p + "b2"] += dff_out.sum(0)
+            dh_act = dff_out @ self._params[p + "w2"].T
+            dh_pre = dh_act * _gelu_grad(h_pre)
+            grads[p + "w1"] += ln2.T @ dh_pre
+            grads[p + "b1"] += dh_pre.sum(0)
+            dln2 = dh_pre @ self._params[p + "w1"].T
+            dx1_from_ln2, dg2, db2 = self._layernorm_backward(
+                dln2, ln2_cache)
+            grads[p + "ln2g"] += dg2
+            grads[p + "ln2b"] += db2
+            dx1 = dx + dx1_from_ln2
+            # Attention branch.
+            dattn_out = dx1
+            grads[p + "wo"] += ctx2.T @ dattn_out
+            dctx2 = dattn_out @ self._params[p + "wo"].T
+            H, hs = cfg.n_heads, cfg.head_size
+            dctx = dctx2.reshape(T, H, hs).transpose(1, 0, 2)
+            dattn = dctx @ vh.transpose(0, 2, 1)
+            dvh = attn.transpose(0, 2, 1) @ dctx
+            dscores = attn * (dattn - (dattn * attn).sum(-1, keepdims=True))
+            dscores /= math.sqrt(hs)
+            dqh = dscores @ kh
+            dkh = dscores.transpose(0, 2, 1) @ qh
+            dq = dqh.transpose(1, 0, 2).reshape(T, cfg.d_model)
+            dk = dkh.transpose(1, 0, 2).reshape(T, cfg.d_model)
+            dv = dvh.transpose(1, 0, 2).reshape(T, cfg.d_model)
+            grads[p + "wq"] += ln1.T @ dq
+            grads[p + "wk"] += ln1.T @ dk
+            grads[p + "wv"] += ln1.T @ dv
+            dln1 = (dq @ self._params[p + "wq"].T
+                    + dk @ self._params[p + "wk"].T
+                    + dv @ self._params[p + "wv"].T)
+            dx_from_ln1, dg1, db1 = self._layernorm_backward(
+                dln1, ln1_cache)
+            grads[p + "ln1g"] += dg1
+            grads[p + "ln1b"] += db1
+            dx = dx1 + dx_from_ln1
+        grads["emb"][list(ids)] += dx
+        grads["pos"][:T] += dx
+
+    # -- training ------------------------------------------------------------
+
+    def train_step(self, ids: Sequence[int], weight: float) -> float:
+        """One weighted SGD step on one sequence; returns the loss."""
+        if len(ids) < 2 or weight <= 0:
+            return 0.0
+        logits, cache = self._forward(ids[:-1])
+        targets = np.array(ids[1:])
+        T = len(targets)
+        # Loss over the code region only (after <sep>).
+        sep_id = self.vocab.token_to_id.get(_SEP, -1)
+        sep_positions = [i for i, t in enumerate(ids) if t == sep_id]
+        start = sep_positions[0] if sep_positions else 0
+        token_mask = np.zeros(T)
+        token_mask[start:] = 1.0
+        if token_mask.sum() == 0:
+            token_mask[:] = 1.0
+        logits = logits - logits.max(-1, keepdims=True)
+        exp = np.exp(logits)
+        probs = exp / exp.sum(-1, keepdims=True)
+        picked = probs[np.arange(T), targets]
+        loss = -(np.log(picked + 1e-12) * token_mask).sum() / token_mask.sum()
+        dlogits = probs
+        dlogits[np.arange(T), targets] -= 1.0
+        dlogits *= (weight * token_mask / token_mask.sum())[:, None]
+        grads = {key: np.zeros_like(value)
+                 for key, value in self._params.items()}
+        self._backward(dlogits, cache, grads)
+        self._opt.step(grads)
+        return float(loss)
+
+    def train_batch(
+        self, examples: List[TrainingExample], loss_weight: float
+    ) -> TrainStats:
+        stats = TrainStats()
+        for example in examples:
+            ids = self.encode_example(example)
+            self.train_step(ids, loss_weight)
+            stats.examples += 1
+            stats.tokens += len(ids)
+            stats.effective_weight += loss_weight
+            self.trained_examples += 1
+        return stats
+
+    # -- evaluation helpers -----------------------------------------------------
+
+    def sequence_loss(self, example: TrainingExample) -> float:
+        """Held-out weighted-CE loss of one example (no update)."""
+        ids = self.encode_example(example)
+        if len(ids) < 2:
+            return 0.0
+        logits, _ = self._forward(ids[:-1])
+        targets = np.array(ids[1:])
+        T = len(targets)
+        logits = logits - logits.max(-1, keepdims=True)
+        exp = np.exp(logits)
+        probs = exp / exp.sum(-1, keepdims=True)
+        picked = probs[np.arange(T), targets]
+        return float(-np.log(picked + 1e-12).mean())
+
+    # -- generation ------------------------------------------------------------
+
+    def generate(
+        self,
+        description: str,
+        temperature: float = 0.8,
+        rng: Optional[random.Random] = None,
+        module_header: Optional[str] = None,
+        max_tokens: int = 96,
+    ) -> str:
+        """Autoregressive sampling: description → code tokens."""
+        rng = rng or random.Random(0)
+        prompt = (["<bos>"] + tokenize_text(description)[:48] + [_SEP])
+        ids = self.vocab.encode(prompt, grow=False)
+        out_tokens: List[str] = []
+        eos = self.vocab.EOS
+        for _ in range(max_tokens):
+            window = ids[-self.config.max_len:]
+            logits, _ = self._forward(window)
+            last = logits[-1] / max(temperature, 1e-3)
+            last = last - last.max()
+            probs = np.exp(last)
+            probs /= probs.sum()
+            choice = rng.choices(
+                range(len(probs)), weights=probs.tolist(), k=1
+            )[0]
+            if choice == eos:
+                break
+            ids.append(choice)
+            token = self.vocab.id_to_token[choice]
+            if not (token.startswith("<") and token.endswith(">")):
+                out_tokens.append(token)
+        return detokenize(out_tokens)

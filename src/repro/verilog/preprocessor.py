@@ -1,0 +1,289 @@
+"""Verilog compiler directives: `define, `include, `ifdef, and friends.
+
+The preprocessor runs over raw source text before lexing.  It supports
+the directive subset that appears in real-world Verilog corpora:
+
+* ``\\`define`` / ``\\`undef`` — object-like and function-like macros;
+* ``\\`ifdef`` / ``\\`ifndef`` / ``\\`elsif`` / ``\\`else`` / ``\\`endif``;
+* ``\\`include`` — resolved through a caller-supplied virtual filesystem
+  (a mapping of file name to contents), since the curation pipeline works
+  on in-memory corpus entries rather than on-disk trees;
+* ``\\`timescale``, ``\\`default_nettype``, ``\\`resetall``,
+  ``\\`celldefine`` / ``\\`endcelldefine`` — recorded and stripped.
+
+Unresolvable includes are reported as *dependency issues* rather than
+syntax errors, matching the paper's filtering taxonomy (Section III-A.2).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+
+class PreprocessorError(Exception):
+    """Raised for malformed directives (unterminated `ifdef, bad `define)."""
+
+
+@dataclass
+class Macro:
+    """A `define'd macro: optional parameter list plus replacement body."""
+
+    name: str
+    params: Optional[List[str]]
+    body: str
+
+
+@dataclass
+class PreprocessResult:
+    """Output of :func:`preprocess`.
+
+    Attributes:
+        text: the directive-free source text.
+        missing_includes: include files that could not be resolved; these
+            are dependency issues, not syntax errors.
+        timescale: the last ``\\`timescale`` argument seen, if any.
+        defines: the macro table at end of processing.
+    """
+
+    text: str
+    missing_includes: List[str] = field(default_factory=list)
+    timescale: Optional[str] = None
+    defines: Dict[str, Macro] = field(default_factory=dict)
+
+
+_DIRECTIVE_RE = re.compile(r"`([a-zA-Z_][a-zA-Z0-9_]*)")
+_STRIP_DIRECTIVES = frozenset(
+    ["resetall", "celldefine", "endcelldefine", "default_nettype",
+     "timescale", "line", "pragma", "nounconnected_drive",
+     "unconnected_drive"]
+)
+
+
+class Preprocessor:
+    """Streaming, line-oriented preprocessor.
+
+    Args:
+        include_files: virtual filesystem mapping include names to text.
+        predefined: macros visible before processing starts.
+        max_include_depth: recursion guard for include cycles.
+    """
+
+    def __init__(
+        self,
+        include_files: Optional[Mapping[str, str]] = None,
+        predefined: Optional[Mapping[str, str]] = None,
+        max_include_depth: int = 16,
+    ) -> None:
+        self._includes = dict(include_files or {})
+        self._macros: Dict[str, Macro] = {}
+        for name, body in (predefined or {}).items():
+            self._macros[name] = Macro(name, None, body)
+        self._max_depth = max_include_depth
+        self._missing: List[str] = []
+        self._timescale: Optional[str] = None
+
+    # -- public ------------------------------------------------------------
+
+    def run(self, source: str) -> PreprocessResult:
+        """Process ``source`` and return the directive-free text."""
+        text = self._process(source, depth=0)
+        return PreprocessResult(
+            text=text,
+            missing_includes=list(self._missing),
+            timescale=self._timescale,
+            defines=dict(self._macros),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _process(self, source: str, depth: int) -> str:
+        if depth > self._max_depth:
+            raise PreprocessorError("include depth limit exceeded")
+        out: List[str] = []
+        lines = source.split("\n")
+        # Conditional stack entries: (taken_branch_already, currently_active)
+        cond_stack: List[Tuple[bool, bool]] = []
+        index = 0
+        while index < len(lines):
+            line = lines[index]
+            stripped = line.lstrip()
+            active = all(entry[1] for entry in cond_stack)
+            if stripped.startswith("`"):
+                consumed = self._handle_directive(
+                    lines, index, stripped, cond_stack, out, active, depth
+                )
+                index += consumed
+                continue
+            if active:
+                out.append(self._expand_macros(line))
+            index += 1
+        if cond_stack:
+            raise PreprocessorError("unterminated `ifdef/`ifndef")
+        return "\n".join(out)
+
+    def _handle_directive(
+        self,
+        lines: List[str],
+        index: int,
+        stripped: str,
+        cond_stack: List[Tuple[bool, bool]],
+        out: List[str],
+        active: bool,
+        depth: int,
+    ) -> int:
+        """Process one directive line; return how many lines were consumed."""
+        match = _DIRECTIVE_RE.match(stripped)
+        if not match:
+            raise PreprocessorError(f"malformed directive: {stripped!r}")
+        name = match.group(1)
+        rest = stripped[match.end():].strip()
+
+        if name == "ifdef" or name == "ifndef":
+            want_defined = name == "ifdef"
+            symbol = rest.split()[0] if rest else ""
+            taken = (symbol in self._macros) == want_defined
+            cond_stack.append((taken, active and taken))
+            return 1
+        if name == "elsif":
+            if not cond_stack:
+                raise PreprocessorError("`elsif without `ifdef")
+            taken_before, _ = cond_stack[-1]
+            symbol = rest.split()[0] if rest else ""
+            parent_active = all(entry[1] for entry in cond_stack[:-1])
+            take_now = not taken_before and symbol in self._macros
+            cond_stack[-1] = (taken_before or take_now, parent_active and take_now)
+            return 1
+        if name == "else":
+            if not cond_stack:
+                raise PreprocessorError("`else without `ifdef")
+            taken_before, _ = cond_stack[-1]
+            parent_active = all(entry[1] for entry in cond_stack[:-1])
+            cond_stack[-1] = (True, parent_active and not taken_before)
+            return 1
+        if name == "endif":
+            if not cond_stack:
+                raise PreprocessorError("`endif without `ifdef")
+            cond_stack.pop()
+            return 1
+
+        if not active:
+            return 1
+
+        if name == "define":
+            return self._handle_define(lines, index, rest)
+        if name == "undef":
+            symbol = rest.split()[0] if rest else ""
+            self._macros.pop(symbol, None)
+            return 1
+        if name == "include":
+            self._handle_include(rest, out, depth)
+            return 1
+        if name == "timescale":
+            self._timescale = rest
+            return 1
+        if name in _STRIP_DIRECTIVES:
+            return 1
+        # Unknown backtick word: treat as macro usage on a line of its own.
+        out.append(self._expand_macros(stripped))
+        return 1
+
+    def _handle_define(self, lines: List[str], index: int, rest: str) -> int:
+        """Parse a `define, following line continuations."""
+        consumed = 1
+        while rest.endswith("\\") and index + consumed < len(lines):
+            rest = rest[:-1] + "\n" + lines[index + consumed]
+            consumed += 1
+        match = re.match(r"([a-zA-Z_][a-zA-Z0-9_]*)(\(([^)]*)\))?", rest)
+        if not match:
+            raise PreprocessorError(f"malformed `define: {rest!r}")
+        name = match.group(1)
+        params = None
+        if match.group(2) is not None and rest[match.end(1):match.end(1) + 1] == "(":
+            params = [p.strip() for p in match.group(3).split(",") if p.strip()]
+        body = rest[match.end():].strip()
+        self._macros[name] = Macro(name, params, body)
+        return consumed
+
+    def _handle_include(self, rest: str, out: List[str], depth: int) -> None:
+        match = re.match(r'"([^"]*)"', rest) or re.match(r"<([^>]*)>", rest)
+        if not match:
+            raise PreprocessorError(f"malformed `include: {rest!r}")
+        fname = match.group(1)
+        if fname in self._includes:
+            out.append(self._process(self._includes[fname], depth + 1))
+        else:
+            self._missing.append(fname)
+
+    def _expand_macros(self, line: str, depth: int = 0) -> str:
+        """Expand backtick macro references in ``line``."""
+        if "`" not in line or depth > 32:
+            return line
+        result: List[str] = []
+        pos = 0
+        while pos < len(line):
+            ch = line[pos]
+            if ch != "`":
+                result.append(ch)
+                pos += 1
+                continue
+            match = _DIRECTIVE_RE.match(line, pos)
+            if not match:
+                result.append(ch)
+                pos += 1
+                continue
+            name = match.group(1)
+            macro = self._macros.get(name)
+            if macro is None:
+                # Leave unknown macros in place; the lexer will flag them.
+                result.append(line[pos:match.end()])
+                pos = match.end()
+                continue
+            pos = match.end()
+            if macro.params is not None and pos < len(line) and line[pos] == "(":
+                args, pos = self._parse_macro_args(line, pos)
+                body = macro.body
+                for param, arg in zip(macro.params, args):
+                    body = re.sub(
+                        rf"\b{re.escape(param)}\b", arg.strip(), body
+                    )
+                result.append(self._expand_macros(body, depth + 1))
+            else:
+                result.append(self._expand_macros(macro.body, depth + 1))
+        return "".join(result)
+
+    @staticmethod
+    def _parse_macro_args(line: str, pos: int) -> Tuple[List[str], int]:
+        """Parse a parenthesised, comma-separated argument list."""
+        assert line[pos] == "("
+        pos += 1
+        args: List[str] = []
+        current: List[str] = []
+        level = 1
+        while pos < len(line) and level > 0:
+            ch = line[pos]
+            if ch == "(":
+                level += 1
+                current.append(ch)
+            elif ch == ")":
+                level -= 1
+                if level > 0:
+                    current.append(ch)
+            elif ch == "," and level == 1:
+                args.append("".join(current))
+                current = []
+            else:
+                current.append(ch)
+            pos += 1
+        args.append("".join(current))
+        return args, pos
+
+
+def preprocess(
+    source: str,
+    include_files: Optional[Mapping[str, str]] = None,
+    predefined: Optional[Mapping[str, str]] = None,
+) -> PreprocessResult:
+    """One-shot convenience wrapper around :class:`Preprocessor`."""
+    return Preprocessor(include_files, predefined).run(source)

@@ -1,0 +1,501 @@
+"""Expression evaluation over an elaborated design.
+
+The evaluator resolves identifiers through :class:`~.design.Scope`
+bindings and reads signal state through a *store* — any object with::
+
+    read(signal: Signal) -> Vec4
+    read_mem(signal: Signal, index: int) -> Vec4
+    now() -> int            # current simulation time
+    random() -> int         # deterministic $random source
+
+Width and signedness follow a pragmatic subset of the IEEE 1364
+self-determined/context-determined rules: arithmetic and bitwise
+operators evaluate at the maximum operand width (extended to an outer
+context width when one is supplied, e.g. the LHS width of an
+assignment), comparisons and logical operators are self-determined,
+concatenations are unsigned, and the result of any operator mixing an
+unsigned operand is unsigned.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from .. import ast_nodes as ast
+from .design import (
+    ConstBinding,
+    ElaborationError,
+    FuncBinding,
+    Scope,
+    Signal,
+    SignalBinding,
+)
+from .values import Vec4, concat_all
+
+
+class EvalError(Exception):
+    """Raised when an expression cannot be evaluated."""
+
+
+class ConstStore:
+    """A store for constant folding: any signal read is an error."""
+
+    def read(self, signal: Signal) -> Vec4:
+        raise EvalError(
+            f"signal {signal.name!r} referenced in constant expression"
+        )
+
+    def read_mem(self, signal: Signal, index: int) -> Vec4:
+        raise EvalError(
+            f"memory {signal.name!r} referenced in constant expression"
+        )
+
+    def now(self) -> int:
+        return 0
+
+    def random(self) -> int:
+        raise EvalError("$random in constant expression")
+
+
+#: Signature of the callback used to evaluate user-function calls.
+FuncCaller = Callable[[FuncBinding, List[Vec4]], Vec4]
+
+
+class Evaluator:
+    """Evaluates expressions against a store and scope."""
+
+    def __init__(self, store, func_caller: Optional[FuncCaller] = None) -> None:
+        self._store = store
+        self._func_caller = func_caller
+
+    # -- width/sign analysis ---------------------------------------------------
+
+    def width_of(self, expr: ast.Expr, scope: Scope) -> Tuple[int, bool]:
+        """Self-determined (width, signed) of ``expr``."""
+        if isinstance(expr, ast.Number):
+            if expr.width is not None:
+                return expr.width, expr.signed
+            return 32, expr.signed or expr.text.isdigit() or not expr.text
+        if isinstance(expr, ast.RealNumber):
+            return 64, True
+        if isinstance(expr, ast.StringLiteral):
+            return max(8 * len(expr.value), 8), False
+        if isinstance(expr, ast.Identifier):
+            binding = scope.lookup(expr.name)
+            if binding is None:
+                raise EvalError(f"unknown identifier {expr.name!r}")
+            if isinstance(binding, ConstBinding):
+                return binding.value.width, binding.value.signed
+            if isinstance(binding, SignalBinding):
+                return binding.signal.width, binding.signal.signed
+            raise EvalError(f"{expr.name!r} is not a value")
+        if isinstance(expr, ast.HierarchicalId):
+            signal = self._resolve_hierarchical(expr, scope)
+            return signal.width, signal.signed
+        if isinstance(expr, ast.Select):
+            if expr.kind == "bit":
+                base_sig = self._memory_signal(expr.base, scope)
+                if base_sig is not None:
+                    return base_sig.width, base_sig.signed
+                return 1, False
+            if expr.kind == "part":
+                left = self.eval_const_int(expr.left, scope)
+                right = self.eval_const_int(expr.right, scope)
+                return abs(left - right) + 1, False
+            width = self.eval_const_int(expr.right, scope)
+            return width, False
+        if isinstance(expr, ast.Concat):
+            total = 0
+            for part in expr.parts:
+                w, _ = self.width_of(part, scope)
+                total += w
+            return total, False
+        if isinstance(expr, ast.Replicate):
+            count = self.eval_const_int(expr.count, scope)
+            w, _ = self.width_of(expr.value, scope)
+            return max(count, 0) * w or 1, False
+        if isinstance(expr, ast.Unary):
+            if expr.op in ("!", "&", "|", "^", "~&", "~|", "~^", "^~"):
+                return 1, False
+            return self.width_of(expr.operand, scope)
+        if isinstance(expr, ast.Binary):
+            op = expr.op
+            if op in ("==", "!=", "===", "!==", "<", "<=", ">", ">=",
+                      "&&", "||"):
+                return 1, False
+            if op in ("<<", ">>", "<<<", ">>>", "**"):
+                return self.width_of(expr.left, scope)
+            lw, ls = self.width_of(expr.left, scope)
+            rw, rs = self.width_of(expr.right, scope)
+            return max(lw, rw), ls and rs
+        if isinstance(expr, ast.Ternary):
+            lw, ls = self.width_of(expr.if_true, scope)
+            rw, rs = self.width_of(expr.if_false, scope)
+            return max(lw, rw), ls and rs
+        if isinstance(expr, ast.FunctionCall):
+            binding = scope.lookup_function(expr.name)
+            if binding is None:
+                raise EvalError(f"unknown function {expr.name!r}")
+            rng = binding.decl.range
+            if rng is None:
+                return 1, binding.decl.signed
+            msb = self.eval_const_int(rng.msb, binding.scope)
+            lsb = self.eval_const_int(rng.lsb, binding.scope)
+            return abs(msb - lsb) + 1, binding.decl.signed
+        if isinstance(expr, ast.SystemCall):
+            if expr.name in ("$signed", "$unsigned") and expr.args:
+                w, _ = self.width_of(expr.args[0], scope)
+                return w, expr.name == "$signed"
+            if expr.name == "$time":
+                return 64, False
+            return 32, expr.name == "$random"
+        raise EvalError(f"cannot size expression {type(expr).__name__}")
+
+    # -- main evaluation ---------------------------------------------------------
+
+    def eval(
+        self,
+        expr: ast.Expr,
+        scope: Scope,
+        ctx_width: Optional[int] = None,
+        ctx_signed: Optional[bool] = None,
+    ) -> Vec4:
+        """Evaluate ``expr``; when ``ctx_width`` is given, the expression
+        is computed at ``max(self_width, ctx_width)`` bits so carries are
+        not lost (assignment-context widening)."""
+        value = self._eval_inner(expr, scope, ctx_width, ctx_signed)
+        return value
+
+    def _ctx(self, expr: ast.Expr, scope: Scope, ctx_width: Optional[int]) -> int:
+        width, _ = self.width_of(expr, scope)
+        if ctx_width is None:
+            return width
+        return max(width, ctx_width)
+
+    def _eval_inner(
+        self,
+        expr: ast.Expr,
+        scope: Scope,
+        ctx_width: Optional[int],
+        ctx_signed: Optional[bool],
+    ) -> Vec4:
+        if isinstance(expr, ast.Number):
+            width = expr.width if expr.width is not None else 32
+            value = Vec4(width, expr.value, expr.xz_mask, expr.z_mask,
+                         expr.signed or (expr.width is None))
+            if ctx_width is not None and ctx_width > width:
+                value = value.resize(ctx_width)
+            return value
+        if isinstance(expr, ast.RealNumber):
+            return Vec4.from_int(int(expr.value), 64, signed=True)
+        if isinstance(expr, ast.StringLiteral):
+            width = max(8 * len(expr.value), 8)
+            acc = 0
+            for ch in expr.value:
+                acc = (acc << 8) | ord(ch)
+            return Vec4.from_int(acc, width)
+        if isinstance(expr, ast.Identifier):
+            return self._eval_identifier(expr, scope, ctx_width)
+        if isinstance(expr, ast.HierarchicalId):
+            signal = self._resolve_hierarchical(expr, scope)
+            value = self._store.read(signal)
+            if ctx_width is not None and ctx_width > value.width:
+                value = value.resize(ctx_width)
+            return value
+        if isinstance(expr, ast.Select):
+            return self._eval_select(expr, scope, ctx_width)
+        if isinstance(expr, ast.Concat):
+            parts = [self._eval_inner(p, scope, None, None) for p in expr.parts]
+            return concat_all(parts)
+        if isinstance(expr, ast.Replicate):
+            count = self.eval_const_int(expr.count, scope)
+            if count <= 0:
+                raise EvalError(f"replication count {count} must be positive")
+            value = self._eval_inner(expr.value, scope, None, None)
+            return value.replicate(count)
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, scope, ctx_width)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, scope, ctx_width)
+        if isinstance(expr, ast.Ternary):
+            return self._eval_ternary(expr, scope, ctx_width, ctx_signed)
+        if isinstance(expr, ast.FunctionCall):
+            return self._eval_function_call(expr, scope)
+        if isinstance(expr, ast.SystemCall):
+            return self._eval_system_call(expr, scope, ctx_width)
+        raise EvalError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_identifier(
+        self, expr: ast.Identifier, scope: Scope, ctx_width: Optional[int]
+    ) -> Vec4:
+        binding = scope.lookup(expr.name)
+        if binding is None:
+            raise EvalError(f"unknown identifier {expr.name!r}")
+        if isinstance(binding, ConstBinding):
+            value = binding.value
+        elif isinstance(binding, SignalBinding):
+            if binding.signal.is_memory:
+                raise EvalError(
+                    f"memory {expr.name!r} used without an index"
+                )
+            value = self._store.read(binding.signal)
+        else:
+            raise EvalError(f"{expr.name!r} is not a value")
+        if ctx_width is not None and ctx_width > value.width:
+            value = value.resize(ctx_width)
+        return value
+
+    def _resolve_hierarchical(
+        self, expr: ast.HierarchicalId, scope: Scope
+    ) -> Signal:
+        """Resolve ``a.b.c`` by joining onto the scope path.
+
+        Used by testbench-style probes; tries progressively shorter
+        prefixes of the current path.
+        """
+        suffix = ".".join(expr.parts)
+        candidates = []
+        path = scope.path
+        while True:
+            candidates.append(f"{path}.{suffix}" if path else suffix)
+            if not path:
+                break
+            path = path.rpartition(".")[0]
+        store_signals = getattr(self._store, "signals", None)
+        if store_signals is not None:
+            for name in candidates:
+                if name in store_signals:
+                    return store_signals[name]
+        raise EvalError(f"cannot resolve hierarchical name {suffix!r}")
+
+    def _memory_signal(self, expr: ast.Expr, scope: Scope) -> Optional[Signal]:
+        """Return the memory Signal when ``expr`` names one, else None."""
+        if isinstance(expr, ast.Identifier):
+            binding = scope.lookup(expr.name)
+            if isinstance(binding, SignalBinding) and binding.signal.is_memory:
+                return binding.signal
+        return None
+
+    def _eval_select(
+        self, expr: ast.Select, scope: Scope, ctx_width: Optional[int]
+    ) -> Vec4:
+        mem = self._memory_signal(expr.base, scope)
+        if mem is not None and expr.kind == "bit":
+            index = self._eval_inner(expr.left, scope, None, None)
+            if index.has_unknown:
+                return Vec4.all_x(mem.width)
+            return self._store.read_mem(mem, index.to_int() - mem.array_min)
+        base_signal = self._signal_of(expr.base, scope)
+        base = self._eval_inner(expr.base, scope, None, None)
+        if expr.kind == "bit":
+            index = self._eval_inner(expr.left, scope, None, None)
+            if index.has_unknown:
+                return Vec4.all_x(1)
+            pos = self._to_position(base_signal, index.to_signed_int()
+                                    if index.signed else index.to_int())
+            return base.slice(pos, pos)
+        if expr.kind == "part":
+            msb_i = self.eval_const_int(expr.left, scope)
+            lsb_i = self.eval_const_int(expr.right, scope)
+            hi = self._to_position(base_signal, msb_i)
+            lo = self._to_position(base_signal, lsb_i)
+            if hi < lo:
+                hi, lo = lo, hi
+            return base.slice(hi, lo)
+        # Indexed part selects: base[b +: w] / base[b -: w].
+        width = self.eval_const_int(expr.right, scope)
+        start = self._eval_inner(expr.left, scope, None, None)
+        if start.has_unknown:
+            return Vec4.all_x(width)
+        start_i = start.to_int()
+        ascending = base_signal is not None and base_signal.msb < base_signal.lsb
+        if expr.kind == "plus":
+            lo_idx, hi_idx = (start_i, start_i + width - 1)
+            if ascending:
+                lo_idx, hi_idx = start_i + width - 1, start_i
+        else:
+            lo_idx, hi_idx = (start_i - width + 1, start_i)
+            if ascending:
+                lo_idx, hi_idx = start_i, start_i - width + 1
+        hi = self._to_position(base_signal, hi_idx)
+        lo = self._to_position(base_signal, lo_idx)
+        if hi < lo:
+            hi, lo = lo, hi
+        return base.slice(hi, lo)
+
+    def _signal_of(self, expr: ast.Expr, scope: Scope) -> Optional[Signal]:
+        if isinstance(expr, ast.Identifier):
+            binding = scope.lookup(expr.name)
+            if isinstance(binding, SignalBinding):
+                return binding.signal
+        return None
+
+    @staticmethod
+    def _to_position(signal: Optional[Signal], index: int) -> int:
+        if signal is None:
+            return index
+        return signal.bit_position(index)
+
+    def _eval_unary(
+        self, expr: ast.Unary, scope: Scope, ctx_width: Optional[int]
+    ) -> Vec4:
+        op = expr.op
+        if op == "!":
+            return self._eval_inner(expr.operand, scope, None, None).logical_not()
+        if op in ("&", "~&", "|", "~|", "^", "~^", "^~"):
+            operand = self._eval_inner(expr.operand, scope, None, None)
+            return {
+                "&": operand.reduce_and,
+                "~&": operand.reduce_nand,
+                "|": operand.reduce_or,
+                "~|": operand.reduce_nor,
+                "^": operand.reduce_xor,
+                "~^": operand.reduce_xnor,
+                "^~": operand.reduce_xnor,
+            }[op]()
+        operand = self._eval_inner(expr.operand, scope, ctx_width, None)
+        if ctx_width is not None and ctx_width > operand.width:
+            operand = operand.resize(ctx_width)
+        if op == "~":
+            return operand.bit_not()
+        if op == "-":
+            return operand.neg()
+        if op == "+":
+            return operand
+        raise EvalError(f"unsupported unary operator {op!r}")
+
+    def _eval_binary(
+        self, expr: ast.Binary, scope: Scope, ctx_width: Optional[int]
+    ) -> Vec4:
+        op = expr.op
+        if op in ("&&", "||"):
+            left = self._eval_inner(expr.left, scope, None, None)
+            # Short-circuit when decidable.
+            if op == "&&" and left.truthiness() is False:
+                return Vec4.from_int(0, 1)
+            if op == "||" and left.truthiness() is True:
+                return Vec4.from_int(1, 1)
+            right = self._eval_inner(expr.right, scope, None, None)
+            return left.logical_and(right) if op == "&&" else left.logical_or(right)
+        if op in ("==", "!=", "===", "!==", "<", "<=", ">", ">="):
+            # Comparison operands size to each other, not the context.
+            lw, ls = self.width_of(expr.left, scope)
+            rw, rs = self.width_of(expr.right, scope)
+            width = max(lw, rw)
+            left = self._eval_inner(expr.left, scope, width, None)
+            right = self._eval_inner(expr.right, scope, width, None)
+            signed = ls and rs
+            left = left.resize(width, left.signed and signed)
+            right = right.resize(width, right.signed and signed)
+            return {
+                "==": left.eq, "!=": left.ne,
+                "===": left.case_eq, "!==": left.case_ne,
+                "<": left.lt, "<=": left.le, ">": left.gt, ">=": left.ge,
+            }[op](right)
+        if op in ("<<", ">>", "<<<", ">>>"):
+            width = self._ctx(expr.left, scope, ctx_width)
+            left = self._eval_inner(expr.left, scope, width, None)
+            left = left.resize(width, left.signed)
+            amount = self._eval_inner(expr.right, scope, None, None)
+            if op == "<<" or op == "<<<":
+                return left.shl(amount)
+            if op == ">>>":
+                return left.ashr(amount)
+            return left.shr(amount)
+        if op == "**":
+            width = self._ctx(expr.left, scope, ctx_width)
+            left = self._eval_inner(expr.left, scope, width, None)
+            right = self._eval_inner(expr.right, scope, None, None)
+            return left.resize(width, left.signed).power(right)
+        # Arithmetic / bitwise: context-determined width.
+        width = self._ctx(expr, scope, ctx_width)
+        left = self._eval_inner(expr.left, scope, width, None)
+        right = self._eval_inner(expr.right, scope, width, None)
+        signed = left.signed and right.signed
+        left = left.resize(width, left.signed)
+        right = right.resize(width, right.signed)
+        if not signed:
+            left = left.as_signed(False)
+            right = right.as_signed(False)
+        methods = {
+            "+": left.add, "-": left.sub, "*": left.mul,
+            "/": left.div, "%": left.mod,
+            "&": left.bit_and, "|": left.bit_or,
+            "^": left.bit_xor, "~^": left.bit_xnor, "^~": left.bit_xnor,
+        }
+        method = methods.get(op)
+        if method is None:
+            raise EvalError(f"unsupported binary operator {op!r}")
+        return method(right)
+
+    def _eval_ternary(
+        self,
+        expr: ast.Ternary,
+        scope: Scope,
+        ctx_width: Optional[int],
+        ctx_signed: Optional[bool],
+    ) -> Vec4:
+        cond = self._eval_inner(expr.cond, scope, None, None)
+        width = self._ctx(expr, scope, ctx_width)
+        truth = cond.truthiness()
+        if truth is True:
+            return self._eval_inner(expr.if_true, scope, width, ctx_signed)
+        if truth is False:
+            return self._eval_inner(expr.if_false, scope, width, ctx_signed)
+        # Unknown condition: bitwise-merge the two arms (LRM 5.1.13).
+        a = self._eval_inner(expr.if_true, scope, width, ctx_signed).resize(width)
+        b = self._eval_inner(expr.if_false, scope, width, ctx_signed).resize(width)
+        same = ~(a.val ^ b.val) & ~a.xz & ~b.xz & ((1 << width) - 1)
+        return Vec4(width, a.val & same, ~same & ((1 << width) - 1), 0)
+
+    def _eval_function_call(self, expr: ast.FunctionCall, scope: Scope) -> Vec4:
+        binding = scope.lookup_function(expr.name)
+        if binding is None:
+            raise EvalError(f"unknown function {expr.name!r}")
+        if self._func_caller is None:
+            raise EvalError(
+                f"function call {expr.name!r} not allowed in this context"
+            )
+        args = [self._eval_inner(a, scope, None, None) for a in expr.args]
+        return self._func_caller(binding, args)
+
+    def _eval_system_call(
+        self, expr: ast.SystemCall, scope: Scope, ctx_width: Optional[int]
+    ) -> Vec4:
+        name = expr.name
+        if name == "$clog2":
+            arg = self._eval_inner(expr.args[0], scope, None, None)
+            if arg.has_unknown:
+                return Vec4.all_x(32)
+            value = arg.to_int()
+            result = max(value - 1, 0).bit_length()
+            return Vec4.from_int(result, 32)
+        if name == "$signed":
+            arg = self._eval_inner(expr.args[0], scope, None, None)
+            return arg.as_signed(True)
+        if name == "$unsigned":
+            arg = self._eval_inner(expr.args[0], scope, None, None)
+            return arg.as_signed(False)
+        if name in ("$time", "$stime", "$realtime"):
+            return Vec4.from_int(self._store.now(), 64)
+        if name == "$random":
+            return Vec4.from_int(self._store.random() & 0xFFFFFFFF, 32,
+                                 signed=True)
+        if name == "$bits":
+            width, _ = self.width_of(expr.args[0], scope)
+            return Vec4.from_int(width, 32)
+        raise EvalError(f"unsupported system function {name!r}")
+
+    # -- constants ------------------------------------------------------------
+
+    def eval_const_int(self, expr: ast.Expr, scope: Scope) -> int:
+        """Evaluate a constant expression to a Python int (signed)."""
+        value = self._eval_inner(expr, scope, None, None)
+        if value.has_unknown:
+            raise EvalError("constant expression evaluates to x/z")
+        return value.to_signed_int() if value.signed else value.to_int()
+
+
+def const_evaluator(func_caller: Optional[FuncCaller] = None) -> Evaluator:
+    """An evaluator that rejects signal reads (for parameter folding)."""
+    return Evaluator(ConstStore(), func_caller)

@@ -1,0 +1,650 @@
+"""Procedural-statement interpreter.
+
+Statements execute against a *machine* — the simulation kernel or a
+function-call frame — through a narrow interface:
+
+* ``eval(expr, scope, ctx_width)`` — expression evaluation;
+* ``write(target, scope, value, blocking)`` — lvalue assignment;
+* ``system_task(stmt, scope)`` — ``$display`` and friends;
+* ``charge(n)`` — consume execution budget (runaway-loop guard).
+
+Execution is generator-based: timing controls (``#``, ``@``, ``wait``)
+``yield`` suspension requests that the kernel turns into scheduler
+events.  Combinational and edge-triggered processes must run without
+suspending; the kernel enforces that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from .. import ast_nodes as ast
+from .design import (
+    ConstBinding,
+    FuncBinding,
+    Scope,
+    Signal,
+    SignalBinding,
+    TaskBinding,
+)
+from .eval import ConstStore, EvalError, Evaluator
+from .values import Vec4, concat_all
+
+
+class SimulationError(Exception):
+    """Raised for runtime semantic errors (x index writes aside) and
+    exceeded execution budgets."""
+
+
+class StopSimulation(Exception):
+    """Raised by ``$finish`` / ``$stop``."""
+
+
+#: A suspension request produced by a timing control.
+#: kinds: ("delay", ticks) | ("event", SensitivityList, scope)
+#:        | ("wait", cond_expr, scope)
+Suspension = Tuple
+
+
+@dataclass
+class WriteOp:
+    """One resolved slice of an lvalue.
+
+    ``mem_index`` is the zero-based element offset for memories.  ``hi``
+    and ``lo`` are physical bit positions within the element/signal; a
+    full write has ``hi == width-1, lo == 0``.  ``oob`` marks writes
+    whose index fell outside the target (silently dropped, per LRM).
+    """
+
+    signal: Signal
+    mem_index: Optional[int]
+    hi: int
+    lo: int
+    oob: bool = False
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+
+def resolve_lvalue(
+    expr: ast.Expr, scope: Scope, evaluator: Evaluator
+) -> List[WriteOp]:
+    """Flatten an lvalue into MSB-first :class:`WriteOp` slices."""
+    if isinstance(expr, ast.Concat):
+        ops: List[WriteOp] = []
+        for part in expr.parts:
+            ops.extend(resolve_lvalue(part, scope, evaluator))
+        return ops
+    if isinstance(expr, (ast.Identifier, ast.HierarchicalId)):
+        signal = _lookup_signal(expr, scope, evaluator)
+        if signal.is_memory:
+            raise SimulationError(
+                f"memory {signal.name!r} assigned without an index"
+            )
+        return [WriteOp(signal, None, signal.width - 1, 0)]
+    if isinstance(expr, ast.Select):
+        return _resolve_select_lvalue(expr, scope, evaluator)
+    raise SimulationError(
+        f"invalid assignment target {type(expr).__name__}"
+    )
+
+
+def _lookup_signal(
+    expr: ast.Expr, scope: Scope, evaluator: Evaluator
+) -> Signal:
+    if isinstance(expr, ast.Identifier):
+        binding = scope.lookup(expr.name)
+        if isinstance(binding, SignalBinding):
+            return binding.signal
+        raise SimulationError(f"cannot assign to {expr.name!r}")
+    if isinstance(expr, ast.HierarchicalId):
+        return evaluator._resolve_hierarchical(expr, scope)
+    raise SimulationError("invalid assignment target")
+
+
+def _resolve_select_lvalue(
+    expr: ast.Select, scope: Scope, evaluator: Evaluator
+) -> List[WriteOp]:
+    # Memory element target: mem[idx] or mem[idx][hi:lo].
+    base = expr.base
+    mem_index: Optional[int] = None
+    if isinstance(base, ast.Select) and isinstance(base.base, ast.Identifier):
+        inner_sig = _binding_signal(base.base, scope)
+        if inner_sig is not None and inner_sig.is_memory and base.kind == "bit":
+            index_val = evaluator.eval(base.left, scope)
+            if index_val.has_unknown:
+                return [WriteOp(inner_sig, None, inner_sig.width - 1, 0,
+                                oob=True)]
+            mem_index = (index_val.to_int() - inner_sig.array_min)
+            if mem_index < 0 or mem_index >= inner_sig.array_size:
+                return [WriteOp(inner_sig, None, inner_sig.width - 1, 0,
+                                oob=True)]
+            signal = inner_sig
+            return _select_bits(expr, signal, mem_index, scope, evaluator)
+    if isinstance(base, ast.Identifier):
+        signal = _binding_signal(base, scope)
+        if signal is None:
+            raise SimulationError(f"cannot assign to {base.name!r}")
+        if signal.is_memory:
+            if expr.kind != "bit":
+                raise SimulationError(
+                    f"memory {signal.name!r} needs an element index"
+                )
+            index_val = evaluator.eval(expr.left, scope)
+            if index_val.has_unknown:
+                return [WriteOp(signal, None, signal.width - 1, 0, oob=True)]
+            mem_index = index_val.to_int() - signal.array_min
+            if mem_index < 0 or mem_index >= signal.array_size:
+                return [WriteOp(signal, None, signal.width - 1, 0, oob=True)]
+            return [WriteOp(signal, mem_index, signal.width - 1, 0)]
+        return _select_bits(expr, signal, None, scope, evaluator)
+    raise SimulationError("unsupported nested lvalue select")
+
+
+def _binding_signal(ident: ast.Identifier, scope: Scope) -> Optional[Signal]:
+    binding = scope.lookup(ident.name)
+    if isinstance(binding, SignalBinding):
+        return binding.signal
+    return None
+
+
+def _select_bits(
+    expr: ast.Select,
+    signal: Signal,
+    mem_index: Optional[int],
+    scope: Scope,
+    evaluator: Evaluator,
+) -> List[WriteOp]:
+    if expr.kind == "bit":
+        index_val = evaluator.eval(expr.left, scope)
+        if index_val.has_unknown:
+            return [WriteOp(signal, mem_index, signal.width - 1, 0, oob=True)]
+        raw = (index_val.to_signed_int() if index_val.signed
+               else index_val.to_int())
+        pos = signal.bit_position(raw)
+        if pos < 0 or pos >= signal.width:
+            return [WriteOp(signal, mem_index, 0, 0, oob=True)]
+        return [WriteOp(signal, mem_index, pos, pos)]
+    if expr.kind == "part":
+        msb_i = evaluator.eval_const_int(expr.left, scope)
+        lsb_i = evaluator.eval_const_int(expr.right, scope)
+        hi = signal.bit_position(msb_i)
+        lo = signal.bit_position(lsb_i)
+        if hi < lo:
+            hi, lo = lo, hi
+        if lo < 0 or hi >= signal.width:
+            return [WriteOp(signal, mem_index, max(hi, 0),
+                            max(lo, 0), oob=True)]
+        return [WriteOp(signal, mem_index, hi, lo)]
+    # Indexed part select.
+    width = evaluator.eval_const_int(expr.right, scope)
+    start = evaluator.eval(expr.left, scope)
+    if start.has_unknown:
+        return [WriteOp(signal, mem_index, signal.width - 1, 0, oob=True)]
+    start_i = start.to_int()
+    ascending = signal.msb < signal.lsb
+    if expr.kind == "plus":
+        lo_idx, hi_idx = start_i, start_i + width - 1
+        if ascending:
+            lo_idx, hi_idx = start_i + width - 1, start_i
+    else:
+        lo_idx, hi_idx = start_i - width + 1, start_i
+        if ascending:
+            lo_idx, hi_idx = start_i, start_i - width + 1
+    hi = signal.bit_position(hi_idx)
+    lo = signal.bit_position(lo_idx)
+    if hi < lo:
+        hi, lo = lo, hi
+    if lo < 0 or hi >= signal.width:
+        return [WriteOp(signal, mem_index, max(hi, 0), max(lo, 0), oob=True)]
+    return [WriteOp(signal, mem_index, hi, lo)]
+
+
+def split_value_for_ops(value: Vec4, ops: Sequence[WriteOp]) -> List[Vec4]:
+    """Distribute ``value`` across MSB-first write slices."""
+    total = sum(op.width for op in ops)
+    value = value.resize(total) if value.width < total else value
+    pieces: List[Vec4] = []
+    offset = total
+    for op in ops:
+        offset -= op.width
+        pieces.append(value.slice(offset + op.width - 1, offset))
+    return pieces
+
+
+# ---------------------------------------------------------------------------
+# Statement execution
+# ---------------------------------------------------------------------------
+
+#: Iteration cap for procedural loops.
+MAX_LOOP_ITERATIONS = 1_000_000
+
+
+class Interpreter:
+    """Executes statements against a machine object."""
+
+    def __init__(self, machine) -> None:
+        self._machine = machine
+
+    def run_atomic(self, stmt: Optional[ast.Stmt], scope: Scope) -> None:
+        """Execute a statement that must not suspend (comb/edge body)."""
+        gen = self.exec_stmt(stmt, scope)
+        for suspension in gen:
+            raise SimulationError(
+                "timing control inside a combinational or edge-triggered "
+                f"process (suspension {suspension[0]!r})"
+            )
+
+    def exec_stmt(
+        self, stmt: Optional[ast.Stmt], scope: Scope
+    ) -> Generator[Suspension, None, None]:
+        """Execute one statement, yielding timing-control suspensions."""
+        if stmt is None:
+            return
+        machine = self._machine
+        machine.charge(1)
+        if isinstance(stmt, ast.Block):
+            block_scope = scope
+            if stmt.decls:
+                block_scope = scope.child(stmt.name or "__blk")
+                for decl in stmt.decls:
+                    machine.declare_local(decl, block_scope)
+            for inner in stmt.stmts:
+                yield from self.exec_stmt(inner, block_scope)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._exec_assign(stmt, scope)
+            return
+        if isinstance(stmt, ast.If):
+            cond = machine.eval(stmt.cond, scope)
+            if cond.is_true():
+                yield from self.exec_stmt(stmt.then_stmt, scope)
+            else:
+                yield from self.exec_stmt(stmt.else_stmt, scope)
+            return
+        if isinstance(stmt, ast.Case):
+            yield from self._exec_case(stmt, scope)
+            return
+        if isinstance(stmt, ast.For):
+            yield from self._exec_for(stmt, scope)
+            return
+        if isinstance(stmt, ast.While):
+            iterations = 0
+            while True:
+                cond = machine.eval(stmt.cond, scope)
+                if not cond.is_true():
+                    return
+                yield from self.exec_stmt(stmt.body, scope)
+                iterations += 1
+                machine.charge(1)
+                if iterations > MAX_LOOP_ITERATIONS:
+                    raise SimulationError("while loop exceeded iteration cap")
+            return
+        if isinstance(stmt, ast.Repeat):
+            count = machine.eval(stmt.count, scope)
+            if count.has_unknown:
+                return
+            for _ in range(min(count.to_int(), MAX_LOOP_ITERATIONS)):
+                yield from self.exec_stmt(stmt.body, scope)
+                machine.charge(1)
+            return
+        if isinstance(stmt, ast.Forever):
+            iterations = 0
+            while True:
+                yield from self.exec_stmt(stmt.body, scope)
+                iterations += 1
+                machine.charge(1)
+                if iterations > MAX_LOOP_ITERATIONS:
+                    raise SimulationError(
+                        "forever loop exceeded iteration cap"
+                    )
+            return
+        if isinstance(stmt, ast.Delay):
+            amount = machine.eval(stmt.amount, scope)
+            ticks = 0 if amount.has_unknown else amount.to_int()
+            yield ("delay", ticks)
+            yield from self.exec_stmt(stmt.stmt, scope)
+            return
+        if isinstance(stmt, ast.EventControl):
+            yield ("event", stmt.sensitivity, scope)
+            yield from self.exec_stmt(stmt.stmt, scope)
+            return
+        if isinstance(stmt, ast.Wait):
+            cond = machine.eval(stmt.cond, scope)
+            while not cond.is_true():
+                yield ("wait", stmt.cond, scope)
+                cond = machine.eval(stmt.cond, scope)
+            yield from self.exec_stmt(stmt.stmt, scope)
+            return
+        if isinstance(stmt, ast.SystemTaskCall):
+            machine.system_task(stmt, scope)
+            return
+        if isinstance(stmt, ast.TaskCall):
+            yield from self._exec_task_call(stmt, scope)
+            return
+        if isinstance(stmt, (ast.NullStmt, ast.Disable)):
+            return
+        raise SimulationError(
+            f"unsupported statement {type(stmt).__name__}"
+        )
+
+    # -- pieces ------------------------------------------------------------
+
+    def _exec_assign(self, stmt: ast.Assign, scope: Scope) -> None:
+        machine = self._machine
+        ops = resolve_lvalue(stmt.target, scope, machine.evaluator)
+        total = sum(op.width for op in ops)
+        signed_target = len(ops) == 1 and ops[0].signal.signed
+        value = machine.eval(stmt.value, scope, ctx_width=total)
+        value = value.resize(total, value.signed) if value.width < total else value
+        if signed_target:
+            value = value.as_signed(True)
+        machine.write(ops, value, blocking=stmt.blocking)
+
+    def _exec_case(
+        self, stmt: ast.Case, scope: Scope
+    ) -> Generator[Suspension, None, None]:
+        machine = self._machine
+        subject = machine.eval(stmt.subject, scope)
+        default_item: Optional[ast.CaseItem] = None
+        for item in stmt.items:
+            if not item.exprs:
+                default_item = item
+                continue
+            for expr in item.exprs:
+                label = machine.eval(expr, scope)
+                if _case_match(stmt.kind, subject, label):
+                    yield from self.exec_stmt(item.body, scope)
+                    return
+        if default_item is not None:
+            yield from self.exec_stmt(default_item.body, scope)
+
+    def _exec_for(
+        self, stmt: ast.For, scope: Scope
+    ) -> Generator[Suspension, None, None]:
+        machine = self._machine
+        if stmt.init is not None:
+            self._exec_assign(stmt.init, scope)
+        iterations = 0
+        while True:
+            if stmt.cond is not None:
+                cond = machine.eval(stmt.cond, scope)
+                if not cond.is_true():
+                    return
+            yield from self.exec_stmt(stmt.body, scope)
+            if stmt.step is not None:
+                self._exec_assign(stmt.step, scope)
+            iterations += 1
+            machine.charge(1)
+            if iterations > MAX_LOOP_ITERATIONS:
+                raise SimulationError("for loop exceeded iteration cap")
+
+    def _exec_task_call(
+        self, stmt: ast.TaskCall, scope: Scope
+    ) -> Generator[Suspension, None, None]:
+        machine = self._machine
+        binding = scope.lookup(stmt.name)
+        if not isinstance(binding, TaskBinding):
+            raise SimulationError(f"unknown task {stmt.name!r}")
+        decl = binding.decl
+        formals = decl.inputs + decl.outputs
+        if len(stmt.args) != len(formals):
+            raise SimulationError(
+                f"task {stmt.name!r} expects {len(formals)} args, "
+                f"got {len(stmt.args)}"
+            )
+        task_scope = binding.scope.child(f"__task_{stmt.name}")
+        for decl_item in decl.inputs + decl.outputs + decl.locals:
+            machine.declare_local(decl_item, task_scope)
+        for formal, actual in zip(decl.inputs, stmt.args):
+            value = machine.eval(actual, scope)
+            machine.write(
+                resolve_lvalue(
+                    ast.Identifier(name=formal.name), task_scope,
+                    machine.evaluator,
+                ),
+                value,
+                blocking=True,
+            )
+        yield from self.exec_stmt(decl.body, task_scope)
+        for formal, actual in zip(
+            decl.outputs, stmt.args[len(decl.inputs):]
+        ):
+            value = machine.eval(
+                ast.Identifier(name=formal.name), task_scope
+            )
+            machine.write(
+                resolve_lvalue(actual, scope, machine.evaluator),
+                value,
+                blocking=True,
+            )
+
+
+def _case_match(kind: str, subject: Vec4, label: Vec4) -> bool:
+    """Case-item matching for case/casez/casex."""
+    width = max(subject.width, label.width)
+    a = subject.resize(width)
+    b = label.resize(width)
+    mask = (1 << width) - 1
+    care = mask
+    if kind == "casez":
+        care &= ~a.z & ~b.z
+    elif kind == "casex":
+        care &= ~a.xz & ~b.xz
+    if kind == "case":
+        return a.val == b.val and a.xz == b.xz and a.z == b.z
+    return (
+        (a.val & care) == (b.val & care)
+        and (a.xz & care) == (b.xz & care)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Function evaluation (shared by kernel and constant folding)
+# ---------------------------------------------------------------------------
+
+
+class _FrameStore:
+    """Store overlay holding function/task local variables."""
+
+    def __init__(self, base) -> None:
+        self._base = base
+        self.locals: Dict[int, Vec4] = {}
+        self.local_mems: Dict[int, List[Vec4]] = {}
+        self.signals = getattr(base, "signals", {})
+
+    def is_local(self, signal: Signal) -> bool:
+        return id(signal) in self.locals or id(signal) in self.local_mems
+
+    def add_local(self, signal: Signal) -> None:
+        if signal.is_memory:
+            self.local_mems[id(signal)] = [
+                Vec4.all_x(signal.width) for _ in range(signal.array_size)
+            ]
+        else:
+            self.locals[id(signal)] = Vec4.all_x(signal.width, signal.signed)
+
+    def read(self, signal: Signal) -> Vec4:
+        if id(signal) in self.locals:
+            return self.locals[id(signal)]
+        return self._base.read(signal)
+
+    def read_mem(self, signal: Signal, index: int) -> Vec4:
+        mem = self.local_mems.get(id(signal))
+        if mem is not None:
+            if 0 <= index < len(mem):
+                return mem[index]
+            return Vec4.all_x(signal.width)
+        return self._base.read_mem(signal, index)
+
+    def write_local(self, op: WriteOp, value: Vec4) -> None:
+        if op.oob:
+            return
+        if op.mem_index is not None:
+            mem = self.local_mems[id(op.signal)]
+            current = mem[op.mem_index]
+            mem[op.mem_index] = current.set_slice(op.hi, op.lo, value)
+            return
+        current = self.locals[id(op.signal)]
+        if op.hi == op.signal.width - 1 and op.lo == 0:
+            self.locals[id(op.signal)] = value.resize(
+                op.signal.width, op.signal.signed
+            )
+        else:
+            self.locals[id(op.signal)] = current.set_slice(op.hi, op.lo, value)
+
+    def now(self) -> int:
+        return self._base.now()
+
+    def random(self) -> int:
+        return self._base.random()
+
+
+class FunctionMachine:
+    """Machine used while evaluating a user-defined function."""
+
+    #: Shared budget pool so deep function recursion terminates.
+    MAX_DEPTH = 64
+
+    def __init__(self, base_store, base_machine=None, depth: int = 0) -> None:
+        if depth > self.MAX_DEPTH:
+            raise SimulationError("function recursion too deep")
+        self._store = _FrameStore(base_store)
+        self._base_machine = base_machine
+        self._depth = depth
+        self.evaluator = Evaluator(self._store, self._call_function)
+        self._budget = 1_000_000
+
+    # machine interface -----------------------------------------------------
+
+    def charge(self, amount: int) -> None:
+        self._budget -= amount
+        if self._budget <= 0:
+            raise SimulationError("function execution budget exceeded")
+        if self._base_machine is not None:
+            self._base_machine.charge(amount)
+
+    def eval(self, expr: ast.Expr, scope: Scope,
+             ctx_width: Optional[int] = None) -> Vec4:
+        return self.evaluator.eval(expr, scope, ctx_width)
+
+    def write(self, ops: Sequence[WriteOp], value: Vec4,
+              blocking: bool) -> None:
+        if not blocking:
+            raise SimulationError("non-blocking assignment inside function")
+        pieces = split_value_for_ops(value, ops)
+        for op, piece in zip(ops, pieces):
+            if not self._store.is_local(op.signal):
+                raise SimulationError(
+                    f"function writes non-local {op.signal.name!r}"
+                )
+            self._store.write_local(op, piece)
+
+    def declare_local(self, decl: ast.Decl, scope: Scope) -> None:
+        declare_frame_local(decl, scope, self._store, self.evaluator)
+
+    def system_task(self, stmt: ast.SystemTaskCall, scope: Scope) -> None:
+        if self._base_machine is not None:
+            self._base_machine.system_task(stmt, scope)
+        # Silently ignore $display inside constant functions.
+
+    def _call_function(self, binding: FuncBinding, args: List[Vec4]) -> Vec4:
+        return run_function(binding, args, self._store._base, self,
+                            self._depth + 1)
+
+    # function body execution ----------------------------------------------
+
+    def execute(self, binding: FuncBinding, args: List[Vec4]) -> Vec4:
+        decl = binding.decl
+        if len(args) != len(decl.inputs):
+            raise SimulationError(
+                f"function {decl.name!r} expects {len(decl.inputs)} args, "
+                f"got {len(args)}"
+            )
+        func_scope = binding.scope.child(f"__fn_{decl.name}")
+        const_eval = self.evaluator
+        # Return variable.
+        if decl.range is not None:
+            msb = const_eval.eval_const_int(decl.range.msb, binding.scope)
+            lsb = const_eval.eval_const_int(decl.range.lsb, binding.scope)
+            width = abs(msb - lsb) + 1
+        else:
+            msb = lsb = 0
+            width = 1
+        ret_signal = Signal(
+            name=f"__ret_{decl.name}", width=width, signed=decl.signed,
+            msb=msb, lsb=lsb,
+        )
+        self._store.add_local(ret_signal)
+        func_scope.bind(decl.name, SignalBinding(signal=ret_signal))
+        for formal, actual in zip(decl.inputs, args):
+            declare_frame_local(formal, func_scope, self._store, const_eval)
+            binding_f = func_scope.lookup(formal.name)
+            assert isinstance(binding_f, SignalBinding)
+            self._store.write_local(
+                WriteOp(binding_f.signal, None,
+                        binding_f.signal.width - 1, 0),
+                actual.resize(binding_f.signal.width),
+            )
+        for local in decl.locals:
+            declare_frame_local(local, func_scope, self._store, const_eval)
+        interpreter = Interpreter(self)
+        interpreter.run_atomic(decl.body, func_scope)
+        return self._store.read(ret_signal)
+
+
+def declare_frame_local(
+    decl: ast.Decl, scope: Scope, store: _FrameStore, evaluator: Evaluator
+) -> None:
+    """Create a frame-local variable for ``decl`` and bind it."""
+    msb = lsb = 0
+    width = 1
+    signed = decl.signed
+    if decl.kind == "integer":
+        width, msb, lsb, signed = 32, 31, 0, True
+    elif decl.range is not None:
+        msb = evaluator.eval_const_int(decl.range.msb, scope)
+        lsb = evaluator.eval_const_int(decl.range.lsb, scope)
+        width = abs(msb - lsb) + 1
+    array_size = 0
+    array_min = 0
+    if decl.array_dims:
+        lo = evaluator.eval_const_int(decl.array_dims[0].msb, scope)
+        hi = evaluator.eval_const_int(decl.array_dims[0].lsb, scope)
+        if lo > hi:
+            lo, hi = hi, lo
+        array_size = hi - lo + 1
+        array_min = lo
+    signal = Signal(
+        name=f"__local_{decl.name}", width=width, signed=signed,
+        msb=msb, lsb=lsb, array_size=array_size, array_min=array_min,
+    )
+    store.add_local(signal)
+    scope.bind(decl.name, SignalBinding(signal=signal))
+
+
+def run_function(
+    binding: FuncBinding,
+    args: List[Vec4],
+    base_store,
+    base_machine=None,
+    depth: int = 0,
+) -> Vec4:
+    """Evaluate a user function call.
+
+    Recursion beyond the depth cap returns all-x instead of failing:
+    unknown inputs can drive unbounded recursion (``fact(x)``), and in
+    real Verilog non-automatic functions produce garbage there rather
+    than aborting the simulation.
+    """
+    if depth > FunctionMachine.MAX_DEPTH:
+        return Vec4.all_x(64, binding.decl.signed)
+    machine = FunctionMachine(base_store, base_machine, depth)
+    return machine.execute(binding, args)
+
+
+def const_function_caller(binding: FuncBinding, args: List[Vec4]) -> Vec4:
+    """Function caller for constant contexts (parameter folding)."""
+    return run_function(binding, args, ConstStore())

@@ -1,0 +1,679 @@
+"""Event-driven simulation kernel.
+
+The kernel owns the elaborated design's runtime state (signal values,
+memories, net driver contributions) and implements the stratified event
+queue of IEEE 1364: an *active* region of runnable processes, an *NBA*
+region of pending non-blocking updates, and a time wheel of suspended
+threads.  One call to :meth:`settle` drains the current simulation time
+(active → NBA → active …); :meth:`advance` moves time forward to the
+next scheduled thread event.
+
+Process kinds:
+
+* ``CombProcess`` — continuous assigns and level-sensitive always
+  blocks; re-run whenever a signal in their sensitivity set changes.
+  Continuous assigns drive *nets* through per-driver contributions that
+  are resolved (z = released, conflicting known values = x).
+* ``EdgeProcess`` — edge-triggered always blocks; run atomically when a
+  matching edge occurs; their non-blocking assignments land in the NBA
+  region.
+* ``InitialProcess`` / ``TimedAlwaysProcess`` — generator-based threads
+  that may suspend on ``#`` delays, ``@`` events, and ``wait``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, Generator, List, Optional, Sequence, Set, Tuple
+
+from .. import ast_nodes as ast
+from .design import (
+    CombProcess,
+    Design,
+    EdgeProcess,
+    InitialProcess,
+    Scope,
+    Signal,
+    SignalBinding,
+    TimedAlwaysProcess,
+)
+from .eval import Evaluator
+from .interp import (
+    FunctionMachine,
+    Interpreter,
+    SimulationError,
+    StopSimulation,
+    WriteOp,
+    declare_frame_local,
+    resolve_lvalue,
+    run_function,
+    split_value_for_ops,
+)
+from .values import Vec4
+
+#: Cap on process activations within one simulation time before the
+#: kernel declares a combinational oscillation.
+MAX_ACTIVATIONS_PER_SLOT = 20_000
+
+#: Default cap on simulated time.
+MAX_SIM_TIME = 10_000_000
+
+
+def _is_posedge(old: str, new: str) -> bool:
+    return old != new and (old == "0" or new == "1")
+
+
+def _is_negedge(old: str, new: str) -> bool:
+    return old != new and (old == "1" or new == "0")
+
+
+class _Thread:
+    """A suspended initial/timed-always process."""
+
+    __slots__ = ("gen", "proc_index", "done", "restart_body")
+
+    def __init__(self, gen: Generator, proc_index: int,
+                 restart_body: bool = False) -> None:
+        self.gen = gen
+        self.proc_index = proc_index
+        self.done = False
+        self.restart_body = restart_body
+
+
+class Kernel:
+    """Runtime state and event loop for one elaborated design."""
+
+    def __init__(self, design: Design, seed: int = 0) -> None:
+        self.design = design
+        self.signals = design.signals  # used by Evaluator hierarchical probes
+        self.time = 0
+        self.finished = False
+        self.display_output: List[str] = []
+        self._rng_state = (seed * 6364136223846793005 + 1442695040888963407) & (
+            (1 << 64) - 1
+        )
+
+        self._values: Dict[str, Vec4] = {}
+        self._memories: Dict[str, List[Vec4]] = {}
+        self._driver_contribs: Dict[str, Dict[int, Vec4]] = {}
+        self._local_signals: Dict[str, Signal] = {}
+        self._local_memories: Dict[str, List[Vec4]] = {}
+
+        self._comb_sens: Dict[str, List[int]] = {}
+        self._edge_sens: Dict[str, List[Tuple[int, str]]] = {}
+        self._active: Deque = deque()
+        self._in_active: Set[int] = set()
+        self._nba: List[Tuple[Sequence[WriteOp], Vec4]] = []
+        #: heap of (time, seq, thread)
+        self._timewheel: List[Tuple[int, int, _Thread]] = []
+        self._heap_seq = 0
+        #: threads blocked on @(...) or wait(): thread -> (sens, scope) kind
+        self._event_waiters: List[Tuple[_Thread, object, Scope, str]] = []
+
+        self.evaluator = Evaluator(self, self._call_function)
+        self._interp = Interpreter(self)
+        self._activation_budget = MAX_ACTIVATIONS_PER_SLOT
+        self._charge_budget = 10_000_000
+        #: Index of the always-block comb process currently executing.
+        #: Its own blocking writes must not retrigger it (the @* control
+        #: re-arms only after the body completes — LRM 9.7.5).
+        self._running_always: Optional[int] = None
+
+        self._init_state()
+        self._index_processes()
+
+    # -- store interface (used by Evaluator) ---------------------------------
+
+    def read(self, signal: Signal) -> Vec4:
+        value = self._values.get(signal.name)
+        if value is None:
+            return Vec4.all_x(signal.width, signal.signed)
+        return value
+
+    def read_mem(self, signal: Signal, index: int) -> Vec4:
+        mem = self._memories.get(signal.name)
+        if mem is None or index < 0 or index >= len(mem):
+            return Vec4.all_x(signal.width)
+        return mem[index]
+
+    def now(self) -> int:
+        return self.time
+
+    def random(self) -> int:
+        self._rng_state = (
+            self._rng_state * 6364136223846793005 + 1442695040888963407
+        ) & ((1 << 64) - 1)
+        return (self._rng_state >> 24) & 0xFFFFFFFF
+
+    # -- machine interface (used by Interpreter) ---------------------------
+
+    def charge(self, amount: int) -> None:
+        self._charge_budget -= amount
+        if self._charge_budget <= 0:
+            raise SimulationError("simulation execution budget exceeded")
+
+    def eval(self, expr: ast.Expr, scope: Scope,
+             ctx_width: Optional[int] = None) -> Vec4:
+        return self.evaluator.eval(expr, scope, ctx_width)
+
+    def write(self, ops: Sequence[WriteOp], value: Vec4,
+              blocking: bool) -> None:
+        if not blocking:
+            self._nba.append((ops, value))
+            return
+        pieces = split_value_for_ops(value, ops)
+        for op, piece in zip(ops, pieces):
+            self._apply_write(op, piece)
+
+    def declare_local(self, decl: ast.Decl, scope: Scope) -> None:
+        """Create a persistent block-local variable on first entry."""
+        key = scope.flat_name(decl.name)
+        existing = self._local_signals.get(key)
+        if existing is not None:
+            scope.bind(decl.name, SignalBinding(signal=existing))
+            return
+        msb = lsb = 0
+        width = 1
+        signed = decl.signed
+        if decl.kind == "integer":
+            width, msb, lsb, signed = 32, 31, 0, True
+        elif decl.range is not None:
+            msb = self.evaluator.eval_const_int(decl.range.msb, scope)
+            lsb = self.evaluator.eval_const_int(decl.range.lsb, scope)
+            width = abs(msb - lsb) + 1
+        signal = Signal(name=key, width=width, signed=signed, kind="var",
+                        msb=msb, lsb=lsb)
+        self._local_signals[key] = signal
+        self._values[key] = Vec4.all_x(width, signed)
+        scope.bind(decl.name, SignalBinding(signal=signal))
+
+    def system_task(self, stmt: ast.SystemTaskCall, scope: Scope) -> None:
+        name = stmt.name
+        if name in ("$display", "$write", "$strobe", "$monitor",
+                    "$displayb", "$displayh", "$error", "$warning",
+                    "$info", "$fatal"):
+            text = self._format_display(stmt.args, scope)
+            self.display_output.append(text)
+            if name == "$fatal":
+                raise StopSimulation("$fatal")
+            return
+        if name in ("$finish", "$stop"):
+            raise StopSimulation(name)
+        if name in ("$readmemh", "$readmemb", "$dumpfile", "$dumpvars",
+                    "$dumpon", "$dumpoff", "$timeformat", "$monitoron",
+                    "$monitoroff", "$random", "$srandom"):
+            return  # accepted and ignored
+        raise SimulationError(f"unsupported system task {name!r}")
+
+    def _call_function(self, binding, args: List[Vec4]) -> Vec4:
+        return run_function(binding, args, self, self)
+
+    # -- initialisation ------------------------------------------------------
+
+    def _init_state(self) -> None:
+        for signal in self.design.signals.values():
+            if signal.is_memory:
+                self._memories[signal.name] = [
+                    Vec4.all_x(signal.width, signal.signed)
+                    for _ in range(signal.array_size)
+                ]
+                continue
+            if signal.kind == "net" and signal.name not in self.design.inputs:
+                self._values[signal.name] = Vec4.all_z(signal.width,
+                                                       signal.signed)
+                self._driver_contribs[signal.name] = {}
+            else:
+                self._values[signal.name] = Vec4.all_x(signal.width,
+                                                       signal.signed)
+
+    def _index_processes(self) -> None:
+        for index, proc in enumerate(self.design.processes):
+            if isinstance(proc, CombProcess):
+                for name in proc.sensitivity:
+                    self._comb_sens.setdefault(name, []).append(index)
+            elif isinstance(proc, EdgeProcess):
+                for edge, name in proc.triggers:
+                    self._edge_sens.setdefault(name, []).append((index, edge))
+
+    def initialize(self) -> None:
+        """Time-zero start-up: run every comb process once, launch
+        threads, then settle."""
+        for index, proc in enumerate(self.design.processes):
+            if isinstance(proc, CombProcess):
+                self._schedule_proc(index)
+        for index, proc in enumerate(self.design.processes):
+            if isinstance(proc, InitialProcess):
+                thread = _Thread(
+                    self._interp.exec_stmt(proc.body, proc.scope), index
+                )
+                self._run_thread(thread)
+            elif isinstance(proc, TimedAlwaysProcess):
+                thread = _Thread(
+                    self._interp.exec_stmt(proc.body, proc.scope), index,
+                    restart_body=True,
+                )
+                self._run_thread(thread)
+        self.settle()
+
+    # -- scheduling primitives -------------------------------------------------
+
+    def _schedule_proc(self, index: int) -> None:
+        if index in self._in_active or index == self._running_always:
+            return
+        self._in_active.add(index)
+        self._active.append(index)
+
+    def _notify_change(self, name: str, old: Vec4, new: Vec4) -> None:
+        for index in self._comb_sens.get(name, ()):
+            self._schedule_proc(index)
+        edge_list = self._edge_sens.get(name)
+        if edge_list:
+            old_bit = old.bit(0)
+            new_bit = new.bit(0)
+            pos = _is_posedge(old_bit, new_bit)
+            neg = _is_negedge(old_bit, new_bit)
+            for index, edge in edge_list:
+                if (edge == "posedge" and pos) or (edge == "negedge" and neg):
+                    self._schedule_proc(index)
+        if self._event_waiters:
+            self._wake_event_waiters(name, old, new)
+
+    def _notify_memory_change(self, name: str) -> None:
+        for index in self._comb_sens.get(name, ()):
+            self._schedule_proc(index)
+
+    def _wake_event_waiters(self, name: str, old: Vec4, new: Vec4) -> None:
+        still_waiting: List[Tuple[_Thread, object, Scope, str]] = []
+        to_wake: List[_Thread] = []
+        for entry in self._event_waiters:
+            thread, payload, scope, kind = entry
+            woke = False
+            if kind == "event":
+                sens = payload
+                if sens.star:
+                    woke = True
+                else:
+                    for item in sens.items:
+                        sig = self._sens_signal(item.expr, scope)
+                        if sig is None or sig.name != name:
+                            continue
+                        old_bit, new_bit = old.bit(0), new.bit(0)
+                        if item.edge == "posedge":
+                            woke = _is_posedge(old_bit, new_bit)
+                        elif item.edge == "negedge":
+                            woke = _is_negedge(old_bit, new_bit)
+                        else:
+                            woke = True
+                        if woke:
+                            break
+            else:  # wait: recheck on any change of a read signal
+                woke = True
+            if woke:
+                to_wake.append(thread)
+            else:
+                still_waiting.append(entry)
+        if to_wake:
+            self._event_waiters = still_waiting
+            for thread in to_wake:
+                self._active.append(thread)
+
+    def _sens_signal(self, expr: ast.Expr, scope: Scope) -> Optional[Signal]:
+        if isinstance(expr, ast.Identifier):
+            binding = scope.lookup(expr.name)
+            if isinstance(binding, SignalBinding):
+                return binding.signal
+        return None
+
+    # -- writes ------------------------------------------------------------
+
+    def _apply_write(self, op: WriteOp, value: Vec4) -> None:
+        if op.oob:
+            return
+        signal = op.signal
+        if signal.kind == "net" and signal.name not in self.design.inputs:
+            raise SimulationError(
+                f"procedural assignment to net {signal.name!r}"
+            )
+        if op.mem_index is not None:
+            mem = self._memories[signal.name]
+            current = mem[op.mem_index]
+            if op.hi == signal.width - 1 and op.lo == 0:
+                new = value.resize(signal.width, signal.signed)
+            else:
+                new = current.set_slice(op.hi, op.lo, value)
+            if new != current:
+                mem[op.mem_index] = new
+                self._notify_memory_change(signal.name)
+            return
+        current = self._values[signal.name]
+        if op.hi == signal.width - 1 and op.lo == 0:
+            new = value.resize(signal.width, signal.signed)
+            new = Vec4(signal.width, new.val, new.xz, new.z, signal.signed)
+        else:
+            new = current.set_slice(op.hi, op.lo, value)
+        if new != current:
+            self._values[signal.name] = new
+            self._notify_change(signal.name, current, new)
+
+    def poke(self, signal: Signal, value: Vec4) -> None:
+        """External (testbench) write to a top-level input or variable."""
+        current = self._values[signal.name]
+        new = value.resize(signal.width, signal.signed)
+        new = Vec4(signal.width, new.val, new.xz, new.z, signal.signed)
+        if new != current:
+            self._values[signal.name] = new
+            self._notify_change(signal.name, current, new)
+
+    # -- net driver resolution ---------------------------------------------
+
+    def _set_driver(self, signal: Signal, driver_id: int,
+                    contribution: Vec4) -> None:
+        contribs = self._driver_contribs.setdefault(signal.name, {})
+        previous = contribs.get(driver_id)
+        if previous is not None and previous == contribution:
+            return
+        contribs[driver_id] = contribution
+        resolved = self._resolve_net(signal, contribs)
+        current = self._values[signal.name]
+        if resolved != current:
+            self._values[signal.name] = resolved
+            self._notify_change(signal.name, current, resolved)
+
+    @staticmethod
+    def _resolve_net(signal: Signal, contribs: Dict[int, Vec4]) -> Vec4:
+        full = (1 << signal.width) - 1
+        res_val, res_x, res_z = 0, 0, full
+        for contrib in contribs.values():
+            c_drive = full & ~contrib.z
+            c_x = contrib.xz & c_drive
+            both = c_drive & ~res_z
+            only_c = c_drive & res_z
+            conflict = both & ((res_val ^ contrib.val) | res_x | c_x)
+            new_val = (res_val & ~res_z & ~conflict) | (contrib.val & only_c)
+            new_x = (res_x & ~res_z) | (c_x & only_c) | conflict
+            res_z &= ~c_drive
+            res_val = new_val & ~new_x
+            res_x = new_x
+        return Vec4(signal.width, res_val, res_x | res_z, res_z,
+                    signal.signed)
+
+    # -- process execution -----------------------------------------------------
+
+    def _run_comb(self, proc: CombProcess) -> None:
+        if proc.assign is not None:
+            target, value_expr = proc.assign
+            target_scope = proc.target_scope or proc.scope
+            ops = resolve_lvalue(target, target_scope, self.evaluator)
+            total = sum(op.width for op in ops)
+            value = self.eval(value_expr, proc.scope, ctx_width=total)
+            if value.width < total:
+                value = value.resize(total, value.signed)
+            pieces = split_value_for_ops(value, ops)
+            for op, piece in zip(ops, pieces):
+                if op.oob:
+                    continue
+                if op.signal.kind == "net" and (
+                    op.signal.name not in self.design.inputs
+                ):
+                    contribution = self._contribution_for(op, piece)
+                    self._set_driver(op.signal, proc.driver_id, contribution)
+                else:
+                    self._apply_write(op, piece)
+            return
+        self._interp.run_atomic(proc.body, proc.scope)
+
+    @staticmethod
+    def _contribution_for(op: WriteOp, piece: Vec4) -> Vec4:
+        """Full-width driver contribution: z outside the driven slice."""
+        signal = op.signal
+        base = Vec4.all_z(signal.width)
+        if op.hi == signal.width - 1 and op.lo == 0:
+            resized = piece.resize(signal.width)
+            return Vec4(signal.width, resized.val, resized.xz, resized.z)
+        return base.set_slice(op.hi, op.lo, piece)
+
+    def _run_edge(self, proc: EdgeProcess) -> None:
+        self._interp.run_atomic(proc.body, proc.scope)
+
+    def _run_thread(self, thread: _Thread) -> None:
+        if thread.done or self.finished:
+            return
+        try:
+            suspension = next(thread.gen)
+        except StopIteration:
+            if thread.restart_body:
+                proc = self.design.processes[thread.proc_index]
+                has_timing = _body_has_timing(proc.body)
+                if not has_timing:
+                    raise SimulationError(
+                        "always block without sensitivity or timing "
+                        f"controls (line {proc.line})"
+                    )
+                thread.gen = self._interp.exec_stmt(proc.body, proc.scope)
+                self._active.append(thread)
+            else:
+                thread.done = True
+            return
+        except StopSimulation:
+            self.finished = True
+            thread.done = True
+            return
+        kind = suspension[0]
+        if kind == "delay":
+            ticks = max(int(suspension[1]), 0)
+            if ticks == 0:
+                self._active.append(thread)
+            else:
+                self._heap_seq += 1
+                heapq.heappush(
+                    self._timewheel,
+                    (self.time + ticks, self._heap_seq, thread),
+                )
+            return
+        if kind == "event":
+            self._event_waiters.append(
+                (thread, suspension[1], suspension[2], "event")
+            )
+            return
+        if kind == "wait":
+            self._event_waiters.append(
+                (thread, suspension[1], suspension[2], "wait")
+            )
+            return
+        raise SimulationError(f"unknown suspension {kind!r}")
+
+    # -- event loop ------------------------------------------------------------
+
+    def settle(self) -> None:
+        """Drain the current time slot: active region, then NBA, repeat."""
+        activations = 0
+        while True:
+            while self._active:
+                if self.finished:
+                    self._active.clear()
+                    self._in_active.clear()
+                    self._nba.clear()
+                    return
+                entry = self._active.popleft()
+                activations += 1
+                if activations > MAX_ACTIVATIONS_PER_SLOT:
+                    raise SimulationError(
+                        "combinational loop: too many activations in one "
+                        "time slot"
+                    )
+                if isinstance(entry, _Thread):
+                    self._run_thread(entry)
+                    continue
+                self._in_active.discard(entry)
+                proc = self.design.processes[entry]
+                try:
+                    if isinstance(proc, CombProcess):
+                        if proc.body is not None:
+                            self._running_always = entry
+                        try:
+                            self._run_comb(proc)
+                        finally:
+                            self._running_always = None
+                    elif isinstance(proc, EdgeProcess):
+                        self._run_edge(proc)
+                except StopSimulation:
+                    self.finished = True
+                    return
+            if not self._nba:
+                return
+            batch, self._nba = self._nba, []
+            for ops, value in batch:
+                pieces = split_value_for_ops(value, ops)
+                for op, piece in zip(ops, pieces):
+                    self._apply_write(op, piece)
+
+    def advance(self) -> bool:
+        """Advance time to the next scheduled thread event.
+
+        Returns False when nothing remains scheduled."""
+        self.settle()
+        if self.finished or not self._timewheel:
+            return False
+        next_time, _, _ = self._timewheel[0]
+        if next_time > MAX_SIM_TIME:
+            return False
+        self.time = next_time
+        while self._timewheel and self._timewheel[0][0] == self.time:
+            _, _, thread = heapq.heappop(self._timewheel)
+            self._active.append(thread)
+        self.settle()
+        return True
+
+    def run(self, max_time: Optional[int] = None) -> None:
+        """Run until the time wheel drains or ``max_time`` is reached."""
+        limit = MAX_SIM_TIME if max_time is None else max_time
+        self.settle()
+        while not self.finished and self._timewheel:
+            if self._timewheel[0][0] > limit:
+                return
+            self.advance()
+
+    # -- $display formatting ---------------------------------------------------
+
+    def _format_display(self, args: List[ast.Expr], scope: Scope) -> str:
+        if not args:
+            return ""
+        first = args[0]
+        values = [self.eval(a, scope) if not isinstance(a, ast.StringLiteral)
+                  else a.value
+                  for a in args]
+        if isinstance(first, ast.StringLiteral):
+            return _format_verilog(first.value, values[1:], self.time)
+        parts = []
+        for value in values:
+            if isinstance(value, str):
+                parts.append(value)
+            elif value.has_unknown:
+                parts.append(value.to_bit_string())
+            else:
+                parts.append(str(value.signed_value()))
+        return " ".join(parts)
+
+
+def _format_verilog(fmt: str, values: List, time: int) -> str:
+    """Subset of $display format handling: %d %b %h %o %c %s %t %m %%."""
+    out: List[str] = []
+    value_iter = iter(values)
+    index = 0
+    while index < len(fmt):
+        ch = fmt[index]
+        if ch != "%":
+            out.append(ch)
+            index += 1
+            continue
+        index += 1
+        # Optional width / zero flags.
+        width_txt = ""
+        while index < len(fmt) and (fmt[index].isdigit()):
+            width_txt += fmt[index]
+            index += 1
+        if index >= len(fmt):
+            out.append("%")
+            break
+        spec = fmt[index].lower()
+        index += 1
+        if spec == "%":
+            out.append("%")
+            continue
+        if spec == "m":
+            out.append("top")
+            continue
+        if spec == "t":
+            out.append(str(time))
+            continue
+        try:
+            value = next(value_iter)
+        except StopIteration:
+            out.append("%" + spec)
+            continue
+        if isinstance(value, str):
+            out.append(value)
+            continue
+        if spec == "d":
+            if value.has_unknown:
+                text = "x"
+            else:
+                text = str(value.signed_value())
+        elif spec == "b":
+            text = value.to_bit_string()
+        elif spec in ("h", "x"):
+            text = _radix_text(value, 4)
+        elif spec == "o":
+            text = _radix_text(value, 3)
+        elif spec == "c":
+            text = chr(value.val & 0xFF) if not value.has_unknown else "x"
+        elif spec == "s":
+            raw = value.val
+            chars = []
+            while raw:
+                chars.append(chr(raw & 0xFF))
+                raw >>= 8
+            text = "".join(reversed(chars))
+        else:
+            text = value.to_bit_string()
+        if width_txt and width_txt != "0":
+            text = text.rjust(int(width_txt))
+        out.append(text)
+    return "".join(out)
+
+
+def _radix_text(value: Vec4, bits_per_digit: int) -> str:
+    digits: List[str] = []
+    width = value.width
+    pos = 0
+    while pos < width:
+        hi = min(pos + bits_per_digit - 1, width - 1)
+        chunk = value.slice(hi, pos)
+        if chunk.xz:
+            if chunk.z == chunk.xz and chunk.val == 0:
+                digits.append("z")
+            else:
+                digits.append("x")
+        else:
+            digits.append(format(chunk.val, "x"))
+        pos += bits_per_digit
+    return "".join(reversed(digits))
+
+
+def _body_has_timing(stmt: Optional[ast.Stmt]) -> bool:
+    """Does a statement tree contain #, @, or wait controls?"""
+    if stmt is None:
+        return False
+    if isinstance(stmt, (ast.Delay, ast.EventControl, ast.Wait)):
+        return True
+    children: List[Optional[ast.Stmt]] = []
+    if isinstance(stmt, ast.Block):
+        children = list(stmt.stmts)
+    elif isinstance(stmt, ast.If):
+        children = [stmt.then_stmt, stmt.else_stmt]
+    elif isinstance(stmt, ast.Case):
+        children = [item.body for item in stmt.items]
+    elif isinstance(stmt, (ast.For, ast.While, ast.Repeat, ast.Forever)):
+        children = [stmt.body]
+    return any(_body_has_timing(child) for child in children)

@@ -1,0 +1,179 @@
+"""Tests for the RTLCoder / OriGen / MG-Verilog / MEV-LLM recipes."""
+
+import random
+
+import pytest
+
+from repro.baselines.mevllm import (
+    MultiExpertModel,
+    classify_prompt,
+    finetune_mevllm,
+)
+from repro.baselines.mgverilog import (
+    finetune_mgverilog,
+    high_level_summary,
+    low_level_gloss,
+)
+from repro.baselines.origen import (
+    SelfReflectiveModel,
+    augment_code,
+    finetune_origen,
+)
+from repro.baselines.rtlcoder import finetune_rtlcoder
+from repro.dataset.pipeline import build_pyranet
+from repro.dataset.records import Complexity
+from repro.model.generator import ConditionalCodeModel, ModelProfile
+from repro.model.interfaces import FineTunable, TrainStats
+from repro.verilog import check
+
+
+QUIET = ModelProfile(
+    name="quiet", copy_noise=0.0, syntax_noise=0.0,
+    retrieval_sharpness=1.2, pretrain_size=0, pretrain_bug_rate=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_pyranet(n_github_files=120, n_llm_prompts=4,
+                         n_queries_per_prompt=4, seed=9).dataset
+
+
+class RecordingModel(FineTunable):
+    def __init__(self):
+        self.weights = []
+        self.examples = []
+
+    def train_batch(self, examples, loss_weight):
+        self.weights.append(loss_weight)
+        self.examples.extend(examples)
+        return TrainStats(examples=len(examples))
+
+    def generate(self, description, temperature=0.8, rng=None,
+                 module_header=None):
+        return "module stub(); endmodule"
+
+
+class TestRTLCoder:
+    def test_weights_track_quality(self, dataset):
+        model = RecordingModel()
+        finetune_rtlcoder(model, dataset, batch_size=1)
+        assert model.weights
+        assert all(0.0 <= w <= 1.0 for w in model.weights)
+        # Quality feedback produces varied weights, not a constant.
+        assert len(set(round(w, 2) for w in model.weights)) > 3
+
+    def test_consumes_whole_dataset(self, dataset):
+        model = RecordingModel()
+        finetune_rtlcoder(model, dataset, batch_size=16)
+        assert len(model.examples) == len(dataset)
+
+
+class TestOriGen:
+    def test_augmentation_keeps_compiling(self, dataset):
+        rng = random.Random(0)
+        from repro.dataset.records import CompileStatus
+
+        clean = [e for e in dataset.entries
+                 if e.compile_status is CompileStatus.CLEAN][:10]
+        for entry in clean:
+            augmented = augment_code(entry.code, rng)
+            assert check(augmented).status == "clean"
+
+    def test_finetune_doubles_clean_data(self, dataset):
+        from repro.dataset.records import CompileStatus
+
+        model = RecordingModel()
+        finetune_origen(model, dataset)
+        n_clean = sum(1 for e in dataset.entries
+                      if e.compile_status is CompileStatus.CLEAN)
+        assert len(model.examples) == 2 * n_clean
+
+    def test_self_reflection_fixes_syntax(self):
+        class BrokenGenerator(FineTunable):
+            def train_batch(self, examples, loss_weight):
+                return TrainStats()
+
+            def generate(self, description, temperature=0.8, rng=None,
+                         module_header=None):
+                return ("module m(input a, output y);\n"
+                        "  assign y = ~a\nendmodule")  # missing ';'
+
+        wrapped = SelfReflectiveModel(BrokenGenerator())
+        out = wrapped.generate("anything")
+        assert check(out).status != "syntax"
+        assert wrapped.repairs_attempted == 1
+        assert wrapped.repairs_succeeded == 1
+
+    def test_self_reflection_leaves_clean_code_alone(self):
+        class CleanGenerator(FineTunable):
+            def train_batch(self, examples, loss_weight):
+                return TrainStats()
+
+            def generate(self, description, temperature=0.8, rng=None,
+                         module_header=None):
+                return "module m(input a, output y); assign y = a; endmodule"
+
+        wrapped = SelfReflectiveModel(CleanGenerator())
+        out = wrapped.generate("anything")
+        assert wrapped.repairs_attempted == 0
+        assert "assign y = a" in out
+
+
+class TestMGVerilog:
+    def test_summary_is_first_sentence(self):
+        text = "First sentence. Second sentence."
+        assert high_level_summary(text) == "First sentence."
+
+    def test_gloss_mentions_ports(self):
+        gloss = low_level_gloss(
+            "module m(input clk, input d, output reg q);\n"
+            "  always @(posedge clk) q <= d;\nendmodule")
+        assert "input clk" in gloss
+        assert "rising edge" in gloss
+
+    def test_finetune_triples_descriptions(self, dataset):
+        from repro.dataset.records import CompileStatus
+
+        model = RecordingModel()
+        finetune_mgverilog(model, dataset)
+        n_clean = sum(1 for e in dataset.entries
+                      if e.compile_status is CompileStatus.CLEAN)
+        assert len(model.examples) == 3 * n_clean
+
+
+class TestMEVLLM:
+    def test_router_distinguishes_tiers(self):
+        assert classify_prompt(
+            "Design a synchronous FIFO queue") is Complexity.EXPERT
+        assert classify_prompt(
+            "an 8-bit ALU with opcodes") is Complexity.ADVANCED
+        assert classify_prompt(
+            "a simple up counter") is Complexity.INTERMEDIATE
+        assert classify_prompt(
+            "an and gate") is Complexity.BASIC
+
+    def test_experts_receive_only_their_tier(self, dataset):
+        recorders = []
+
+        def factory():
+            model = RecordingModel()
+            recorders.append(model)
+            return model
+
+        multi = MultiExpertModel(expert_factory=factory)
+        finetune_mevllm(multi, dataset)
+        tiers_per_expert = [
+            {e.complexity for e in recorder.examples}
+            for recorder in recorders if recorder.examples
+        ]
+        for tiers in tiers_per_expert:
+            assert len(tiers) == 1
+
+    def test_generation_routes(self, dataset):
+        multi = MultiExpertModel(
+            expert_factory=lambda: ConditionalCodeModel(QUIET, seed=0))
+        finetune_mevllm(multi, dataset)
+        out = multi.generate("Design a synchronous FIFO queue",
+                             rng=random.Random(0))
+        assert isinstance(out, str) and out

@@ -1,0 +1,81 @@
+"""Integration tests for the top-level PyraNet facade."""
+
+import pytest
+
+from repro.core.pyranet import PyraNet, RECIPES, gains, run_table4
+from repro.model.generator import CODELLAMA_7B
+
+
+@pytest.fixture(scope="module")
+def pyranet():
+    driver = PyraNet(seed=1, n_samples=6, n_test_vectors=10)
+    driver.build_dataset(n_github_files=350, n_llm_prompts=12,
+                         n_queries_per_prompt=5)
+    return driver
+
+
+class TestFacade:
+    def test_dataset_built(self, pyranet):
+        assert len(pyranet.dataset) > 30
+        assert pyranet.dataset.trainable_layers()
+
+    def test_dataset_required_before_finetune(self):
+        fresh = PyraNet(seed=0)
+        with pytest.raises(RuntimeError):
+            _ = fresh.dataset
+
+    def test_unknown_profile_rejected(self, pyranet):
+        with pytest.raises(KeyError):
+            pyranet.base_model("gpt-17")
+
+    def test_unknown_recipe_rejected(self, pyranet):
+        with pytest.raises(ValueError):
+            pyranet.finetune(CODELLAMA_7B.name, recipe="alchemy")
+
+    def test_all_recipes_run(self, pyranet):
+        for recipe in RECIPES:
+            model = pyranet.finetune(CODELLAMA_7B.name, recipe=recipe)
+            out = model.generate("an 8-bit up counter with enable")
+            assert isinstance(out, str) and out
+
+    def test_evaluate_returns_report(self, pyranet):
+        model = pyranet.base_model(CODELLAMA_7B.name)
+        report = pyranet.evaluate(model, suite="machine", n_problems=4)
+        summary = report.summary()
+        assert set(summary) == {"pass@1", "pass@5", "pass@10"}
+        assert all(0 <= v <= 100 for v in summary.values())
+
+    def test_self_reflection_wrapper(self, pyranet):
+        model = pyranet.base_model(CODELLAMA_7B.name)
+        wrapped = pyranet.with_self_reflection(model)
+        out = wrapped.generate("a parity generator for a byte")
+        assert isinstance(out, str)
+
+
+class TestExperimentShapes:
+    """Small-scale versions of the headline orderings."""
+
+    def test_architecture_beats_baseline(self, pyranet):
+        problems = 20
+        base = pyranet.base_model(CODELLAMA_7B.name)
+        r_base = pyranet.evaluate(base, "machine", problems)
+        arch = pyranet.finetune(CODELLAMA_7B.name, recipe="architecture")
+        r_arch = pyranet.evaluate(arch, "machine", problems)
+        assert sum(r_arch.summary().values()) > sum(
+            r_base.summary().values())
+
+    def test_erroneous_dataset_hurts(self, pyranet):
+        results = run_table4(pyranet, CODELLAMA_7B.name, n_problems=10)
+        assert sum(results["correct"].cells()) > sum(
+            results["erroneous"].cells())
+
+    def test_gains_arithmetic(self, pyranet):
+        from repro.core.pyranet import TableOneRow
+
+        a = TableOneRow("a", {"pass@1": 50.0, "pass@5": 60.0,
+                              "pass@10": 70.0},
+                        {"pass@1": 30.0, "pass@5": 40.0, "pass@10": 50.0})
+        b = TableOneRow("b", {"pass@1": 40.0, "pass@5": 55.0,
+                              "pass@10": 65.0},
+                        {"pass@1": 35.0, "pass@5": 38.0, "pass@10": 45.0})
+        assert gains(a, b) == [10.0, 5.0, 5.0, -5.0, 2.0, 5.0]

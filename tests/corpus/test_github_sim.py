@@ -1,0 +1,71 @@
+"""Tests for the GitHub-scrape simulator."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.corpus.github_sim import GitHubScrapeSimulator, QualityProfile
+from repro.verilog import check
+
+
+class TestScrape:
+    def test_produces_requested_count(self):
+        files = GitHubScrapeSimulator(seed=0).scrape(50)
+        assert len(files) == 50
+
+    def test_deterministic_per_seed(self):
+        a = GitHubScrapeSimulator(seed=3).scrape(20)
+        b = GitHubScrapeSimulator(seed=3).scrape(20)
+        assert [f.content for f in a] == [f.content for f in b]
+
+    def test_different_seeds_differ(self):
+        a = GitHubScrapeSimulator(seed=1).scrape(20)
+        b = GitHubScrapeSimulator(seed=2).scrape(20)
+        assert [f.content for f in a] != [f.content for f in b]
+
+    def test_paths_look_like_repos(self):
+        files = GitHubScrapeSimulator(seed=0).scrape(10)
+        for f in files:
+            assert f.path.endswith(".v")
+            assert "/" in f.path
+
+    def test_population_mix(self):
+        files = GitHubScrapeSimulator(seed=5).scrape(400)
+        statuses = Counter(f.truth_status for f in files)
+        assert statuses["clean"] > 0
+        assert statuses["junk"] > 0
+        assert statuses["syntax"] > 0
+        assert statuses["dependency"] > 0
+        duplicates = sum(
+            1 for f in files if f.truth_duplicate_of is not None)
+        assert duplicates > 20
+
+    def test_ground_truth_matches_checker(self):
+        """The hidden labels must agree with the compile checker."""
+        files = GitHubScrapeSimulator(seed=7).scrape(120)
+        agreements = 0
+        labelled = 0
+        for f in files:
+            if f.truth_status not in ("clean", "dependency", "syntax"):
+                continue
+            if f.truth_duplicate_of is not None:
+                continue
+            labelled += 1
+            if check(f.content).status == f.truth_status:
+                agreements += 1
+        assert labelled > 50
+        assert agreements / labelled > 0.9
+
+    def test_custom_profile_all_clean(self):
+        profile = QualityProfile(junk=0, syntax_broken=0, dependency=0,
+                                 duplicate=0, clean=1.0)
+        files = GitHubScrapeSimulator(seed=1, profile=profile).scrape(30)
+        assert all(f.truth_status == "clean" for f in files)
+
+    def test_duplicates_reference_existing_file(self):
+        files = GitHubScrapeSimulator(seed=9).scrape(200)
+        paths = {f.path for f in files}
+        for f in files:
+            if f.truth_duplicate_of is not None:
+                assert f.truth_duplicate_of in paths

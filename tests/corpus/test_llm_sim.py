@@ -1,0 +1,98 @@
+"""Tests for the keyword database and the simulated commercial LLM."""
+
+import random
+
+import pytest
+
+from repro.corpus.keywords import build_keyword_database, craft_prompt
+from repro.corpus.llm_sim import SimulatedCommercialLLM, strip_markdown_fences
+from repro.verilog import check
+
+
+class TestKeywordDatabase:
+    def test_covers_all_families(self):
+        from repro.corpus.templates import family_names
+
+        db = build_keyword_database()
+        assert {e.family for e in db.entries} == set(family_names())
+
+    def test_keywords_fewer_than_expansions(self):
+        db = build_keyword_database()
+        assert len(db.keywords) < len(db.entries)
+
+    def test_by_category_partition(self):
+        db = build_keyword_database()
+        comb = db.by_category("combinational")
+        seq = db.by_category("sequential")
+        assert len(comb) + len(seq) == len(db.entries)
+
+    def test_prompt_mentions_expansion(self):
+        db = build_keyword_database()
+        entry = db.entries[0]
+        prompt = craft_prompt(entry, random.Random(0))
+        assert entry.expansion in prompt
+
+
+class TestGeneration:
+    def test_low_temperature_is_clean(self):
+        llm = SimulatedCommercialLLM(seed=0, fence_probability=0.0)
+        db = build_keyword_database()
+        clean = 0
+        for entry in db.entries[:10]:
+            sample = llm.generate(entry, temperature=0.1)
+            if check(sample.design.source).status == "clean":
+                clean += 1
+        assert clean >= 9
+
+    def test_high_temperature_degrades(self):
+        llm = SimulatedCommercialLLM(seed=0, fence_probability=0.0)
+        db = build_keyword_database()
+        mutated = 0
+        for entry in db.entries[:12]:
+            sample = llm.generate(entry, temperature=1.3)
+            if sample.mutations:
+                mutated += 1
+        assert mutated >= 6
+
+    def test_batch_sweeps_temperature(self):
+        llm = SimulatedCommercialLLM(seed=1)
+        db = build_keyword_database()
+        batch = llm.generate_batch(db.entries[0], n_queries=10)
+        temperatures = [s.temperature for s in batch]
+        assert len(batch) == 10
+        assert temperatures == sorted(temperatures)
+        assert temperatures[0] < 0.3 < 1.3 < temperatures[-1] + 0.2
+
+    def test_exchanges_recorded(self):
+        llm = SimulatedCommercialLLM(seed=2)
+        db = build_keyword_database()
+        llm.generate(db.entries[3], temperature=0.5)
+        assert llm.exchanges
+        assert "Verilog" in llm.exchanges[-1].prompt
+
+    def test_markdown_fences_strippable(self):
+        fenced = "```verilog\nmodule m; endmodule\n```"
+        assert strip_markdown_fences(fenced) == "module m; endmodule\n"
+        plain = "module m; endmodule"
+        assert strip_markdown_fences(plain) == plain
+
+
+class TestJudgeAndDescriber:
+    def test_rank_clean_code_high(self):
+        llm = SimulatedCommercialLLM(seed=0)
+        score = llm.rank(
+            "// adds\nmodule add(input a, b, output s);\n"
+            "  assign s = a ^ b;\nendmodule\n")
+        assert score >= 17
+
+    def test_rank_broken_code_zero(self):
+        llm = SimulatedCommercialLLM(seed=0)
+        assert llm.rank("module busted(input a endmodule") == 0
+
+    def test_describe_mentions_module(self):
+        llm = SimulatedCommercialLLM(seed=0)
+        description = llm.describe(
+            "module blinker(input clk, output reg led);\n"
+            "  always @(posedge clk) led <= ~led;\nendmodule\n")
+        assert "blinker" in description
+        assert "sequential" in description

@@ -1,0 +1,117 @@
+"""Tests for the defect injectors."""
+
+import random
+
+import pytest
+
+from repro.corpus import mutate
+from repro.corpus.templates import generate_design, generate_random_design
+from repro.verilog import check
+
+
+def _fresh(seed=0):
+    return generate_design("up_counter", random.Random(seed)).source
+
+
+class TestDegradeStyle:
+    def test_output_still_compiles(self):
+        rng = random.Random(1)
+        for seed in range(8):
+            source = generate_random_design(random.Random(seed)).source
+            result = mutate.degrade_style(source, rng, strength=0.8)
+            assert check(result.source).status == "clean", result.applied
+
+    def test_applies_at_least_one_op(self):
+        result = mutate.degrade_style(_fresh(), random.Random(2), 0.5)
+        assert result.applied
+
+    def test_strength_zero_is_light(self):
+        result = mutate.degrade_style(_fresh(), random.Random(3), 0.0)
+        assert len(result.applied) <= 2
+
+    def test_lowers_ranking_score(self):
+        from repro.dataset.ranking import score_code
+
+        source = _fresh()
+        degraded = mutate.degrade_style(source, random.Random(4), 1.0)
+        assert score_code(degraded.source) < score_code(source)
+
+    def test_keeps_ports_intact(self):
+        from repro.verilog.parser import parse
+
+        source = _fresh()
+        before = set(parse(source).modules[0].port_names())
+        result = mutate.degrade_style(source, random.Random(5), 1.0)
+        after = set(parse(result.source).modules[0].port_names())
+        assert before == after
+
+
+class TestCorruptFunction:
+    def test_still_compiles(self):
+        rng = random.Random(7)
+        for seed in range(8):
+            source = generate_random_design(random.Random(seed)).source
+            result = mutate.corrupt_function(source, rng)
+            assert check(result.source).status == "clean", result.applied
+
+    def test_changes_behaviour_or_text(self):
+        source = _fresh()
+        result = mutate.corrupt_function(source, random.Random(8))
+        assert result.source != source
+        assert result.functional_risk
+
+    def test_breaks_functional_test_eventually(self):
+        from repro.eval.functional import run_functional_test
+
+        failures = 0
+        for seed in range(10):
+            design = generate_design("ripple_carry_adder",
+                                     random.Random(seed))
+            corrupted = mutate.corrupt_function(
+                design.source, random.Random(seed + 100))
+            outcome = run_functional_test(
+                corrupted.source, design.spec, n_vectors=16, seed=1)
+            if not outcome.passed:
+                failures += 1
+        assert failures >= 7  # most operator swaps change behaviour
+
+
+class TestBreakDependency:
+    def test_produces_dependency_status(self):
+        hits = 0
+        for seed in range(10):
+            result = mutate.break_dependency(_fresh(seed),
+                                             random.Random(seed))
+            assert result.intended_status == "dependency"
+            if check(result.source).status == "dependency":
+                hits += 1
+        assert hits == 10
+
+    def test_not_a_syntax_error(self):
+        result = mutate.break_dependency(_fresh(), random.Random(2))
+        assert check(result.source).status != "syntax"
+
+
+class TestBreakSyntax:
+    def test_produces_syntax_errors(self):
+        hits = 0
+        for seed in range(12):
+            result = mutate.break_syntax(_fresh(seed), random.Random(seed))
+            if check(result.source).status == "syntax":
+                hits += 1
+        # Some mutations (e.g. dropping a benign semicolon position)
+        # may survive; the overwhelming majority must not.
+        assert hits >= 9
+
+
+class TestJunk:
+    def test_junk_fails_readability_or_module_filter(self):
+        from repro.dataset.filters import has_module, is_readable
+
+        for seed in range(12):
+            result = mutate.make_junk_file(random.Random(seed))
+            readable = is_readable(result.source)
+            module_ok = (
+                has_module(result.source).kept if readable.kept else False
+            )
+            assert not (readable.kept and module_ok), result.applied

@@ -1,0 +1,70 @@
+"""Tests for DesignSpec helpers and spec utility functions."""
+
+import random
+
+import pytest
+
+from repro.corpus.spec import DesignSpec, PortDef, mask, to_signed
+from repro.corpus.templates import generate_design
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("width,expected", [
+        (1, 1), (4, 15), (8, 255), (16, 65535),
+    ])
+    def test_mask(self, width, expected):
+        assert mask(width) == expected
+
+    @pytest.mark.parametrize("value,width,expected", [
+        (0, 4, 0), (7, 4, 7), (8, 4, -8), (15, 4, -1),
+        (0xFF, 8, -1), (0x7F, 8, 127), (0x1FF, 8, -1),
+    ])
+    def test_to_signed(self, value, width, expected):
+        assert to_signed(value, width) == expected
+
+
+class TestPortDef:
+    def test_mask_property(self):
+        assert PortDef("x", 6).mask == 63
+
+    def test_default_role_is_data(self):
+        assert PortDef("x").role == "data"
+
+
+class TestDesignSpec:
+    def _spec(self):
+        return generate_design("sync_fifo", random.Random(0),
+                               module_name="top_module").spec
+
+    def test_category(self):
+        assert self._spec().category == "sequential"
+        comb = generate_design("mux", random.Random(0)).spec
+        assert comb.category == "combinational"
+
+    def test_data_inputs_exclude_clock_reset(self):
+        spec = self._spec()
+        names = {p.name for p in spec.data_inputs()}
+        assert "clk" not in names and "rst" not in names
+        assert "din" in names
+
+    def test_find_ports(self):
+        spec = self._spec()
+        assert spec.find_input("wr") is not None
+        assert spec.find_output("full") is not None
+        assert spec.find_input("nonexistent") is None
+        assert spec.find_output("nonexistent") is None
+
+    def test_port_header_lists_every_port(self):
+        spec = self._spec()
+        header = spec.port_header()
+        for port in spec.inputs + spec.outputs:
+            assert port.name in header
+        assert header.rstrip().endswith(");")
+
+    def test_port_header_widths(self):
+        spec = generate_design(
+            "register", random.Random(0), params={"WIDTH": 8},
+            module_name="top_module").spec
+        header = spec.port_header()
+        assert "[7:0] d" in header
+        assert "[7:0] q" in header

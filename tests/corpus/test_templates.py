@@ -1,0 +1,109 @@
+"""Tests for the design-family registry and golden models."""
+
+import random
+
+import pytest
+
+from repro.corpus.templates import (
+    FAMILY_REGISTRY,
+    family_names,
+    generate_design,
+    generate_random_design,
+    get_family,
+)
+from repro.eval.functional import run_functional_test
+from repro.verilog import check, measure
+
+
+class TestRegistry:
+    def test_enough_families(self):
+        assert len(family_names()) >= 30
+
+    def test_both_categories_present(self):
+        assert len(family_names("combinational")) >= 15
+        assert len(family_names("sequential")) >= 15
+
+    def test_get_family_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_family("warp_drive")
+
+    def test_every_family_has_keyword(self):
+        for name in family_names():
+            family = get_family(name)
+            assert family.keyword, name
+            assert family.expanded_keyword, name
+
+    def test_generate_is_deterministic(self):
+        a = generate_design("alu", random.Random(5))
+        b = generate_design("alu", random.Random(5))
+        assert a.source == b.source
+        assert a.description == b.description
+
+    def test_explicit_params_respected(self):
+        design = generate_design(
+            "up_counter", random.Random(0), params={"WIDTH": 12}
+        )
+        assert design.spec.params["WIDTH"] == 12
+        assert design.spec.find_output("count").width == 12
+
+    def test_module_name_override(self):
+        design = generate_design(
+            "mux", random.Random(0), module_name="top_module"
+        )
+        assert design.spec.module_name == "top_module"
+        assert "module top_module" in design.source
+
+
+class TestRenderedCode:
+    @pytest.mark.parametrize("family", family_names())
+    def test_renders_compile_clean(self, family):
+        design = generate_design(family, random.Random(11))
+        result = check(design.source)
+        assert result.status == "clean", (family, [
+            str(d) for d in result.diagnostics])
+
+    @pytest.mark.parametrize("family", family_names())
+    def test_description_is_substantial(self, family):
+        design = generate_design(family, random.Random(3))
+        assert len(design.description) > 40
+
+    @pytest.mark.parametrize("family", family_names())
+    def test_spec_ports_match_rendered_module(self, family):
+        design = generate_design(family, random.Random(7))
+        metrics = measure(design.source)
+        expected = len(design.spec.inputs) + len(design.spec.outputs)
+        assert metrics.ports == expected, family
+
+
+class TestGoldenAgreement:
+    """Every family's Verilog must match its own golden model."""
+
+    @pytest.mark.parametrize("family", family_names())
+    def test_golden_agreement(self, family):
+        design = generate_design(family, random.Random(23))
+        outcome = run_functional_test(
+            design.source, design.spec, n_vectors=20, seed=5
+        )
+        assert outcome.passed, (
+            family, outcome.failure_kind, outcome.detail)
+
+    def test_random_design_category_filter(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            design = generate_random_design(rng, category="sequential")
+            assert design.spec.clocked
+
+
+class TestSpecHeader:
+    def test_port_header_is_parseable(self):
+        from repro.verilog.parser import parse
+
+        design = generate_design(
+            "sync_fifo", random.Random(1), module_name="top_module"
+        )
+        header = design.spec.port_header()
+        module = parse(header + "\nendmodule\n").modules[0]
+        assert module.name == "top_module"
+        assert set(module.port_names()) == {
+            p.name for p in design.spec.inputs
+        } | {p.name for p in design.spec.outputs}

@@ -1,0 +1,132 @@
+"""Tests for Jaccard deduplication with MinHash/LSH."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset.dedup import (
+    MinHasher,
+    deduplicate,
+    jaccard,
+    tokenize_for_dedup,
+)
+
+CODE_A = """\
+module counter(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 0;
+    else q <= q + 1;
+  end
+endmodule
+"""
+
+#: CODE_A with only comments/whitespace changed (a near-duplicate).
+CODE_A_FORK = """\
+// forked from somewhere
+module counter(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk) begin
+      if (rst) q <= 0;
+      else q <= q + 1;
+  end
+endmodule
+"""
+
+CODE_B = """\
+module shifter(input clk, input sin, output reg [7:0] q);
+  always @(posedge clk) q <= {q[6:0], sin};
+endmodule
+"""
+
+
+class TestJaccard:
+    def test_identical_is_one(self):
+        s = tokenize_for_dedup(CODE_A)
+        assert jaccard(s, s) == 1.0
+
+    def test_fork_is_near_duplicate(self):
+        a = tokenize_for_dedup(CODE_A)
+        fork = tokenize_for_dedup(CODE_A_FORK)
+        assert jaccard(a, fork) > 0.9
+
+    def test_different_designs_are_distant(self):
+        a = tokenize_for_dedup(CODE_A)
+        b = tokenize_for_dedup(CODE_B)
+        assert jaccard(a, b) < 0.4
+
+    def test_empty_sets(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+        assert jaccard(frozenset(), tokenize_for_dedup(CODE_A)) == 0.0
+
+    def test_comments_ignored(self):
+        assert tokenize_for_dedup(CODE_A) == tokenize_for_dedup(
+            "// header\n" + CODE_A
+        )
+
+
+class TestMinHash:
+    def test_signature_length(self):
+        hasher = MinHasher(n_perm=32)
+        sig = hasher.signature(tokenize_for_dedup(CODE_A))
+        assert len(sig) == 32
+
+    def test_estimate_tracks_jaccard(self):
+        hasher = MinHasher(n_perm=128)
+        a = tokenize_for_dedup(CODE_A)
+        fork = tokenize_for_dedup(CODE_A_FORK)
+        b = tokenize_for_dedup(CODE_B)
+        est_near = hasher.estimate(hasher.signature(a),
+                                   hasher.signature(fork))
+        est_far = hasher.estimate(hasher.signature(a),
+                                  hasher.signature(b))
+        assert est_near > est_far
+
+    def test_identical_signatures_match(self):
+        hasher = MinHasher()
+        a = hasher.signature(tokenize_for_dedup(CODE_A))
+        b = hasher.signature(tokenize_for_dedup(CODE_A))
+        assert a == b
+
+
+class TestDeduplicate:
+    def test_exact_duplicates_removed(self):
+        report = deduplicate([CODE_A, CODE_B, CODE_A])
+        assert report.kept_indices == [0, 1]
+        assert report.duplicate_of == {2: 0}
+
+    def test_near_duplicates_removed(self):
+        report = deduplicate([CODE_A, CODE_A_FORK, CODE_B], threshold=0.8)
+        assert report.kept_indices == [0, 2]
+
+    def test_distinct_kept(self):
+        report = deduplicate([CODE_A, CODE_B])
+        assert report.kept_indices == [0, 1]
+        assert report.n_removed == 0
+
+    def test_first_occurrence_wins(self):
+        report = deduplicate([CODE_B, CODE_A, CODE_B])
+        assert 0 in report.kept_indices
+        assert report.duplicate_of.get(2) == 0
+
+    def test_threshold_separates_close_variants(self):
+        # A variant with one extra declaration: high but sub-1.0
+        # similarity — removed at 0.8, kept at 0.999.
+        variant = CODE_A.replace(
+            "endmodule", "  wire spare_net;\nendmodule")
+        strict = deduplicate([CODE_A, variant], threshold=0.999)
+        assert strict.kept_indices == [0, 1]
+        loose = deduplicate([CODE_A, variant], threshold=0.8)
+        assert loose.kept_indices == [0]
+
+    def test_bands_must_divide(self):
+        with pytest.raises(ValueError):
+            deduplicate([CODE_A], n_perm=64, bands=10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.sampled_from([CODE_A, CODE_B, CODE_A_FORK]),
+                    min_size=1, max_size=12))
+    def test_kept_plus_removed_covers_input(self, codes):
+        report = deduplicate(codes)
+        covered = set(report.kept_indices) | set(report.duplicate_of)
+        assert covered == set(range(len(codes)))
+        # Representatives are always kept entries.
+        for rep in report.duplicate_of.values():
+            assert rep in report.kept_indices

@@ -1,0 +1,154 @@
+"""Integration tests for curation: layering, pipeline, corruption, IO."""
+
+import random
+
+import pytest
+
+from repro.corpus.github_sim import GitHubScrapeSimulator, QualityProfile
+from repro.dataset.corrupt import shuffle_labels
+from repro.dataset.io import load_jsonl, save_jsonl
+from repro.dataset.layering import assign_layers, layer_for
+from repro.dataset.pipeline import CurationPipeline, build_pyranet
+from repro.dataset.records import (
+    CompileStatus,
+    Complexity,
+    DatasetEntry,
+    PyraNetDataset,
+)
+
+
+def _entry(ranking, status=CompileStatus.CLEAN, entry_id="e"):
+    return DatasetEntry(entry_id=entry_id, code="module m; endmodule",
+                        ranking=ranking, compile_status=status)
+
+
+class TestLayering:
+    @pytest.mark.parametrize("ranking,layer", [
+        (20, 1), (19, 2), (15, 2), (14, 3), (10, 3),
+        (9, 4), (5, 4), (4, 5), (1, 5), (0, 6),
+    ])
+    def test_rank_ranges(self, ranking, layer):
+        assert layer_for(_entry(ranking)) == layer
+
+    def test_dependency_always_layer6(self):
+        entry = _entry(20, CompileStatus.DEPENDENCY)
+        assert layer_for(entry) == 6
+
+    def test_assign_layers_populates_report(self):
+        entries = [_entry(r, entry_id=str(r)) for r in (20, 18, 12, 7, 3, 0)]
+        report = assign_layers(entries)
+        assert report.sizes == {1: 1, 2: 1, 3: 1, 4: 1, 5: 1, 6: 1}
+        assert all(e.layer > 0 for e in entries)
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def curated(self):
+        scraper = GitHubScrapeSimulator(seed=11)
+        pipeline = CurationPipeline(seed=11)
+        return pipeline.run(scraper.scrape(250))
+
+    def test_funnel_monotone(self, curated):
+        funnel = curated.report.funnel
+        assert (funnel.collected >= funnel.after_empty_broken
+                >= funnel.after_module_decl >= funnel.after_dedup
+                >= funnel.after_syntax)
+
+    def test_no_syntax_entries_survive(self, curated):
+        for entry in curated.dataset:
+            assert entry.compile_status is not CompileStatus.SYNTAX
+
+    def test_layers_1_to_5_compile_clean(self, curated):
+        for entry in curated.dataset:
+            if 1 <= entry.layer <= 5:
+                assert entry.compile_status is CompileStatus.CLEAN
+
+    def test_layer6_is_dependency_or_rank0(self, curated):
+        for entry in curated.dataset.layer(6):
+            assert (entry.compile_status is CompileStatus.DEPENDENCY
+                    or entry.ranking == 0)
+
+    def test_every_entry_labelled(self, curated):
+        for entry in curated.dataset:
+            assert entry.description
+            assert 0 <= entry.ranking <= 20
+            assert isinstance(entry.complexity, Complexity)
+            assert entry.module_names
+
+    def test_duplicates_removed(self, curated):
+        codes = [e.code for e in curated.dataset]
+        assert len(set(codes)) == len(codes)
+
+    def test_curriculum_order_sorted(self, curated):
+        for layer in curated.dataset.trainable_layers():
+            ordered = curated.dataset.curriculum_order(layer)
+            tiers = [int(e.complexity) for e in ordered]
+            assert tiers == sorted(tiers)
+
+    def test_build_pyranet_end_to_end(self):
+        result = build_pyranet(n_github_files=80, n_llm_prompts=3,
+                               n_queries_per_prompt=4, seed=2)
+        assert len(result.dataset) > 10
+        assert result.report.n_generated_llm == 12
+        assert any("llm" == e.origin for e in result.dataset)
+        assert any("github" == e.origin for e in result.dataset)
+        lines = result.report.summary_lines()
+        assert any("layer 6" in line for line in lines)
+
+
+class TestCorruption:
+    def _dataset(self):
+        result = build_pyranet(n_github_files=60, n_llm_prompts=2,
+                               n_queries_per_prompt=3, seed=4)
+        return result.dataset
+
+    def test_shuffle_moves_every_label(self):
+        dataset = self._dataset()
+        shuffled = shuffle_labels(dataset, seed=1)
+        assert len(shuffled) == len(dataset)
+        moved = sum(
+            1 for a, b in zip(dataset.entries, shuffled.entries)
+            if a.description != b.description
+        )
+        # A derangement moves all labels except accidental equals.
+        assert moved > 0.7 * len(dataset)
+
+    def test_codes_unchanged(self):
+        dataset = self._dataset()
+        shuffled = shuffle_labels(dataset, seed=1)
+        assert [e.code for e in dataset] == [e.code for e in shuffled]
+
+    def test_original_untouched(self):
+        dataset = self._dataset()
+        before = [e.description for e in dataset]
+        shuffle_labels(dataset, seed=2)
+        assert [e.description for e in dataset] == before
+
+    def test_multiset_of_rankings_preserved(self):
+        dataset = self._dataset()
+        shuffled = shuffle_labels(dataset, seed=3)
+        assert sorted(e.ranking for e in dataset) == sorted(
+            e.ranking for e in shuffled)
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        result = build_pyranet(n_github_files=40, n_llm_prompts=2,
+                               n_queries_per_prompt=3, seed=6)
+        path = tmp_path / "pyranet.jsonl"
+        n = save_jsonl(result.dataset, path)
+        assert n == len(result.dataset)
+        loaded = load_jsonl(path)
+        assert len(loaded) == len(result.dataset)
+        for a, b in zip(result.dataset, loaded):
+            assert a.code == b.code
+            assert a.ranking == b.ranking
+            assert a.complexity == b.complexity
+            assert a.compile_status == b.compile_status
+            assert a.layer == b.layer
+
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"not": "closed"\n')
+        with pytest.raises(ValueError):
+            load_jsonl(path)

@@ -1,0 +1,114 @@
+"""Tests for the functional test harness."""
+
+import random
+
+import pytest
+
+from repro.corpus import mutate
+from repro.corpus.templates import generate_design
+from repro.eval.functional import run_functional_test
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return generate_design("ripple_carry_adder", random.Random(0),
+                           params={"WIDTH": 8})
+
+
+@pytest.fixture(scope="module")
+def counter():
+    return generate_design("up_counter", random.Random(0),
+                           params={"WIDTH": 4})
+
+
+class TestOutcomes:
+    def test_reference_passes(self, adder):
+        outcome = run_functional_test(adder.source, adder.spec,
+                                      n_vectors=24)
+        assert outcome.passed
+        assert outcome.vectors_run == 24
+
+    def test_sequential_reference_passes(self, counter):
+        outcome = run_functional_test(counter.source, counter.spec,
+                                      n_vectors=24)
+        assert outcome.passed
+
+    def test_parse_failure_reported(self, adder):
+        outcome = run_functional_test("module broken((", adder.spec)
+        assert not outcome.passed
+        assert outcome.failure_kind == "parse"
+
+    def test_interface_mismatch_reported(self, adder):
+        wrong = ("module top(input x, output z);\n"
+                 "  assign z = x;\nendmodule")
+        outcome = run_functional_test(wrong, adder.spec)
+        assert outcome.failure_kind == "interface"
+
+    def test_width_mismatch_reported(self, adder):
+        narrow = ("module top(input [3:0] a, input [3:0] b, input cin,\n"
+                  "           output [3:0] sum, output cout);\n"
+                  "  assign {cout, sum} = a + b + cin;\nendmodule")
+        outcome = run_functional_test(narrow, adder.spec)
+        assert outcome.failure_kind == "interface"
+        assert "4 bits" in outcome.detail
+
+    def test_functional_bug_caught(self, adder):
+        corrupted = mutate.corrupt_function(
+            adder.source, random.Random(1)).source
+        outcome = run_functional_test(corrupted, adder.spec,
+                                      n_vectors=32)
+        assert not outcome.passed
+        assert outcome.failure_kind == "mismatch"
+        assert outcome.mismatches
+
+    def test_dependency_code_fails_elaboration(self, adder):
+        broken = mutate.break_dependency(
+            adder.source, random.Random(2)).source
+        outcome = run_functional_test(broken, adder.spec)
+        assert not outcome.passed
+        assert outcome.failure_kind in ("elaborate", "runtime",
+                                        "interface")
+
+    def test_deterministic(self, adder):
+        a = run_functional_test(adder.source, adder.spec, seed=7)
+        b = run_functional_test(adder.source, adder.spec, seed=7)
+        assert a.passed == b.passed
+        assert a.vectors_run == b.vectors_run
+
+    def test_finds_named_module_among_many(self, adder):
+        multi = ("module helper(input p, output q);\n"
+                 "  assign q = p;\nendmodule\n" + adder.source)
+        outcome = run_functional_test(multi, adder.spec, n_vectors=8)
+        assert outcome.passed
+
+    def test_mealy_output_checked_with_inputs_held(self):
+        design = generate_design("pwm", random.Random(0),
+                                 params={"WIDTH": 4})
+        outcome = run_functional_test(design.source, design.spec,
+                                      n_vectors=24)
+        assert outcome.passed
+
+
+class TestRobustness:
+    def test_infinite_loop_candidate_reported(self, adder):
+        looping = """
+            module top_module(input [7:0] a, input [7:0] b, input cin,
+                              output [7:0] sum, output cout);
+              reg a_reg;
+              wire w;
+              assign w = ~a_reg;
+              always @(*) a_reg = w;
+              initial a_reg = 0;
+              assign {cout, sum} = a + b + cin;
+            endmodule"""
+        outcome = run_functional_test(looping, adder.spec)
+        assert not outcome.passed
+        assert outcome.failure_kind in ("elaborate", "runtime")
+
+    def test_x_output_is_a_failure(self, adder):
+        lazy = ("module top(input [7:0] a, input [7:0] b, input cin,\n"
+                "           output [7:0] sum, output cout);\n"
+                "  // never drives sum\n"
+                "  assign cout = 1'b0;\nendmodule")
+        outcome = run_functional_test(lazy, adder.spec, n_vectors=4)
+        assert not outcome.passed

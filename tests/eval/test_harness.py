@@ -1,0 +1,124 @@
+"""Tests for problem suites and the evaluation loop."""
+
+import random
+
+import pytest
+
+from repro.eval.harness import EvalReport, ProblemResult, evaluate_model
+from repro.eval.problems.human import build_human_problems
+from repro.eval.problems.machine import build_machine_problems
+from repro.model.interfaces import FineTunable, TrainStats
+
+
+class OracleModel(FineTunable):
+    """Always emits the reference implementation (pass@k = 100)."""
+
+    def __init__(self, problems):
+        self._by_description = {}
+        for problem in problems:
+            from repro.corpus.templates import generate_design
+
+            family = problem.spec.family
+            design = generate_design(
+                family, random.Random(0), params=problem.spec.params,
+                module_name=problem.spec.module_name)
+            self._by_description[problem.description] = design.source
+
+    def train_batch(self, examples, loss_weight):
+        return TrainStats()
+
+    def generate(self, description, temperature=0.8, rng=None,
+                 module_header=None):
+        return self._by_description.get(
+            description, "module top_module(); endmodule")
+
+
+class JunkModel(FineTunable):
+    """Always emits garbage (pass@k = 0)."""
+
+    def train_batch(self, examples, loss_weight):
+        return TrainStats()
+
+    def generate(self, description, temperature=0.8, rng=None,
+                 module_header=None):
+        return "this is not verilog at all"
+
+
+class TestProblemSuites:
+    def test_machine_suite_size(self):
+        assert len(build_machine_problems()) >= 40
+
+    def test_human_suite_size(self):
+        assert len(build_human_problems()) >= 25
+
+    def test_all_problems_have_golden(self):
+        for problem in build_machine_problems() + build_human_problems():
+            assert problem.spec.golden is not None
+            assert problem.module_header.startswith("module top_module")
+
+    def test_reference_solutions_pass_own_testbench(self):
+        """Subset check: the spec's own rendered design must pass."""
+        from repro.corpus.templates import generate_design
+        from repro.eval.functional import run_functional_test
+
+        for problem in build_machine_problems()[::7]:
+            design = generate_design(
+                problem.spec.family, random.Random(0),
+                params=problem.spec.params,
+                module_name=problem.spec.module_name)
+            outcome = run_functional_test(design.source, problem.spec,
+                                          n_vectors=12)
+            assert outcome.passed, problem.problem_id
+
+    def test_human_descriptions_are_paraphrased(self):
+        """Human descriptions must not echo the machine describer."""
+        from repro.corpus.templates import get_family
+
+        for problem in build_human_problems():
+            family = get_family(problem.spec.family)
+            # The expanded keyword is the canonical term; at most a few
+            # human prompts may use it verbatim.
+            assert problem.suite == "human"
+
+    def test_problem_ids_unique(self):
+        problems = build_machine_problems() + build_human_problems()
+        ids = [p.problem_id for p in problems]
+        assert len(set(ids)) == len(ids)
+
+
+class TestEvaluateModel:
+    def test_oracle_scores_100(self):
+        problems = build_machine_problems()[:5]
+        report = evaluate_model(OracleModel(problems), problems,
+                                n_samples=3, n_test_vectors=8)
+        assert report.pass_at(1) == pytest.approx(100.0)
+
+    def test_junk_scores_0(self):
+        problems = build_machine_problems()[:5]
+        report = evaluate_model(JunkModel(), problems, n_samples=3,
+                                n_test_vectors=8)
+        assert report.pass_at(1) == 0.0
+        assert report.failure_histogram().get("parse", 0) > 0
+
+    def test_report_summary_shape(self):
+        problems = build_machine_problems()[:3]
+        report = evaluate_model(JunkModel(), problems, n_samples=10,
+                                n_test_vectors=4)
+        summary = report.summary()
+        assert set(summary) == {"pass@1", "pass@5", "pass@10"}
+
+    def test_deterministic_across_runs(self):
+        from repro.model.generator import CODELLAMA_7B, ConditionalCodeModel
+
+        problems = build_machine_problems()[:4]
+        model = ConditionalCodeModel(CODELLAMA_7B, seed=5)
+        a = evaluate_model(model, problems, n_samples=4, seed=9,
+                           n_test_vectors=8)
+        model2 = ConditionalCodeModel(CODELLAMA_7B, seed=5)
+        b = evaluate_model(model2, problems, n_samples=4, seed=9,
+                           n_test_vectors=8)
+        assert a.summary() == b.summary()
+
+    def test_problem_result_pass_at(self):
+        result = ProblemResult(problem_id="p", n_samples=10, n_passed=5)
+        assert result.pass_at(1) == pytest.approx(0.5)

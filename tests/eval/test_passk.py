@@ -1,0 +1,65 @@
+"""Tests for the unbiased pass@k estimator."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.eval.passk import mean_pass_at_k, pass_at_k
+
+
+class TestPassAtK:
+    def test_all_pass(self):
+        assert pass_at_k(10, 10, 1) == pytest.approx(1.0)
+
+    def test_none_pass(self):
+        assert pass_at_k(10, 0, 5) == 0.0
+
+    def test_known_value(self):
+        # n=10, c=5, k=1 -> 0.5 exactly.
+        assert pass_at_k(10, 5, 1) == pytest.approx(0.5)
+
+    def test_known_combinatorial_value(self):
+        # n=4, c=2, k=2: 1 - C(2,2)/C(4,2) = 1 - 1/6.
+        assert pass_at_k(4, 2, 2) == pytest.approx(1 - 1 / 6)
+
+    def test_k_exceeding_failures_is_one(self):
+        assert pass_at_k(10, 8, 5) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("n,c,k", [
+        (0, 0, 1), (5, 6, 1), (5, -1, 1), (5, 2, 0), (5, 2, 6),
+    ])
+    def test_invalid_inputs_raise(self, n, c, k):
+        with pytest.raises(ValueError):
+            pass_at_k(n, c, k)
+
+    @given(st.integers(1, 40), st.data())
+    def test_monotone_in_k(self, n, data):
+        c = data.draw(st.integers(0, n))
+        ks = [k for k in (1, 2, 5, 10) if k <= n]
+        values = [pass_at_k(n, c, k) for k in ks]
+        assert values == sorted(values)
+
+    @given(st.integers(1, 40), st.data())
+    def test_monotone_in_c(self, n, data):
+        k = data.draw(st.integers(1, n))
+        values = [pass_at_k(n, c, k) for c in range(n + 1)]
+        assert values == sorted(values)
+        assert 0.0 <= values[0] and values[-1] <= 1.0 + 1e-12
+
+    @given(st.integers(1, 30), st.data())
+    def test_matches_exact_combinatorics(self, n, data):
+        c = data.draw(st.integers(0, n))
+        k = data.draw(st.integers(1, n))
+        expected = 1.0 - (math.comb(n - c, k) / math.comb(n, k)
+                          if n - c >= k else 0.0)
+        assert pass_at_k(n, c, k) == pytest.approx(expected)
+
+
+class TestMean:
+    def test_empty(self):
+        assert mean_pass_at_k([], 1) == 0.0
+
+    def test_average(self):
+        outcomes = [(10, 10), (10, 0)]
+        assert mean_pass_at_k(outcomes, 1) == pytest.approx(0.5)

@@ -1,0 +1,69 @@
+"""Tests for the table/pyramid renderers and the model registry."""
+
+import pytest
+
+from repro.core.pyranet import TableOneRow
+from repro.eval.report import render_gains_table, render_pyramid, render_table
+from repro.model.registry import build_registry, render_table2
+
+
+def _row(label):
+    return TableOneRow(
+        label,
+        {"pass@1": 41.9, "pass@5": 46.1, "pass@10": 46.8},
+        {"pass@1": 19.2, "pass@5": 23.0, "pass@10": 25.0},
+    )
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        text = render_table("Table I", [_row("codellama baseline")])
+        assert "codellama baseline" in text
+        for value in ("41.9", "46.1", "46.8", "19.2", "23.0", "25.0"):
+            assert value in text
+
+    def test_header_sections(self):
+        text = render_table("T", [_row("x")])
+        assert "Verilog-Machine" in text
+        assert "Verilog-Human" in text
+        assert "pass@10" in text
+
+    def test_rows_aligned(self):
+        text = render_table("T", [_row("a"), _row("bb")])
+        lines = [l for l in text.splitlines() if "|" in l]
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # every row the same width
+
+
+class TestRenderGains:
+    def test_signed_deltas(self):
+        text = render_gains_table(
+            "Table III",
+            [("model", "vs Baseline", [16.1, 16.8, 21.0,
+                                       25.0, 27.0, 30.7]),
+             ("model", "vs SOTA", [-0.7, -0.6, 1.0, -0.6, 0.7, -0.8])],
+        )
+        assert "+16.1" in text
+        assert "-0.7" in text
+
+
+class TestRenderPyramid:
+    def test_shares_sum_to_100(self):
+        text = render_pyramid("Fig 1", {1: 10, 2: 40, 6: 50})
+        assert "Layer 1:" in text and "Layer 6:" in text
+        assert "( 50.0%)" in text
+
+    def test_empty_layers_shown(self):
+        text = render_pyramid("Fig 1", {2: 5})
+        assert "Layer 5:        0" in text
+
+
+class TestRegistry:
+    def test_three_models(self):
+        assert len(build_registry()) == 3
+
+    def test_render_contains_models_and_substrate(self):
+        text = render_table2()
+        assert "CodeLlama-7b-Instruct" in text
+        assert "DeepSeek-Coder-7B-Instruct-v1.5" in text
+        assert "substrate transformer" in text

@@ -1,0 +1,196 @@
+"""Tests for weight schedules, curriculum phases, and the trainer."""
+
+import random
+from typing import List
+
+import pytest
+
+from repro.dataset.records import (
+    CompileStatus,
+    Complexity,
+    DatasetEntry,
+    PyraNetDataset,
+)
+from repro.finetune.curriculum import (
+    anti_curriculum_phases,
+    curriculum_phases,
+    layered_random_phases,
+    random_phases,
+)
+from repro.finetune.trainer import (
+    Trainer,
+    finetune_pyranet_architecture,
+    finetune_pyranet_dataset,
+)
+from repro.finetune.weighting import (
+    PAPER_WEIGHTS,
+    inverse_schedule,
+    no_layer6_schedule,
+    paper_schedule,
+    top_layers_only,
+    uniform_schedule,
+)
+from repro.model.interfaces import FineTunable, TrainStats
+
+
+def make_dataset() -> PyraNetDataset:
+    """A small dataset spanning all layers and complexities."""
+    dataset = PyraNetDataset()
+    rankings = {1: 20, 2: 17, 3: 12, 4: 7, 5: 2, 6: 0}
+    index = 0
+    for layer, ranking in rankings.items():
+        for complexity in Complexity:
+            for copy in range(2):
+                index += 1
+                dataset.add(DatasetEntry(
+                    entry_id=f"e{index}",
+                    code=f"module m{index}; endmodule",
+                    description=f"design {index}",
+                    ranking=ranking,
+                    complexity=complexity,
+                    compile_status=(CompileStatus.DEPENDENCY if layer == 6
+                                    else CompileStatus.CLEAN),
+                    layer=layer,
+                ))
+    return dataset
+
+
+class RecordingModel(FineTunable):
+    """Captures the (example, weight) stream the trainer produces."""
+
+    def __init__(self):
+        self.stream: List = []
+        self.phase_breaks = 0
+
+    def train_batch(self, examples, loss_weight):
+        for example in examples:
+            self.stream.append((example, loss_weight))
+        return TrainStats(examples=len(examples),
+                          effective_weight=loss_weight * len(examples))
+
+    def finish_phase(self):
+        self.phase_breaks += 1
+
+    def generate(self, description, temperature=0.8, rng=None,
+                 module_header=None):
+        return "module stub(); endmodule"
+
+
+class TestSchedules:
+    def test_paper_weights_exact(self):
+        schedule = paper_schedule()
+        assert [schedule.weight_for(n) for n in range(1, 7)] == [
+            1.0, 0.8, 0.6, 0.4, 0.2, 0.1]
+        assert PAPER_WEIGHTS[1] == 1.0 and PAPER_WEIGHTS[6] == 0.1
+
+    def test_uniform(self):
+        schedule = uniform_schedule()
+        assert all(schedule.weight_for(n) == 1.0 for n in range(1, 7))
+
+    def test_inverse_is_mirror(self):
+        schedule = inverse_schedule()
+        assert schedule.weight_for(1) == PAPER_WEIGHTS[6]
+        assert schedule.weight_for(6) == PAPER_WEIGHTS[1]
+
+    def test_top_layers_only(self):
+        schedule = top_layers_only(2)
+        assert schedule.weight_for(2) == 1.0
+        assert schedule.weight_for(3) == 0.0
+
+    def test_no_layer6(self):
+        schedule = no_layer6_schedule()
+        assert schedule.weight_for(6) == 0.0
+        assert schedule.weight_for(1) == 1.0
+
+    def test_unknown_layer_weight_zero(self):
+        assert paper_schedule().weight_for(9) == 0.0
+
+
+class TestCurriculum:
+    def test_phase_order_layers_then_complexity(self):
+        phases = curriculum_phases(make_dataset())
+        keys = [(p.layer, int(p.complexity)) for p in phases]
+        assert keys == sorted(keys)
+        assert keys[0] == (1, 0)
+        assert keys[-1] == (6, 3)
+
+    def test_all_entries_covered_once(self):
+        dataset = make_dataset()
+        phases = curriculum_phases(dataset)
+        seen = [e.entry_id for p in phases for e in p.entries]
+        assert sorted(seen) == sorted(e.entry_id for e in dataset)
+
+    def test_anti_curriculum_reverses_within_layer(self):
+        phases = anti_curriculum_phases(make_dataset())
+        layer1 = [int(p.complexity) for p in phases if p.layer == 1]
+        assert layer1 == sorted(layer1, reverse=True)
+        layers = [p.layer for p in phases]
+        assert layers == sorted(layers)  # layer walk unchanged
+
+    def test_random_phases_cover_everything(self):
+        dataset = make_dataset()
+        phases = random_phases(dataset, seed=3, batch_size=7)
+        seen = [e.entry_id for p in phases for e in p.entries]
+        assert sorted(seen) == sorted(e.entry_id for e in dataset)
+        assert all(p.layer == 0 for p in phases)
+
+    def test_random_phases_shuffled(self):
+        dataset = make_dataset()
+        stream = [e.entry_id for p in random_phases(dataset, seed=1)
+                  for e in p.entries]
+        assert stream != [e.entry_id for e in dataset]
+
+    def test_layered_random_keeps_layer_walk(self):
+        phases = layered_random_phases(make_dataset(), seed=2)
+        assert [p.layer for p in phases] == [1, 2, 3, 4, 5, 6]
+
+
+class TestTrainer:
+    def test_architecture_recipe_weights(self):
+        model = RecordingModel()
+        finetune_pyranet_architecture(model, make_dataset(), seed=0)
+        weights = {}
+        for example, weight in model.stream:
+            weights.setdefault(example.layer, set()).add(weight)
+        assert weights[1] == {1.0}
+        assert weights[6] == {0.1}
+        assert weights[3] == {0.6}
+
+    def test_architecture_recipe_order(self):
+        model = RecordingModel()
+        finetune_pyranet_architecture(model, make_dataset(), seed=0)
+        layer_stream = [example.layer for example, _ in model.stream]
+        assert layer_stream == sorted(layer_stream)
+        # Complexity ascends within each layer.
+        for layer in range(1, 7):
+            tiers = [example.complexity for example, _ in model.stream
+                     if example.layer == layer]
+            assert tiers == sorted(tiers)
+
+    def test_dataset_recipe_uniform_weights(self):
+        model = RecordingModel()
+        finetune_pyranet_dataset(model, make_dataset(), seed=0)
+        assert {weight for _, weight in model.stream} == {1.0}
+
+    def test_epochs_multiply_stream(self):
+        dataset = make_dataset()
+        single = RecordingModel()
+        finetune_pyranet_architecture(single, dataset, epochs=1, seed=0)
+        triple = RecordingModel()
+        finetune_pyranet_architecture(triple, dataset, epochs=3, seed=0)
+        assert len(triple.stream) == 3 * len(single.stream)
+
+    def test_training_log_totals(self):
+        model = RecordingModel()
+        log = finetune_pyranet_architecture(model, make_dataset(), seed=0)
+        assert log.total.examples == len(make_dataset())
+        assert len(log.phases) == len(log.phase_labels())
+        assert model.phase_breaks == len(log.phases)
+
+    def test_trainer_custom_schedule(self):
+        model = RecordingModel()
+        trainer = Trainer(schedule=no_layer6_schedule())
+        phases = curriculum_phases(make_dataset())
+        trainer.run(model, phases)
+        layer6_weights = {w for ex, w in model.stream if ex.layer == 6}
+        assert layer6_weights == {0.0}

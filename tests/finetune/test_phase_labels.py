@@ -1,0 +1,32 @@
+"""Labelling/reporting details of curriculum phases and training logs."""
+
+from repro.dataset.records import Complexity, DatasetEntry, PyraNetDataset
+from repro.finetune.curriculum import Phase, curriculum_phases, random_phases
+
+
+def _dataset():
+    ds = PyraNetDataset()
+    for i, (layer, tier) in enumerate([(1, Complexity.BASIC),
+                                       (1, Complexity.EXPERT),
+                                       (2, Complexity.BASIC)]):
+        ds.add(DatasetEntry(entry_id=str(i), code="module m; endmodule",
+                            ranking=20, complexity=tier, layer=layer))
+    return ds
+
+
+class TestPhaseLabels:
+    def test_basic_tier_label_not_mixed(self):
+        """Complexity.BASIC is IntEnum 0 — must not read as 'mixed'."""
+        phases = curriculum_phases(_dataset())
+        labels = [p.label for p in phases]
+        assert "L1/Basic" in labels
+        assert "L1/Expert" in labels
+        assert not any("mixed" in label for label in labels)
+
+    def test_random_phases_are_mixed(self):
+        phases = random_phases(_dataset(), batch_size=10)
+        assert all("mixed" in p.label for p in phases)
+
+    def test_phase_is_immutable_tuple(self):
+        phases = curriculum_phases(_dataset())
+        assert isinstance(phases[0].entries, tuple)

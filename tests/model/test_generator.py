@@ -1,0 +1,190 @@
+"""Tests for the retrieval-augmented conditional code model."""
+
+import random
+
+import pytest
+
+from repro.corpus.templates import generate_design
+from repro.eval.functional import run_functional_test
+from repro.model.generator import (
+    CODELLAMA_7B,
+    CODELLAMA_13B,
+    ConditionalCodeModel,
+    ModelProfile,
+    extract_param_hints,
+)
+from repro.model.interfaces import TrainingExample
+
+
+QUIET = ModelProfile(
+    name="quiet", copy_noise=0.0, syntax_noise=0.0,
+    retrieval_sharpness=1.5, pretrain_size=0, pretrain_bug_rate=0.0,
+)
+
+
+def _train_on(model, family, seed=0, weight=1.0, ranking=20):
+    design = generate_design(family, random.Random(seed))
+    model.train_batch([TrainingExample(
+        description=design.description, code=design.source,
+        ranking=ranking)], weight)
+    return design
+
+
+class TestParamHints:
+    @pytest.mark.parametrize("text,expected", [
+        ("a 8-bit adder", {"WIDTH": 8}),
+        ("modulo-10 counter", {"MODULO": 10}),
+        ("fifo with depth 4 and 16-bit data",
+         {"DEPTH": 4, "WIDTH": 16}),
+        ("4-to-1 multiplexer", {"INPUTS": 4}),
+        ("1-to-8 demultiplexer", {"OUTPUTS": 8}),
+        ("divide-by-4 clock divider", {"DIVIDE_BY": 4}),
+        ("no numbers here", {}),
+    ])
+    def test_extraction(self, text, expected):
+        assert extract_param_hints(text) == expected
+
+
+class TestRetrievalTraining:
+    def test_untrained_quiet_model_emits_fallback(self):
+        model = ConditionalCodeModel(QUIET, seed=0)
+        out = model.generate("anything", rng=random.Random(0),
+                             module_header="module top_module (\n  input a\n);")
+        assert "top_module" in out
+
+    def test_trained_model_reproduces_design(self):
+        model = ConditionalCodeModel(QUIET, seed=0)
+        design = _train_on(model, "full_adder")
+        out = model.generate(design.description, temperature=0.1,
+                             rng=random.Random(0))
+        outcome = run_functional_test(out, design.spec, n_vectors=16)
+        assert outcome.passed, (outcome.failure_kind, outcome.detail)
+
+    def test_retrieves_right_family_among_many(self):
+        model = ConditionalCodeModel(QUIET, seed=0)
+        for family in ("full_adder", "mux", "up_counter", "alu",
+                       "parity"):
+            _train_on(model, family)
+        target = generate_design("parity", random.Random(50),
+                                 module_name="top_module")
+        out = model.generate(target.description, temperature=0.1,
+                             rng=random.Random(1),
+                             module_header=target.spec.port_header())
+        assert "even_parity" in out
+
+    def test_zero_weight_examples_never_retrieved(self):
+        model = ConditionalCodeModel(QUIET, seed=0)
+        poisoned = _train_on(model, "half_adder", weight=0.0)
+        good = _train_on(model, "mux", weight=1.0)
+        out = model.generate(poisoned.description, temperature=0.1,
+                             rng=random.Random(2))
+        # The only positive-weight memory is the mux.
+        assert "sel" in out
+
+    def test_loss_weight_biases_retrieval(self):
+        """Two exemplars match a prompt equally; the heavier one is
+        retrieved far more often."""
+        model = ConditionalCodeModel(QUIET, seed=0, recency_decay=0.0)
+        desc = "a widget frobnicator circuit"
+        model.train_batch([TrainingExample(
+            description=desc,
+            code="module heavy_widget_frobnicator_circuit(); endmodule",
+        )], 1.0)
+        model.train_batch([TrainingExample(
+            description=desc,
+            code="module light_widget_frobnicator_circuit(); endmodule",
+        )], 0.1)
+        heavy_hits = 0
+        for i in range(60):
+            out = model.generate(desc, temperature=1.0,
+                                 rng=random.Random(i))
+            if "heavy" in out:
+                heavy_hits += 1
+        assert heavy_hits > 45
+
+    def test_recency_biases_retrieval(self):
+        model = ConditionalCodeModel(QUIET, seed=0, recency_decay=3.0)
+        desc = "a widget frobnicator circuit"
+        model.train_batch([TrainingExample(
+            description=desc,
+            code="module old_one_widget_frobnicator_circuit(); endmodule",
+        )], 1.0)
+        # Interleave unrelated items to age the first entry.
+        for i in range(20):
+            model.train_batch([TrainingExample(
+                description=f"filler number_{i} gadget",
+                code=f"module filler_number_{i}_gadget(); endmodule")],
+                1.0)
+        model.train_batch([TrainingExample(
+            description=desc,
+            code="module fresh_one_widget_frobnicator_circuit(); endmodule",
+        )], 1.0)
+        fresh_hits = 0
+        for i in range(40):
+            out = model.generate(desc, temperature=1.0,
+                                 rng=random.Random(i))
+            if "fresh_one" in out:
+                fresh_hits += 1
+        assert fresh_hits > 25
+
+    def test_coherence_prior_penalises_broken_memory(self):
+        model = ConditionalCodeModel(QUIET, seed=0, recency_decay=0.0)
+        desc = "a widget frobnicator circuit"
+        model.train_batch([TrainingExample(
+            description=desc,
+            code="module broken_widget_frobnicator(input a, output y);\n"
+                 "  assign y = ghost_circuit_signal;\nendmodule")], 1.0)
+        model.train_batch([TrainingExample(
+            description=desc,
+            code="module sound_widget_frobnicator(input a, output y);\n"
+                 "  assign y = a;  // circuit\nendmodule")], 1.0)
+        sound_hits = 0
+        for i in range(40):
+            out = model.generate(desc, temperature=1.0,
+                                 rng=random.Random(i))
+            if "sound" in out:
+                sound_hits += 1
+        assert sound_hits > 28
+
+
+class TestAdaptation:
+    def test_module_renamed_to_header(self):
+        model = ConditionalCodeModel(QUIET, seed=0)
+        design = _train_on(model, "comparator")
+        target = generate_design("comparator", random.Random(9),
+                                 params=design.spec.params,
+                                 module_name="top_module")
+        out = model.generate(design.description, temperature=0.1,
+                             rng=random.Random(0),
+                             module_header=target.spec.port_header())
+        assert "module top_module" in out
+
+    def test_width_adapted_from_description(self):
+        model = ConditionalCodeModel(QUIET, seed=0)
+        _train_on(model, "register", seed=1)  # some WIDTH
+        target = generate_design("register", random.Random(2),
+                                 params={"WIDTH": 12},
+                                 module_name="top_module")
+        out = model.generate(
+            "Design a 12-bit register with clock-enable. On a rising "
+            "clock edge, q loads d when en is high; rst clears q.",
+            temperature=0.1, rng=random.Random(0),
+            module_header=target.spec.port_header())
+        outcome = run_functional_test(out, target.spec, n_vectors=16)
+        assert outcome.passed, (outcome.failure_kind, outcome.detail)
+
+
+class TestNoise:
+    def test_noise_dilutes_with_finetuning(self):
+        model = ConditionalCodeModel(CODELLAMA_7B, seed=0)
+        before = model._effective_noise()
+        for seed in range(30):
+            _train_on(model, "mux", seed=seed)
+        after = model._effective_noise()
+        assert after < before
+        # But never below the base-model floor.
+        assert after >= CODELLAMA_7B.copy_noise * 0.30 - 1e-9
+
+    def test_profiles_ordering(self):
+        assert CODELLAMA_13B.copy_noise < CODELLAMA_7B.copy_noise
+        assert CODELLAMA_13B.pretrain_size > CODELLAMA_7B.pretrain_size

@@ -1,0 +1,129 @@
+"""Tests for the weighted n-gram language model."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.ngram import NGramLM
+
+CLEAN = ("module add(input a, input b, output s);\n"
+         "assign s = a ^ b;\nendmodule\n")
+OTHER = ("module ff(input clk, input d, output reg q);\n"
+         "always @(posedge clk) q <= d;\nendmodule\n")
+
+
+class TestTraining:
+    def test_training_reduces_perplexity(self):
+        lm = NGramLM(order=3)
+        before = lm.perplexity(CLEAN)
+        lm.train(CLEAN)
+        after = lm.perplexity(CLEAN)
+        assert after < before
+
+    def test_zero_weight_is_noop(self):
+        lm = NGramLM()
+        lm.train(CLEAN, weight=0.0)
+        assert lm.trained_tokens == 0
+        assert not lm.counts
+
+    def test_weight_scales_counts(self):
+        light = NGramLM()
+        light.train(CLEAN, weight=0.1)
+        heavy = NGramLM()
+        heavy.train(CLEAN, weight=1.0)
+        context = next(iter(heavy.counts))
+        token = next(iter(heavy.counts[context]))
+        assert heavy.counts[context][token] == pytest.approx(
+            10 * light.counts[context][token])
+
+    def test_weighting_shifts_distribution(self):
+        """Upweighting one corpus lowers its perplexity relative to a
+        uniform mix — the core loss-weighting effect."""
+        uniform = NGramLM()
+        uniform.train(CLEAN, 1.0)
+        uniform.train(OTHER, 1.0)
+        weighted = NGramLM()
+        weighted.train(CLEAN, 1.0)
+        weighted.train(OTHER, 0.1)
+        assert weighted.perplexity(CLEAN) <= uniform.perplexity(CLEAN)
+
+    def test_decay(self):
+        lm = NGramLM()
+        lm.train(CLEAN)
+        context = next(iter(lm.counts))
+        token = next(iter(lm.counts[context]))
+        before = lm.counts[context][token]
+        lm.decay(0.5)
+        assert lm.counts[context][token] == pytest.approx(before / 2)
+
+    def test_decay_validates(self):
+        with pytest.raises(ValueError):
+            NGramLM().decay(0.0)
+        with pytest.raises(ValueError):
+            NGramLM().decay(1.5)
+
+
+class TestProbability:
+    def test_probabilities_sum_near_one(self):
+        lm = NGramLM(order=2)
+        lm.train(CLEAN)
+        history = ["assign"]
+        total = sum(lm.prob(t, history) for t in lm.vocab)
+        assert 0.5 < total <= 1.01
+
+    def test_backoff_on_unseen_context(self):
+        lm = NGramLM(order=3)
+        lm.train(CLEAN)
+        p = lm.prob("assign", ["zzz", "qqq"])
+        assert p > 0
+
+    def test_unseen_token_small_but_positive(self):
+        lm = NGramLM()
+        lm.train(CLEAN)
+        assert 0 < lm.prob("neverseen", ["assign"]) < 0.3
+
+    def test_perplexity_of_unrelated_text_higher(self):
+        lm = NGramLM()
+        lm.train(CLEAN)
+        assert lm.perplexity(OTHER) > lm.perplexity(CLEAN)
+
+    def test_corpus_perplexity(self):
+        lm = NGramLM()
+        lm.train(CLEAN)
+        lm.train(OTHER)
+        value = lm.corpus_perplexity([CLEAN, OTHER])
+        assert math.isfinite(value) and value > 1
+
+
+class TestSampling:
+    def test_sample_deterministic_at_zero_temp(self):
+        lm = NGramLM()
+        lm.train(CLEAN)
+        a = lm.sample(random.Random(0), temperature=0.0, max_tokens=30)
+        b = lm.sample(random.Random(99), temperature=0.0, max_tokens=30)
+        assert a == b
+
+    def test_sample_starts_like_training_data(self):
+        lm = NGramLM()
+        lm.train(CLEAN, 5.0)
+        tokens = lm.sample(random.Random(1), temperature=0.2,
+                           max_tokens=10)
+        assert tokens[0] == "module"
+
+    def test_sample_respects_prefix(self):
+        lm = NGramLM()
+        lm.train(CLEAN)
+        tokens = lm.sample(random.Random(0), prefix=["assign"],
+                           max_tokens=5)
+        assert tokens[0] == "assign"
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.1, max_value=2.0))
+    def test_sampling_never_crashes(self, temperature):
+        lm = NGramLM()
+        lm.train(CLEAN)
+        tokens = lm.sample(random.Random(3), temperature=temperature,
+                           max_tokens=40)
+        assert isinstance(tokens, list)

@@ -1,0 +1,75 @@
+"""Tests for the compiler-feedback repair loop."""
+
+import random
+
+import pytest
+
+from repro.corpus import mutate
+from repro.corpus.templates import generate_design, generate_random_design
+from repro.model.repair import repair
+from repro.verilog import check
+
+
+def _clean(seed=0):
+    return generate_design("up_counter", random.Random(seed)).source
+
+
+class TestRepairRules:
+    def test_already_clean_untouched(self):
+        source = _clean()
+        result = repair(source)
+        assert result.fixed
+        assert result.code == source
+        assert result.iterations == 0
+
+    def test_restores_missing_endmodule(self):
+        broken = _clean().replace("endmodule", "")
+        result = repair(broken)
+        assert result.fixed, result.actions
+        assert check(result.code).status != "syntax"
+
+    def test_fixes_begin_typo(self):
+        broken = _clean().replace("begin", "begn", 1)
+        result = repair(broken)
+        assert result.fixed, result.actions
+
+    def test_strips_garbage(self):
+        source = _clean()
+        broken = source[:40] + " @@ %% ## " + source[40:]
+        result = repair(broken)
+        assert result.fixed, result.actions
+
+    def test_inserts_missing_semicolon(self):
+        source = "module m(input a, output y);\n  assign y = ~a\nendmodule\n"
+        result = repair(source)
+        assert result.fixed, result.actions
+        assert check(result.code).status == "clean"
+
+    def test_dependency_issue_is_acceptable(self):
+        source = ("module m(input a, output y);\n"
+                  "  sub u(.a(a), .y(y))\nendmodule\n")  # missing ';'
+        result = repair(source)
+        assert result.fixed
+        assert result.final_status == "dependency"
+
+    def test_gives_up_on_hopeless_input(self):
+        result = repair(")))((( nonsense", max_iterations=3)
+        assert not result.fixed
+
+
+class TestRepairOverMutations:
+    def test_repairs_most_syntax_mutations(self):
+        fixed = 0
+        total = 0
+        for seed in range(20):
+            design = generate_random_design(random.Random(seed))
+            broken = mutate.break_syntax(design.source,
+                                         random.Random(seed + 500))
+            if check(broken.source).status != "syntax":
+                continue  # mutation happened to stay legal
+            total += 1
+            if repair(broken.source).fixed:
+                fixed += 1
+        assert total >= 10
+        # Truncation is often unrecoverable; everything else should fix.
+        assert fixed / total >= 0.5, (fixed, total)

@@ -1,0 +1,147 @@
+"""Tests for the numpy transformer (including a gradient check)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.model.interfaces import TrainingExample
+from repro.model.tinyformer import TinyTransformer, TransformerConfig
+
+
+def small_model(seed=0, lr=2e-3):
+    return TinyTransformer(config=TransformerConfig(
+        d_model=32, n_heads=2, n_layers=1, d_ff=48, max_len=96,
+        learning_rate=lr, seed=seed))
+
+
+EXAMPLE = TrainingExample(
+    description="an and gate",
+    code="module g(input a, input b, output y);\n"
+         "assign y = a & b;\nendmodule",
+)
+OTHER = TrainingExample(
+    description="a half adder",
+    code="module h(input a, input b, output s);\n"
+         "assign s = a ^ b;\nendmodule",
+)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        model = small_model()
+        before = model.sequence_loss(EXAMPLE)
+        for _ in range(25):
+            model.train_batch([EXAMPLE], 1.0)
+        after = model.sequence_loss(EXAMPLE)
+        assert after < before - 0.05
+
+    def test_zero_weight_changes_nothing(self):
+        model = small_model()
+        before = model.sequence_loss(EXAMPLE)
+        for _ in range(5):
+            model.train_batch([EXAMPLE], 0.0)
+        assert model.sequence_loss(EXAMPLE) == pytest.approx(before)
+
+    def test_weighted_training_prefers_heavy_sample(self):
+        heavy = small_model(seed=1)
+        for _ in range(20):
+            heavy.train_batch([EXAMPLE], 1.0)
+            heavy.train_batch([OTHER], 0.05)
+        light = small_model(seed=1)
+        for _ in range(20):
+            light.train_batch([EXAMPLE], 0.05)
+            light.train_batch([OTHER], 1.0)
+        # Each model should fit its heavy sample better than the other
+        # model fits it.
+        assert heavy.sequence_loss(EXAMPLE) < light.sequence_loss(EXAMPLE)
+        assert light.sequence_loss(OTHER) < heavy.sequence_loss(OTHER)
+
+    def test_vocabulary_grows_with_new_tokens(self):
+        model = small_model()
+        before = len(model.vocab)
+        model.train_batch([TrainingExample(
+            description="exotic", code="module zzz_unique(); endmodule")],
+            1.0)
+        assert len(model.vocab) > before
+
+    def test_train_stats(self):
+        model = small_model()
+        stats = model.train_batch([EXAMPLE, OTHER], 0.5)
+        assert stats.examples == 2
+        assert stats.tokens > 10
+        assert stats.effective_weight == pytest.approx(1.0)
+
+
+class TestGradients:
+    def test_numerical_gradient_check(self):
+        """Finite-difference check of backprop on a few parameters."""
+        model = small_model(seed=3)
+        ids = model.encode_example(EXAMPLE)[:12]
+
+        def loss_of() -> float:
+            logits, _ = model._forward(ids[:-1])
+            targets = np.array(ids[1:])
+            T = len(targets)
+            logits = logits - logits.max(-1, keepdims=True)
+            probs = np.exp(logits)
+            probs /= probs.sum(-1, keepdims=True)
+            picked = probs[np.arange(T), targets]
+            return float(-np.log(picked + 1e-12).sum())
+
+        # Analytic gradients.
+        logits, cache = model._forward(ids[:-1])
+        targets = np.array(ids[1:])
+        T = len(targets)
+        shifted = logits - logits.max(-1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(-1, keepdims=True)
+        dlogits = probs.copy()
+        dlogits[np.arange(T), targets] -= 1.0
+        grads = {k: np.zeros_like(v) for k, v in model._params.items()}
+        model._backward(dlogits, cache, grads)
+
+        eps = 1e-5
+        for key in ("l0.wq", "l0.w1", "lnfg"):
+            param = model._params[key]
+            flat_index = 3 % param.size
+            original = param.flat[flat_index]
+            param.flat[flat_index] = original + eps
+            plus = loss_of()
+            param.flat[flat_index] = original - eps
+            minus = loss_of()
+            param.flat[flat_index] = original
+            numeric = (plus - minus) / (2 * eps)
+            analytic = grads[key].flat[flat_index]
+            assert numeric == pytest.approx(analytic, rel=2e-2,
+                                            abs=1e-4), key
+
+
+class TestGeneration:
+    def test_generation_returns_text(self):
+        model = small_model()
+        for _ in range(5):
+            model.train_batch([EXAMPLE], 1.0)
+        out = model.generate("an and gate", temperature=0.5,
+                             rng=random.Random(0), max_tokens=30)
+        assert isinstance(out, str)
+
+    def test_generation_deterministic_per_rng(self):
+        model = small_model()
+        model.train_batch([EXAMPLE], 1.0)
+        a = model.generate("an and gate", rng=random.Random(5),
+                           max_tokens=20)
+        b = model.generate("an and gate", rng=random.Random(5),
+                           max_tokens=20)
+        assert a == b
+
+    def test_memorisation_at_low_temperature(self):
+        """Enough epochs on one tiny example approach memorisation."""
+        model = small_model(lr=5e-3)
+        target = TrainingExample(description="tiny wire",
+                                 code="module w; endmodule")
+        for _ in range(150):
+            model.train_batch([target], 1.0)
+        out = model.generate("tiny wire", temperature=0.05,
+                             rng=random.Random(0), max_tokens=8)
+        assert "module" in out

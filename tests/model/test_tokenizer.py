@@ -1,0 +1,126 @@
+"""Tests for code/text tokenization and the vocabulary."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.tokenizer import (
+    Vocabulary,
+    detokenize,
+    tokenize_code,
+    tokenize_text,
+)
+from repro.verilog import check, parse
+
+
+CODE = """\
+module counter #(parameter W = 4)(input clk, output reg [W-1:0] q);
+  // increments forever
+  always @(posedge clk)
+    q <= q + 1'b1;
+endmodule
+"""
+
+
+class TestCodeTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize_code("assign y = a ^ b;", keep_newlines=False)
+        assert tokens == ["assign", "y", "=", "a", "^", "b", ";"]
+
+    def test_comments_dropped(self):
+        tokens = tokenize_code(CODE, keep_newlines=False)
+        assert "increments" not in tokens
+
+    def test_sized_literal_is_one_token(self):
+        tokens = tokenize_code("q <= 8'hFF;", keep_newlines=False)
+        assert "8'hFF" in tokens
+
+    def test_multichar_operators(self):
+        tokens = tokenize_code("a <= b >>> 2", keep_newlines=False)
+        assert "<=" in tokens and ">>>" in tokens
+
+    def test_newlines_collapsed(self):
+        tokens = tokenize_code("a\n\n\nb")
+        assert tokens.count("\n") == 1
+
+    def test_broken_input_does_not_crash(self):
+        tokens = tokenize_code("module @@@ \x00\x01 xyz")
+        assert "module" in tokens and "xyz" in tokens
+
+
+class TestDetokenize:
+    def test_roundtrip_compiles(self):
+        tokens = tokenize_code(CODE, keep_newlines=False)
+        rebuilt = detokenize(tokens)
+        assert check(rebuilt).status == "clean"
+
+    def test_roundtrip_preserves_ast_shape(self):
+        tokens = tokenize_code(CODE, keep_newlines=False)
+        rebuilt = detokenize(tokens)
+        original = parse(CODE).modules[0]
+        recovered = parse(rebuilt).modules[0]
+        assert original.name == recovered.name
+        assert original.port_names() == recovered.port_names()
+
+    @pytest.mark.parametrize("family", ["alu", "sync_fifo", "lfsr",
+                                        "traffic_light", "mux"])
+    def test_roundtrip_all_kinds(self, family):
+        import random
+
+        from repro.corpus.templates import generate_design
+
+        design = generate_design(family, random.Random(1))
+        rebuilt = detokenize(
+            tokenize_code(design.source, keep_newlines=False))
+        assert check(rebuilt).status == "clean", family
+
+
+class TestTextTokenizer:
+    def test_lowercases_and_strips_stopwords(self):
+        tokens = tokenize_text("Design a 8-bit Counter with THE enable")
+        assert "counter" in tokens
+        assert "8" in tokens
+        assert "the" not in tokens and "a" not in tokens
+
+    def test_empty(self):
+        assert tokenize_text("") == []
+
+
+class TestVocabulary:
+    def test_specials_reserved(self):
+        vocab = Vocabulary()
+        assert vocab.id_to_token[:4] == ["<pad>", "<bos>", "<eos>",
+                                         "<unk>"]
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        a = vocab.add("wire")
+        b = vocab.add("wire")
+        assert a == b
+
+    def test_encode_unknown_maps_to_unk(self):
+        vocab = Vocabulary()
+        assert vocab.encode(["mystery"]) == [Vocabulary.UNK]
+
+    def test_encode_grow(self):
+        vocab = Vocabulary()
+        ids = vocab.encode(["x", "y", "x"], grow=True)
+        assert ids[0] == ids[2] != ids[1]
+
+    def test_decode_skips_specials(self):
+        vocab = Vocabulary()
+        ids = vocab.encode(["module", "m"], grow=True)
+        decoded = vocab.decode([vocab.BOS] + ids + [vocab.EOS])
+        assert decoded == ["module", "m"]
+
+    def test_build_with_min_count(self):
+        vocab = Vocabulary.build([["a", "a", "b"]], min_count=2)
+        assert "a" in vocab.token_to_id
+        assert "b" not in vocab.token_to_id
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(
+        ["module", "wire", "assign", "q", "<=", "8'hFF"]), max_size=20))
+    def test_encode_decode_roundtrip(self, tokens):
+        vocab = Vocabulary()
+        ids = vocab.encode(tokens, grow=True)
+        assert vocab.decode(ids) == tokens

@@ -1,0 +1,135 @@
+"""Unit tests for the Verilog lexer."""
+
+import pytest
+
+from repro.verilog.lexer import LexError, Lexer, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_keywords_recognised(self):
+        assert kinds("module endmodule wire reg") == [TokenKind.KEYWORD] * 4
+
+    def test_identifiers(self):
+        toks = tokenize("foo _bar baz123 a$b")
+        assert [t.kind for t in toks[:-1]] == [TokenKind.IDENT] * 4
+        assert toks[3].text == "a$b"
+
+    def test_escaped_identifier(self):
+        toks = tokenize(r"\weird+name another")
+        assert toks[0].kind is TokenKind.IDENT
+        assert toks[0].text == r"\weird+name"
+        assert toks[1].text == "another"
+
+    def test_system_identifier(self):
+        toks = tokenize("$display $finish")
+        assert all(t.kind is TokenKind.SYSTEM_IDENT for t in toks[:-1])
+
+    def test_string_literal_with_escapes(self):
+        toks = tokenize(r'"hello\nworld"')
+        assert toks[0].kind is TokenKind.STRING
+        assert toks[0].text == "hello\nworld"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+
+class TestNumbers:
+    def test_plain_decimal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokenKind.NUMBER
+        assert toks[0].text == "42"
+
+    def test_sized_hex(self):
+        assert texts("8'hFF") == ["8'hFF"]
+
+    def test_sized_binary_with_xz(self):
+        assert texts("4'b10xz") == ["4'b10xz"]
+
+    def test_signed_literal(self):
+        assert texts("4'sb1010") == ["4'sb1010"]
+
+    def test_unsized_based(self):
+        assert texts("'b0 'hFF") == ["'b0", "'hFF"]
+
+    def test_size_with_space_before_base(self):
+        toks = tokenize("8 'd255")
+        assert toks[0].kind is TokenKind.NUMBER
+        assert "255" in toks[0].text
+
+    def test_underscores_allowed(self):
+        assert texts("32'hDEAD_BEEF") == ["32'hDEAD_BEEF"]
+
+    def test_real_number(self):
+        assert texts("3.14") == ["3.14"]
+
+    def test_scientific_notation(self):
+        assert texts("1e9 2.5e-3") == ["1e9", "2.5e-3"]
+
+    def test_invalid_base_raises(self):
+        with pytest.raises(LexError):
+            tokenize("8'q12")
+
+
+class TestOperators:
+    def test_multichar_operators_maximal_munch(self):
+        assert texts("<<< >>> === !== <= >= << >>") == [
+            "<<<", ">>>", "===", "!==", "<=", ">=", "<<", ">>"]
+
+    def test_indexed_part_select_tokens(self):
+        assert texts("a[3+:2]")[1:] == ["[", "3", "+:", "2", "]"]
+
+    def test_reduction_tokens(self):
+        assert texts("~& ~| ~^") == ["~&", "~|", "~^"]
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_attribute_skipped(self):
+        assert texts("(* full_case *) a") == ["a"]
+
+    def test_sensitivity_star_not_eaten_as_attribute(self):
+        assert texts("@(*)") == ["@", "(", "*", ")"]
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+class TestTokenHelpers:
+    def test_is_op(self):
+        tok = tokenize("+")[0]
+        assert tok.is_op("+", "-")
+        assert not tok.is_op("-")
+
+    def test_is_kw(self):
+        tok = tokenize("module")[0]
+        assert tok.is_kw("module")
+        assert not tok.is_kw("endmodule")
+
+    def test_iterating_lexer_terminates(self):
+        toks = list(Lexer("a b c"))
+        assert toks[-1].kind is TokenKind.EOF

@@ -1,0 +1,137 @@
+"""Tests for structural metrics and the style linter."""
+
+import pytest
+
+from repro.verilog import lint, measure
+from repro.verilog.parser import ParseError
+
+
+FSM = """\
+module fsm(input clk, input rst, input x, output reg z);
+  localparam S0 = 2'd0, S1 = 2'd1;
+  reg [1:0] state;
+  always @(posedge clk) begin
+    if (rst) state <= S0;
+    else case (state)
+      S0: if (x) state <= S1;
+      S1: state <= S0;
+      default: state <= S0;
+    endcase
+  end
+  always @(*) z = (state == S1);
+endmodule
+"""
+
+
+class TestMetrics:
+    def test_counts_basic_structure(self):
+        metrics = measure(FSM)
+        assert metrics.modules == 1
+        assert metrics.ports == 4
+        assert metrics.sequential_always == 1
+        assert metrics.combinational_always == 1
+        assert metrics.case_statements == 1
+
+    def test_detects_fsm(self):
+        assert measure(FSM).has_fsm
+
+    def test_plain_counter_is_not_fsm(self):
+        source = """
+            module c(input clk, output reg [3:0] q);
+              always @(posedge clk) q <= q + 1;
+            endmodule"""
+        assert not measure(source).has_fsm
+
+    def test_memory_detected(self):
+        source = """
+            module ram(input clk, input [3:0] a, input [7:0] d,
+                       input we, output [7:0] q);
+              reg [7:0] mem [0:15];
+              always @(posedge clk) if (we) mem[a] <= d;
+              assign q = mem[a];
+            endmodule"""
+        metrics = measure(source)
+        assert metrics.has_memory and metrics.memories == 1
+
+    def test_hierarchy_detected(self):
+        source = FSM + "\nmodule top(input c, r, x, output z);\n" \
+                       "  fsm u(.clk(c), .rst(r), .x(x), .z(z));\n" \
+                       "endmodule"
+        metrics = measure(source)
+        assert metrics.has_hierarchy and metrics.instances == 1
+        assert metrics.modules == 2
+
+    def test_line_count_ignores_blanks(self):
+        assert measure("module m;\n\n\nendmodule\n").lines == 2
+
+    def test_merge_max_fields(self):
+        a = measure(FSM)
+        merged = a.merge(a)
+        assert merged.always_blocks == 2 * a.always_blocks
+        assert merged.max_statement_depth == a.max_statement_depth
+
+    def test_invalid_source_raises(self):
+        with pytest.raises(ParseError):
+            measure("module ((")
+
+
+class TestLint:
+    def test_clean_code_no_penalty(self):
+        report = lint(
+            "// doc\nmodule m(input a, output y);\n"
+            "  assign y = ~a;\nendmodule\n")
+        assert report.penalty == 0
+
+    def test_blocking_in_clocked(self):
+        report = lint(
+            "module m(input clk, d, output reg q);\n"
+            "  always @(posedge clk) q = d;\nendmodule")
+        assert "S010" in report.codes()
+
+    def test_nonblocking_in_comb(self):
+        report = lint(
+            "module m(input a, output reg y);\n"
+            "  always @(*) y <= a;\nendmodule")
+        assert "S011" in report.codes()
+
+    def test_case_without_default(self):
+        report = lint(
+            "module m(input [1:0] s, input a, b, output reg y);\n"
+            "  always @(*) case (s)\n"
+            "    2'd0: y = a;\n    2'd1: y = b;\n  endcase\nendmodule")
+        assert "S012" in report.codes()
+
+    def test_incomplete_sensitivity(self):
+        report = lint(
+            "module m(input a, b, output reg y);\n"
+            "  always @(a) y = a & b;\nendmodule")
+        assert "S014" in report.codes()
+
+    def test_unused_signal(self):
+        report = lint(
+            "module m(input a, output y);\n"
+            "  wire dead_net;\n  assign y = a;\nendmodule")
+        assert "S021" in report.codes()
+
+    def test_mixed_indentation(self):
+        report = lint(
+            "module m(input a, output y);\n"
+            "\tassign y = a;\n  wire w = a;\nendmodule")
+        assert "W002" in report.codes()
+
+    def test_parse_failure_is_fatal(self):
+        report = lint("module ((")
+        assert report.parse_failed
+        assert report.penalty >= 20
+
+    def test_penalty_capped_per_rule(self):
+        # Dozens of long lines still cost at most 4 points.
+        long_lines = "\n".join(
+            f"  // {'x' * 130}" for _ in range(30))
+        report = lint(
+            f"module m(input a, output y);\n{long_lines}\n"
+            "  assign y = a;\nendmodule")
+        w001 = sum(v.penalty for v in report.violations
+                   if v.code == "W001")
+        assert w001 > 4.0
+        assert report.penalty <= 6.0

@@ -1,0 +1,119 @@
+"""Tests for the Verilog preprocessor."""
+
+import pytest
+
+from repro.verilog.preprocessor import (
+    Preprocessor,
+    PreprocessorError,
+    preprocess,
+)
+
+
+class TestDefines:
+    def test_object_macro(self):
+        result = preprocess("`define W 8\nwire [`W-1:0] x;")
+        assert "wire [8-1:0] x;" in result.text
+
+    def test_function_macro(self):
+        result = preprocess(
+            "`define MAX(a, b) ((a) > (b) ? (a) : (b))\n"
+            "assign y = `MAX(p, q);")
+        assert "((p) > (q) ? (p) : (q))" in result.text
+
+    def test_nested_macro_expansion(self):
+        result = preprocess(
+            "`define A 4\n`define B (`A + 1)\nwire [`B:0] x;")
+        assert "(4 + 1)" in result.text
+
+    def test_undef(self):
+        result = preprocess("`define X 1\n`undef X\n`ifdef X\nyes\n`endif")
+        assert "yes" not in result.text
+
+    def test_multiline_define(self):
+        result = preprocess(
+            "`define LONG first \\\nsecond\n`LONG")
+        assert "first" in result.text and "second" in result.text
+
+    def test_unknown_macro_left_in_place(self):
+        result = preprocess("assign x = `MYSTERY;")
+        assert "`MYSTERY" in result.text
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        result = preprocess("`define F\n`ifdef F\nkeep\n`else\ndrop\n`endif")
+        assert "keep" in result.text and "drop" not in result.text
+
+    def test_ifdef_not_taken(self):
+        result = preprocess("`ifdef F\ndrop\n`else\nkeep\n`endif")
+        assert "keep" in result.text and "drop" not in result.text
+
+    def test_ifndef(self):
+        result = preprocess("`ifndef F\nkeep\n`endif")
+        assert "keep" in result.text
+
+    def test_elsif(self):
+        result = preprocess(
+            "`define B\n`ifdef A\n1\n`elsif B\n2\n`else\n3\n`endif")
+        stripped = result.text.strip()
+        assert stripped == "2"
+
+    def test_nested_conditionals(self):
+        result = preprocess(
+            "`define O\n`ifdef O\n`ifdef I\nx\n`else\ny\n`endif\n`endif")
+        assert "y" in result.text and "x" not in result.text.replace(
+            "y", "")
+
+    def test_unterminated_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("`ifdef X\nnever closed")
+
+    def test_stray_endif_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("`endif")
+
+
+class TestIncludes:
+    def test_resolved_include(self):
+        result = preprocess(
+            '`include "defs.vh"\nwire [`W:0] x;',
+            include_files={"defs.vh": "`define W 7"})
+        assert "wire [7:0] x;" in result.text
+        assert result.missing_includes == []
+
+    def test_missing_include_recorded(self):
+        result = preprocess('`include "ghost.vh"\nmodule m; endmodule')
+        assert result.missing_includes == ["ghost.vh"]
+        assert "module m" in result.text
+
+    def test_nested_includes(self):
+        result = preprocess(
+            '`include "a.vh"',
+            include_files={"a.vh": '`include "b.vh"', "b.vh": "deep"})
+        assert "deep" in result.text
+
+    def test_include_cycle_guard(self):
+        with pytest.raises(PreprocessorError):
+            preprocess('`include "a.vh"',
+                       include_files={"a.vh": '`include "a.vh"'})
+
+
+class TestDirectiveStripping:
+    def test_timescale_recorded_and_stripped(self):
+        result = preprocess("`timescale 1ns/1ps\nmodule m; endmodule")
+        assert result.timescale == "1ns/1ps"
+        assert "timescale" not in result.text
+
+    def test_default_nettype_stripped(self):
+        result = preprocess("`default_nettype none\nmodule m; endmodule")
+        assert "default_nettype" not in result.text
+
+    def test_celldefine_stripped(self):
+        result = preprocess("`celldefine\nmodule m; endmodule\n"
+                            "`endcelldefine")
+        assert "celldefine" not in result.text
+
+    def test_predefined_macros(self):
+        result = Preprocessor(predefined={"SIM": "1"}).run(
+            "`ifdef SIM\nsim_only\n`endif")
+        assert "sim_only" in result.text

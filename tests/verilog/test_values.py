@@ -1,0 +1,306 @@
+"""Unit and property tests for four-state vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.verilog.sim.values import Vec4, concat_all
+
+
+def v(text, signed=False):
+    return Vec4.from_string(text, signed)
+
+
+class TestConstruction:
+    def test_from_int_masks_to_width(self):
+        assert Vec4.from_int(0x1FF, 8).to_int() == 0xFF
+
+    def test_from_int_negative_two_complement(self):
+        value = Vec4.from_int(-1, 8)
+        assert value.to_int() == 0xFF
+
+    def test_all_x(self):
+        assert Vec4.all_x(4).to_bit_string() == "xxxx"
+
+    def test_all_z(self):
+        assert Vec4.all_z(4).to_bit_string() == "zzzz"
+
+    def test_from_string_roundtrip(self):
+        assert v("10xz").to_bit_string() == "10xz"
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Vec4(0)
+
+    def test_val_bits_inside_xz_cleared(self):
+        value = Vec4(4, val=0b1111, xz=0b0011, z=0)
+        assert value.val == 0b1100
+
+    def test_to_int_raises_on_unknown(self):
+        with pytest.raises(ValueError):
+            v("1x").to_int()
+
+    def test_to_int_or_none(self):
+        assert v("1x").to_int_or_none() is None
+        assert v("10").to_int_or_none() == 2
+
+
+class TestBitwise:
+    def test_and_truth_table_with_x(self):
+        # MSB-first "01" & "xx": bit1 = 0&x = 0, bit0 = 1&x = x.
+        assert v("01").bit_and(v("xx")).to_bit_string() == "0x"
+
+    def test_or_truth_table_with_x(self):
+        # bit1 = 0|x = x, bit0 = 1|x = 1.
+        assert v("01").bit_or(v("xx")).to_bit_string() == "x1"
+
+    def test_xor_propagates_x(self):
+        assert v("10").bit_xor(v("x1")).to_bit_string() == "x1"
+
+    def test_z_behaves_as_x(self):
+        assert v("01").bit_and(v("zz")).to_bit_string() == "0x"
+
+    def test_not(self):
+        assert v("10x").bit_not().to_bit_string() == "01x"
+
+    def test_widths_extend(self):
+        result = Vec4.from_int(0xF, 4).bit_and(Vec4.from_int(0xFF, 8))
+        assert result.width == 8
+        assert result.to_int() == 0x0F
+
+
+class TestReductions:
+    def test_reduce_and(self):
+        assert v("1111").reduce_and().to_int() == 1
+        assert v("1101").reduce_and().to_int() == 0
+        assert v("11x1").reduce_and().has_unknown
+        # A known zero decides the result even with x present.
+        assert v("10x1").reduce_and().to_int() == 0
+
+    def test_reduce_or(self):
+        assert v("0000").reduce_or().to_int() == 0
+        assert v("00x0").reduce_or().has_unknown
+        assert v("01x0").reduce_or().to_int() == 1
+
+    def test_reduce_xor_parity(self):
+        assert v("1110").reduce_xor().to_int() == 1
+        assert v("1111").reduce_xor().to_int() == 0
+        assert v("1x11").reduce_xor().has_unknown
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        result = Vec4.from_int(0xFF, 8).add(Vec4.from_int(1, 8))
+        assert result.to_int() == 0
+
+    def test_add_with_x_poisons(self):
+        assert v("1x").add(v("01")).has_unknown
+
+    def test_sub(self):
+        assert Vec4.from_int(5, 8).sub(Vec4.from_int(7, 8)).to_int() == 0xFE
+
+    def test_signed_mul(self):
+        a = Vec4.from_int(-3 & 0xF, 4, signed=True)
+        b = Vec4.from_int(2, 4, signed=True)
+        assert a.mul(b).to_signed_int() == -6
+
+    def test_div_by_zero_is_x(self):
+        assert Vec4.from_int(5, 8).div(Vec4.from_int(0, 8)).has_unknown
+
+    def test_signed_div_truncates_toward_zero(self):
+        a = Vec4.from_int(-7 & 0xFF, 8, signed=True)
+        b = Vec4.from_int(2, 8, signed=True)
+        assert a.div(b).to_signed_int() == -3
+
+    def test_mod_sign_follows_dividend(self):
+        a = Vec4.from_int(-7 & 0xFF, 8, signed=True)
+        b = Vec4.from_int(2, 8, signed=True)
+        assert a.mod(b).to_signed_int() == -1
+
+    def test_power(self):
+        assert Vec4.from_int(2, 8).power(Vec4.from_int(5, 8)).to_int() == 32
+
+    def test_neg(self):
+        assert Vec4.from_int(1, 8).neg().to_int() == 0xFF
+
+
+class TestShifts:
+    def test_shl(self):
+        assert Vec4.from_int(0b0011, 4).shl(Vec4.from_int(2, 4)).to_int() == 0b1100
+
+    def test_shl_overflow_drops(self):
+        assert Vec4.from_int(0b1000, 4).shl(Vec4.from_int(1, 4)).to_int() == 0
+
+    def test_shr(self):
+        assert Vec4.from_int(0b1100, 4).shr(Vec4.from_int(2, 4)).to_int() == 0b0011
+
+    def test_shift_by_width_or_more_is_zero(self):
+        assert Vec4.from_int(0xF, 4).shr(Vec4.from_int(4, 4)).to_int() == 0
+
+    def test_ashr_signed_fills_sign(self):
+        a = Vec4.from_int(0b1000, 4, signed=True)
+        assert a.ashr(Vec4.from_int(2, 4)).to_bit_string() == "1110"
+
+    def test_ashr_unsigned_is_logical(self):
+        a = Vec4.from_int(0b1000, 4)
+        assert a.ashr(Vec4.from_int(2, 4)).to_int() == 0b0010
+
+    def test_shift_x_amount_poisons(self):
+        assert Vec4.from_int(1, 4).shl(v("x")).has_unknown
+
+
+class TestComparisons:
+    def test_eq_known(self):
+        assert Vec4.from_int(5, 4).eq(Vec4.from_int(5, 4)).to_int() == 1
+
+    def test_eq_decided_false_despite_x(self):
+        # 10 vs 0x: MSB differs, so == is known 0.
+        assert v("10").eq(v("0x")).to_int() == 0
+
+    def test_eq_undecidable_is_x(self):
+        assert v("1x").eq(v("11")).has_unknown
+
+    def test_case_eq_matches_patterns(self):
+        assert v("1x").case_eq(v("1x")).to_int() == 1
+        assert v("1x").case_eq(v("1z")).to_int() == 0
+
+    def test_relational_signed(self):
+        a = Vec4.from_int(-1 & 0xF, 4, signed=True)
+        b = Vec4.from_int(1, 4, signed=True)
+        assert a.lt(b).to_int() == 1
+
+    def test_relational_unsigned(self):
+        a = Vec4.from_int(0xF, 4)
+        b = Vec4.from_int(1, 4)
+        assert a.lt(b).to_int() == 0
+
+    def test_relational_with_x_is_x(self):
+        assert v("1x").lt(v("10")).has_unknown
+
+
+class TestLogical:
+    def test_truthiness(self):
+        assert Vec4.from_int(2, 4).truthiness() is True
+        assert Vec4.from_int(0, 4).truthiness() is False
+        assert v("0x").truthiness() is None
+        assert v("1x").truthiness() is True
+
+    def test_logical_and_short_decides(self):
+        assert Vec4.from_int(0, 1).logical_and(v("x")).to_int() == 0
+
+    def test_logical_or_short_decides(self):
+        assert Vec4.from_int(1, 1).logical_or(v("x")).to_int() == 1
+
+    def test_logical_not(self):
+        assert Vec4.from_int(0, 4).logical_not().to_int() == 1
+        assert v("000x").logical_not().has_unknown
+
+
+class TestStructure:
+    def test_concat(self):
+        result = v("10").concat(v("01"))
+        assert result.to_bit_string() == "1001"
+
+    def test_concat_all_order(self):
+        result = concat_all([v("1"), v("0"), v("x")])
+        assert result.to_bit_string() == "10x"
+
+    def test_replicate(self):
+        assert v("10").replicate(3).to_bit_string() == "101010"
+
+    def test_replicate_zero_rejected(self):
+        with pytest.raises(ValueError):
+            v("1").replicate(0)
+
+    def test_slice(self):
+        assert v("1100").slice(3, 2).to_bit_string() == "11"
+
+    def test_slice_out_of_range_reads_x(self):
+        assert v("10").slice(4, 3).to_bit_string() == "xx"
+
+    def test_set_slice(self):
+        result = v("0000").set_slice(2, 1, v("11"))
+        assert result.to_bit_string() == "0110"
+
+    def test_resize_zero_extend(self):
+        assert Vec4.from_int(5, 4).resize(8).to_bit_string() == "00000101"
+
+    def test_resize_sign_extend(self):
+        value = Vec4.from_int(0b1100, 4, signed=True)
+        assert value.resize(8, True).to_bit_string() == "11111100"
+
+    def test_resize_x_sign_extends_x(self):
+        value = Vec4.from_string("x100", signed=True)
+        assert value.resize(6, True).to_bit_string() == "xxx100"
+
+    def test_resize_truncate(self):
+        assert Vec4.from_int(0xAB, 8).resize(4).to_int() == 0xB
+
+
+# -- property-based tests -----------------------------------------------------
+
+widths = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def int_pairs(draw):
+    width = draw(widths)
+    mask = (1 << width) - 1
+    return (width,
+            draw(st.integers(min_value=0, max_value=mask)),
+            draw(st.integers(min_value=0, max_value=mask)))
+
+
+class TestProperties:
+    @given(int_pairs())
+    def test_add_matches_python(self, triple):
+        width, a, b = triple
+        result = Vec4.from_int(a, width).add(Vec4.from_int(b, width))
+        assert result.to_int() == (a + b) & ((1 << width) - 1)
+
+    @given(int_pairs())
+    def test_and_or_de_morgan(self, triple):
+        width, a, b = triple
+        va, vb = Vec4.from_int(a, width), Vec4.from_int(b, width)
+        lhs = va.bit_and(vb).bit_not()
+        rhs = va.bit_not().bit_or(vb.bit_not())
+        assert lhs == rhs
+
+    @given(int_pairs())
+    def test_xor_self_inverse(self, triple):
+        width, a, b = triple
+        va, vb = Vec4.from_int(a, width), Vec4.from_int(b, width)
+        assert va.bit_xor(vb).bit_xor(vb) == va
+
+    @given(int_pairs())
+    def test_sub_add_roundtrip(self, triple):
+        width, a, b = triple
+        va, vb = Vec4.from_int(a, width), Vec4.from_int(b, width)
+        assert va.sub(vb).add(vb) == va
+
+    @given(st.text(alphabet="01xz", min_size=1, max_size=32))
+    def test_bit_string_roundtrip(self, text):
+        assert Vec4.from_string(text).to_bit_string() == text
+
+    @given(st.text(alphabet="01xz", min_size=1, max_size=24),
+           st.text(alphabet="01xz", min_size=1, max_size=24))
+    def test_concat_width_and_parts(self, left, right):
+        result = Vec4.from_string(left).concat(Vec4.from_string(right))
+        assert result.width == len(left) + len(right)
+        assert result.to_bit_string() == left + right
+
+    @given(st.text(alphabet="01", min_size=1, max_size=32))
+    def test_double_not_identity(self, text):
+        value = Vec4.from_string(text)
+        assert value.bit_not().bit_not() == value
+
+    @given(int_pairs())
+    def test_eq_agrees_with_python(self, triple):
+        width, a, b = triple
+        result = Vec4.from_int(a, width).eq(Vec4.from_int(b, width))
+        assert result.to_int() == int(a == b)
+
+    @given(widths, st.data())
+    def test_resize_preserves_value_when_widening(self, width, data):
+        value = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        vec = Vec4.from_int(value, width)
+        assert vec.resize(width + 8).to_int() == value
