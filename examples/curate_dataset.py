@@ -2,11 +2,19 @@
 
 Simulates the GitHub scrape and the Fig. 2 commercial-LLM generation
 pipeline, pushes everything through the filters / dedup / syntax-check
-/ labelling stages, prints the pyramid, and saves the dataset as JSONL.
+/ labelling stages, prints the pyramid and the per-stage trace, and
+saves the dataset as JSONL.
 
     python examples/curate_dataset.py
+    python examples/curate_dataset.py --parallel --report-json report.json
+
+``--report-json PATH`` writes the full machine-readable pipeline report
+(funnel counters, layer sizes, and the per-stage trace with wall times,
+drop reasons, and cache hit rates) so runs can be diffed between
+revisions.  ``--parallel`` runs per-file stages on a thread pool.
 """
 
+import argparse
 import random
 
 from repro.corpus import (
@@ -16,9 +24,20 @@ from repro.corpus import (
 )
 from repro.dataset import CurationPipeline, save_jsonl
 from repro.eval import render_pyramid
+from repro.pipeline import ParallelExecutor
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Run the PyraNet curation pipeline")
+    parser.add_argument(
+        "--report-json", metavar="PATH", default=None,
+        help="write the pipeline report (funnel + layers + per-stage "
+             "trace) as JSON to PATH")
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="run per-file stages on a thread pool")
+    args = parser.parse_args()
     print("1) Scraping (simulated GitHub population)…")
     scraper = GitHubScrapeSimulator(seed=7)
     raw_files = scraper.scrape(500)
@@ -41,8 +60,15 @@ def main() -> None:
           "(10 temperature-varied queries per prompt)")
 
     print("\n3) Curating (filters -> dedup -> syntax check -> labels)…")
-    result = CurationPipeline(seed=7).run(raw_files, generated)
+    executor = (ParallelExecutor(mode="thread") if args.parallel
+                else ParallelExecutor.serial())
+    result = CurationPipeline(seed=7, executor=executor).run(
+        raw_files, generated)
     for line in result.report.summary_lines():
+        print("   ", line)
+
+    print("\n   per-stage trace:")
+    for line in result.report.trace.summary_lines():
         print("   ", line)
 
     print()
@@ -61,6 +87,11 @@ def main() -> None:
     path = "pyranet_dataset.jsonl"
     n = save_jsonl(result.dataset, path)
     print(f"\nsaved {n} entries to {path}")
+
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as handle:
+            handle.write(result.report.to_json(indent=2))
+        print(f"wrote pipeline report to {args.report_json}")
 
 
 if __name__ == "__main__":

@@ -44,6 +44,7 @@ from ..model.generator import (
     ModelProfile,
 )
 from ..model.interfaces import FineTunable
+from ..pipeline import ParallelExecutor, ResultCache
 
 #: Recipe names accepted by :meth:`PyraNet.finetune`.
 RECIPES = ("baseline", "dataset", "architecture", "rtlcoder", "origen",
@@ -59,16 +60,25 @@ class PyraNet:
         n_samples: completions per problem during evaluation.
         temperature: sampling temperature during evaluation.
         n_test_vectors: stimulus per functional test.
+        executor: shared executor for curation and evaluation fan-out;
+            ``None`` uses each subsystem's default (serial curation,
+            threaded evaluation).
     """
 
     seed: int = 0
     n_samples: int = 10
     temperature: float = 0.8
     n_test_vectors: int = 24
+    executor: Optional[ParallelExecutor] = None
 
     curation: Optional[CurationResult] = None
     _machine_problems: Optional[List[EvalProblem]] = None
     _human_problems: Optional[List[EvalProblem]] = None
+    #: Functional-test outcomes are pure in (problem, completion), so
+    #: one cache serves every model/recipe evaluated by this driver —
+    #: across a Table I grid, models regenerate many identical
+    #: completions and each unique one simulates exactly once.
+    _eval_cache: ResultCache = field(default_factory=ResultCache)
 
     # -- dataset ------------------------------------------------------------
 
@@ -86,6 +96,7 @@ class PyraNet:
             n_queries_per_prompt=n_queries_per_prompt,
             seed=self.seed,
             dedup_threshold=dedup_threshold,
+            executor=self.executor,
         )
         return self.curation.dataset
 
@@ -180,6 +191,8 @@ class PyraNet:
             seed=self.seed + 3,
             n_test_vectors=self.n_test_vectors,
             model_name=model_name,
+            executor=self.executor,
+            cache=self._eval_cache,
         )
 
 

@@ -14,6 +14,7 @@ counts — the funnel that turns ~2.4 M raw files into the usable set.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -88,6 +89,15 @@ class FunnelStats:
 
     def record_removal(self, stage: str) -> None:
         self.removed[stage] = self.removed.get(stage, 0) + 1
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["removed"] = dict(self.removed)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunnelStats":
+        return cls(**data)
 
 
 @dataclass

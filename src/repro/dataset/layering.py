@@ -54,6 +54,33 @@ class LayerReport:
         """(layer, size) rows, best layer first."""
         return [(n, self.sizes.get(n, 0)) for n in range(1, 7)]
 
+    def to_dict(self) -> Dict:
+        return {
+            "sizes": {str(k): v for k, v in self.sizes.items()},
+            "complexity_coverage": {
+                str(k): dict(v)
+                for k, v in self.complexity_coverage.items()
+            },
+            "missing_complexities": {
+                str(k): list(v)
+                for k, v in self.missing_complexities.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LayerReport":
+        return cls(
+            sizes={int(k): v for k, v in data.get("sizes", {}).items()},
+            complexity_coverage={
+                int(k): dict(v)
+                for k, v in data.get("complexity_coverage", {}).items()
+            },
+            missing_complexities={
+                int(k): list(v)
+                for k, v in data.get("missing_complexities", {}).items()
+            },
+        )
+
 
 def assign_layers(entries: List[DatasetEntry]) -> LayerReport:
     """Assign ``entry.layer`` in place and report the population."""

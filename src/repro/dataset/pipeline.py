@@ -1,32 +1,52 @@
 """End-to-end dataset curation (paper Section III-A).
 
 :class:`CurationPipeline` turns a raw file population (scraped +
-LLM-generated) into a layered :class:`~.records.PyraNetDataset`:
+LLM-generated) into a layered :class:`~.records.PyraNetDataset`.  It is
+a composition of named stages over the generic
+:class:`~repro.pipeline.StagedPipeline` engine:
 
-1. filters — empty/broken, module declaration (cheap first);
-2. deduplication — Jaccard over token shingles;
-3. syntax check — last, on the reduced set; classifies clean vs
-   dependency-only;
-4. labelling — 0–20 ranking, complexity tier, design description;
-5. layering — the six-tier pyramid.
+1. ``empty_broken`` / ``module_decl`` — the cheap filters;
+2. ``dedup`` — Jaccard over token shingles (batch, cross-record);
+3. ``syntax_check`` — the expensive compile check, last, on the
+   reduced set; classifies clean vs dependency-only (cached);
+4. ``rank_label`` / ``describe`` — 0–20 ranking, complexity tier,
+   design description (cached);
+5. ``assemble`` / ``layer`` — dataset rows and the six-tier pyramid.
 
 Descriptions supplied by the generation pipeline (the design prompt the
 sample was generated from) are kept; scraped files get AST-derived
-descriptions.
+descriptions.  Per-record stages run through a
+:class:`~repro.pipeline.ParallelExecutor` (serial by default; thread or
+process pools opt-in) and memoise pure per-file work in a shared
+:class:`~repro.pipeline.ResultCache`.  The run's
+:class:`~repro.pipeline.PipelineTrace` — per-stage wall time, in/out
+counts, drop reasons, cache hit rates — rides on the report.
 """
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..corpus.github_sim import RawFile
 from ..corpus.llm_sim import GeneratedSample, strip_markdown_fences
+from ..pipeline import (
+    BatchStage,
+    Drop,
+    Keep,
+    ParallelExecutor,
+    PipelineTrace,
+    Record,
+    RecordStage,
+    ResultCache,
+    StagedPipeline,
+)
 from .complexity import classify_code
 from .dedup import dedup_keep_indices
 from .describe import describe_source
-from .filters import FunnelStats, run_filter_funnel
+from .filters import FunnelStats, has_module, is_readable, syntax_filter
 from .layering import LayerReport, assign_layers
 from .ranking import score_code
 from .records import CompileStatus, DatasetEntry, PyraNetDataset
@@ -40,6 +60,7 @@ class PipelineReport:
     layers: LayerReport = field(default_factory=LayerReport)
     n_collected_github: int = 0
     n_generated_llm: int = 0
+    trace: Optional[PipelineTrace] = None
 
     def summary_lines(self) -> List[str]:
         lines = [
@@ -56,6 +77,68 @@ class PipelineReport:
             lines.append(f"layer {number}: {size}")
         return lines
 
+    def to_dict(self) -> Dict:
+        return {
+            "funnel": self.funnel.to_dict(),
+            "layers": self.layers.to_dict(),
+            "n_collected_github": self.n_collected_github,
+            "n_generated_llm": self.n_generated_llm,
+            "trace": self.trace.to_dict() if self.trace else None,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PipelineReport":
+        trace = data.get("trace")
+        return cls(
+            funnel=FunnelStats.from_dict(data["funnel"]),
+            layers=LayerReport.from_dict(data["layers"]),
+            n_collected_github=data["n_collected_github"],
+            n_generated_llm=data["n_generated_llm"],
+            trace=PipelineTrace.from_dict(trace) if trace else None,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineReport":
+        return cls.from_dict(json.loads(text))
+
+
+# -- per-record stage functions (module-level: process-pool picklable) --
+
+
+def _readable_stage(content: str):
+    decision = is_readable(content)
+    return Keep() if decision.kept else Drop(decision.reason)
+
+
+def _module_stage(content: str):
+    decision = has_module(content)
+    return Keep() if decision.kept else Drop(decision.reason)
+
+
+def _syntax_stage(content: str):
+    decision, result = syntax_filter(content)
+    if not decision.kept:
+        return Drop("syntax error")
+    return Keep(meta={"check_result": result})
+
+
+def _rank_label_stage(content: str):
+    return Keep(meta={
+        "ranking": score_code(content),
+        "complexity": classify_code(content),
+    })
+
+
+def _describe_stage(content: str):
+    return Keep(meta={"auto_description": describe_source(content)})
+
+
+def _needs_description(record: Record) -> bool:
+    return not record.meta["provenance"]["description"]
+
 
 @dataclass
 class CurationPipeline:
@@ -65,10 +148,18 @@ class CurationPipeline:
         dedup_threshold: Jaccard similarity above which files are
             considered duplicates.
         seed: used only for entry-id generation stability.
+        executor: per-record work executor; defaults to serial.  A
+            thread/process executor produces identical output (stage
+            functions are pure and order is preserved) — parallelism is
+            opt-in purely so callers control the concurrency footprint.
+        cache: shared content-hash cache for syntax/ranking/description
+            work; a fresh private cache when not supplied.
     """
 
     dedup_threshold: float = 0.8
     seed: int = 0
+    executor: Optional[ParallelExecutor] = None
+    cache: Optional[ResultCache] = None
 
     def run(
         self,
@@ -76,64 +167,155 @@ class CurationPipeline:
         generated: Sequence[GeneratedSample] = (),
     ) -> "CurationResult":
         """Curate ``raw_files`` + ``generated`` into a layered dataset."""
+        records = self._source_records(raw_files, generated)
+        layer_holder: Dict[str, LayerReport] = {}
+        engine = StagedPipeline(
+            name="curation",
+            stages=self._stages(layer_holder),
+            executor=(self.executor if self.executor is not None
+                      else ParallelExecutor.serial()),
+            # NB: an *empty* cache is falsy (it has __len__), so this
+            # must be an identity check, not ``or``.
+            cache=self.cache if self.cache is not None else ResultCache(),
+        )
+        result = engine.run(records=records)
+
+        dataset = PyraNetDataset()
+        for record in result.records:
+            dataset.add(record.value)
         report = PipelineReport(
+            funnel=self._funnel_from(result.trace, dataset),
+            layers=layer_holder.get("report", LayerReport()),
             n_collected_github=len(raw_files),
             n_generated_llm=len(generated),
+            trace=result.trace,
         )
-        contents: List[str] = [f.content for f in raw_files]
-        provenance: List[Dict] = [
-            {"origin": f.origin, "path": f.path, "description": None}
-            for f in raw_files
-        ]
+        return CurationResult(dataset=dataset, report=report)
+
+    # -- wiring -------------------------------------------------------------
+
+    @staticmethod
+    def _source_records(
+        raw_files: Sequence[RawFile],
+        generated: Sequence[GeneratedSample],
+    ) -> List[Record]:
+        records: List[Record] = []
+        for f in raw_files:
+            records.append(Record(len(records), f.content, {"provenance": {
+                "origin": f.origin, "path": f.path, "description": None,
+            }}))
         for sample in generated:
-            contents.append(strip_markdown_fences(sample.raw_response))
-            provenance.append({
+            content = strip_markdown_fences(sample.raw_response)
+            records.append(Record(len(records), content, {"provenance": {
                 "origin": "llm",
                 "path": f"llm/{sample.design.module_name}.v",
                 "description": sample.design.description,
-            })
-        report.funnel.collected = len(contents)
+            }}))
+        return records
 
-        survivors, funnel = run_filter_funnel(
-            contents,
-            dedup=lambda texts: dedup_keep_indices(
-                texts, self.dedup_threshold
-            ),
-        )
-        funnel.collected = len(contents)
-        report.funnel = funnel
+    def _stages(self, layer_holder: Dict) -> List:
+        return [
+            RecordStage("empty_broken", _readable_stage, parallel=False),
+            RecordStage("module_decl", _module_stage, parallel=False),
+            BatchStage("dedup", self._dedup_batch),
+            RecordStage("syntax_check", _syntax_stage,
+                        cache_namespace="curation/syntax"),
+            RecordStage("rank_label", _rank_label_stage,
+                        cache_namespace="curation/rank"),
+            RecordStage("describe", _describe_stage,
+                        cache_namespace="curation/describe",
+                        when=_needs_description),
+            BatchStage("assemble", self._assemble_batch),
+            BatchStage("layer", _make_layer_batch(layer_holder)),
+        ]
 
-        dataset = PyraNetDataset()
-        for position, survivor in enumerate(survivors):
-            meta = provenance[survivor.index]
+    def _dedup_batch(
+        self, records: List[Record]
+    ) -> Tuple[List[Record], List[Tuple[Record, str]]]:
+        if not records:
+            return records, []
+        keep = set(dedup_keep_indices(
+            [record.value for record in records], self.dedup_threshold
+        ))
+        kept, dropped = [], []
+        for position, record in enumerate(records):
+            if position in keep:
+                kept.append(record)
+            else:
+                dropped.append((record, "duplicate"))
+        return kept, dropped
+
+    def _assemble_batch(self, records: List[Record]) -> List[Record]:
+        out: List[Record] = []
+        for position, record in enumerate(records):
+            meta = record.meta
+            provenance = meta["provenance"]
+            result = meta["check_result"]
             status = (
                 CompileStatus.CLEAN
-                if survivor.check_result.status == "clean"
+                if result.status == "clean"
                 else CompileStatus.DEPENDENCY
             )
-            ranking = score_code(survivor.content)
-            description = meta["description"] or describe_source(
-                survivor.content
-            )
+            description = (provenance["description"]
+                           or meta.get("auto_description", ""))
             detail = ""
             if status is CompileStatus.DEPENDENCY:
-                issues = survivor.check_result.dependency_issues
+                issues = result.dependency_issues
                 detail = issues[0].message if issues else "dependency issues"
             entry = DatasetEntry(
                 entry_id=f"pyranet-{self.seed}-{position:06d}",
-                code=survivor.content,
+                code=record.value,
                 description=description,
-                ranking=ranking,
-                complexity=classify_code(survivor.content),
+                ranking=meta["ranking"],
+                complexity=meta["complexity"],
                 compile_status=status,
                 compile_detail=detail,
-                origin=meta["origin"],
-                source_path=meta["path"],
-                module_names=list(survivor.check_result.modules),
+                origin=provenance["origin"],
+                source_path=provenance["path"],
+                module_names=list(result.modules),
             )
-            dataset.add(entry)
-        report.layers = assign_layers(dataset.entries)
-        return CurationResult(dataset=dataset, report=report)
+            out.append(Record(record.index, entry))
+        return out
+
+    @staticmethod
+    def _funnel_from(
+        trace: PipelineTrace, dataset: PyraNetDataset
+    ) -> FunnelStats:
+        """Reconstruct the paper's funnel counters from the trace."""
+        def stage(name):
+            metrics = trace.stage(name)
+            assert metrics is not None, name
+            return metrics
+
+        funnel = FunnelStats(
+            collected=stage("empty_broken").n_in,
+            after_empty_broken=stage("empty_broken").n_out,
+            after_module_decl=stage("module_decl").n_out,
+            after_dedup=stage("dedup").n_out,
+            after_syntax=stage("syntax_check").n_out,
+            clean=sum(1 for e in dataset
+                      if e.compile_status is CompileStatus.CLEAN),
+            dependency_only=sum(1 for e in dataset
+                                if e.compile_status is CompileStatus.DEPENDENCY),
+        )
+        for name in ("empty_broken", "module_decl", "syntax_check"):
+            dropped = stage(name).n_dropped
+            if dropped:
+                funnel.removed[name] = dropped
+        # The legacy funnel reports the dedup count whenever the stage
+        # saw input, even when nothing was removed.
+        if stage("dedup").n_in:
+            funnel.removed["dedup"] = stage("dedup").n_dropped
+        return funnel
+
+
+def _make_layer_batch(holder: Dict):
+    def _layer_batch(records: List[Record]) -> List[Record]:
+        holder["report"] = assign_layers(
+            [record.value for record in records]
+        )
+        return records
+    return _layer_batch
 
 
 @dataclass
@@ -150,6 +332,8 @@ def build_pyranet(
     n_queries_per_prompt: int = 10,
     seed: int = 0,
     dedup_threshold: float = 0.8,
+    executor: Optional[ParallelExecutor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> CurationResult:
     """One-call PyraNet construction at a configurable scale.
 
@@ -173,5 +357,8 @@ def build_pyranet(
             llm.generate_batch(entry, n_queries=n_queries_per_prompt)
         )
 
-    pipeline = CurationPipeline(dedup_threshold=dedup_threshold, seed=seed)
+    pipeline = CurationPipeline(
+        dedup_threshold=dedup_threshold, seed=seed,
+        executor=executor, cache=cache,
+    )
     return pipeline.run(raw_files, generated)

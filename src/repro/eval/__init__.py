@@ -2,12 +2,19 @@
 
 from .functional import Mismatch, TestOutcome, run_functional_test
 from .passk import mean_pass_at_k, pass_at_k
-from .harness import EvalProblem, EvalReport, ProblemResult, evaluate_model
+from .harness import (
+    EvalProblem,
+    EvalReport,
+    ProblemResult,
+    evaluate_model,
+    sample_seed,
+)
 from .report import render_gains_table, render_pyramid, render_table
 
 __all__ = [
     "Mismatch", "TestOutcome", "run_functional_test",
     "mean_pass_at_k", "pass_at_k",
     "EvalProblem", "EvalReport", "ProblemResult", "evaluate_model",
+    "sample_seed",
     "render_table", "render_gains_table", "render_pyramid",
 ]

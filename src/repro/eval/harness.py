@@ -4,16 +4,34 @@ For every problem, sample *n* completions from the model at a fixed
 temperature, run each against the problem's hidden functional
 testbench, and estimate pass@k from the per-problem pass counts —
 VerilogEval's protocol end to end.
+
+The loop runs on the staged pipeline engine
+(:mod:`repro.pipeline`): each problem's sampling + simulation is one
+record fanned out across a :class:`~repro.pipeline.ParallelExecutor`
+(threads by default — ``generate`` and the simulator only read shared
+state), and functional-test outcomes are memoised in a shared
+:class:`~repro.pipeline.ResultCache` keyed on the completion text, so
+identical completions — within a run or across models evaluated
+against the same suite — simulate once.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..corpus.spec import DesignSpec
 from ..model.interfaces import FineTunable
+from ..pipeline import (
+    ParallelExecutor,
+    PipelineTrace,
+    RecordStage,
+    ResultCache,
+    StagedPipeline,
+)
 from .functional import TestOutcome, run_functional_test
 from .passk import mean_pass_at_k, pass_at_k
 
@@ -43,6 +61,23 @@ class ProblemResult:
         return pass_at_k(self.n_samples, self.n_passed,
                          min(k, self.n_samples))
 
+    def to_dict(self) -> Dict:
+        return {
+            "problem_id": self.problem_id,
+            "n_samples": self.n_samples,
+            "n_passed": self.n_passed,
+            "failure_kinds": dict(self.failure_kinds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ProblemResult":
+        return cls(
+            problem_id=data["problem_id"],
+            n_samples=data["n_samples"],
+            n_passed=data["n_passed"],
+            failure_kinds=dict(data.get("failure_kinds", {})),
+        )
+
 
 @dataclass
 class EvalReport:
@@ -51,6 +86,7 @@ class EvalReport:
     suite: str
     model_name: str
     results: List[ProblemResult] = field(default_factory=list)
+    trace: Optional[PipelineTrace] = None
 
     def pass_at(self, k: int) -> float:
         """Mean pass@k over problems, as a percentage.
@@ -74,6 +110,46 @@ class EvalReport:
                 histogram[kind] = histogram.get(kind, 0) + count
         return histogram
 
+    def to_dict(self) -> Dict:
+        return {
+            "suite": self.suite,
+            "model_name": self.model_name,
+            "results": [result.to_dict() for result in self.results],
+            "trace": self.trace.to_dict() if self.trace else None,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "EvalReport":
+        trace = data.get("trace")
+        return cls(
+            suite=data["suite"],
+            model_name=data["model_name"],
+            results=[ProblemResult.from_dict(item)
+                     for item in data.get("results", [])],
+            trace=PipelineTrace.from_dict(trace) if trace else None,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "EvalReport":
+        return cls.from_dict(json.loads(text))
+
+
+def sample_seed(seed: int, problem_index: int, sample_index: int) -> int:
+    """Stable 64-bit RNG seed for one (run, problem, sample) triple.
+
+    An explicit blake2b mix — unlike tuple ``__hash__``, the derivation
+    is documented, collision-resistant, and independent of interpreter
+    hashing details.
+    """
+    digest = hashlib.blake2b(
+        f"{seed}:{problem_index}:{sample_index}".encode("ascii"),
+        digest_size=8,
+    ).digest()
+    return int.from_bytes(digest, "little")
+
 
 def evaluate_model(
     model: FineTunable,
@@ -83,6 +159,8 @@ def evaluate_model(
     seed: int = 0,
     n_test_vectors: int = 32,
     model_name: Optional[str] = None,
+    executor: Optional[ParallelExecutor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> EvalReport:
     """Run the full sampling + functional-check loop.
 
@@ -91,37 +169,45 @@ def evaluate_model(
         problems: the benchmark suite.
         n_samples: completions per problem (n of the pass@k estimator).
         temperature: sampling temperature.
-        seed: master seed; per-sample seeds derive deterministically.
+        seed: master seed; per-sample seeds derive deterministically
+            via :func:`sample_seed`, so results are independent of
+            execution order and worker count.
         n_test_vectors: stimulus vectors/cycles per functional test.
+        executor: per-problem fan-out; defaults to a thread pool
+            (override with ``REPRO_PIPELINE_MODE=serial``).
+        cache: functional-test outcome cache; pass a shared instance to
+            reuse simulations across models/suites.
     """
     suite = problems[0].suite if problems else "empty"
     name = model_name or getattr(
         getattr(model, "profile", None), "name", type(model).__name__
     )
-    report = EvalReport(suite=suite, model_name=name)
-    for p_index, problem in enumerate(problems):
+    outcome_cache = cache if cache is not None else ResultCache()
+
+    def _run_problem(indexed) -> ProblemResult:
+        p_index, problem = indexed
         result = ProblemResult(
             problem_id=problem.problem_id, n_samples=n_samples, n_passed=0
         )
         # Identical completions share one functional-test run; sampling
         # repeats exemplars often, so this cuts simulation cost a lot
         # without changing any outcome.
-        outcome_cache: Dict[str, TestOutcome] = {}
+        namespace = f"functional/{problem.problem_id}/{n_test_vectors}"
         for s_index in range(n_samples):
-            rng = random.Random((seed, p_index, s_index).__hash__())
+            rng = random.Random(sample_seed(seed, p_index, s_index))
             code = model.generate(
                 problem.description,
                 temperature=temperature,
                 rng=rng,
                 module_header=problem.module_header,
             )
-            outcome = outcome_cache.get(code)
-            if outcome is None:
-                outcome = run_functional_test(
+            outcome = outcome_cache.get_or_compute(
+                namespace, code,
+                lambda: run_functional_test(
                     code, problem.spec, n_vectors=n_test_vectors,
                     seed=1000,
-                )
-                outcome_cache[code] = outcome
+                ),
+            )
             if outcome.passed:
                 result.n_passed += 1
             else:
@@ -129,5 +215,21 @@ def evaluate_model(
                 result.failure_kinds[kind] = (
                     result.failure_kinds.get(kind, 0) + 1
                 )
-        report.results.append(result)
-    return report
+        return result
+
+    engine = StagedPipeline(
+        name="evaluation",
+        stages=[RecordStage("sample+simulate", _run_problem)],
+        executor=executor or ParallelExecutor.from_env(default_mode="thread"),
+        cache=outcome_cache,
+    )
+    outcome = engine.run(values=list(enumerate(problems)))
+    outcome.trace.meta["model"] = name
+    outcome.trace.meta["suite"] = suite
+    outcome.trace.meta["n_samples"] = n_samples
+    return EvalReport(
+        suite=suite,
+        model_name=name,
+        results=[record.value for record in outcome.records],
+        trace=outcome.trace,
+    )

@@ -1,0 +1,31 @@
+"""Staged pipeline engine: stages, parallel execution, metrics, caching.
+
+The generic machinery behind the curation pipeline
+(:mod:`repro.dataset.pipeline`) and the evaluation harness
+(:mod:`repro.eval.harness`): named map/filter/batch stages over typed
+records, a deterministic-order parallel executor with a serial
+fallback, per-stage wall-time/drop/cache instrumentation, and a
+content-hash result cache for expensive pure per-file work.
+"""
+
+from .cache import ResultCache, content_key
+from .engine import PipelineResult, StagedPipeline
+from .executor import ParallelExecutor
+from .metrics import PipelineTrace, StageMetrics
+from .stage import BatchStage, Drop, Keep, Record, RecordStage, Stage
+
+__all__ = [
+    "BatchStage",
+    "Drop",
+    "Keep",
+    "ParallelExecutor",
+    "PipelineResult",
+    "PipelineTrace",
+    "Record",
+    "RecordStage",
+    "ResultCache",
+    "Stage",
+    "StagedPipeline",
+    "StageMetrics",
+    "content_key",
+]

@@ -1,0 +1,121 @@
+"""Deterministic parallel map over per-record stage work.
+
+:class:`ParallelExecutor` is the one place the pipeline touches
+concurrency.  It maps a function over items in **deterministic input
+order** regardless of mode, so a pipeline run is bit-identical whether
+it executes serially, on a thread pool, or on a process pool:
+
+* ``serial``  — a plain loop; the fallback everything degrades to;
+* ``thread``  — ``ThreadPoolExecutor`` over deterministic-order chunks
+  (our per-file work is pure Python, so threads buy safety and overlap
+  with any native work rather than raw speedup);
+* ``process`` — ``ProcessPoolExecutor`` for picklable module-level
+  functions; anything unpicklable (closures, lambdas) falls back to
+  serial instead of failing the run.
+
+Mode and worker count can be forced via ``REPRO_PIPELINE_MODE`` /
+``REPRO_PIPELINE_WORKERS`` for operational tuning without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+MODES = ("serial", "thread", "process")
+
+
+class ParallelExecutor:
+    """Order-preserving map with a serial fallback.
+
+    Args:
+        mode: one of ``serial``, ``thread``, ``process``.
+        max_workers: pool size (ignored in serial mode); defaults to
+            ``os.cpu_count()`` capped at 8.
+        chunk_size: items per submitted task; ``None`` picks a chunk
+            count of roughly 4 tasks per worker.
+    """
+
+    def __init__(
+        self,
+        mode: str = "thread",
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode={mode!r}; choose from {MODES}")
+        self.mode = mode
+        self.max_workers = max_workers or min(os.cpu_count() or 1, 8)
+        self.chunk_size = chunk_size
+        #: True when the last map degraded to serial (pool failure or
+        #: unpicklable work in process mode).
+        self.fell_back = False
+
+    @classmethod
+    def from_env(cls, default_mode: str = "thread") -> "ParallelExecutor":
+        """Build from ``REPRO_PIPELINE_MODE`` / ``REPRO_PIPELINE_WORKERS``."""
+        mode = os.environ.get("REPRO_PIPELINE_MODE", default_mode)
+        workers = os.environ.get("REPRO_PIPELINE_WORKERS")
+        return cls(mode=mode, max_workers=int(workers) if workers else None)
+
+    @classmethod
+    def serial(cls) -> "ParallelExecutor":
+        return cls(mode="serial")
+
+    def describe(self) -> dict:
+        return {"mode": self.mode, "max_workers": self.max_workers}
+
+    def _chunks(self, items: Sequence[Any]) -> List[Sequence[Any]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, len(items) // (self.max_workers * 4) or 1)
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        """``[fn(x) for x in items]``, possibly in parallel.
+
+        Results always come back in input order.  Exceptions raised by
+        ``fn`` propagate; infrastructure failures (pool creation,
+        pickling) degrade to the serial path.
+        """
+        self.fell_back = False
+        items = list(items)
+        if self.mode == "serial" or len(items) <= 1:
+            return [fn(item) for item in items]
+        try:
+            return self._pool_map(fn, items)
+        except Exception as exc:
+            # Process pools fail on unpicklable work (closures, local
+            # functions) in mode-specific ways — PicklingError,
+            # AttributeError, BrokenProcessPool — and either pool can
+            # hit resource limits at creation.  Degrade to serial for
+            # those; let genuine errors raised by ``fn`` propagate
+            # (thread pools add no serialisation failure modes, so in
+            # thread mode only infrastructure errors are swallowed).
+            if self.mode == "thread" and not isinstance(
+                    exc, (OSError, RuntimeError)):
+                raise
+            self.fell_back = True
+            return [fn(item) for item in items]
+
+    def _pool_map(
+        self, fn: Callable[[Any], Any], items: List[Any]
+    ) -> List[Any]:
+        pool_cls = (ThreadPoolExecutor if self.mode == "thread"
+                    else ProcessPoolExecutor)
+        chunks = self._chunks(items)
+        workers = min(self.max_workers, len(chunks))
+        with pool_cls(max_workers=workers) as pool:
+            chunk_results = list(pool.map(_run_chunk,
+                                          [(fn, chunk) for chunk in chunks]))
+        return [result for chunk in chunk_results for result in chunk]
+
+
+def _run_chunk(payload: tuple) -> List[Any]:
+    """Apply ``fn`` over one chunk (module-level so processes can pickle
+    the dispatcher; ``fn`` itself must be picklable in process mode)."""
+    fn, chunk = payload
+    return [fn(item) for item in chunk]

@@ -1,0 +1,113 @@
+"""Per-stage instrumentation: where records die and where time goes.
+
+Every engine run produces a :class:`PipelineTrace` — one
+:class:`StageMetrics` per stage with wall time, in/out counts, a
+drop-reason histogram, and cache hit/miss deltas.  Traces serialise to
+JSON (`to_json` / `from_json` round-trip) so a curation or eval run can
+be diffed between PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class StageMetrics:
+    """What one stage did to the record stream."""
+
+    name: str
+    n_in: int = 0
+    n_out: int = 0
+    wall_time_s: float = 0.0
+    #: reason -> count for records dropped at this stage.
+    drops: Dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def n_dropped(self) -> int:
+        return self.n_in - self.n_out
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def record_drop(self, reason: str) -> None:
+        self.drops[reason] = self.drops.get(reason, 0) + 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StageMetrics":
+        return cls(**data)
+
+
+@dataclass
+class PipelineTrace:
+    """The run report: stages in execution order plus run-level facts."""
+
+    pipeline: str = ""
+    stages: List[StageMetrics] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    #: run-level context (executor mode/workers, input sizes, …).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def stage(self, name: str) -> Optional[StageMetrics]:
+        """The metrics for stage ``name`` (first match), or None."""
+        for metrics in self.stages:
+            if metrics.name == name:
+                return metrics
+        return None
+
+    def drop_histogram(self) -> Dict[str, int]:
+        """Drop reasons summed across stages."""
+        histogram: Dict[str, int] = {}
+        for metrics in self.stages:
+            for reason, count in metrics.drops.items():
+                histogram[reason] = histogram.get(reason, 0) + count
+        return histogram
+
+    def summary_lines(self) -> List[str]:
+        lines = [f"pipeline {self.pipeline or '<anonymous>'}: "
+                 f"{self.wall_time_s * 1000.0:.1f} ms total"]
+        for metrics in self.stages:
+            cache = ""
+            if metrics.cache_hits or metrics.cache_misses:
+                cache = (f", cache {metrics.cache_hits}h/"
+                         f"{metrics.cache_misses}m")
+            lines.append(
+                f"  {metrics.name:<14} {metrics.n_in:>6} -> "
+                f"{metrics.n_out:<6} ({metrics.wall_time_s * 1000.0:8.1f} ms"
+                f"{cache})"
+            )
+        return lines
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pipeline": self.pipeline,
+            "wall_time_s": self.wall_time_s,
+            "meta": dict(self.meta),
+            "stages": [metrics.to_dict() for metrics in self.stages],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PipelineTrace":
+        return cls(
+            pipeline=data.get("pipeline", ""),
+            wall_time_s=data.get("wall_time_s", 0.0),
+            meta=dict(data.get("meta", {})),
+            stages=[StageMetrics.from_dict(item)
+                    for item in data.get("stages", [])],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineTrace":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,215 @@
+"""The stage model: records flowing through named map/filter/batch steps.
+
+A :class:`Record` is one unit of work — a stable ``index`` naming it in
+the source population, the current ``value`` payload, and a ``meta``
+side-channel for annotations stages attach along the way (provenance,
+compile results, labels).
+
+Stages come in two shapes:
+
+* :class:`RecordStage` — a pure per-record function, run through the
+  :class:`~repro.pipeline.executor.ParallelExecutor` and optionally
+  memoised in a :class:`~repro.pipeline.cache.ResultCache` under a
+  content-hash key.  The function sees only ``record.value`` (so it is
+  picklable-friendly and cacheable) and returns :class:`Keep`,
+  :class:`Drop`, or a plain replacement value.
+* :class:`BatchStage` — a whole-population function for work that is
+  inherently cross-record (deduplication, layer assignment).  Runs
+  serially and reports per-record drops with reasons.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache, content_key
+from .executor import ParallelExecutor
+from .metrics import StageMetrics
+
+_UNCHANGED = object()
+
+
+@dataclass
+class Record:
+    """One unit of pipeline work."""
+
+    index: int
+    value: Any
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Drop:
+    """Stage outcome: remove the record, with a histogram-able reason."""
+
+    reason: str
+
+
+class Keep:
+    """Stage outcome: keep the record, optionally updating it.
+
+    ``Keep()`` passes the record through untouched; ``Keep(value=v)``
+    replaces the payload; ``meta`` entries are merged over the record's
+    existing annotations.  (No identity-based sentinel survives a
+    process-pool round trip, so "value unchanged" is an explicit flag.)
+    """
+
+    __slots__ = ("has_value", "value", "meta")
+
+    def __init__(self, value: Any = _UNCHANGED,
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        self.has_value = value is not _UNCHANGED
+        self.value = value if self.has_value else None
+        self.meta = dict(meta) if meta else {}
+
+
+class Stage(abc.ABC):
+    """A named step transforming the record stream."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abc.abstractmethod
+    def run(
+        self,
+        records: List[Record],
+        executor: ParallelExecutor,
+        cache: Optional[ResultCache],
+        metrics: StageMetrics,
+    ) -> List[Record]:
+        """Consume ``records``, report drops into ``metrics``, return
+        the survivors (order-preserving)."""
+
+
+class RecordStage(Stage):
+    """Per-record map/filter over ``record.value``.
+
+    Args:
+        name: stage name (shows up in the trace).
+        fn: pure ``value -> Keep | Drop | new_value``.
+        parallel: run through the executor (else a plain serial loop —
+            right for trivially cheap functions).
+        cache_namespace: when set (and the engine has a cache), results
+            are memoised under ``content_key(namespace, key_of(value))``
+            and identical values are computed only once per run.
+        key_of: cache key extractor; defaults to the value itself
+            (values must then be strings/bytes or stably ``repr``-able).
+        when: optional record predicate; records failing it pass
+            through untouched and uncounted by the cache.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Any], Any],
+        *,
+        parallel: bool = True,
+        cache_namespace: Optional[str] = None,
+        key_of: Optional[Callable[[Any], Any]] = None,
+        when: Optional[Callable[[Record], bool]] = None,
+    ) -> None:
+        super().__init__(name)
+        self.fn = fn
+        self.parallel = parallel
+        self.cache_namespace = cache_namespace
+        self.key_of = key_of or (lambda value: value)
+        self.when = when
+
+    def run(self, records, executor, cache, metrics):
+        todo = [record for record in records
+                if self.when is None or self.when(record)]
+        if cache is not None and self.cache_namespace is not None:
+            outcomes = self._cached_outcomes(todo, executor, cache)
+        elif self.parallel:
+            outcomes = executor.map(self.fn, [r.value for r in todo])
+        else:
+            outcomes = [self.fn(record.value) for record in todo]
+
+        survivors: List[Record] = []
+        position = 0
+        for record in records:
+            if self.when is not None and not self.when(record):
+                survivors.append(record)
+                continue
+            outcome = outcomes[position]
+            position += 1
+            updated = self._apply(record, outcome, metrics)
+            if updated is not None:
+                survivors.append(updated)
+        return survivors
+
+    def _cached_outcomes(
+        self,
+        todo: List[Record],
+        executor: ParallelExecutor,
+        cache: ResultCache,
+    ) -> List[Any]:
+        """Outcomes for ``todo``, computing each distinct value once."""
+        miss = object()
+        keys = [content_key(self.cache_namespace, self.key_of(r.value))
+                for r in todo]
+        by_key: Dict[str, Any] = {}
+        missing_keys: List[str] = []
+        missing_values: List[Any] = []
+        for key, record in zip(keys, todo):
+            if key in by_key:
+                continue
+            found = cache.get(key, miss)
+            if found is not miss:
+                by_key[key] = found
+            else:
+                by_key[key] = miss  # claimed; computed below
+                missing_keys.append(key)
+                missing_values.append(record.value)
+        if missing_values:
+            if self.parallel:
+                computed = executor.map(self.fn, missing_values)
+            else:
+                computed = [self.fn(value) for value in missing_values]
+            for key, outcome in zip(missing_keys, computed):
+                cache.put(key, outcome)
+                by_key[key] = outcome
+        return [by_key[key] for key in keys]
+
+    @staticmethod
+    def _apply(
+        record: Record, outcome: Any, metrics: StageMetrics
+    ) -> Optional[Record]:
+        if isinstance(outcome, Drop):
+            metrics.record_drop(outcome.reason)
+            return None
+        if isinstance(outcome, Keep):
+            value = outcome.value if outcome.has_value else record.value
+            meta = dict(record.meta)
+            meta.update(outcome.meta)
+            return Record(record.index, value, meta)
+        return Record(record.index, outcome, dict(record.meta))
+
+
+class BatchStage(Stage):
+    """Whole-population step for cross-record work.
+
+    ``fn`` receives the full record list and returns either the kept
+    records, or ``(kept_records, dropped)`` where ``dropped`` is a list
+    of ``(record, reason)`` pairs feeding the drop histogram.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[List[Record]], Any],
+    ) -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def run(self, records, executor, cache, metrics):
+        result = self.fn(records)
+        if isinstance(result, tuple):
+            kept, dropped = result
+        else:
+            kept, dropped = result, []
+        for _record, reason in dropped:
+            metrics.record_drop(reason)
+        return list(kept)

@@ -5,6 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.dataset.dedup import (
     MinHasher,
+    dedup_keep_indices,
     deduplicate,
     jaccard,
     tokenize_for_dedup,
@@ -120,6 +121,37 @@ class TestDeduplicate:
         with pytest.raises(ValueError):
             deduplicate([CODE_A], n_perm=64, bands=10)
 
+    @pytest.mark.parametrize("n_perm,bands", [(64, 10), (32, 5), (16, 7)])
+    def test_bands_must_divide_any_combination(self, n_perm, bands):
+        with pytest.raises(ValueError):
+            deduplicate([CODE_A], n_perm=n_perm, bands=bands)
+
+    def test_empty_corpus(self):
+        report = deduplicate([])
+        assert report.kept_indices == []
+        assert report.duplicate_of == {}
+        assert report.n_removed == 0
+        assert dedup_keep_indices([]) == []
+
+    def test_all_identical_corpus(self):
+        codes = [CODE_A] * 7
+        report = deduplicate(codes)
+        assert report.kept_indices == [0]
+        assert report.duplicate_of == {i: 0 for i in range(1, 7)}
+        assert report.n_removed == 6
+
+    def test_single_file_corpus(self):
+        report = deduplicate([CODE_A])
+        assert report.kept_indices == [0]
+        assert report.duplicate_of == {}
+
+    def test_corpus_of_empty_strings(self):
+        # Empty shingle sets have Jaccard 1.0 with each other: all but
+        # the first empty file are duplicates.
+        report = deduplicate(["", "", ""])
+        assert report.kept_indices == [0]
+        assert report.duplicate_of == {1: 0, 2: 0}
+
     @settings(max_examples=25, deadline=None)
     @given(st.lists(st.sampled_from([CODE_A, CODE_B, CODE_A_FORK]),
                     min_size=1, max_size=12))
@@ -130,3 +162,45 @@ class TestDeduplicate:
         # Representatives are always kept entries.
         for rep in report.duplicate_of.values():
             assert rep in report.kept_indices
+
+    @staticmethod
+    def _brute_force(codes, threshold):
+        """O(n²) reference: first-occurrence-wins greedy dedup using
+        exact pairwise Jaccard against already-kept entries."""
+        shingles = [tokenize_for_dedup(code) for code in codes]
+        kept, duplicate_of = [], {}
+        for index in range(len(codes)):
+            representative = None
+            for candidate in kept:
+                if jaccard(shingles[index],
+                           shingles[candidate]) >= threshold:
+                    representative = candidate
+                    break
+            if representative is None:
+                kept.append(index)
+            else:
+                duplicate_of[index] = representative
+        return kept, duplicate_of
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from([
+                CODE_A, CODE_A_FORK, CODE_B,
+                CODE_B.replace("shifter", "shifter2"),
+                "",  # degenerate empty file
+                "module t(input a, output b); assign b = ~a; endmodule",
+            ]),
+            min_size=0, max_size=14,
+        ),
+        st.sampled_from([0.7, 0.8, 0.9]),
+    )
+    def test_lsh_agrees_with_brute_force(self, codes, threshold):
+        """MinHash/LSH is an indexing accelerator, not a different
+        decision rule: on small corpora it must match exact pairwise
+        Jaccard exactly (the sampled pool keeps similarities far from
+        the threshold, so band-recall cannot flip a decision)."""
+        report = deduplicate(codes, threshold=threshold)
+        kept, duplicate_of = self._brute_force(codes, threshold)
+        assert report.kept_indices == kept
+        assert report.duplicate_of == duplicate_of

@@ -5,16 +5,67 @@ import random
 import pytest
 
 from repro.corpus.github_sim import GitHubScrapeSimulator, QualityProfile
+from repro.dataset.complexity import classify_code
 from repro.dataset.corrupt import shuffle_labels
+from repro.dataset.dedup import dedup_keep_indices
+from repro.dataset.describe import describe_source
+from repro.dataset.filters import run_filter_funnel
 from repro.dataset.io import load_jsonl, save_jsonl
 from repro.dataset.layering import assign_layers, layer_for
-from repro.dataset.pipeline import CurationPipeline, build_pyranet
+from repro.dataset.pipeline import (
+    CurationPipeline,
+    PipelineReport,
+    build_pyranet,
+)
+from repro.dataset.ranking import score_code
 from repro.dataset.records import (
     CompileStatus,
     Complexity,
     DatasetEntry,
     PyraNetDataset,
 )
+from repro.pipeline import ParallelExecutor
+
+
+def _legacy_curate(raw_files, seed):
+    """The seed implementation: one monolithic loop over the legacy
+    filter funnel.  Kept here as the golden reference the staged
+    engine must reproduce byte for byte."""
+    contents = [f.content for f in raw_files]
+    provenance = [
+        {"origin": f.origin, "path": f.path, "description": None}
+        for f in raw_files
+    ]
+    survivors, funnel = run_filter_funnel(
+        contents, dedup=lambda texts: dedup_keep_indices(texts, 0.8)
+    )
+    dataset = PyraNetDataset()
+    for position, survivor in enumerate(survivors):
+        meta = provenance[survivor.index]
+        status = (
+            CompileStatus.CLEAN
+            if survivor.check_result.status == "clean"
+            else CompileStatus.DEPENDENCY
+        )
+        detail = ""
+        if status is CompileStatus.DEPENDENCY:
+            issues = survivor.check_result.dependency_issues
+            detail = issues[0].message if issues else "dependency issues"
+        dataset.add(DatasetEntry(
+            entry_id=f"pyranet-{seed}-{position:06d}",
+            code=survivor.content,
+            description=meta["description"]
+            or describe_source(survivor.content),
+            ranking=score_code(survivor.content),
+            complexity=classify_code(survivor.content),
+            compile_status=status,
+            compile_detail=detail,
+            origin=meta["origin"],
+            source_path=meta["path"],
+            module_names=list(survivor.check_result.modules),
+        ))
+    layers = assign_layers(dataset.entries)
+    return dataset, funnel, layers
 
 
 def _entry(ranking, status=CompileStatus.CLEAN, entry_id="e"):
@@ -84,6 +135,58 @@ class TestPipeline:
             ordered = curated.dataset.curriculum_order(layer)
             tiers = [int(e.complexity) for e in ordered]
             assert tiers == sorted(tiers)
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    def test_golden_equivalence_with_seed_implementation(self, seed, mode):
+        """The staged engine reproduces the monolithic seed pipeline
+        exactly: same entries (ids, codes, labels), same funnel."""
+        raw_files = GitHubScrapeSimulator(seed=seed).scrape(150)
+        ref_dataset, ref_funnel, ref_layers = _legacy_curate(raw_files, seed)
+        result = CurationPipeline(
+            seed=seed, executor=ParallelExecutor(mode=mode, max_workers=4)
+        ).run(raw_files)
+        assert result.report.funnel == ref_funnel
+        assert len(result.dataset) == len(ref_dataset)
+        for ours, reference in zip(result.dataset, ref_dataset):
+            assert ours == reference
+        assert result.report.layers.sizes == ref_layers.sizes
+
+    def test_trace_reports_every_stage(self, curated):
+        trace = curated.report.trace
+        names = [m.name for m in trace.stages]
+        assert names == ["empty_broken", "module_decl", "dedup",
+                         "syntax_check", "rank_label", "describe",
+                         "assemble", "layer"]
+        assert all(m.wall_time_s >= 0.0 for m in trace.stages)
+        funnel = curated.report.funnel
+        assert trace.stage("empty_broken").n_in == funnel.collected
+        assert trace.stage("syntax_check").n_out == funnel.after_syntax
+        assert trace.drop_histogram()  # something always gets dropped
+
+    def test_trace_records_dedup_drop_reason(self, curated):
+        dedup = curated.report.trace.stage("dedup")
+        assert dedup.n_dropped == dedup.drops.get("duplicate", 0)
+
+    def test_report_json_round_trip(self, curated):
+        restored = PipelineReport.from_json(curated.report.to_json())
+        assert restored.funnel == curated.report.funnel
+        assert restored.layers == curated.report.layers
+        assert restored.trace.to_dict() == curated.report.trace.to_dict()
+
+    def test_shared_cache_hits_on_second_run(self):
+        from repro.pipeline import ResultCache
+
+        raw_files = GitHubScrapeSimulator(seed=5).scrape(80)
+        cache = ResultCache()
+        pipeline = CurationPipeline(seed=5, cache=cache)
+        first = pipeline.run(raw_files)
+        second = pipeline.run(raw_files)
+        syntax = second.report.trace.stage("syntax_check")
+        assert syntax.cache_misses == 0
+        assert syntax.cache_hits > 0
+        assert [e.code for e in first.dataset] == [
+            e.code for e in second.dataset]
 
     def test_build_pyranet_end_to_end(self):
         result = build_pyranet(n_github_files=80, n_llm_prompts=3,

@@ -4,10 +4,16 @@ import random
 
 import pytest
 
-from repro.eval.harness import EvalReport, ProblemResult, evaluate_model
+from repro.eval.harness import (
+    EvalReport,
+    ProblemResult,
+    evaluate_model,
+    sample_seed,
+)
 from repro.eval.problems.human import build_human_problems
 from repro.eval.problems.machine import build_machine_problems
 from repro.model.interfaces import FineTunable, TrainStats
+from repro.pipeline import ParallelExecutor, ResultCache
 
 
 class OracleModel(FineTunable):
@@ -122,3 +128,87 @@ class TestEvaluateModel:
     def test_problem_result_pass_at(self):
         result = ProblemResult(problem_id="p", n_samples=10, n_passed=5)
         assert result.pass_at(1) == pytest.approx(0.5)
+
+    def test_parallel_and_serial_reports_agree(self):
+        from repro.model.generator import CODELLAMA_7B, ConditionalCodeModel
+
+        problems = build_machine_problems()[:6]
+        serial = evaluate_model(
+            ConditionalCodeModel(CODELLAMA_7B, seed=5), problems,
+            n_samples=4, seed=9, n_test_vectors=8,
+            executor=ParallelExecutor.serial())
+        threaded = evaluate_model(
+            ConditionalCodeModel(CODELLAMA_7B, seed=5), problems,
+            n_samples=4, seed=9, n_test_vectors=8,
+            executor=ParallelExecutor(mode="thread", max_workers=4))
+        assert [r.to_dict() for r in serial.results] == [
+            r.to_dict() for r in threaded.results]
+
+    def test_trace_reports_fanout_and_cache(self):
+        problems = build_machine_problems()[:4]
+        report = evaluate_model(JunkModel(), problems, n_samples=5,
+                                n_test_vectors=4)
+        trace = report.trace
+        assert trace is not None
+        stage = trace.stage("sample+simulate")
+        assert stage.n_in == 4 and stage.n_out == 4
+        assert stage.wall_time_s >= 0.0
+        # JunkModel emits one distinct completion per problem: 4 misses,
+        # the other 16 samples hit the outcome cache.
+        assert stage.cache_misses == 4
+        assert stage.cache_hits == 16
+
+    def test_shared_cache_reused_across_models(self):
+        problems = build_machine_problems()[:3]
+        cache = ResultCache()
+        first = evaluate_model(JunkModel(), problems, n_samples=3,
+                               n_test_vectors=4, cache=cache)
+        second = evaluate_model(JunkModel(), problems, n_samples=3,
+                                n_test_vectors=4, cache=cache)
+        assert second.trace.stage("sample+simulate").cache_misses == 0
+        assert first.summary() == second.summary()
+
+    def test_report_json_round_trip(self):
+        problems = build_machine_problems()[:3]
+        report = evaluate_model(JunkModel(), problems, n_samples=4,
+                                n_test_vectors=4)
+        restored = EvalReport.from_json(report.to_json())
+        assert restored.suite == report.suite
+        assert restored.model_name == report.model_name
+        assert [r.to_dict() for r in restored.results] == [
+            r.to_dict() for r in report.results]
+        assert restored.trace.to_dict() == report.trace.to_dict()
+        assert restored.summary() == report.summary()
+
+
+class TestSampleSeeding:
+    def test_pinned_values(self):
+        """Regression pin: per-sample seeds are part of the protocol —
+        a change here silently reshuffles every sampled completion."""
+        assert sample_seed(0, 0, 0) == 18089622622667645874
+        assert sample_seed(9, 2, 3) == 16124740195836742067
+        assert sample_seed(12, 0, 7) == 4186393702693507101
+
+    def test_distinct_across_axes(self):
+        seeds = {
+            sample_seed(seed, p, s)
+            for seed in range(3) for p in range(5) for s in range(5)
+        }
+        assert len(seeds) == 3 * 5 * 5
+
+    def test_stable_across_processes(self):
+        """The mix must not depend on interpreter hash randomisation."""
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.eval.harness import sample_seed;"
+            "print(sample_seed(9, 2, 3))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "12345"},
+            cwd=__file__.rsplit("/tests/", 1)[0],
+        ).stdout.strip()
+        assert int(out) == sample_seed(9, 2, 3)

@@ -1,0 +1,268 @@
+"""Unit tests for the staged pipeline engine.
+
+Covers the result cache, the parallel executor (all modes, order
+preservation, serial fallback), record/batch stages, and the trace
+instrumentation with its JSON round-trip.
+"""
+
+import pytest
+
+from repro.pipeline import (
+    BatchStage,
+    Drop,
+    Keep,
+    ParallelExecutor,
+    PipelineTrace,
+    Record,
+    RecordStage,
+    ResultCache,
+    StagedPipeline,
+    StageMetrics,
+    content_key,
+)
+
+
+# module-level so the process pool can pickle it
+def _double(x):
+    return x * 2
+
+
+class TestResultCache:
+    def test_get_or_compute_memoises(self):
+        cache = ResultCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute("ns", "content", compute) == 42
+        assert cache.get_or_compute("ns", "content", compute) == 42
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_namespaces_do_not_collide(self):
+        cache = ResultCache()
+        cache.get_or_compute("a", "x", lambda: 1)
+        assert cache.get_or_compute("b", "x", lambda: 2) == 2
+
+    def test_content_key_parts_are_length_prefixed(self):
+        assert content_key("ns", "ab", "c") != content_key("ns", "a", "bc")
+
+    def test_eviction_respects_max_entries(self):
+        cache = ResultCache(max_entries=2)
+        for i in range(5):
+            cache.put(f"k{i}", i)
+        assert len(cache) == 2
+
+    def test_stats_shape(self):
+        cache = ResultCache()
+        cache.get_or_compute("ns", "x", lambda: 1)
+        cache.get_or_compute("ns", "x", lambda: 1)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_clear_resets_counters(self):
+        cache = ResultCache()
+        cache.get_or_compute("ns", "x", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestParallelExecutor:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_map_matches_serial_loop(self, mode):
+        executor = ParallelExecutor(mode=mode, max_workers=2)
+        items = list(range(23))
+        assert executor.map(_double, items) == [x * 2 for x in items]
+        # Deterministic order regardless of mode; a pool never fell
+        # back on picklable module-level work.
+        assert not executor.fell_back
+
+    def test_unpicklable_work_falls_back_to_serial(self):
+        executor = ParallelExecutor(mode="process", max_workers=2)
+        offset = 10
+        result = executor.map(lambda x: x + offset, list(range(8)))
+        assert result == [x + 10 for x in range(8)]
+        assert executor.fell_back
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(mode="fibers")
+
+    def test_fn_errors_propagate_in_thread_mode(self):
+        executor = ParallelExecutor(mode="thread", max_workers=2)
+
+        def boom(x):
+            raise KeyError(x)
+
+        with pytest.raises(KeyError):
+            executor.map(boom, list(range(4)))
+
+    def test_from_env_reads_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PIPELINE_MODE", "serial")
+        monkeypatch.setenv("REPRO_PIPELINE_WORKERS", "3")
+        executor = ParallelExecutor.from_env(default_mode="thread")
+        assert executor.mode == "serial"
+        assert executor.max_workers == 3
+
+    def test_chunking_covers_all_items(self):
+        executor = ParallelExecutor(mode="thread", max_workers=4,
+                                    chunk_size=3)
+        items = list(range(10))
+        assert executor.map(_double, items) == [x * 2 for x in items]
+
+
+def _keep_even(x):
+    if x % 2:
+        return Drop("odd")
+    return Keep(value=x * 10, meta={"seen": True})
+
+
+class TestStages:
+    def test_record_stage_filters_and_maps(self):
+        pipeline = StagedPipeline(
+            "t", [RecordStage("evens", _keep_even)]
+        )
+        result = pipeline.run(values=[0, 1, 2, 3, 4])
+        assert [r.value for r in result.records] == [0, 20, 40]
+        assert all(r.meta["seen"] for r in result.records)
+        metrics = result.trace.stage("evens")
+        assert metrics.n_in == 5 and metrics.n_out == 3
+        assert metrics.drops == {"odd": 2}
+
+    def test_plain_return_value_replaces_payload(self):
+        pipeline = StagedPipeline("t", [RecordStage("double", _double)])
+        result = pipeline.run(values=[1, 2])
+        assert [r.value for r in result.records] == [2, 4]
+
+    def test_when_predicate_skips_records(self):
+        stage = RecordStage(
+            "mark", lambda v: Keep(meta={"marked": True}),
+            when=lambda record: record.value > 1,
+        )
+        result = StagedPipeline("t", [stage]).run(values=[0, 5])
+        assert "marked" not in result.records[0].meta
+        assert result.records[1].meta["marked"]
+
+    def test_record_indices_survive_filtering(self):
+        pipeline = StagedPipeline("t", [RecordStage("evens", _keep_even)])
+        result = pipeline.run(values=[1, 2, 3, 4])
+        assert [r.index for r in result.records] == [1, 3]
+
+    def test_cached_stage_computes_each_distinct_value_once(self):
+        calls = []
+
+        def expensive(value):
+            calls.append(value)
+            return Keep(meta={"len": len(value)})
+
+        cache = ResultCache()
+        pipeline = StagedPipeline(
+            "t",
+            [RecordStage("measure", expensive, cache_namespace="len")],
+            cache=cache,
+        )
+        result = pipeline.run(values=["aa", "bbb", "aa", "aa"])
+        assert sorted(calls) == ["aa", "bbb"]
+        assert [r.meta["len"] for r in result.records] == [2, 3, 2, 2]
+        # Second run over the same values is all hits.
+        calls.clear()
+        pipeline.run(values=["aa", "bbb"])
+        assert calls == []
+
+    def test_cache_traffic_attributed_to_stage(self):
+        cache = ResultCache()
+        stage = RecordStage("measure", lambda v: len(v),
+                            cache_namespace="len")
+        pipeline = StagedPipeline("t", [stage], cache=cache)
+        trace1 = pipeline.run(values=["a", "b"]).trace
+        trace2 = pipeline.run(values=["a", "b"]).trace
+        assert trace1.stage("measure").cache_misses == 2
+        assert trace2.stage("measure").cache_hits == 2
+        assert trace2.stage("measure").cache_hit_rate == 1.0
+
+    def test_batch_stage_reports_drops(self):
+        def keep_first_two(records):
+            return records[:2], [(r, "overflow") for r in records[2:]]
+
+        pipeline = StagedPipeline("t", [BatchStage("cap", keep_first_two)])
+        result = pipeline.run(values=list("abcde"))
+        assert [r.value for r in result.records] == ["a", "b"]
+        assert result.trace.stage("cap").drops == {"overflow": 3}
+
+    def test_batch_stage_plain_list_return(self):
+        pipeline = StagedPipeline(
+            "t", [BatchStage("rev", lambda records: records[::-1])]
+        )
+        result = pipeline.run(values=[1, 2, 3])
+        assert [r.value for r in result.records] == [3, 2, 1]
+
+    def test_parallel_and_serial_agree(self):
+        stages = lambda: [  # noqa: E731 - tiny factory
+            RecordStage("evens", _keep_even),
+            BatchStage("rev", lambda records: records[::-1]),
+        ]
+        values = list(range(40))
+        serial = StagedPipeline("s", stages(),
+                                executor=ParallelExecutor.serial())
+        threaded = StagedPipeline(
+            "p", stages(),
+            executor=ParallelExecutor(mode="thread", max_workers=4))
+        a = serial.run(values=values)
+        b = threaded.run(values=values)
+        assert ([(r.index, r.value) for r in a.records]
+                == [(r.index, r.value) for r in b.records])
+
+
+class TestTrace:
+    def _trace(self):
+        cache = ResultCache()
+        pipeline = StagedPipeline(
+            "demo",
+            [
+                RecordStage("evens", _keep_even),
+                RecordStage("name", lambda v: f"v{v}",
+                            cache_namespace="name", key_of=str),
+            ],
+            cache=cache,
+        )
+        return pipeline.run(values=list(range(6))).trace
+
+    def test_wall_times_and_counts(self):
+        trace = self._trace()
+        assert [m.name for m in trace.stages] == ["evens", "name"]
+        assert all(m.wall_time_s >= 0.0 for m in trace.stages)
+        assert trace.wall_time_s >= sum(m.wall_time_s
+                                        for m in trace.stages) * 0.5
+        assert trace.stage("evens").n_dropped == 3
+        assert trace.meta["executor"]["mode"] == "serial"
+        assert trace.meta["n_input"] == 6
+        assert trace.meta["cache"]["misses"] == 3
+
+    def test_drop_histogram_sums_stages(self):
+        trace = self._trace()
+        assert trace.drop_histogram() == {"odd": 3}
+
+    def test_json_round_trip(self):
+        trace = self._trace()
+        restored = PipelineTrace.from_json(trace.to_json())
+        assert restored.to_dict() == trace.to_dict()
+        assert restored.stage("name").cache_misses == 3
+
+    def test_summary_lines_mention_every_stage(self):
+        trace = self._trace()
+        text = "\n".join(trace.summary_lines())
+        assert "evens" in text and "name" in text
+
+    def test_stage_metrics_round_trip(self):
+        metrics = StageMetrics(name="s", n_in=4, n_out=2,
+                               wall_time_s=0.5, drops={"bad": 2},
+                               cache_hits=1, cache_misses=3)
+        assert StageMetrics.from_dict(metrics.to_dict()) == metrics
+
+    def test_unknown_stage_lookup_returns_none(self):
+        assert self._trace().stage("nope") is None
