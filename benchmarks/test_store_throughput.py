@@ -1,0 +1,94 @@
+"""Store throughput — the sharded store's perf baseline.
+
+Writes the curated dataset through :class:`ShardWriter`, reads it back
+three ways (streaming, materialised, warm cache), and records write/read
+MB/s, warm-index ``select()`` latency, and a streaming peak-memory proxy
+(tracemalloc peak while iterating vs while materialising) into the
+benchmark JSON via ``extra_info``, so later PRs have a trajectory to
+beat.  Also asserts the store contract: the round-trip is lossless and
+the index keeps layer reads below full-scan cost.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from repro.pipeline import ResultCache
+from repro.store import ShardWriter, StoreReader
+
+
+def _mb(n_bytes: int) -> float:
+    return n_bytes / (1024.0 * 1024.0)
+
+
+def test_store_throughput(benchmark, pyranet, tmp_path, capsys):
+    dataset = pyranet.dataset
+    store_dir = tmp_path / "store"
+
+    writer = ShardWriter(store_dir, max_shard_bytes=16 * 1024)
+    manifest = benchmark.pedantic(
+        writer.write, args=(dataset,), rounds=1, iterations=1
+    )
+    write_s = manifest.meta["write_wall_time_s"]
+
+    # Cold streaming read (one shard in memory at a time).
+    start = time.perf_counter()
+    reader = StoreReader(store_dir)
+    n_streamed = sum(1 for _ in reader.iter_entries())
+    read_s = time.perf_counter() - start
+    assert n_streamed == len(dataset)
+
+    # Warm-index select latency: cache holds decoded shards, the second
+    # select touches no disk.
+    cached = StoreReader(store_dir, cache=ResultCache())
+    layer = manifest.trainable_layers()[0]
+    cached.select(layer=layer)  # cold fill
+    start = time.perf_counter()
+    selected = cached.select(layer=layer)
+    warm_select_s = time.perf_counter() - start
+    assert [e.entry_id for e in selected] \
+        == [e.entry_id for e in dataset.layer(layer)]
+
+    # Streaming memory proxy: tracemalloc peak while iterating without
+    # retaining vs while materialising every entry.
+    tracemalloc.start()
+    for _ in StoreReader(store_dir).iter_entries():
+        pass
+    _, stream_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    materialised = StoreReader(store_dir).read_all()
+    _, full_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert len(materialised) == len(dataset)
+
+    raw_mb = _mb(manifest.total_raw_bytes)
+    benchmark.extra_info["n_entries"] = manifest.n_entries
+    benchmark.extra_info["n_shards"] = len(manifest.shards)
+    benchmark.extra_info["raw_mb"] = round(raw_mb, 3)
+    benchmark.extra_info["compressed_mb"] = round(_mb(manifest.total_bytes), 3)
+    benchmark.extra_info["write_mb_s"] = round(raw_mb / max(write_s, 1e-9), 2)
+    benchmark.extra_info["read_mb_s"] = round(raw_mb / max(read_s, 1e-9), 2)
+    benchmark.extra_info["warm_select_ms"] = round(warm_select_s * 1000.0, 3)
+    benchmark.extra_info["stream_peak_mb"] = round(_mb(stream_peak), 3)
+    benchmark.extra_info["full_read_peak_mb"] = round(_mb(full_peak), 3)
+
+    with capsys.disabled():
+        print()
+        print("Sharded store throughput")
+        print(f"  dataset           : {manifest.n_entries} entries, "
+              f"{raw_mb:.2f} MB raw -> {_mb(manifest.total_bytes):.2f} MB "
+              f"in {len(manifest.shards)} shards")
+        print(f"  write             : {raw_mb / max(write_s, 1e-9):8.1f} MB/s")
+        print(f"  stream read       : {raw_mb / max(read_s, 1e-9):8.1f} MB/s")
+        print(f"  warm select(L{layer})   : {warm_select_s * 1e3:8.3f} ms")
+        print(f"  peak traced mem   : {_mb(stream_peak):.2f} MB streaming "
+              f"vs {_mb(full_peak):.2f} MB materialised")
+
+    # Contract: compression helps, the warm select is sub-full-scan
+    # fast, and streaming holds less than the whole dataset.
+    assert manifest.total_bytes < manifest.total_raw_bytes
+    assert warm_select_s < read_s
+    assert stream_peak < full_peak

@@ -7,11 +7,15 @@ saves the dataset as JSONL.
 
     python examples/curate_dataset.py
     python examples/curate_dataset.py --parallel --report-json report.json
+    python examples/curate_dataset.py --store-dir pyranet_store
 
 ``--report-json PATH`` writes the full machine-readable pipeline report
 (funnel counters, layer sizes, and the per-stage trace with wall times,
 drop reasons, and cache hit rates) so runs can be diffed between
 revisions.  ``--parallel`` runs per-file stages on a thread pool.
+``--store-dir PATH`` additionally writes the dataset as a sharded,
+content-addressed store (see :mod:`repro.store`) and demonstrates an
+indexed layer read plus curriculum serving straight off the shards.
 """
 
 import argparse
@@ -24,7 +28,8 @@ from repro.corpus import (
 )
 from repro.dataset import CurationPipeline, save_jsonl
 from repro.eval import render_pyramid
-from repro.pipeline import ParallelExecutor
+from repro.pipeline import ParallelExecutor, ResultCache
+from repro.store import SamplingService, ShardWriter, StoreReader
 
 
 def main() -> None:
@@ -37,6 +42,10 @@ def main() -> None:
     parser.add_argument(
         "--parallel", action="store_true",
         help="run per-file stages on a thread pool")
+    parser.add_argument(
+        "--store-dir", metavar="PATH", default=None,
+        help="also write the dataset as a sharded, content-addressed "
+             "store at PATH and demo an indexed read")
     args = parser.parse_args()
     print("1) Scraping (simulated GitHub population)…")
     scraper = GitHubScrapeSimulator(seed=7)
@@ -92,6 +101,26 @@ def main() -> None:
         with open(args.report_json, "w", encoding="utf-8") as handle:
             handle.write(result.report.to_json(indent=2))
         print(f"wrote pipeline report to {args.report_json}")
+
+    if args.store_dir:
+        print(f"\n4) Sharding into the content-addressed store "
+              f"({args.store_dir})…")
+        manifest = ShardWriter(args.store_dir).write(result.dataset)
+        print(f"   {manifest.n_entries} entries -> "
+              f"{len(manifest.shards)} shards, "
+              f"{manifest.total_raw_bytes} raw bytes -> "
+              f"{manifest.total_bytes} compressed")
+
+        reader = StoreReader(args.store_dir, cache=ResultCache())
+        layer1 = reader.select(layer=1)
+        print(f"   select(layer=1): {len(layer1)} entries from "
+              f"{len(reader.opened_shards)}/{len(manifest.shards)} shards "
+              "(manifest index skipped the rest)")
+
+        service = SamplingService(reader, seed=7)
+        phases = service.curriculum_phases()
+        print(f"   curriculum off the shards: {len(phases)} phases, "
+              f"first {[p.label for p in phases[:4]]}")
 
 
 if __name__ == "__main__":

@@ -88,7 +88,7 @@ def finetune_mevllm(
 ) -> None:
     """Train each expert on its complexity tier (compiling subset)."""
     rng = random.Random(seed)
-    entries = [e for e in dataset.entries
+    entries = [e for e in dataset
                if e.compile_status is CompileStatus.CLEAN]
     rng.shuffle(entries)
     for start in range(0, len(entries), batch_size):

@@ -55,7 +55,7 @@ def finetune_mgverilog(
     """Multi-grained fine-tuning on the compiling subset."""
     rng = random.Random(seed)
     examples: List[TrainingExample] = []
-    for entry in dataset.entries:
+    for entry in dataset:
         if entry.compile_status is not CompileStatus.CLEAN:
             continue
         for description in (

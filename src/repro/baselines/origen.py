@@ -48,7 +48,7 @@ def finetune_origen(
 ) -> TrainingLog:
     """OriGen fine-tuning: clean data + augmentation, flat order."""
     rng = random.Random(seed)
-    entries = [e for e in dataset.entries
+    entries = [e for e in dataset
                if e.compile_status is CompileStatus.CLEAN]
     examples: List[TrainingExample] = []
     for entry in entries:

@@ -34,7 +34,7 @@ def finetune_rtlcoder(
     analogue of RTLCoder's per-candidate scoring.
     """
     rng = random.Random(seed)
-    entries = list(dataset.entries)
+    entries = list(dataset)
     rng.shuffle(entries)
     log = TrainingLog()
     for start in range(0, len(entries), batch_size):

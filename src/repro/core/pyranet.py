@@ -43,8 +43,16 @@ from ..model.generator import (
     ConditionalCodeModel,
     ModelProfile,
 )
+from ..finetune.curriculum import LayeredSource
 from ..model.interfaces import FineTunable
 from ..pipeline import ParallelExecutor, ResultCache
+from ..store import (
+    DEFAULT_SHARD_BYTES,
+    SamplingService,
+    StoreManifest,
+    StoreReader,
+    write_store,
+)
 
 #: Recipe names accepted by :meth:`PyraNet.finetune`.
 RECIPES = ("baseline", "dataset", "architecture", "rtlcoder", "origen",
@@ -110,6 +118,29 @@ class PyraNet:
         """The Table IV distortion: shuffled code↔description↔ranking."""
         return shuffle_labels(self.dataset, seed=self.seed + 77)
 
+    # -- the sharded store --------------------------------------------------
+
+    def save_store(self, directory,
+                   max_shard_bytes: int = DEFAULT_SHARD_BYTES) -> StoreManifest:
+        """Persist the curated dataset as a sharded, content-addressed
+        store (see :mod:`repro.store`)."""
+        return write_store(
+            self.dataset, directory, max_shard_bytes=max_shard_bytes,
+            meta={"seed": self.seed, "source": "curation"},
+        )
+
+    @staticmethod
+    def load_store(directory, strict: bool = True,
+                   seed: int = 0) -> SamplingService:
+        """Open a store for serving; the returned service slots into
+        :meth:`finetune` wherever a dataset is accepted.
+
+        The reader gets its own :class:`ResultCache`, so multi-pass
+        fine-tuning re-reads shards from memory, not disk.
+        """
+        reader = StoreReader(directory, strict=strict, cache=ResultCache())
+        return SamplingService(reader, seed=seed)
+
     # -- models ------------------------------------------------------------
 
     def base_model(self, profile_name: str) -> ConditionalCodeModel:
@@ -125,10 +156,14 @@ class PyraNet:
         self,
         profile_name: str,
         recipe: str = "architecture",
-        dataset: Optional[PyraNetDataset] = None,
+        dataset: Optional[LayeredSource] = None,
         epochs: int = 1,
     ) -> FineTunable:
-        """Build a model and apply one of the named recipes."""
+        """Build a model and apply one of the named recipes.
+
+        ``dataset`` may be the in-memory curation result (default) or a
+        store-backed :class:`SamplingService` from :meth:`load_store`.
+        """
         if recipe not in RECIPES:
             raise ValueError(
                 f"unknown recipe {recipe!r}; choose from {RECIPES}"

@@ -1,14 +1,17 @@
 """Dataset persistence: JSONL, the lingua franca of LLM datasets.
 
 One entry per line with all PyraNet labels, mirroring how the published
-HuggingFace dataset is distributed.
+HuggingFace dataset is distributed.  Writes are crash-safe (tmp sibling
++ ``os.replace``) so an interrupted run never leaves a truncated file;
+for sharded, indexed persistence at scale see :mod:`repro.store`.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Dict, Union
 
 from .records import DatasetEntry, PyraNetDataset
 
@@ -16,21 +19,40 @@ PathLike = Union[str, Path]
 
 
 def save_jsonl(dataset: PyraNetDataset, path: PathLike) -> int:
-    """Write ``dataset`` to ``path``; returns the number of rows."""
+    """Write ``dataset`` to ``path``; returns the number of rows.
+
+    The file is written to a ``*.tmp`` sibling and atomically renamed
+    into place, so ``path`` only ever holds a complete dataset — a
+    crash mid-write leaves the previous contents (or nothing) intact.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
     count = 0
-    with path.open("w", encoding="utf-8") as handle:
-        for entry in dataset:
-            handle.write(json.dumps(entry.to_dict(), ensure_ascii=False))
-            handle.write("\n")
-            count += 1
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            for entry in dataset:
+                handle.write(json.dumps(entry.to_dict(), ensure_ascii=False))
+                handle.write("\n")
+                count += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
     return count
 
 
 def load_jsonl(path: PathLike) -> PyraNetDataset:
-    """Read a dataset written by :func:`save_jsonl`."""
+    """Read a dataset written by :func:`save_jsonl`.
+
+    Duplicate ``entry_id`` values are rejected with a ``ValueError``
+    naming both offending line numbers — silently keeping both would
+    skew every layer statistic computed downstream.
+    """
     dataset = PyraNetDataset()
+    seen: Dict[str, int] = {}
     with Path(path).open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -42,5 +64,12 @@ def load_jsonl(path: PathLike) -> PyraNetDataset:
                 raise ValueError(
                     f"{path}:{line_number}: invalid JSON: {exc}"
                 ) from exc
-            dataset.add(DatasetEntry.from_dict(data))
+            entry = DatasetEntry.from_dict(data)
+            first = seen.setdefault(entry.entry_id, line_number)
+            if first != line_number:
+                raise ValueError(
+                    f"{path}:{line_number}: duplicate entry id "
+                    f"{entry.entry_id!r} (first seen at line {first})"
+                )
+            dataset.add(entry)
     return dataset

@@ -9,7 +9,7 @@ description, a 0–20 ranking, a complexity tier, and compile details.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, field, fields, asdict
 from typing import Dict, Iterable, Iterator, List, Optional
 
 
@@ -66,7 +66,13 @@ class DatasetEntry:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "DatasetEntry":
-        data = dict(data)
+        """Build an entry from a ``to_dict`` payload.
+
+        Unknown keys are ignored, so rows written by a newer revision
+        (extra labels, store metadata) still load.
+        """
+        known = {f.name for f in fields(cls)}
+        data = {key: value for key, value in data.items() if key in known}
         data["complexity"] = Complexity[data["complexity"]]
         data["compile_status"] = CompileStatus(data["compile_status"])
         return cls(**data)

@@ -21,7 +21,7 @@ import hashlib
 import json
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..corpus.spec import DesignSpec
 from ..model.interfaces import FineTunable
@@ -153,7 +153,7 @@ def sample_seed(seed: int, problem_index: int, sample_index: int) -> int:
 
 def evaluate_model(
     model: FineTunable,
-    problems: Sequence[EvalProblem],
+    problems: Iterable[EvalProblem],
     n_samples: int = 10,
     temperature: float = 0.8,
     seed: int = 0,
@@ -166,7 +166,9 @@ def evaluate_model(
 
     Args:
         model: any :class:`FineTunable`.
-        problems: the benchmark suite.
+        problems: the benchmark suite — any iterable (a list, or a
+            lazy stream such as a generator over a problem store);
+            drained once before fan-out.
         n_samples: completions per problem (n of the pass@k estimator).
         temperature: sampling temperature.
         seed: master seed; per-sample seeds derive deterministically
@@ -178,6 +180,7 @@ def evaluate_model(
         cache: functional-test outcome cache; pass a shared instance to
             reuse simulations across models/suites.
     """
+    problems = list(problems)
     suite = problems[0].suite if problems else "empty"
     name = model_name or getattr(
         getattr(model, "profile", None), "name", type(model).__name__

@@ -4,15 +4,36 @@ PyraNet fine-tuning walks the dataset top layer first; inside each
 layer, samples are presented Basic → Intermediate → Advanced → Expert.
 Alternative orderings (random, anti-curriculum) support the ablation
 benchmarks.
+
+Phase builders consume any :class:`LayeredSource` — an in-memory
+:class:`~repro.dataset.records.PyraNetDataset` or a store-backed
+:class:`~repro.store.sampling.SamplingService` — so fine-tuning can
+stream a sharded store without materialising the whole dataset.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Protocol, Tuple
 
 from ..dataset.records import Complexity, DatasetEntry, PyraNetDataset
+
+
+class LayeredSource(Protocol):
+    """What a phase builder needs from a dataset-like object.
+
+    Satisfied by :class:`PyraNetDataset` and by
+    :class:`repro.store.SamplingService`; ``layer(n)`` must return the
+    layer's entries in a stable dataset order so phase construction is
+    deterministic across backends.
+    """
+
+    def trainable_layers(self) -> List[int]: ...
+
+    def layer(self, number: int) -> List[DatasetEntry]: ...
+
+    def __iter__(self) -> Iterator[DatasetEntry]: ...
 
 
 @dataclass(frozen=True)
@@ -31,7 +52,7 @@ class Phase:
 
 
 def curriculum_phases(
-    dataset: PyraNetDataset,
+    dataset: LayeredSource,
     shuffle_within: bool = True,
     seed: int = 0,
 ) -> List[Phase]:
@@ -51,7 +72,7 @@ def curriculum_phases(
 
 
 def anti_curriculum_phases(
-    dataset: PyraNetDataset, seed: int = 0
+    dataset: LayeredSource, seed: int = 0
 ) -> List[Phase]:
     """Expert → Basic inside each layer (ablation)."""
     phases = curriculum_phases(dataset, seed=seed)
@@ -66,7 +87,7 @@ def anti_curriculum_phases(
 
 
 def random_phases(
-    dataset: PyraNetDataset, seed: int = 0, batch_size: int = 64
+    dataset: LayeredSource, seed: int = 0, batch_size: int = 64
 ) -> List[Phase]:
     """Fully shuffled single stream (standard fine-tuning order).
 
@@ -74,7 +95,7 @@ def random_phases(
     the trainer applies whatever uniform weight its schedule gives.
     """
     rng = random.Random(seed)
-    entries = list(dataset.entries)
+    entries = list(dataset)
     rng.shuffle(entries)
     phases: List[Phase] = []
     for start in range(0, len(entries), batch_size):
@@ -85,7 +106,7 @@ def random_phases(
 
 
 def layered_random_phases(
-    dataset: PyraNetDataset, seed: int = 0
+    dataset: LayeredSource, seed: int = 0
 ) -> List[Phase]:
     """Layers in order, but complexity shuffled inside each layer
     (isolates the curriculum component from the layer walk)."""

@@ -10,16 +10,21 @@ curriculum order.  Three presets mirror the paper's experiments:
 * :func:`finetune_pyranet_dataset` — plain fine-tuning on the same
   data: uniform weights, shuffled order ("PyraNet-Dataset");
 * no call at all — the base model ("Baseline").
+
+Every recipe accepts any :class:`~repro.finetune.curriculum.LayeredSource`
+— an in-memory :class:`~repro.dataset.records.PyraNetDataset` or a
+store-backed :class:`~repro.store.SamplingService` — so fine-tuning can
+stream straight off a sharded store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
-from ..dataset.records import PyraNetDataset
 from ..model.interfaces import FineTunable, TrainStats, TrainingExample
 from .curriculum import (
+    LayeredSource,
     Phase,
     anti_curriculum_phases,
     curriculum_phases,
@@ -68,7 +73,9 @@ class Trainer:
     schedule: WeightSchedule
     epochs: int = 1
 
-    def run(self, model: FineTunable, phases: List[Phase]) -> TrainingLog:
+    def run(self, model: FineTunable,
+            phases: Iterable[Phase]) -> TrainingLog:
+        phases = list(phases)
         log = TrainingLog()
         for _ in range(self.epochs):
             for phase in phases:
@@ -98,7 +105,7 @@ class Trainer:
 
 def finetune_pyranet_architecture(
     model: FineTunable,
-    dataset: PyraNetDataset,
+    dataset: LayeredSource,
     epochs: int = 1,
     seed: int = 0,
     schedule: Optional[WeightSchedule] = None,
@@ -111,7 +118,7 @@ def finetune_pyranet_architecture(
 
 def finetune_pyranet_dataset(
     model: FineTunable,
-    dataset: PyraNetDataset,
+    dataset: LayeredSource,
     epochs: int = 1,
     seed: int = 0,
 ) -> TrainingLog:
@@ -123,7 +130,7 @@ def finetune_pyranet_dataset(
 
 def finetune_anti_curriculum(
     model: FineTunable,
-    dataset: PyraNetDataset,
+    dataset: LayeredSource,
     epochs: int = 1,
     seed: int = 0,
 ) -> TrainingLog:
@@ -135,7 +142,7 @@ def finetune_anti_curriculum(
 
 def finetune_weighting_only(
     model: FineTunable,
-    dataset: PyraNetDataset,
+    dataset: LayeredSource,
     epochs: int = 1,
     seed: int = 0,
 ) -> TrainingLog:

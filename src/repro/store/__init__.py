@@ -1,0 +1,44 @@
+"""Sharded, content-addressed dataset store with layer-aware serving.
+
+The persistence layer for production-scale PyraNet datasets:
+
+* :class:`ShardWriter` / :func:`write_store` — split a dataset into
+  size-bounded, zlib-compressed shards named by blake2b content digest,
+  indexed by an atomic JSON manifest with per-(layer, complexity)
+  histograms;
+* :class:`StoreReader` — verified streaming reads (one shard in memory
+  at a time); a corrupt shard raises :class:`ShardCorruptionError`
+  (strict) or is skipped with a :class:`CorruptionReport` (lenient);
+  ``select(layer=…)`` opens only shards the manifest index says can
+  match;
+* :class:`SamplingService` — deterministic seeded serving (uniform,
+  loss-weighted per the paper's layer weights, curriculum-ordered)
+  that plugs straight into the fine-tuning recipes.
+"""
+
+from .errors import ManifestError, ShardCorruptionError, StoreError
+from .manifest import MANIFEST_NAME, StoreManifest
+from .reader import CorruptionReport, StoreReader
+from .sampling import SamplingService
+from .shard import ShardInfo, build_histogram, decode_shard, encode_shard, shard_digest, shard_name
+from .writer import DEFAULT_SHARD_BYTES, ShardWriter, write_store
+
+__all__ = [
+    "CorruptionReport",
+    "DEFAULT_SHARD_BYTES",
+    "MANIFEST_NAME",
+    "ManifestError",
+    "SamplingService",
+    "ShardCorruptionError",
+    "ShardInfo",
+    "ShardWriter",
+    "StoreError",
+    "StoreManifest",
+    "StoreReader",
+    "build_histogram",
+    "decode_shard",
+    "encode_shard",
+    "shard_digest",
+    "shard_name",
+    "write_store",
+]

@@ -1,0 +1,32 @@
+"""Typed failures of the sharded dataset store."""
+
+from __future__ import annotations
+
+
+class StoreError(Exception):
+    """Base class for every store failure."""
+
+
+class ManifestError(StoreError):
+    """The store manifest is missing, unreadable, or malformed."""
+
+
+class ShardCorruptionError(StoreError):
+    """A shard's bytes do not match its recorded content digest.
+
+    Raised by :class:`~repro.store.reader.StoreReader` in strict mode;
+    lenient readers record a
+    :class:`~repro.store.reader.CorruptionReport` instead and skip the
+    shard.
+    """
+
+    def __init__(self, shard: str, reason: str,
+                 expected: str = "", actual: str = "") -> None:
+        self.shard = shard
+        self.reason = reason
+        self.expected = expected
+        self.actual = actual
+        detail = f"shard {shard!r}: {reason}"
+        if expected or actual:
+            detail += f" (expected {expected!r}, got {actual!r})"
+        super().__init__(detail)

@@ -1,0 +1,141 @@
+"""The store manifest: the one small file that indexes a store.
+
+``manifest.json`` records every shard — name, content digest, entry
+count, compressed/raw byte sizes, and a per-(layer, complexity)
+histogram — plus store-level totals.  The histogram doubles as the
+layer/complexity index: ``shards_for(layer=1)`` answers "which shards
+must I open?" from the manifest alone, without touching shard bytes.
+
+The manifest is written atomically (tmp sibling + ``os.replace``) and
+last, so a crashed write leaves either the previous complete store or
+no manifest at all — never a manifest pointing at half-written shards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .errors import ManifestError
+from .shard import ShardInfo
+
+PathLike = Union[str, Path]
+
+#: File name of the manifest inside a store directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Bumped when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+@dataclass
+class StoreManifest:
+    """Index of a sharded store."""
+
+    version: int = FORMAT_VERSION
+    n_entries: int = 0
+    total_bytes: int = 0
+    total_raw_bytes: int = 0
+    shards: List[ShardInfo] = field(default_factory=list)
+    #: free-form provenance (writer settings, source description, …).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    # -- the layer/complexity index ------------------------------------
+
+    def shards_for(self, layer: Optional[int] = None,
+                   complexity=None) -> List[ShardInfo]:
+        """Shards whose histogram says they may hold matching rows."""
+        return [info for info in self.shards
+                if info.covers(layer=layer, complexity=complexity)]
+
+    def layer_sizes(self) -> Dict[int, int]:
+        sizes: Dict[int, int] = {}
+        for info in self.shards:
+            for layer, count in info.layer_counts().items():
+                sizes[layer] = sizes.get(layer, 0) + count
+        return dict(sorted(sizes.items()))
+
+    def trainable_layers(self) -> List[int]:
+        """Layer numbers present in the store, best first (0 excluded)."""
+        return sorted(n for n in self.layer_sizes() if n > 0)
+
+    def complexity_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for info in self.shards:
+            for counts in info.histogram.values():
+                for name, count in counts.items():
+                    label = name.capitalize()
+                    histogram[label] = histogram.get(label, 0) + count
+        return histogram
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "n_entries": self.n_entries,
+            "total_bytes": self.total_bytes,
+            "total_raw_bytes": self.total_raw_bytes,
+            "meta": dict(self.meta),
+            "shards": [info.to_dict() for info in self.shards],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StoreManifest":
+        try:
+            version = data.get("version", FORMAT_VERSION)
+            if version != FORMAT_VERSION:
+                raise ManifestError(
+                    f"unsupported manifest version {version!r} "
+                    f"(this reader understands {FORMAT_VERSION})")
+            return cls(
+                version=version,
+                n_entries=data["n_entries"],
+                total_bytes=data["total_bytes"],
+                total_raw_bytes=data.get("total_raw_bytes", 0),
+                meta=dict(data.get("meta", {})),
+                shards=[ShardInfo.from_dict(item)
+                        for item in data.get("shards", [])],
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ManifestError(f"malformed manifest: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "StoreManifest":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"manifest is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- disk ----------------------------------------------------------
+
+    def save(self, directory: PathLike) -> Path:
+        """Atomically write ``manifest.json`` into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / MANIFEST_NAME
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                handle.write(self.to_json(indent=2))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return path
+
+    @classmethod
+    def load(cls, directory: PathLike) -> "StoreManifest":
+        path = Path(directory) / MANIFEST_NAME
+        if not path.exists():
+            raise ManifestError(f"no manifest at {path}")
+        return cls.from_json(path.read_text(encoding="utf-8"))

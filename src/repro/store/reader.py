@@ -1,0 +1,188 @@
+"""StoreReader: verified, streaming, layer-aware reads of a sharded store.
+
+Every shard read is verified — the blake2b digest of the bytes on disk
+must equal the manifest's recorded digest — before a single entry is
+decoded.  A mismatch raises :class:`ShardCorruptionError` in strict
+mode (the default); a lenient reader records a
+:class:`CorruptionReport` and skips the shard, so one flipped bit
+costs at most one shard, not the run.
+
+Reads stream: :meth:`iter_entries` holds at most one decoded shard in
+memory at a time.  ``select(layer=…, complexity=…)`` consults the
+manifest histogram first and opens only shards that can contain
+matching rows — ``opened_shards`` records exactly which, so tests (and
+curious operators) can verify the index is doing its job.  Reads are
+instrumented with the pipeline's :class:`StageMetrics`, and an optional
+:class:`ResultCache` memoises decoded shards by digest for warm
+repeat reads.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from ..dataset.records import DatasetEntry, PyraNetDataset
+from ..pipeline import PipelineTrace, ResultCache, StageMetrics
+from .errors import ShardCorruptionError
+from .manifest import StoreManifest
+from .shard import ShardInfo, decode_shard, shard_digest
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class CorruptionReport:
+    """One skipped shard (lenient mode)."""
+
+    shard: str
+    reason: str
+    expected: str = ""
+    actual: str = ""
+    n_entries_lost: int = 0
+
+
+class StoreReader:
+    """Reads a store written by :class:`~repro.store.writer.ShardWriter`.
+
+    Args:
+        directory: the store directory (must contain ``manifest.json``).
+        strict: raise :class:`ShardCorruptionError` on a bad shard
+            (default); if False, skip it and append a
+            :class:`CorruptionReport` to :attr:`corruption_reports`.
+        cache: optional :class:`ResultCache` memoising decoded shards
+            by content digest — trades the streaming memory bound for
+            fast warm repeat reads (``select`` loops, multi-pass
+            sampling).
+    """
+
+    def __init__(self, directory: PathLike, strict: bool = True,
+                 cache: Optional[ResultCache] = None) -> None:
+        self.directory = Path(directory)
+        self.manifest = StoreManifest.load(self.directory)
+        self.strict = strict
+        self.cache = cache
+        #: shard names opened (i.e. read from disk or cache) so far.
+        self.opened_shards: List[str] = []
+        self.corruption_reports: List[CorruptionReport] = []
+        self.metrics = StageMetrics(name="shard-read")
+
+    def __len__(self) -> int:
+        return self.manifest.n_entries
+
+    def __iter__(self) -> Iterator[DatasetEntry]:
+        return self.iter_entries()
+
+    # -- shard loading -------------------------------------------------
+
+    def _load_shard(self, info: ShardInfo) -> Optional[List[DatasetEntry]]:
+        """Verified entries of one shard, or ``None`` if skipped (lenient)."""
+        start = time.perf_counter()
+        self.opened_shards.append(info.name)
+        try:
+            if self.cache is not None:
+                before = self.cache.misses
+                entries = self.cache.get_or_compute(
+                    "store-shard", info.digest,
+                    lambda: self._read_and_verify(info),
+                )
+                if self.cache.misses == before:
+                    self.metrics.cache_hits += 1
+                else:
+                    self.metrics.cache_misses += 1
+            else:
+                entries = self._read_and_verify(info)
+        except ShardCorruptionError as exc:
+            self.metrics.record_drop(f"corrupt:{info.name}")
+            if self.strict:
+                raise
+            self.corruption_reports.append(CorruptionReport(
+                shard=info.name, reason=exc.reason,
+                expected=exc.expected, actual=exc.actual,
+                n_entries_lost=info.n_entries,
+            ))
+            return None
+        finally:
+            self.metrics.wall_time_s += time.perf_counter() - start
+        self.metrics.n_in += info.n_entries
+        return entries
+
+    def _read_and_verify(self, info: ShardInfo) -> List[DatasetEntry]:
+        path = self.directory / info.name
+        try:
+            payload = path.read_bytes()
+        except OSError as exc:
+            raise ShardCorruptionError(info.name, f"unreadable: {exc}")
+        actual = shard_digest(payload)
+        if actual != info.digest:
+            raise ShardCorruptionError(
+                info.name, "checksum mismatch",
+                expected=info.digest, actual=actual)
+        entries = decode_shard(payload, name=info.name)
+        if len(entries) != info.n_entries:
+            raise ShardCorruptionError(
+                info.name, "entry count mismatch",
+                expected=str(info.n_entries), actual=str(len(entries)))
+        return entries
+
+    # -- streaming reads -----------------------------------------------
+
+    def iter_entries(self, layer: Optional[int] = None,
+                     complexity=None) -> Iterator[DatasetEntry]:
+        """Stream matching entries, one shard in memory at a time.
+
+        With filters, only shards whose manifest histogram covers the
+        filter are opened at all.
+        """
+        for info in self.manifest.shards_for(layer=layer,
+                                             complexity=complexity):
+            entries = self._load_shard(info)
+            if entries is None:
+                continue
+            for entry in entries:
+                if layer is not None and entry.layer != layer:
+                    continue
+                if complexity is not None and entry.complexity != complexity:
+                    continue
+                self.metrics.n_out += 1
+                yield entry
+
+    def select(self, layer: Optional[int] = None,
+               complexity=None) -> List[DatasetEntry]:
+        """Matching entries, materialised, in store (= input) order."""
+        return list(self.iter_entries(layer=layer, complexity=complexity))
+
+    def read_all(self) -> PyraNetDataset:
+        """The whole store as an in-memory :class:`PyraNetDataset`."""
+        dataset = PyraNetDataset()
+        for entry in self.iter_entries():
+            dataset.add(entry)
+        return dataset
+
+    # -- inspection ----------------------------------------------------
+
+    def verify(self) -> List[CorruptionReport]:
+        """Check every shard's digest; returns the corruption reports.
+
+        Strict readers raise on the first bad shard; lenient readers
+        sweep the whole store and report.
+        """
+        for info in self.manifest.shards:
+            self._load_shard(info)
+        return list(self.corruption_reports)
+
+    def trace(self) -> PipelineTrace:
+        """Read instrumentation as a standard pipeline trace."""
+        return PipelineTrace(
+            pipeline="store-read",
+            stages=[self.metrics],
+            wall_time_s=self.metrics.wall_time_s,
+            meta={
+                "directory": str(self.directory),
+                "n_shards": len(self.manifest.shards),
+                "shards_opened": len(self.opened_shards),
+                "strict": self.strict,
+            },
+        )

@@ -1,0 +1,139 @@
+"""SamplingService: deterministic seeded batches out of a sharded store.
+
+The service is a *layered source* — it exposes the same
+``trainable_layers()`` / ``layer(n)`` / iteration protocol as
+:class:`~repro.dataset.records.PyraNetDataset` — so every phase builder
+in :mod:`repro.finetune.curriculum` (and therefore every fine-tuning
+recipe) consumes it directly in place of an in-memory dataset, reading
+shards lazily through the :class:`StoreReader` index.
+
+Three serving modes, all deterministic for a fixed seed:
+
+* :meth:`curriculum_phases` — the paper's order (layers 1→6,
+  Basic→Expert inside each), bit-identical to the in-memory
+  ``curriculum_phases(dataset, seed)``;
+* :meth:`uniform_batches` — a fully shuffled single stream in
+  fixed-size batches;
+* :meth:`weighted_batches` — samples with replacement with probability
+  proportional to the PyraNet layer weights (1.0 … 0.1 by default), so
+  Layer-1 rows dominate the served stream the way they dominate the
+  loss.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional
+
+from ..dataset.records import DatasetEntry
+from ..finetune.curriculum import Phase, curriculum_phases, random_phases
+from ..finetune.weighting import WeightSchedule, paper_schedule
+from .errors import StoreError
+from .reader import StoreReader
+
+
+class SamplingService:
+    """Serves a sharded store to trainers and evaluators.
+
+    Args:
+        reader: the store to serve from; give it a ``ResultCache`` for
+            warm multi-pass reads.
+        seed: default seed for the serving modes (each method also
+            accepts an explicit override).
+    """
+
+    def __init__(self, reader: StoreReader, seed: int = 0) -> None:
+        self.reader = reader
+        self.seed = seed
+
+    # -- the layered-source protocol -----------------------------------
+
+    def __len__(self) -> int:
+        return len(self.reader)
+
+    def __iter__(self) -> Iterator[DatasetEntry]:
+        return self.reader.iter_entries()
+
+    def trainable_layers(self) -> List[int]:
+        """Layer numbers in the store, best first — from the manifest
+        alone, no shard reads."""
+        return self.reader.manifest.trainable_layers()
+
+    def layer(self, number: int) -> List[DatasetEntry]:
+        """One layer's entries in store order (only covering shards
+        are opened)."""
+        return self.reader.select(layer=number)
+
+    def layer_sizes(self) -> Dict[int, int]:
+        return self.reader.manifest.layer_sizes()
+
+    # -- serving modes -------------------------------------------------
+
+    def curriculum_phases(self, shuffle_within: bool = True,
+                          seed: Optional[int] = None) -> List[Phase]:
+        """The paper's curriculum, straight off the shards."""
+        return curriculum_phases(
+            self, shuffle_within=shuffle_within,
+            seed=self.seed if seed is None else seed)
+
+    def uniform_batches(self, batch_size: int = 64,
+                        seed: Optional[int] = None) -> List[Phase]:
+        """A shuffled single stream chunked into batches (layer-blind)."""
+        return random_phases(
+            self, seed=self.seed if seed is None else seed,
+            batch_size=batch_size)
+
+    def weighted_batches(
+        self,
+        n_batches: int,
+        batch_size: int = 64,
+        seed: Optional[int] = None,
+        schedule: Optional[WeightSchedule] = None,
+    ) -> List[Phase]:
+        """Batches sampled with replacement, ∝ layer weight × layer size.
+
+        With the default paper schedule a Layer-1 row is served 10× as
+        often as a Layer-6 row of equal supply.  Zero-weight layers are
+        never served.  Draws are made up front from one seeded RNG, so
+        the served stream is independent of shard layout and read
+        order; shards are then fetched one layer at a time.
+        """
+        if n_batches <= 0 or batch_size <= 0:
+            raise ValueError("n_batches and batch_size must be positive")
+        schedule = schedule or paper_schedule()
+        sizes = {layer: count for layer, count in self.layer_sizes().items()
+                 if layer > 0 and count > 0}
+        layers = sorted(sizes)
+        masses = [schedule.weight_for(layer) * sizes[layer]
+                  for layer in layers]
+        if sum(masses) <= 0:
+            raise ValueError(
+                f"no servable rows: schedule {schedule.name!r} gives zero "
+                f"weight to every populated layer {layers}")
+
+        rng = random.Random(self.seed if seed is None else seed)
+        n_draws = n_batches * batch_size
+        drawn_layers = rng.choices(layers, weights=masses, k=n_draws)
+        draws = [(layer, rng.randrange(sizes[layer]))
+                 for layer in drawn_layers]
+
+        # Fetch each referenced layer once (one layer in memory at a
+        # time), then assemble in draw order.
+        by_layer: Dict[int, List[DatasetEntry]] = {}
+        for layer in sorted({layer for layer, _ in draws}):
+            by_layer[layer] = self.layer(layer)
+            if len(by_layer[layer]) != sizes[layer]:
+                # A lenient reader that skipped a corrupt shard serves
+                # fewer rows than the manifest promises; silently
+                # re-mapping draw indices would break determinism.
+                raise StoreError(
+                    f"layer {layer} served {len(by_layer[layer])} rows "
+                    f"but the manifest records {sizes[layer]}; weighted "
+                    "sampling needs an intact store (repair or re-write "
+                    "the corrupt shards)")
+        stream = [by_layer[layer][index] for layer, index in draws]
+
+        return [
+            Phase(0, None, tuple(stream[start:start + batch_size]))
+            for start in range(0, n_draws, batch_size)
+        ]

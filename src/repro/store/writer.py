@@ -1,0 +1,134 @@
+"""ShardWriter: split a dataset into size-bounded, content-addressed shards.
+
+The writer streams entries — a :class:`~repro.dataset.records.PyraNetDataset`
+or any iterable — accumulating encoded JSONL lines until the next line
+would push the shard past ``max_shard_bytes`` of raw payload, then
+flushes: compress, digest, and write ``shard-<digest>.jsonl.z`` via a
+tmp sibling + ``os.replace``.  Entry order is preserved (shards in
+manifest order concatenate back to the input order), and only one
+shard's worth of entries is ever held in memory.
+
+Because shards are named by content, writing the same data twice is
+idempotent: the file already exists and is not rewritten.  The manifest
+is written last, atomically, so a crash mid-write never publishes a
+partial store.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from ..dataset.records import DatasetEntry
+from .manifest import StoreManifest
+from .shard import ShardInfo, build_histogram, encode_entry, encode_shard, shard_name
+
+PathLike = Union[str, Path]
+
+#: Default raw-payload bound per shard (uncompressed JSONL bytes).
+DEFAULT_SHARD_BYTES = 256 * 1024
+
+
+class ShardWriter:
+    """Writes a dataset into ``directory`` as shards + manifest.
+
+    Args:
+        directory: store directory (created if missing).
+        max_shard_bytes: flush a shard once its raw JSONL payload would
+            exceed this (a single oversized entry still gets its own
+            shard — entries are never split).
+        max_entries_per_shard: optional row-count bound on top of the
+            byte bound.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        max_shard_bytes: int = DEFAULT_SHARD_BYTES,
+        max_entries_per_shard: Optional[int] = None,
+    ) -> None:
+        if max_shard_bytes <= 0:
+            raise ValueError("max_shard_bytes must be positive")
+        if max_entries_per_shard is not None and max_entries_per_shard <= 0:
+            raise ValueError("max_entries_per_shard must be positive")
+        self.directory = Path(directory)
+        self.max_shard_bytes = max_shard_bytes
+        self.max_entries_per_shard = max_entries_per_shard
+
+    def write(self, entries: Iterable[DatasetEntry],
+              meta: Optional[dict] = None) -> StoreManifest:
+        """Shard ``entries`` into the store directory; returns the manifest."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        start = time.perf_counter()
+        manifest = StoreManifest()
+        buffer: List[DatasetEntry] = []
+        lines: List[bytes] = []
+        buffered_bytes = 0
+
+        def flush() -> None:
+            nonlocal buffer, lines, buffered_bytes
+            if not buffer:
+                return
+            payload, digest, raw_size = encode_shard(lines)
+            name = shard_name(digest)
+            self._write_blob(name, payload)
+            manifest.shards.append(ShardInfo(
+                name=name,
+                digest=digest,
+                n_entries=len(buffer),
+                byte_size=len(payload),
+                raw_size=raw_size,
+                histogram=build_histogram(buffer),
+            ))
+            manifest.n_entries += len(buffer)
+            manifest.total_bytes += len(payload)
+            manifest.total_raw_bytes += raw_size
+            buffer, lines, buffered_bytes = [], [], 0
+
+        for entry in entries:
+            line = encode_entry(entry)
+            over_bytes = buffered_bytes + len(line) > self.max_shard_bytes
+            over_rows = (self.max_entries_per_shard is not None
+                         and len(buffer) >= self.max_entries_per_shard)
+            if buffer and (over_bytes or over_rows):
+                flush()
+            buffer.append(entry)
+            lines.append(line)
+            buffered_bytes += len(line)
+        flush()
+
+        manifest.meta.update({
+            "max_shard_bytes": self.max_shard_bytes,
+            "write_wall_time_s": round(time.perf_counter() - start, 6),
+        })
+        if meta:
+            manifest.meta.update(meta)
+        manifest.save(self.directory)
+        return manifest
+
+    def _write_blob(self, name: str, payload: bytes) -> None:
+        path = self.directory / name
+        if path.exists():
+            # Content-addressed: an existing file with this name already
+            # holds exactly these bytes.
+            return
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with tmp.open("wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+
+def write_store(entries: Iterable[DatasetEntry], directory: PathLike,
+                max_shard_bytes: int = DEFAULT_SHARD_BYTES,
+                meta: Optional[dict] = None) -> StoreManifest:
+    """One-call convenience: shard ``entries`` into ``directory``."""
+    return ShardWriter(directory, max_shard_bytes=max_shard_bytes).write(
+        entries, meta=meta)

@@ -1,0 +1,139 @@
+"""JSONL persistence: crash safety, duplicate ids, unicode, tolerance."""
+
+import json
+import os
+
+import pytest
+
+from repro.dataset.io import load_jsonl, save_jsonl
+from repro.dataset.records import (
+    Complexity,
+    CompileStatus,
+    DatasetEntry,
+    PyraNetDataset,
+)
+
+
+def make_dataset(ids) -> PyraNetDataset:
+    dataset = PyraNetDataset()
+    for i, entry_id in enumerate(ids):
+        dataset.add(DatasetEntry(
+            entry_id=entry_id,
+            code=f"module m{i}; endmodule",
+            description=f"design {i}",
+            complexity=Complexity(i % 4),
+            layer=(i % 6) + 1,
+        ))
+    return dataset
+
+
+class TestCrashSafety:
+    def test_no_tmp_sibling_left_behind(self, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        save_jsonl(make_dataset(["a", "b"]), path)
+        assert path.exists()
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "ds.jsonl"
+        save_jsonl(make_dataset(["old1", "old2", "old3"]), path)
+        save_jsonl(make_dataset(["new1"]), path)
+        loaded = load_jsonl(path)
+        assert [e.entry_id for e in loaded] == ["new1"]
+
+    def test_failed_replace_preserves_original(self, tmp_path, monkeypatch):
+        """If the final rename fails, the previous file is untouched and
+        the temporary is cleaned up."""
+        path = tmp_path / "ds.jsonl"
+        save_jsonl(make_dataset(["keep"]), path)
+
+        import repro.dataset.io as io_module
+
+        def explode(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(io_module.os, "replace", explode)
+        with pytest.raises(OSError):
+            save_jsonl(make_dataset(["clobber"]), path)
+        monkeypatch.undo()
+
+        assert [e.entry_id for e in load_jsonl(path)] == ["keep"]
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestDuplicateIds:
+    def test_duplicate_id_names_both_lines(self, tmp_path):
+        path = tmp_path / "dup.jsonl"
+        rows = make_dataset(["x", "y"]).entries
+        lines = [json.dumps(r.to_dict()) for r in rows]
+        # y at line 2, duplicated at line 4.
+        path.write_text("\n".join([lines[0], lines[1], lines[0].replace(
+            '"x"', '"z"'), lines[1]]) + "\n")
+        with pytest.raises(ValueError) as excinfo:
+            load_jsonl(path)
+        message = str(excinfo.value)
+        assert "duplicate entry id 'y'" in message
+        assert ":4:" in message and "line 2" in message
+
+    def test_unique_ids_load_fine(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        save_jsonl(make_dataset(["a", "b", "c"]), path)
+        assert len(load_jsonl(path)) == 3
+
+
+class TestUnicodeRoundTrip:
+    def test_non_ascii_identifiers_and_comments(self, tmp_path):
+        dataset = PyraNetDataset()
+        dataset.add(DatasetEntry(
+            entry_id="zähler-模块-1",
+            code="module compteur_éléva(input clk, output reg [7:0] q);\n"
+                 "  // счётчик: 模块注释 — ±1, Δt ≥ 5ns\n"
+                 "  always @(posedge clk) q <= q + 1;\nendmodule",
+            description="Ein 8-Bit-Zähler (счётчик) — 計数器 ✓",
+            ranking=17,
+            complexity=Complexity.INTERMEDIATE,
+            layer=2,
+        ))
+        path = tmp_path / "unicode.jsonl"
+        save_jsonl(dataset, path)
+        # ensure_ascii=False: the bytes on disk are real UTF-8, not \u escapes.
+        assert "Zähler" in path.read_text(encoding="utf-8")
+        (entry,) = load_jsonl(path)
+        assert entry.to_dict() == dataset.entries[0].to_dict()
+
+
+class TestFromDictTolerance:
+    def payload(self):
+        return DatasetEntry(
+            entry_id="e1", code="module m; endmodule",
+            complexity=Complexity.ADVANCED,
+            compile_status=CompileStatus.DEPENDENCY,
+            layer=3,
+        ).to_dict()
+
+    def test_unknown_keys_ignored(self):
+        data = self.payload()
+        data["future_label"] = "whatever"
+        data["store_digest"] = "abc123"
+        entry = DatasetEntry.from_dict(data)
+        assert entry.entry_id == "e1"
+        assert entry.complexity is Complexity.ADVANCED
+        assert entry.compile_status is CompileStatus.DEPENDENCY
+        assert not hasattr(entry, "future_label")
+
+    def test_round_trip_unchanged_by_extras(self):
+        data = self.payload()
+        data["extra"] = [1, 2, 3]
+        assert DatasetEntry.from_dict(data).to_dict() == self.payload()
+
+    def test_missing_required_key_still_raises(self):
+        data = self.payload()
+        del data["complexity"]
+        with pytest.raises(KeyError):
+            DatasetEntry.from_dict(data)
+
+    def test_bad_enum_value_raises(self):
+        data = self.payload()
+        data["complexity"] = "IMPOSSIBLE"
+        with pytest.raises(KeyError):
+            DatasetEntry.from_dict(data)

@@ -1,0 +1,187 @@
+"""SamplingService: store-backed serving must match in-memory behaviour."""
+
+import random
+from typing import List
+
+import pytest
+
+from repro.dataset.records import Complexity, DatasetEntry, PyraNetDataset
+from repro.finetune.curriculum import (
+    anti_curriculum_phases,
+    curriculum_phases,
+    layered_random_phases,
+    random_phases,
+)
+from repro.finetune.trainer import (
+    finetune_pyranet_architecture,
+    finetune_pyranet_dataset,
+)
+from repro.finetune.weighting import paper_schedule, top_layers_only
+from repro.model.interfaces import FineTunable, TrainStats
+from repro.pipeline import ResultCache
+from repro.store import SamplingService, StoreReader, write_store
+
+
+def make_dataset(n=150, seed=3) -> PyraNetDataset:
+    rng = random.Random(seed)
+    dataset = PyraNetDataset()
+    for i in range(n):
+        dataset.add(DatasetEntry(
+            entry_id=f"e{i}",
+            code=f"module m{i}; endmodule",
+            description=f"design {i}",
+            ranking=rng.randrange(21),
+            complexity=Complexity(rng.randrange(4)),
+            layer=rng.randrange(1, 7),
+        ))
+    return dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_dataset()
+
+
+@pytest.fixture
+def service(dataset, tmp_path):
+    write_store(dataset, tmp_path, max_shard_bytes=2048)
+    return SamplingService(
+        StoreReader(tmp_path, cache=ResultCache()), seed=0)
+
+
+def phase_ids(phases) -> List[List[str]]:
+    return [[e.entry_id for e in p.entries] for p in phases]
+
+
+class RecordingModel(FineTunable):
+    def __init__(self):
+        self.stream = []
+
+    def train_batch(self, examples, loss_weight):
+        for example in examples:
+            self.stream.append((example.description, example.layer,
+                                loss_weight))
+        return TrainStats(examples=len(examples),
+                          effective_weight=loss_weight * len(examples))
+
+    def finish_phase(self):
+        pass
+
+    def generate(self, description, temperature=0.8, rng=None,
+                 module_header=None):
+        return "module stub(); endmodule"
+
+
+class TestLayeredSourceProtocol:
+    def test_len_and_iteration(self, dataset, service):
+        assert len(service) == len(dataset)
+        assert [e.entry_id for e in service] \
+            == [e.entry_id for e in dataset]
+
+    def test_layer_views(self, dataset, service):
+        assert service.trainable_layers() == dataset.trainable_layers()
+        assert service.layer_sizes() == dataset.layer_sizes()
+        for layer in dataset.trainable_layers():
+            assert [e.entry_id for e in service.layer(layer)] \
+                == [e.entry_id for e in dataset.layer(layer)]
+
+
+class TestCurriculumParity:
+    """The regression pin: store-backed phases == in-memory phases."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 99])
+    def test_curriculum_phases_identical(self, dataset, service, seed):
+        memory = curriculum_phases(dataset, seed=seed)
+        store = service.curriculum_phases(seed=seed)
+        assert [p.label for p in store] == [p.label for p in memory]
+        assert phase_ids(store) == phase_ids(memory)
+
+    def test_all_phase_builders_accept_service(self, dataset, service):
+        for builder in (curriculum_phases, anti_curriculum_phases,
+                        layered_random_phases, random_phases):
+            assert phase_ids(builder(service, seed=4)) \
+                == phase_ids(builder(dataset, seed=4))
+
+    def test_uniform_batches_match_random_phases(self, dataset, service):
+        assert phase_ids(service.uniform_batches(batch_size=16, seed=2)) \
+            == phase_ids(random_phases(dataset, seed=2, batch_size=16))
+
+
+class TestFinetuneParity:
+    """Fine-tuning straight off the store reproduces the in-memory
+    stream — same examples, same order, same loss weights."""
+
+    def test_architecture_recipe(self, dataset, service):
+        memory = RecordingModel()
+        finetune_pyranet_architecture(memory, dataset, seed=11)
+        store = RecordingModel()
+        finetune_pyranet_architecture(store, service, seed=11)
+        assert store.stream == memory.stream
+
+    def test_dataset_recipe(self, dataset, service):
+        memory = RecordingModel()
+        finetune_pyranet_dataset(memory, dataset, seed=11)
+        store = RecordingModel()
+        finetune_pyranet_dataset(store, service, seed=11)
+        assert store.stream == memory.stream
+
+
+class TestWeightedBatches:
+    def test_deterministic_for_fixed_seed(self, service):
+        first = service.weighted_batches(n_batches=6, batch_size=8, seed=5)
+        second = service.weighted_batches(n_batches=6, batch_size=8, seed=5)
+        assert phase_ids(first) == phase_ids(second)
+        assert all(len(p.entries) == 8 for p in first)
+
+    def test_layer_weights_shape_the_stream(self, service):
+        """Layer 1 (weight 1.0) must be served more than layer 6
+        (weight 0.1) once supply is normalised."""
+        phases = service.weighted_batches(
+            n_batches=40, batch_size=25, seed=0, schedule=paper_schedule())
+        counts = {layer: 0 for layer in range(1, 7)}
+        for phase in phases:
+            for entry in phase.entries:
+                counts[entry.layer] += 1
+        sizes = service.layer_sizes()
+        per_supply = {layer: counts[layer] / sizes[layer]
+                      for layer in counts}
+        assert per_supply[1] > 3 * per_supply[6]
+
+    def test_zero_weight_layers_never_served(self, service):
+        phases = service.weighted_batches(
+            n_batches=10, batch_size=20, seed=1,
+            schedule=top_layers_only(2))
+        layers = {e.layer for p in phases for e in p.entries}
+        assert layers <= {1, 2}
+
+    def test_all_zero_mass_raises(self, service):
+        with pytest.raises(ValueError):
+            service.weighted_batches(
+                n_batches=1, batch_size=1, schedule=top_layers_only(0))
+
+    def test_rejects_bad_shape(self, service):
+        with pytest.raises(ValueError):
+            service.weighted_batches(n_batches=0)
+        with pytest.raises(ValueError):
+            service.weighted_batches(n_batches=1, batch_size=0)
+
+
+class TestDegradedStore:
+    def test_weighted_batches_refuse_short_served_layer(self, dataset,
+                                                        tmp_path):
+        """A lenient reader that skipped a corrupt shard must not let
+        weighted sampling silently re-map draw indices."""
+        import pytest as _pytest
+
+        from repro.store import StoreError
+
+        store = tmp_path / "degraded"
+        manifest = write_store(dataset, store, max_shard_bytes=2048)
+        victim = store / manifest.shards[0].name
+        blob = bytearray(victim.read_bytes())
+        blob[4] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+
+        service = SamplingService(StoreReader(store, strict=False), seed=0)
+        with _pytest.raises(StoreError):
+            service.weighted_batches(n_batches=20, batch_size=20)

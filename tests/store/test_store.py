@@ -1,0 +1,268 @@
+"""Tests for the sharded store: codec, manifest, writer, reader."""
+
+import json
+import random
+import zlib
+
+import pytest
+
+from repro.dataset.io import load_jsonl, save_jsonl
+from repro.dataset.records import (
+    Complexity,
+    CompileStatus,
+    DatasetEntry,
+    PyraNetDataset,
+)
+from repro.pipeline import ResultCache
+from repro.store import (
+    MANIFEST_NAME,
+    ManifestError,
+    ShardCorruptionError,
+    ShardWriter,
+    StoreManifest,
+    StoreReader,
+    shard_digest,
+    shard_name,
+    write_store,
+)
+
+
+def make_dataset(n=120, seed=0) -> PyraNetDataset:
+    """Entries spread over all layers and complexities."""
+    rng = random.Random(seed)
+    dataset = PyraNetDataset()
+    for i in range(n):
+        dataset.add(DatasetEntry(
+            entry_id=f"e{i}",
+            code=f"module m{i}(input a, output y);\n"
+                 f"  assign y = ~a; // unit {i}\nendmodule",
+            description=f"inverter variant {i}",
+            ranking=rng.randrange(21),
+            complexity=Complexity(rng.randrange(4)),
+            compile_status=CompileStatus.CLEAN,
+            layer=rng.randrange(1, 7),
+        ))
+    return dataset
+
+
+def entry_dicts(entries):
+    return [e.to_dict() for e in entries]
+
+
+class TestWriterReader:
+    def test_golden_equivalence_with_jsonl(self, tmp_path):
+        """Store round-trip == save_jsonl/load_jsonl round-trip."""
+        dataset = make_dataset()
+        jsonl = tmp_path / "dataset.jsonl"
+        save_jsonl(dataset, jsonl)
+        via_jsonl = load_jsonl(jsonl)
+
+        store = tmp_path / "store"
+        ShardWriter(store, max_shard_bytes=4096).write(dataset)
+        via_store = StoreReader(store).read_all()
+
+        assert entry_dicts(via_store) == entry_dicts(via_jsonl)
+        assert entry_dicts(via_store) == entry_dicts(dataset)
+
+    def test_shards_are_size_bounded_and_ordered(self, tmp_path):
+        dataset = make_dataset()
+        manifest = ShardWriter(tmp_path, max_shard_bytes=2048).write(dataset)
+        assert len(manifest.shards) > 1
+        assert manifest.n_entries == len(dataset)
+        for info in manifest.shards:
+            assert info.raw_size <= 2048 or info.n_entries == 1
+        # Concatenation order is input order.
+        assert [e.entry_id for e in StoreReader(tmp_path).iter_entries()] \
+            == [e.entry_id for e in dataset]
+
+    def test_content_addressed_names(self, tmp_path):
+        manifest = write_store(make_dataset(), tmp_path, max_shard_bytes=4096)
+        for info in manifest.shards:
+            payload = (tmp_path / info.name).read_bytes()
+            assert shard_digest(payload) == info.digest
+            assert info.name == shard_name(info.digest)
+            assert info.byte_size == len(payload)
+
+    def test_rewrite_is_idempotent(self, tmp_path):
+        dataset = make_dataset()
+        first = write_store(dataset, tmp_path, max_shard_bytes=4096)
+        second = write_store(dataset, tmp_path, max_shard_bytes=4096)
+        assert [i.digest for i in first.shards] \
+            == [i.digest for i in second.shards]
+        # Only the expected files exist — no temporaries, no orphans.
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {i.name for i in first.shards} | {MANIFEST_NAME}
+
+    def test_empty_dataset(self, tmp_path):
+        manifest = write_store(PyraNetDataset(), tmp_path)
+        assert manifest.n_entries == 0 and manifest.shards == []
+        assert len(StoreReader(tmp_path).read_all()) == 0
+
+    def test_max_entries_per_shard(self, tmp_path):
+        manifest = ShardWriter(
+            tmp_path, max_entries_per_shard=10).write(make_dataset(35))
+        assert [i.n_entries for i in manifest.shards] == [10, 10, 10, 5]
+
+    def test_writer_rejects_bad_bounds(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardWriter(tmp_path, max_shard_bytes=0)
+        with pytest.raises(ValueError):
+            ShardWriter(tmp_path, max_entries_per_shard=0)
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = write_store(make_dataset(), tmp_path, max_shard_bytes=2048)
+        again = StoreManifest.from_json(manifest.to_json())
+        assert again.to_dict() == manifest.to_dict()
+
+    def test_layer_index_matches_dataset(self, tmp_path):
+        dataset = make_dataset()
+        manifest = write_store(dataset, tmp_path, max_shard_bytes=2048)
+        assert manifest.layer_sizes() == dataset.layer_sizes()
+        assert manifest.trainable_layers() == dataset.trainable_layers()
+        assert manifest.complexity_histogram() \
+            == dataset.complexity_histogram()
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ManifestError):
+            StoreReader(tmp_path)
+
+    def test_malformed_manifest(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("not json")
+        with pytest.raises(ManifestError):
+            StoreReader(tmp_path)
+
+    def test_unsupported_version(self, tmp_path):
+        manifest = write_store(make_dataset(10), tmp_path)
+        data = manifest.to_dict()
+        data["version"] = 999
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(data))
+        with pytest.raises(ManifestError):
+            StoreReader(tmp_path)
+
+
+class TestSelect:
+    def test_select_filters_rows(self, tmp_path):
+        dataset = make_dataset()
+        write_store(dataset, tmp_path, max_shard_bytes=2048)
+        reader = StoreReader(tmp_path)
+        for layer in dataset.trainable_layers():
+            expected = [e.entry_id for e in dataset.layer(layer)]
+            got = [e.entry_id for e in
+                   StoreReader(tmp_path).select(layer=layer)]
+            assert got == expected
+        picked = reader.select(layer=2, complexity=Complexity.BASIC)
+        assert all(e.layer == 2 and e.complexity == Complexity.BASIC
+                   for e in picked)
+
+    def test_select_opens_only_covering_shards(self, tmp_path):
+        """The acceptance property: select(layer=L) touches exactly the
+        shards whose manifest histogram contains layer L."""
+        manifest = write_store(make_dataset(), tmp_path,
+                               max_shard_bytes=2048)
+        for layer in range(1, 7):
+            reader = StoreReader(tmp_path)
+            reader.select(layer=layer)
+            covering = {i.name for i in manifest.shards
+                        if str(layer) in i.histogram}
+            assert set(reader.opened_shards) == covering
+            assert len(covering) < len(manifest.shards)
+
+    def test_unfiltered_iteration_opens_everything(self, tmp_path):
+        manifest = write_store(make_dataset(), tmp_path,
+                               max_shard_bytes=2048)
+        reader = StoreReader(tmp_path)
+        reader.read_all()
+        assert reader.opened_shards == [i.name for i in manifest.shards]
+
+    def test_read_metrics(self, tmp_path):
+        write_store(make_dataset(), tmp_path, max_shard_bytes=2048)
+        cache = ResultCache()
+        reader = StoreReader(tmp_path, cache=cache)
+        reader.read_all()
+        cold = reader.metrics.cache_misses
+        reader.read_all()
+        assert cold > 0
+        assert reader.metrics.cache_hits == cold
+        trace = reader.trace()
+        assert trace.pipeline == "store-read"
+        assert trace.meta["shards_opened"] == len(reader.opened_shards)
+
+
+def corrupt_one_shard(store_dir, manifest):
+    """Flip bytes inside the largest shard; returns its name."""
+    info = max(manifest.shards, key=lambda i: i.n_entries)
+    path = store_dir / info.name
+    payload = bytearray(path.read_bytes())
+    payload[len(payload) // 2] ^= 0xFF
+    path.write_bytes(bytes(payload))
+    return info
+
+
+class TestCorruption:
+    def test_strict_raises_typed_error(self, tmp_path):
+        manifest = write_store(make_dataset(), tmp_path,
+                               max_shard_bytes=2048)
+        info = corrupt_one_shard(tmp_path, manifest)
+        reader = StoreReader(tmp_path, strict=True)
+        with pytest.raises(ShardCorruptionError) as excinfo:
+            reader.read_all()
+        assert excinfo.value.shard == info.name
+        assert excinfo.value.expected == info.digest
+
+    def test_lenient_skips_and_reports(self, tmp_path):
+        dataset = make_dataset()
+        manifest = write_store(dataset, tmp_path, max_shard_bytes=2048)
+        info = corrupt_one_shard(tmp_path, manifest)
+        reader = StoreReader(tmp_path, strict=False)
+        survivors = reader.read_all()
+        assert len(survivors) == len(dataset) - info.n_entries
+        (report,) = reader.corruption_reports
+        assert report.shard == info.name
+        assert report.n_entries_lost == info.n_entries
+        assert report.reason == "checksum mismatch"
+
+    def test_missing_shard_file(self, tmp_path):
+        manifest = write_store(make_dataset(), tmp_path,
+                               max_shard_bytes=2048)
+        (tmp_path / manifest.shards[0].name).unlink()
+        with pytest.raises(ShardCorruptionError):
+            StoreReader(tmp_path).read_all()
+        lenient = StoreReader(tmp_path, strict=False)
+        lenient.read_all()
+        assert lenient.corruption_reports[0].reason.startswith("unreadable")
+
+    def test_valid_zlib_wrong_digest(self, tmp_path):
+        """A shard swapped for different (but well-formed) content still
+        fails the digest check."""
+        manifest = write_store(make_dataset(), tmp_path,
+                               max_shard_bytes=2048)
+        info = manifest.shards[0]
+        (tmp_path / info.name).write_bytes(zlib.compress(b"{}\n"))
+        with pytest.raises(ShardCorruptionError) as excinfo:
+            StoreReader(tmp_path).read_all()
+        assert excinfo.value.reason == "checksum mismatch"
+
+    def test_verify_sweeps_whole_store(self, tmp_path):
+        manifest = write_store(make_dataset(), tmp_path,
+                               max_shard_bytes=2048)
+        corrupt_one_shard(tmp_path, manifest)
+        reports = StoreReader(tmp_path, strict=False).verify()
+        assert len(reports) == 1
+        assert StoreReader(tmp_path, strict=False).read_all()
+
+
+class TestUnicode:
+    def test_non_ascii_round_trip_through_store(self, tmp_path):
+        dataset = PyraNetDataset()
+        dataset.add(DatasetEntry(
+            entry_id="véhicule-1",
+            code="module zähler_模块(input clk);\n"
+                 "  // компаратор ±1 ≥ Ω\nendmodule",
+            description="Ein Zähler — счётчик 計数器",
+            layer=1,
+        ))
+        write_store(dataset, tmp_path)
+        (entry,) = StoreReader(tmp_path).read_all()
+        assert entry.to_dict() == dataset.entries[0].to_dict()
