@@ -1,0 +1,87 @@
+"""Observability overhead — the cost of telemetry on a real run.
+
+Runs the same curation twice per round, once with a live
+:class:`Observability` (registry + tracer collecting every span,
+counter, and published trace) and once with the no-op handle the
+un-instrumented path resolves to, and compares wall times.  The
+contract claimed in DESIGN.md is that instrumentation is priced per
+*stage and pool chunk*, never per record, so the live handle must stay
+within 5% of the no-op path.
+
+Medians over several interleaved rounds are compared (interleaving
+cancels machine drift); the per-round ratios land in the benchmark
+JSON via ``extra_info`` so later PRs can watch the trajectory.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.corpus.github_sim import GitHubScrapeSimulator
+from repro.dataset.pipeline import CurationPipeline
+from repro.obs import Observability
+from repro.pipeline import ParallelExecutor
+
+#: Acceptance bound: live telemetry within 5% of the no-op path.
+MAX_OVERHEAD = 0.05
+
+ROUNDS = 5
+
+
+def _curate_once(raw_files, obs):
+    started = time.perf_counter()
+    result = CurationPipeline(
+        seed=0, executor=ParallelExecutor(mode="thread", max_workers=4),
+        obs=obs,
+    ).run(raw_files)
+    return time.perf_counter() - started, result
+
+
+def test_obs_overhead_under_five_percent(benchmark, scale, capsys):
+    raw_files = GitHubScrapeSimulator(seed=0).scrape(scale.n_github_files)
+
+    # Warm both paths once (imports, pool spin-up, allocator noise).
+    _curate_once(raw_files, Observability.noop())
+    _curate_once(raw_files, Observability())
+
+    noop_times, live_times = [], []
+    live_spans = 0
+    for _ in range(ROUNDS):
+        noop_s, noop_result = _curate_once(raw_files, Observability.noop())
+        obs = Observability()
+        live_s, live_result = _curate_once(raw_files, obs)
+        noop_times.append(noop_s)
+        live_times.append(live_s)
+        live_spans = len(obs.tracer)
+        # Telemetry must never change the data.
+        assert [e.to_dict() for e in live_result.dataset] == [
+            e.to_dict() for e in noop_result.dataset]
+
+    noop_med = statistics.median(noop_times)
+    live_med = statistics.median(live_times)
+    overhead = live_med / noop_med - 1.0
+
+    benchmark.extra_info["n_files"] = len(raw_files)
+    benchmark.extra_info["noop_median_s"] = round(noop_med, 4)
+    benchmark.extra_info["live_median_s"] = round(live_med, 4)
+    benchmark.extra_info["overhead"] = round(overhead, 4)
+    benchmark.extra_info["spans_per_run"] = live_spans
+
+    # One timed pass for pytest-benchmark's own stats (live path).
+    benchmark.pedantic(_curate_once, args=(raw_files, Observability()),
+                       rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print("Observability overhead (curation, thread x4)")
+        print(f"  corpus          : {len(raw_files)} files")
+        print(f"  noop median     : {noop_med:8.3f} s over {ROUNDS} rounds")
+        print(f"  live median     : {live_med:8.3f} s "
+              f"({live_spans} spans/run)")
+        print(f"  overhead        : {100 * overhead:+.2f}% "
+              f"(bound {100 * MAX_OVERHEAD:.0f}%)")
+
+    assert overhead < MAX_OVERHEAD, (
+        f"live observability costs {100 * overhead:.1f}% "
+        f"(> {100 * MAX_OVERHEAD:.0f}%) over the no-op path")

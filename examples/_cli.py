@@ -1,0 +1,103 @@
+"""Shared command-line conventions for the example scripts.
+
+Every ``examples/*.py`` accepts the same five flags:
+
+``--seed N``
+    master seed for whatever the script randomises;
+``--report-json PATH``
+    write the script's machine-readable result (a
+    :class:`repro.obs.Reportable` document where one exists, a plain
+    JSON summary otherwise);
+``--trace-json PATH``
+    write the run's merged :class:`repro.obs.RunReport` — spans,
+    counters, histograms — as one schema-versioned JSON artifact;
+``--parallel``
+    run fan-out-capable stages on a thread pool;
+``--store-dir PATH``
+    write/read the sharded dataset store where the script has one
+    (scripts with nothing to store say so and continue).
+
+Keeping the surface identical means any example can be diffed against
+any other run with the same tooling:
+
+    python examples/quickstart.py --seed 7 --trace-json run.json
+"""
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.obs import Observability
+from repro.pipeline import ParallelExecutor
+
+
+def build_parser(description: str,
+                 default_seed: int = 0) -> argparse.ArgumentParser:
+    """The shared parser: same five flags on every example."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--seed", type=int, default=default_seed, metavar="N",
+        help=f"master seed (default {default_seed})")
+    parser.add_argument(
+        "--report-json", metavar="PATH", default=None,
+        help="write the script's machine-readable result as JSON")
+    parser.add_argument(
+        "--trace-json", metavar="PATH", default=None,
+        help="write the merged run report (spans + metrics) as JSON")
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="run fan-out-capable stages on a thread pool")
+    parser.add_argument(
+        "--store-dir", metavar="PATH", default=None,
+        help="write/read the sharded dataset store at PATH")
+    return parser
+
+
+def executor_from(args: argparse.Namespace) -> Optional[ParallelExecutor]:
+    """A thread-pool executor under ``--parallel``, else None (caller
+    default)."""
+    return ParallelExecutor(mode="thread") if args.parallel else None
+
+
+def observability_from(args: argparse.Namespace) -> Observability:
+    """A live handle when ``--trace-json`` asks for telemetry, the
+    shared no-op otherwise — so un-traced runs pay nothing."""
+    return Observability() if args.trace_json else Observability.noop()
+
+
+def write_json(path: str, payload: Dict[str, Any],
+               label: str = "report") -> None:
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"wrote {label} to {path}")
+
+
+def write_report(args: argparse.Namespace, payload: Any) -> None:
+    """Honour ``--report-json``: a Reportable's ``to_dict()`` or any
+    JSON-able mapping."""
+    if not args.report_json:
+        return
+    if hasattr(payload, "to_dict"):
+        payload = payload.to_dict()
+    write_json(args.report_json, payload)
+
+
+def write_trace(args: argparse.Namespace, obs: Observability,
+                **meta: Any) -> None:
+    """Honour ``--trace-json``: one merged RunReport artifact."""
+    if not args.trace_json:
+        return
+    report = obs.run_report(meta={"seed": args.seed, **meta})
+    Path(args.trace_json).write_text(report.to_json(indent=2) + "\n",
+                                     encoding="utf-8")
+    print(f"wrote run trace to {args.trace_json} "
+          f"({len(report.spans)} spans)")
+
+
+def note_unused_store(args: argparse.Namespace) -> None:
+    """For scripts with no dataset to shard: acknowledge the flag."""
+    if args.store_dir:
+        print(f"(--store-dir {args.store_dir}: this example has no "
+              "dataset store to write; ignored)")

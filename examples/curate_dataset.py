@@ -9,18 +9,21 @@ saves the dataset as JSONL.
     python examples/curate_dataset.py --parallel --report-json report.json
     python examples/curate_dataset.py --store-dir pyranet_store
 
-``--report-json PATH`` writes the full machine-readable pipeline report
-(funnel counters, layer sizes, and the per-stage trace with wall times,
-drop reasons, and cache hit rates) so runs can be diffed between
-revisions.  ``--parallel`` runs per-file stages on a thread pool.
-``--store-dir PATH`` additionally writes the dataset as a sharded,
-content-addressed store (see :mod:`repro.store`) and demonstrates an
-indexed layer read plus curriculum serving straight off the shards.
+All examples share one CLI (see ``_cli.py``): ``--report-json PATH``
+writes the full machine-readable pipeline report (funnel counters,
+layer sizes, and the per-stage trace with wall times, drop reasons, and
+cache hit rates) so runs can be diffed between revisions;
+``--trace-json PATH`` writes the merged run report (spans + metrics)
+from the unified observability layer; ``--parallel`` runs per-file
+stages on a thread pool; ``--store-dir PATH`` additionally writes the
+dataset as a sharded, content-addressed store (see :mod:`repro.store`)
+and demonstrates an indexed layer read plus curriculum serving straight
+off the shards.
 """
 
-import argparse
 import random
 
+import _cli
 from repro.corpus import (
     GitHubScrapeSimulator,
     SimulatedCommercialLLM,
@@ -33,22 +36,11 @@ from repro.store import SamplingService, ShardWriter, StoreReader
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(
-        description="Run the PyraNet curation pipeline")
-    parser.add_argument(
-        "--report-json", metavar="PATH", default=None,
-        help="write the pipeline report (funnel + layers + per-stage "
-             "trace) as JSON to PATH")
-    parser.add_argument(
-        "--parallel", action="store_true",
-        help="run per-file stages on a thread pool")
-    parser.add_argument(
-        "--store-dir", metavar="PATH", default=None,
-        help="also write the dataset as a sharded, content-addressed "
-             "store at PATH and demo an indexed read")
-    args = parser.parse_args()
+    args = _cli.build_parser(
+        "Run the PyraNet curation pipeline", default_seed=7).parse_args()
+    obs = _cli.observability_from(args)
     print("1) Scraping (simulated GitHub population)…")
-    scraper = GitHubScrapeSimulator(seed=7)
+    scraper = GitHubScrapeSimulator(seed=args.seed)
     raw_files = scraper.scrape(500)
     print(f"   collected {len(raw_files)} files, e.g. "
           f"{raw_files[0].path!r}")
@@ -59,8 +51,8 @@ def main() -> None:
     stats = db.funnel_stats()
     print(f"   keyword DB: {stats['keywords']} keywords -> "
           f"{stats['expanded_keywords']} expanded keywords")
-    llm = SimulatedCommercialLLM(seed=8)
-    rng = random.Random(9)
+    llm = SimulatedCommercialLLM(seed=args.seed + 1)
+    rng = random.Random(args.seed + 2)
     generated = []
     for _ in range(12):
         entry = db.sample(rng)
@@ -69,10 +61,9 @@ def main() -> None:
           "(10 temperature-varied queries per prompt)")
 
     print("\n3) Curating (filters -> dedup -> syntax check -> labels)…")
-    executor = (ParallelExecutor(mode="thread") if args.parallel
-                else ParallelExecutor.serial())
-    result = CurationPipeline(seed=7, executor=executor).run(
-        raw_files, generated)
+    executor = _cli.executor_from(args) or ParallelExecutor.serial()
+    result = CurationPipeline(seed=args.seed, executor=executor,
+                              obs=obs).run(raw_files, generated)
     for line in result.report.summary_lines():
         print("   ", line)
 
@@ -97,30 +88,29 @@ def main() -> None:
     n = save_jsonl(result.dataset, path)
     print(f"\nsaved {n} entries to {path}")
 
-    if args.report_json:
-        with open(args.report_json, "w", encoding="utf-8") as handle:
-            handle.write(result.report.to_json(indent=2))
-        print(f"wrote pipeline report to {args.report_json}")
+    _cli.write_report(args, result.report)
 
     if args.store_dir:
         print(f"\n4) Sharding into the content-addressed store "
               f"({args.store_dir})…")
-        manifest = ShardWriter(args.store_dir).write(result.dataset)
+        manifest = ShardWriter(args.store_dir, obs=obs).write(result.dataset)
         print(f"   {manifest.n_entries} entries -> "
               f"{len(manifest.shards)} shards, "
               f"{manifest.total_raw_bytes} raw bytes -> "
               f"{manifest.total_bytes} compressed")
 
-        reader = StoreReader(args.store_dir, cache=ResultCache())
+        reader = StoreReader(args.store_dir, cache=ResultCache(), obs=obs)
         layer1 = reader.select(layer=1)
         print(f"   select(layer=1): {len(layer1)} entries from "
               f"{len(reader.opened_shards)}/{len(manifest.shards)} shards "
               "(manifest index skipped the rest)")
 
-        service = SamplingService(reader, seed=7)
+        service = SamplingService(reader, seed=args.seed)
         phases = service.curriculum_phases()
         print(f"   curriculum off the shards: {len(phases)} phases, "
               f"first {[p.label for p in phases[:4]]}")
+
+    _cli.write_trace(args, obs, example="curate_dataset")
 
 
 if __name__ == "__main__":

@@ -3,12 +3,26 @@
 Runs the whole reproduction at small scale in about a minute::
 
     python examples/quickstart.py
+    python examples/quickstart.py --seed 3 --parallel \
+        --trace-json run.json --store-dir pyranet_store
+
+Shared flags (see ``_cli.py``): ``--trace-json`` writes the merged
+run report — one JSON document with spans and metrics from curation,
+the store, fine-tuning and evaluation; ``--report-json`` writes the
+tuned model's evaluation report; ``--store-dir`` round-trips the
+curated dataset through the sharded store before fine-tuning.
 """
 
+import _cli
 from repro import PyraNet
 
+
 def main() -> None:
-    pyranet = PyraNet(seed=0, n_samples=5, n_test_vectors=12)
+    args = _cli.build_parser(
+        "Build PyraNet, fine-tune, evaluate pass@k").parse_args()
+    pyranet = PyraNet(seed=args.seed, n_samples=5, n_test_vectors=12,
+                      executor=_cli.executor_from(args),
+                      obs=_cli.observability_from(args))
 
     print("1) Building the PyraNet dataset "
           "(simulated scrape + LLM generation + curation)…")
@@ -16,6 +30,16 @@ def main() -> None:
         n_github_files=300, n_llm_prompts=10, n_queries_per_prompt=5)
     for line in pyranet.curation.report.summary_lines():
         print("   ", line)
+
+    train_data = None
+    if args.store_dir:
+        print(f"\n   sharding into {args.store_dir} and serving the "
+              "curriculum off the store…")
+        manifest = pyranet.save_store(args.store_dir)
+        print(f"   {manifest.n_entries} entries -> "
+              f"{len(manifest.shards)} shards")
+        train_data = pyranet.load_store(args.store_dir, seed=args.seed,
+                                        obs=pyranet.obs)
 
     print("\n2) Evaluating the un-tuned base model (CodeLlama-7B "
           "stand-in)…")
@@ -26,7 +50,7 @@ def main() -> None:
     print("\n3) Fine-tuning with the full PyraNet recipe "
           "(loss weighting + curriculum)…")
     tuned = pyranet.finetune("codellama-7b-instruct-sim",
-                             recipe="architecture")
+                             recipe="architecture", dataset=train_data)
     report_tuned = pyranet.evaluate(tuned, suite="machine",
                                     n_problems=16)
     print("    pyranet-architecture:", report_tuned.summary())
@@ -41,6 +65,9 @@ def main() -> None:
 
     improvement = (report_tuned.pass_at(5) - report_base.pass_at(5))
     print(f"\npass@5 improvement over baseline: {improvement:+.1f} points")
+
+    _cli.write_report(args, report_tuned)
+    _cli.write_trace(args, pyranet.obs, example="quickstart")
 
 
 if __name__ == "__main__":

@@ -6,10 +6,16 @@ the repaired code is still *functionally* correct by simulating it
 against the design's golden model.
 
     python examples/self_reflection.py
+    python examples/self_reflection.py --seed 5 --report-json repairs.json
+
+Shared flags (see ``_cli.py``): ``--report-json`` writes the per-attempt
+outcomes; ``--trace-json`` writes the merged run report with one span
+per repair attempt.
 """
 
 import random
 
+import _cli
 from repro.corpus import mutate
 from repro.corpus.templates import generate_design
 from repro.eval.functional import run_functional_test
@@ -18,13 +24,19 @@ from repro.verilog import check
 
 
 def main() -> None:
+    args = _cli.build_parser(
+        "Compiler-feedback repair loop demo", default_seed=11).parse_args()
+    obs = _cli.observability_from(args)
+    _cli.note_unused_store(args)
+
     design = generate_design("updown_counter", random.Random(3),
                              params={"WIDTH": 4})
     print("reference design:", design.spec.module_name,
           f"({design.spec.family})")
     assert check(design.source).status == "clean"
 
-    rng = random.Random(11)
+    rng = random.Random(args.seed)
+    attempts = []
     for attempt in range(3):
         broken = mutate.break_syntax(design.source, rng)
         report = check(broken.source)
@@ -33,16 +45,34 @@ def main() -> None:
         print(f"\n--- damage {attempt + 1}: {broken.applied} ---")
         print("compiler says:", report.syntax_errors[0])
 
-        outcome = repair(broken.source)
+        with obs.span("example.repair", attempt=attempt,
+                      damage=str(broken.applied)) as span:
+            outcome = repair(broken.source)
+            span.meta["fixed"] = outcome.fixed
+        obs.counter("example.repairs_attempted").inc()
+        if outcome.fixed:
+            obs.counter("example.repairs_fixed").inc()
         print("repair actions:", outcome.actions or "(none)")
         print("fixed:", outcome.fixed,
               "| final status:", outcome.final_status)
+        record = {
+            "attempt": attempt,
+            "damage": str(broken.applied),
+            "fixed": outcome.fixed,
+            "final_status": outcome.final_status,
+        }
         if outcome.fixed:
             functional = run_functional_test(
                 outcome.code, design.spec, n_vectors=24)
             print("functional after repair:",
                   "PASS" if functional.passed else
                   f"FAIL ({functional.detail})")
+            record["functional_pass"] = functional.passed
+        attempts.append(record)
+
+    _cli.write_report(args, {"design": design.spec.module_name,
+                             "attempts": attempts})
+    _cli.write_trace(args, obs, example="self_reflection")
 
 
 if __name__ == "__main__":

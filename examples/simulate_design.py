@@ -6,8 +6,16 @@ FSM) and interact with it cycle by cycle from Python — poke inputs,
 clock it, peek anywhere in the hierarchy.
 
     python examples/simulate_design.py
+    python examples/simulate_design.py --report-json waveform.json
+
+Shared flags (see ``_cli.py``): ``--report-json`` writes the pulse
+waveform trace; ``--trace-json`` writes the merged run report with the
+compile and simulate spans.  ``--seed`` varies the queued pulse widths.
 """
 
+import random
+
+import _cli
 from repro.verilog import Simulator
 
 DESIGN = """
@@ -75,7 +83,16 @@ endmodule
 
 
 def main() -> None:
-    sim = Simulator(DESIGN, top="pulse_fifo")
+    args = _cli.build_parser(
+        "Drive the four-state Verilog simulator directly",
+        default_seed=0).parse_args()
+    obs = _cli.observability_from(args)
+    _cli.note_unused_store(args)
+    if args.parallel:
+        print("(--parallel: simulation is cycle-sequential; ignored)")
+
+    with obs.span("example.compile", top="pulse_fifo"):
+        sim = Simulator(DESIGN, top="pulse_fifo")
     print("inputs :", sim.input_names)
     print("outputs:", sim.output_names)
 
@@ -87,31 +104,41 @@ def main() -> None:
     sim.clock("clk", 2)
     sim.poke("rst", 0)
 
-    # Queue three pulse widths: 3, 1, 2 cycles.  The player starts as
+    # Queue three pulse widths (seed-varied).  The player starts as
     # soon as the first entry lands, so tracing starts here too.
+    rng = random.Random(args.seed)
+    widths = [rng.randint(1, 4) for _ in range(3)]
     trace = []
-    for width in (3, 1, 2):
-        sim.poke("wr", 1)
-        sim.poke("width", width)
-        sim.clock("clk")
-        trace.append(sim.peek_int("pulse"))
-    sim.poke("wr", 0)
+    with obs.span("example.simulate", widths=widths) as span:
+        for width in widths:
+            sim.poke("wr", 1)
+            sim.poke("width", width)
+            sim.clock("clk")
+            trace.append(sim.peek_int("pulse"))
+        sim.poke("wr", 0)
 
-    print("\ncycle | pulse busy | fsm state  remaining")
-    for cycle in range(14):
-        sim.clock("clk")
-        pulse = sim.peek_int("pulse")
-        busy = sim.peek_int("busy")
-        state = sim.peek_int("state")       # peek internal registers
-        remaining = sim.peek("remaining")   # may be x before first load
-        trace.append(pulse)
-        print(f"{cycle:5d} |   {pulse}    {busy}   |    "
-              f"{'PLAY' if state else 'IDLE'}     {remaining.to_bit_string()}")
+        print("\ncycle | pulse busy | fsm state  remaining")
+        for cycle in range(14):
+            sim.clock("clk")
+            pulse = sim.peek_int("pulse")
+            busy = sim.peek_int("busy")
+            state = sim.peek_int("state")       # peek internal registers
+            remaining = sim.peek("remaining")   # may be x before first load
+            trace.append(pulse)
+            print(f"{cycle:5d} |   {pulse}    {busy}   |    "
+                  f"{'PLAY' if state else 'IDLE'}     "
+                  f"{remaining.to_bit_string()}")
+        span.meta["n_cycles"] = len(trace)
 
     print("\npulse waveform:", "".join("▇" if p else "_" for p in trace))
-    expected = 3 + 1 + 2
+    expected = sum(widths)
     print(f"high cycles: {sum(trace)} (expected {expected} across "
           "three pulses)")
+
+    _cli.write_report(args, {"widths": widths, "pulse_trace": trace,
+                             "high_cycles": sum(trace),
+                             "expected": expected})
+    _cli.write_trace(args, obs, example="simulate_design")
 
 
 if __name__ == "__main__":

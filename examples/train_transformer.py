@@ -6,8 +6,14 @@ a real (tiny) neural LM, and per-sample loss weights visibly steer
 what the network learns.
 
     python examples/train_transformer.py
+    python examples/train_transformer.py --seed 2 --report-json losses.json
+
+Shared flags (see ``_cli.py``): ``--report-json`` writes the held-in
+loss table; ``--trace-json`` writes the merged run report with one span
+per training configuration.
 """
 
+import _cli
 from repro.model import TinyTransformer, TransformerConfig, TrainingExample
 
 CLEAN = TrainingExample(
@@ -24,10 +30,11 @@ JUNK = TrainingExample(
 )
 
 
-def train(weight_clean: float, weight_junk: float) -> TinyTransformer:
+def train(weight_clean: float, weight_junk: float,
+          seed: int = 0) -> TinyTransformer:
     model = TinyTransformer(config=TransformerConfig(
         d_model=32, n_heads=2, n_layers=1, d_ff=64, max_len=96,
-        learning_rate=3e-3, seed=0))
+        learning_rate=3e-3, seed=seed))
     for _ in range(40):
         model.train_batch([CLEAN], weight_clean)
         model.train_batch([JUNK], weight_junk)
@@ -35,11 +42,20 @@ def train(weight_clean: float, weight_junk: float) -> TinyTransformer:
 
 
 def main() -> None:
+    args = _cli.build_parser(
+        "Weighted fine-tuning on the numpy transformer").parse_args()
+    obs = _cli.observability_from(args)
+    _cli.note_unused_store(args)
+    if args.parallel:
+        print("(--parallel: gradient steps are sequential; ignored)")
+
     print("Training two transformers on the same mixed-quality stream…")
     print("  A: PyraNet-style weights (clean 1.0, junk 0.1)")
-    weighted = train(1.0, 0.1)
+    with obs.span("example.train", config="weighted"):
+        weighted = train(1.0, 0.1, seed=args.seed)
     print("  B: uniform weights       (clean 1.0, junk 1.0)")
-    uniform = train(1.0, 1.0)
+    with obs.span("example.train", config="uniform"):
+        uniform = train(1.0, 1.0, seed=args.seed)
 
     loss_w_clean = weighted.sequence_loss(CLEAN)
     loss_w_junk = weighted.sequence_loss(JUNK)
@@ -59,6 +75,14 @@ def main() -> None:
     if margin_weighted > margin_uniform:
         print("loss weighting steered the network toward the "
               "high-quality sample, as the PyraNet recipe intends.")
+
+    _cli.write_report(args, {
+        "weighted": {"clean": loss_w_clean, "junk": loss_w_junk},
+        "uniform": {"clean": loss_u_clean, "junk": loss_u_junk},
+        "margin_weighted": margin_weighted,
+        "margin_uniform": margin_uniform,
+    })
+    _cli.write_trace(args, obs, example="train_transformer")
 
 
 if __name__ == "__main__":

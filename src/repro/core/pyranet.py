@@ -45,6 +45,7 @@ from ..model.generator import (
 )
 from ..finetune.curriculum import LayeredSource
 from ..model.interfaces import FineTunable
+from ..obs import Observability, RunReport, resolve
 from ..pipeline import ParallelExecutor, ResultCache
 from ..store import (
     DEFAULT_SHARD_BYTES,
@@ -71,6 +72,11 @@ class PyraNet:
         executor: shared executor for curation and evaluation fan-out;
             ``None`` uses each subsystem's default (serial curation,
             threaded evaluation).
+        obs: shared observability handle.  A live one by default, so
+            every run driven through the facade lands in a single
+            registry/trace and :meth:`run_report` /
+            :meth:`write_trace` just work; pass
+            ``Observability.noop()`` to disable collection.
     """
 
     seed: int = 0
@@ -78,6 +84,7 @@ class PyraNet:
     temperature: float = 0.8
     n_test_vectors: int = 24
     executor: Optional[ParallelExecutor] = None
+    obs: Observability = field(default_factory=Observability)
 
     curation: Optional[CurationResult] = None
     _machine_problems: Optional[List[EvalProblem]] = None
@@ -98,14 +105,19 @@ class PyraNet:
         dedup_threshold: float = 0.8,
     ) -> PyraNetDataset:
         """Synthesize + curate the PyraNet dataset."""
-        self.curation = build_pyranet(
-            n_github_files=n_github_files,
-            n_llm_prompts=n_llm_prompts,
-            n_queries_per_prompt=n_queries_per_prompt,
-            seed=self.seed,
-            dedup_threshold=dedup_threshold,
-            executor=self.executor,
-        )
+        with self.obs.span("run.build_dataset",
+                           n_github_files=n_github_files,
+                           n_llm_prompts=n_llm_prompts) as span:
+            self.curation = build_pyranet(
+                n_github_files=n_github_files,
+                n_llm_prompts=n_llm_prompts,
+                n_queries_per_prompt=n_queries_per_prompt,
+                seed=self.seed,
+                dedup_threshold=dedup_threshold,
+                executor=self.executor,
+                obs=self.obs,
+            )
+            span.meta["n_entries"] = len(self.curation.dataset)
         return self.curation.dataset
 
     @property
@@ -127,18 +139,20 @@ class PyraNet:
         return write_store(
             self.dataset, directory, max_shard_bytes=max_shard_bytes,
             meta={"seed": self.seed, "source": "curation"},
+            obs=self.obs,
         )
 
     @staticmethod
-    def load_store(directory, strict: bool = True,
-                   seed: int = 0) -> SamplingService:
+    def load_store(directory, strict: bool = True, seed: int = 0,
+                   obs: Optional[Observability] = None) -> SamplingService:
         """Open a store for serving; the returned service slots into
         :meth:`finetune` wherever a dataset is accepted.
 
         The reader gets its own :class:`ResultCache`, so multi-pass
         fine-tuning re-reads shards from memory, not disk.
         """
-        reader = StoreReader(directory, strict=strict, cache=ResultCache())
+        reader = StoreReader(directory, strict=strict, cache=ResultCache(),
+                             obs=resolve(obs))
         return SamplingService(reader, seed=seed)
 
     # -- models ------------------------------------------------------------
@@ -169,27 +183,30 @@ class PyraNet:
                 f"unknown recipe {recipe!r}; choose from {RECIPES}"
             )
         data = dataset if dataset is not None else self.dataset
-        if recipe == "mevllm":
-            model: FineTunable = MultiExpertModel(
-                expert_factory=lambda: self.base_model(profile_name)
-            )
-            finetune_mevllm(model, data, seed=self.seed + 2)
-            return model
-        model = self.base_model(profile_name)
-        if recipe == "baseline":
-            return model
-        if recipe == "dataset":
-            finetune_pyranet_dataset(model, data, epochs=epochs,
-                                     seed=self.seed + 2)
-        elif recipe == "architecture":
-            finetune_pyranet_architecture(model, data, epochs=epochs,
-                                          seed=self.seed + 2)
-        elif recipe == "rtlcoder":
-            finetune_rtlcoder(model, data, seed=self.seed + 2)
-        elif recipe == "origen":
-            finetune_origen(model, data, seed=self.seed + 2)
-        elif recipe == "mgverilog":
-            finetune_mgverilog(model, data, seed=self.seed + 2)
+        with self.obs.span("run.finetune", profile=profile_name,
+                           recipe=recipe, epochs=epochs):
+            if recipe == "mevllm":
+                model: FineTunable = MultiExpertModel(
+                    expert_factory=lambda: self.base_model(profile_name)
+                )
+                finetune_mevllm(model, data, seed=self.seed + 2)
+                return model
+            model = self.base_model(profile_name)
+            if recipe == "baseline":
+                return model
+            if recipe == "dataset":
+                finetune_pyranet_dataset(model, data, epochs=epochs,
+                                         seed=self.seed + 2, obs=self.obs)
+            elif recipe == "architecture":
+                finetune_pyranet_architecture(model, data, epochs=epochs,
+                                              seed=self.seed + 2,
+                                              obs=self.obs)
+            elif recipe == "rtlcoder":
+                finetune_rtlcoder(model, data, seed=self.seed + 2)
+            elif recipe == "origen":
+                finetune_origen(model, data, seed=self.seed + 2)
+            elif recipe == "mgverilog":
+                finetune_mgverilog(model, data, seed=self.seed + 2)
         return model
 
     def with_self_reflection(self, model: FineTunable) -> FineTunable:
@@ -228,7 +245,28 @@ class PyraNet:
             model_name=model_name,
             executor=self.executor,
             cache=self._eval_cache,
+            obs=self.obs,
         )
+
+    # -- telemetry ----------------------------------------------------------
+
+    def run_report(self, meta: Optional[Dict] = None) -> RunReport:
+        """Everything this driver has collected — spans from curation,
+        store traffic, fine-tuning and evaluation plus the metric
+        registry — as one schema-versioned :class:`RunReport`."""
+        merged = {"seed": self.seed, "n_samples": self.n_samples}
+        if meta:
+            merged.update(meta)
+        return self.obs.run_report(meta=merged)
+
+    def write_trace(self, path, indent: int = 2,
+                    meta: Optional[Dict] = None) -> RunReport:
+        """Write :meth:`run_report` to ``path`` as JSON; returns it."""
+        from pathlib import Path
+
+        report = self.run_report(meta=meta)
+        Path(path).write_text(report.to_json(indent=indent))
+        return report
 
 
 # ---------------------------------------------------------------------------

@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..corpus.github_sim import RawFile
 from ..corpus.llm_sim import GeneratedSample, strip_markdown_fences
+from ..obs import Observability, resolve
+from ..obs.reportable import strip_schema
 from ..pipeline import (
     BatchStage,
     Drop,
@@ -55,6 +57,8 @@ from .records import CompileStatus, DatasetEntry, PyraNetDataset
 @dataclass
 class PipelineReport:
     """Everything the pipeline measured while curating."""
+
+    schema = "pyranet/curation-report/v1"
 
     funnel: FunnelStats = field(default_factory=FunnelStats)
     layers: LayerReport = field(default_factory=LayerReport)
@@ -91,6 +95,7 @@ class PipelineReport:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "PipelineReport":
+        data = strip_schema(data)
         trace = data.get("trace")
         return cls(
             funnel=FunnelStats.from_dict(data["funnel"]),
@@ -154,12 +159,15 @@ class CurationPipeline:
             opt-in purely so callers control the concurrency footprint.
         cache: shared content-hash cache for syntax/ranking/description
             work; a fresh private cache when not supplied.
+        obs: observability handle; stage and worker spans plus the
+            published trace land in its registry for the run report.
     """
 
     dedup_threshold: float = 0.8
     seed: int = 0
     executor: Optional[ParallelExecutor] = None
     cache: Optional[ResultCache] = None
+    obs: Optional[Observability] = None
 
     def run(
         self,
@@ -168,6 +176,7 @@ class CurationPipeline:
     ) -> "CurationResult":
         """Curate ``raw_files`` + ``generated`` into a layered dataset."""
         records = self._source_records(raw_files, generated)
+        obs = resolve(self.obs)
         layer_holder: Dict[str, LayerReport] = {}
         engine = StagedPipeline(
             name="curation",
@@ -177,8 +186,11 @@ class CurationPipeline:
             # NB: an *empty* cache is falsy (it has __len__), so this
             # must be an identity check, not ``or``.
             cache=self.cache if self.cache is not None else ResultCache(),
+            obs=obs,
         )
         result = engine.run(records=records)
+        obs.counter("curation.runs").inc()
+        obs.counter("curation.files_in").inc(len(records))
 
         dataset = PyraNetDataset()
         for record in result.records:
@@ -322,8 +334,35 @@ def _make_layer_batch(holder: Dict):
 class CurationResult:
     """A curated dataset plus its pipeline report."""
 
+    schema = "pyranet/curation-result/v1"
+
     dataset: PyraNetDataset
     report: PipelineReport
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": self.schema,
+            "entries": [entry.to_dict() for entry in self.dataset],
+            "report": self.report.to_dict(),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CurationResult":
+        data = strip_schema(data)
+        dataset = PyraNetDataset()
+        for item in data.get("entries", []):
+            dataset.add(DatasetEntry.from_dict(item))
+        return cls(
+            dataset=dataset,
+            report=PipelineReport.from_dict(data["report"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CurationResult":
+        return cls.from_dict(json.loads(text))
 
 
 def build_pyranet(
@@ -334,6 +373,7 @@ def build_pyranet(
     dedup_threshold: float = 0.8,
     executor: Optional[ParallelExecutor] = None,
     cache: Optional[ResultCache] = None,
+    obs: Optional[Observability] = None,
 ) -> CurationResult:
     """One-call PyraNet construction at a configurable scale.
 
@@ -359,6 +399,6 @@ def build_pyranet(
 
     pipeline = CurationPipeline(
         dedup_threshold=dedup_threshold, seed=seed,
-        executor=executor, cache=cache,
+        executor=executor, cache=cache, obs=obs,
     )
     return pipeline.run(raw_files, generated)

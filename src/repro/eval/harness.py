@@ -25,6 +25,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..corpus.spec import DesignSpec
 from ..model.interfaces import FineTunable
+from ..obs import Observability, resolve
+from ..obs.reportable import strip_schema
 from ..pipeline import (
     ParallelExecutor,
     PipelineTrace,
@@ -83,6 +85,8 @@ class ProblemResult:
 class EvalReport:
     """Suite-level results."""
 
+    schema = "pyranet/eval-report/v1"
+
     suite: str
     model_name: str
     results: List[ProblemResult] = field(default_factory=list)
@@ -123,6 +127,7 @@ class EvalReport:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "EvalReport":
+        data = strip_schema(data)
         trace = data.get("trace")
         return cls(
             suite=data["suite"],
@@ -161,6 +166,7 @@ def evaluate_model(
     model_name: Optional[str] = None,
     executor: Optional[ParallelExecutor] = None,
     cache: Optional[ResultCache] = None,
+    obs: Optional[Observability] = None,
 ) -> EvalReport:
     """Run the full sampling + functional-check loop.
 
@@ -179,8 +185,12 @@ def evaluate_model(
             (override with ``REPRO_PIPELINE_MODE=serial``).
         cache: functional-test outcome cache; pass a shared instance to
             reuse simulations across models/suites.
+        obs: observability handle; the run becomes an ``eval.run`` span
+            enclosing the engine's stage/worker spans, with problem and
+            sample counters in the run's report.
     """
     problems = list(problems)
+    obs = resolve(obs)
     suite = problems[0].suite if problems else "empty"
     name = model_name or getattr(
         getattr(model, "profile", None), "name", type(model).__name__
@@ -225,14 +235,23 @@ def evaluate_model(
         stages=[RecordStage("sample+simulate", _run_problem)],
         executor=executor or ParallelExecutor.from_env(default_mode="thread"),
         cache=outcome_cache,
+        obs=obs,
     )
-    outcome = engine.run(values=list(enumerate(problems)))
+    with obs.span("eval.run", suite=suite, model=name,
+                  n_problems=len(problems), n_samples=n_samples) as span:
+        outcome = engine.run(values=list(enumerate(problems)))
+        report = EvalReport(
+            suite=suite,
+            model_name=name,
+            results=[record.value for record in outcome.records],
+            trace=outcome.trace,
+        )
+        span.meta["pass_at_1"] = round(report.pass_at(1), 1)
     outcome.trace.meta["model"] = name
     outcome.trace.meta["suite"] = suite
     outcome.trace.meta["n_samples"] = n_samples
-    return EvalReport(
-        suite=suite,
-        model_name=name,
-        results=[record.value for record in outcome.records],
-        trace=outcome.trace,
-    )
+    obs.counter("eval.problems").inc(len(problems))
+    obs.counter("eval.samples").inc(len(problems) * n_samples)
+    obs.counter("eval.passed").inc(
+        sum(result.n_passed for result in report.results))
+    return report

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
 from ..model.interfaces import FineTunable, TrainStats, TrainingExample
+from ..obs import Observability, resolve
 from .curriculum import (
     LayeredSource,
     Phase,
@@ -68,39 +69,60 @@ class Trainer:
     Args:
         schedule: layer → loss weight.
         epochs: passes over the phase plan (the paper trains 1–3).
+        obs: observability handle; the run becomes a ``finetune.run``
+            span with one ``finetune.phase.<label>`` child per executed
+            phase, plus example/phase counters and a per-phase size
+            histogram.
     """
 
     schedule: WeightSchedule
     epochs: int = 1
+    obs: Optional[Observability] = None
 
     def run(self, model: FineTunable,
             phases: Iterable[Phase]) -> TrainingLog:
         phases = list(phases)
+        obs = resolve(self.obs)
         log = TrainingLog()
-        for _ in range(self.epochs):
-            for phase in phases:
-                weight = (
-                    self.schedule.weight_for(phase.layer)
-                    if phase.layer > 0 else
-                    self.schedule.weight_for(1)
-                )
-                examples = [
-                    TrainingExample(
-                        description=entry.description,
-                        code=entry.code,
-                        layer=entry.layer,
-                        complexity=int(entry.complexity),
-                        ranking=entry.ranking,
-                    )
-                    for entry in phase.entries
-                ]
-                stats = model.train_batch(examples, weight)
-                model.finish_phase()
-                log.phases.append(PhaseLog(
-                    label=phase.label, layer=phase.layer,
-                    loss_weight=weight, stats=stats,
-                ))
+        with obs.span("finetune.run", epochs=self.epochs,
+                      n_phases=len(phases),
+                      schedule=self.schedule.name) as run_span:
+            for _ in range(self.epochs):
+                for phase in phases:
+                    self._run_phase(model, phase, log, obs)
+            run_span.meta["n_examples"] = sum(
+                len(phase.entries) for phase in phases) * self.epochs
         return log
+
+    def _run_phase(self, model: FineTunable, phase: Phase,
+                   log: TrainingLog, obs: Observability) -> None:
+        weight = (
+            self.schedule.weight_for(phase.layer)
+            if phase.layer > 0 else
+            self.schedule.weight_for(1)
+        )
+        with obs.span(f"finetune.phase.{phase.label}",
+                      layer=phase.layer, loss_weight=weight,
+                      n_examples=len(phase.entries)):
+            examples = [
+                TrainingExample(
+                    description=entry.description,
+                    code=entry.code,
+                    layer=entry.layer,
+                    complexity=int(entry.complexity),
+                    ranking=entry.ranking,
+                )
+                for entry in phase.entries
+            ]
+            stats = model.train_batch(examples, weight)
+            model.finish_phase()
+        obs.counter("finetune.phases_total").inc()
+        obs.counter("finetune.examples_total").inc(len(examples))
+        obs.histogram("finetune.phase_examples").observe(len(examples))
+        log.phases.append(PhaseLog(
+            label=phase.label, layer=phase.layer,
+            loss_weight=weight, stats=stats,
+        ))
 
 
 def finetune_pyranet_architecture(
@@ -109,9 +131,11 @@ def finetune_pyranet_architecture(
     epochs: int = 1,
     seed: int = 0,
     schedule: Optional[WeightSchedule] = None,
+    obs: Optional[Observability] = None,
 ) -> TrainingLog:
     """The full PyraNet recipe: loss weighting + curriculum learning."""
-    trainer = Trainer(schedule=schedule or paper_schedule(), epochs=epochs)
+    trainer = Trainer(schedule=schedule or paper_schedule(), epochs=epochs,
+                      obs=obs)
     phases = curriculum_phases(dataset, seed=seed)
     return trainer.run(model, phases)
 
@@ -121,9 +145,10 @@ def finetune_pyranet_dataset(
     dataset: LayeredSource,
     epochs: int = 1,
     seed: int = 0,
+    obs: Optional[Observability] = None,
 ) -> TrainingLog:
     """Plain fine-tuning on the PyraNet data (no weighting, shuffled)."""
-    trainer = Trainer(schedule=uniform_schedule(), epochs=epochs)
+    trainer = Trainer(schedule=uniform_schedule(), epochs=epochs, obs=obs)
     phases = random_phases(dataset, seed=seed)
     return trainer.run(model, phases)
 
@@ -133,9 +158,10 @@ def finetune_anti_curriculum(
     dataset: LayeredSource,
     epochs: int = 1,
     seed: int = 0,
+    obs: Optional[Observability] = None,
 ) -> TrainingLog:
     """Ablation: paper weights, Expert→Basic order inside layers."""
-    trainer = Trainer(schedule=paper_schedule(), epochs=epochs)
+    trainer = Trainer(schedule=paper_schedule(), epochs=epochs, obs=obs)
     phases = anti_curriculum_phases(dataset, seed=seed)
     return trainer.run(model, phases)
 
@@ -145,8 +171,9 @@ def finetune_weighting_only(
     dataset: LayeredSource,
     epochs: int = 1,
     seed: int = 0,
+    obs: Optional[Observability] = None,
 ) -> TrainingLog:
     """Ablation: paper weights, complexity order shuffled inside layers."""
-    trainer = Trainer(schedule=paper_schedule(), epochs=epochs)
+    trainer = Trainer(schedule=paper_schedule(), epochs=epochs, obs=obs)
     phases = layered_random_phases(dataset, seed=seed)
     return trainer.run(model, phases)

@@ -1,0 +1,57 @@
+"""Unified observability: metrics, tracing, and the one run report.
+
+The telemetry layer the rest of the system records into:
+
+* :class:`MetricRegistry` — named counters / gauges / histograms (with
+  bounded, deterministically-seeded reservoirs) plus JSON-able
+  annotations;
+* :class:`Tracer` / :class:`SpanContext` — nested wall+CPU spans with
+  a picklable context that survives thread- and process-pool hops
+  (workers record locally; the parent absorbs);
+* :class:`RunReport` — spans + metrics + run meta merged into one
+  schema-versioned JSON document;
+* :class:`Observability` — the registry+tracer handle every subsystem
+  accepts as an optional ``obs`` argument; :func:`resolve` maps None to
+  a shared no-op instance so instrumentation has one code path;
+* :class:`Reportable` — the shared ``to_dict``/``to_json``/
+  ``from_dict``+``schema`` contract all report classes follow.
+"""
+
+from .context import NOOP, Observability, resolve
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NullRegistry,
+)
+from .report import RUN_REPORT_SCHEMA, RunReport
+from .reportable import (
+    Reportable,
+    report_json,
+    strip_schema,
+    warn_deprecated,
+)
+from .tracing import NullTracer, Span, SpanContext, Tracer, worker_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NOOP",
+    "NullRegistry",
+    "NullTracer",
+    "Observability",
+    "RUN_REPORT_SCHEMA",
+    "Reportable",
+    "RunReport",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "report_json",
+    "resolve",
+    "strip_schema",
+    "warn_deprecated",
+    "worker_tracer",
+]

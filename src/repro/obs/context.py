@@ -1,0 +1,136 @@
+"""Observability: one handle bundling a registry and a tracer.
+
+Everything instrumented takes an optional ``obs`` argument; passing one
+:class:`Observability` down a whole run (the :class:`~repro.core.PyraNet`
+facade does this automatically) is what makes a single merged
+:class:`~repro.obs.report.RunReport` possible.  Code that receives no
+``obs`` falls back to the shared no-op instance (:func:`NOOP`), so
+instrumentation has exactly one code path and near-zero disabled cost.
+
+:meth:`Observability.publish_trace` is the bridge from the legacy
+per-pipeline instrumentation: it folds a finished
+``PipelineTrace``-shaped object into the registry (per-stage gauges +
+annotations for the latest run, cumulative counters across runs), from
+which :meth:`repro.pipeline.PipelineTrace.from_registry` can rebuild
+the legacy document byte-for-byte — the trace is now a *view* over the
+registry, not a second bookkeeping system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .registry import MetricRegistry, NullRegistry
+from .report import RunReport
+from .tracing import NullTracer, Tracer
+
+
+class Observability:
+    """A registry + tracer pair owning one run's telemetry.
+
+    Args:
+        registry: metric store; a fresh :class:`MetricRegistry` by
+            default.
+        tracer: span collector; a fresh :class:`Tracer` by default.
+        run_id: stable name for the run; defaults to the trace id.
+    """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 run_id: Optional[str] = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.run_id = run_id or self.tracer.trace_id
+
+    @classmethod
+    def noop(cls) -> "Observability":
+        """A zero-cost instance: null registry, null tracer."""
+        return cls(registry=NullRegistry(), tracer=NullTracer(),
+                   run_id="noop")
+
+    @property
+    def enabled(self) -> bool:
+        return not isinstance(self.registry, NullRegistry)
+
+    # -- convenience passthroughs --------------------------------------
+
+    def span(self, name: str, **meta: Any):
+        return self.tracer.span(name, **meta)
+
+    def counter(self, name: str):
+        return self.registry.counter(name)
+
+    def gauge(self, name: str):
+        return self.registry.gauge(name)
+
+    def histogram(self, name: str, max_samples: int = 256):
+        return self.registry.histogram(name, max_samples=max_samples)
+
+    def annotate(self, name: str, value: Any) -> None:
+        self.registry.annotate(name, value)
+
+    # -- legacy-trace publishing ---------------------------------------
+
+    def publish_trace(self, trace: Any) -> None:
+        """Fold a finished ``PipelineTrace``-shaped object into the
+        registry.
+
+        Latest-run view (gauges + annotations, overwritten per run)::
+
+            pipeline.<name>.wall_time_s          gauge
+            pipeline.<name>.meta                 annotation (dict)
+            pipeline.<name>.stages               annotation (name list)
+            pipeline.<name>.stage.<s>.n_in/…     gauges
+            pipeline.<name>.stage.<s>.drops      annotation (dict)
+
+        Cumulative across runs (counters + histograms)::
+
+            pipeline.<name>.runs                 counter
+            pipeline.<name>.drop.<reason>        counters
+            pipeline.stage_wall_s                histogram
+        """
+        registry = self.registry
+        prefix = f"pipeline.{trace.pipeline or 'anonymous'}"
+        registry.gauge(f"{prefix}.wall_time_s").set(trace.wall_time_s)
+        registry.annotate(f"{prefix}.meta", dict(trace.meta))
+        registry.annotate(f"{prefix}.stages",
+                          [metrics.name for metrics in trace.stages])
+        registry.counter(f"{prefix}.runs").inc()
+        wall_histogram = registry.histogram("pipeline.stage_wall_s")
+        for metrics in trace.stages:
+            stage = f"{prefix}.stage.{metrics.name}"
+            registry.gauge(f"{stage}.n_in").set(metrics.n_in)
+            registry.gauge(f"{stage}.n_out").set(metrics.n_out)
+            registry.gauge(f"{stage}.wall_time_s").set(metrics.wall_time_s)
+            registry.gauge(f"{stage}.cache_hits").set(metrics.cache_hits)
+            registry.gauge(f"{stage}.cache_misses").set(metrics.cache_misses)
+            registry.annotate(f"{stage}.drops", dict(metrics.drops))
+            wall_histogram.observe(metrics.wall_time_s)
+            for reason, count in metrics.drops.items():
+                registry.counter(f"{prefix}.drop.{reason}").inc(count)
+
+    # -- the merged artefact -------------------------------------------
+
+    def run_report(self, meta: Optional[Dict[str, Any]] = None) -> RunReport:
+        """Everything this handle has collected, as one
+        :class:`RunReport`."""
+        return RunReport(
+            run_id=self.run_id,
+            meta=dict(meta) if meta else {},
+            spans=self.tracer.export(),
+            metrics=self.registry.to_dict(),
+        )
+
+
+#: Shared no-op instance used wherever no ``obs`` was supplied.
+_NOOP = Observability.noop()
+
+
+def NOOP() -> Observability:
+    """The shared disabled instance (stateless, safe to share)."""
+    return _NOOP
+
+
+def resolve(obs: Optional[Observability]) -> Observability:
+    """``obs`` itself, or the shared no-op when None."""
+    return obs if obs is not None else _NOOP

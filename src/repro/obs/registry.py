@@ -1,0 +1,283 @@
+"""Process-wide metric instruments: counters, gauges, histograms.
+
+:class:`MetricRegistry` is the single mutable home for run telemetry.
+Every instrument is created-or-fetched by name (``registry.counter(
+"cache.eval.hits")``), locks its own updates, and snapshots into plain
+JSON-able dicts, so one registry can be hammered from stage threads and
+still serialise a consistent view into a
+:class:`~repro.obs.report.RunReport`.
+
+Three instrument kinds plus an annotation store:
+
+* :class:`Counter` — monotonically increasing int (``inc``);
+* :class:`Gauge` — last-write-wins scalar (``set``), stored untouched
+  so ints stay ints across a JSON round-trip;
+* :class:`Histogram` — count/sum/min/max plus a bounded reservoir
+  (Vitter's algorithm R with a per-name seed, so the sample kept for a
+  given observation sequence is deterministic);
+* annotations — named JSON-able values for structured context that is
+  not a number (stage lists, executor descriptions, run meta).
+
+:class:`NullRegistry` is the zero-cost stand-in: same API, no state.
+It exists so instrumented code has exactly one code path and the
+overhead benchmark (``benchmarks/test_obs_overhead.py``) can price the
+real registry against it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+from typing import Any, Dict, List, Optional
+
+#: Default bound on histogram reservoirs.
+DEFAULT_RESERVOIR = 256
+
+
+class Counter:
+    """A monotonically increasing integer, safe to bump from any thread."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A last-write-wins scalar.
+
+    The value is stored exactly as given (no float coercion), so a
+    gauge set to an int serialises as an int — required for the
+    byte-identical legacy-trace views built from the registry.
+    """
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._value: Any = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def set(self, value: Any) -> None:
+        with self._lock:
+            self._value = value
+
+
+def _reservoir_seed(name: str, seed: int) -> int:
+    """Per-instrument RNG seed: stable in the name, mixed with the
+    registry seed, independent of creation order."""
+    digest = hashlib.blake2b(
+        f"{seed}:{name}".encode("utf-8", "replace"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class Histogram:
+    """Streaming summary plus a bounded reservoir of raw observations.
+
+    The reservoir holds the first ``max_samples`` observations, then
+    replaces entries with decreasing probability (algorithm R) using an
+    RNG seeded from the instrument name — two runs observing the same
+    sequence keep byte-identical samples.
+    """
+
+    __slots__ = ("name", "max_samples", "_count", "_sum", "_min", "_max",
+                 "_samples", "_rng", "_lock")
+
+    def __init__(self, name: str = "",
+                 max_samples: int = DEFAULT_RESERVOIR,
+                 seed: int = 0) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.name = name
+        self.max_samples = max_samples
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._samples: List[float] = []
+        self._rng = random.Random(_reservoir_seed(name, seed))
+        self._lock = threading.Lock()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if len(self._samples) < self.max_samples:
+                self._samples.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self.max_samples:
+                    self._samples[slot] = value
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Approximate q-th percentile (0–100) from the reservoir."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return None
+        rank = max(0, min(len(samples) - 1,
+                          round(q / 100.0 * (len(samples) - 1))))
+        return samples[rank]
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "max_samples": self.max_samples,
+                "samples": list(self._samples),
+            }
+
+
+class MetricRegistry:
+    """Named instruments, created on first touch, snapshotted as one dict.
+
+    Args:
+        seed: mixed into every histogram's reservoir seed so a whole
+            run's sampling is reproducible from one number.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._counters: "Dict[str, Counter]" = {}
+        self._gauges: "Dict[str, Gauge]" = {}
+        self._histograms: "Dict[str, Histogram]" = {}
+        self._annotations: "Dict[str, Any]" = {}
+
+    # -- instrument access ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str,
+                  max_samples: int = DEFAULT_RESERVOIR) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, max_samples=max_samples, seed=self.seed)
+            return instrument
+
+    def annotate(self, name: str, value: Any) -> None:
+        """Record a JSON-able context value (last write wins)."""
+        with self._lock:
+            self._annotations[name] = value
+
+    def annotation(self, name: str, default: Any = None) -> Any:
+        with self._lock:
+            return self._annotations.get(name, default)
+
+    # -- views ---------------------------------------------------------
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """Counter values, optionally restricted to a name prefix."""
+        with self._lock:
+            return {name: c.value for name, c in self._counters.items()
+                    if name.startswith(prefix)}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A consistent JSON-able snapshot of every instrument."""
+        with self._lock:
+            return {
+                "counters": {name: c.value
+                             for name, c in self._counters.items()},
+                "gauges": {name: g.value
+                           for name, g in self._gauges.items()},
+                "histograms": {name: h.snapshot()
+                               for name, h in self._histograms.items()},
+                "annotations": dict(self._annotations),
+            }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: Any) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricRegistry):
+    """Same API as :class:`MetricRegistry`; records nothing.
+
+    Shared no-op instruments are handed out for every name, so
+    instrumented hot paths cost one dict lookup and a dead call.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str,
+                  max_samples: int = DEFAULT_RESERVOIR) -> Histogram:
+        return self._null_histogram
+
+    def annotate(self, name: str, value: Any) -> None:
+        pass

@@ -7,9 +7,13 @@ files, and pass@k sampling regenerates the same completion many times.
 under a (namespace, blake2b(content)) key, so one cache instance can be
 shared across stages — and across whole runs — without collisions.
 
-The cache is thread-safe (stages may compute from a thread pool) and
-counts hits/misses so :class:`~repro.pipeline.metrics.StageMetrics` can
-report per-stage hit rates.
+The cache is thread-safe (stages may compute from a thread pool).  Hit
+and miss counters are :class:`~repro.obs.registry.Counter` instruments
+— each locks its own updates, so the counts stay consistent even on
+paths that touch them outside the entry lock — and can live in a shared
+:class:`~repro.obs.registry.MetricRegistry` (``cache.<name>.hits`` /
+``cache.<name>.misses``) so every cache in a run reports into the same
+:class:`~repro.obs.RunReport`.
 """
 
 from __future__ import annotations
@@ -18,6 +22,8 @@ import hashlib
 import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional
+
+from ..obs.registry import Counter, MetricRegistry, NullRegistry
 
 
 def content_key(namespace: str, *parts: Any) -> str:
@@ -47,26 +53,51 @@ class ResultCache:
     Args:
         max_entries: evict oldest entries beyond this count (``None``
             keeps everything — fine for in-process runs at our scale).
+        name: cache name used in metric names (``cache.<name>.hits``).
+        registry: optional shared :class:`MetricRegistry` to own the
+            hit/miss counters; private counters otherwise.
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
+    def __init__(self, max_entries: Optional[int] = None,
+                 name: str = "default",
+                 registry: Optional[MetricRegistry] = None) -> None:
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.Lock()
         self.max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
+        self.name = name
+        if registry is not None and not isinstance(registry, NullRegistry):
+            self._hits = registry.counter(f"cache.{name}.hits")
+            self._misses = registry.counter(f"cache.{name}.misses")
+        else:
+            # A null registry would swallow the counts the engine's
+            # trace relies on — fall back to private counters.
+            self._hits = Counter(f"cache.{name}.hits")
+            self._misses = Counter(f"cache.{name}.misses")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: str, default: Any = None) -> Any:
         """Look up ``key``, counting the hit/miss."""
         with self._lock:
-            if key in self._entries:
-                self.hits += 1
-                return self._entries[key]
-            self.misses += 1
-            return default
+            found = key in self._entries
+            value = self._entries[key] if found else default
+        # Counters lock themselves; bumping outside the entry lock
+        # keeps the hot path short and the counts exact.
+        if found:
+            self._hits.inc()
+            return value
+        self._misses.inc()
+        return value
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -101,16 +132,19 @@ class ResultCache:
         return value
 
     def stats(self) -> Dict[str, Any]:
-        total = self.hits + self.misses
+        with self._lock:
+            entries = len(self._entries)
+        hits, misses = self._hits.value, self._misses.value
+        total = hits + misses
         return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / total if total else 0.0,
+            "entries": entries,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
         }
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
-            self.hits = 0
-            self.misses = 0
+        self._hits.reset()
+        self._misses.reset()

@@ -4,6 +4,15 @@
 stage list, timing every stage and attributing cache traffic to the
 stage that caused it.  The result carries both the surviving records
 and the full :class:`~repro.pipeline.metrics.PipelineTrace`.
+
+With an :class:`~repro.obs.Observability` attached, a run additionally
+records spans — ``pipeline.<name>`` wrapping the run, ``<name>.<stage>``
+per stage, ``worker[i]`` inside executor pools (thread *and* process
+workers, via serialisable span contexts) — and folds the finished trace
+into the metric registry (:meth:`~repro.obs.Observability.publish_trace`),
+making the legacy trace a view over the registry.  Without one, the
+shared no-op observability keeps the code path identical at near-zero
+cost.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
+from ..obs import Observability, resolve
 from .cache import ResultCache
 from .executor import ParallelExecutor
 from .metrics import PipelineTrace, StageMetrics
@@ -37,12 +47,15 @@ class StagedPipeline:
             parallelism is opt-in so callers control determinism risk).
         cache: shared result cache for stages that declare a
             ``cache_namespace``; also usable directly by stage closures.
+        obs: observability handle collecting spans and metrics for the
+            run; ``None`` uses the shared no-op instance.
     """
 
     name: str
     stages: List[Stage] = field(default_factory=list)
     executor: ParallelExecutor = field(default_factory=ParallelExecutor.serial)
     cache: Optional[ResultCache] = None
+    obs: Optional[Observability] = None
 
     def add(self, stage: Stage) -> "StagedPipeline":
         self.stages.append(stage)
@@ -54,25 +67,43 @@ class StagedPipeline:
         if records is None:
             records = [Record(index, value)
                        for index, value in enumerate(values)]
+        obs = resolve(self.obs)
         trace = PipelineTrace(pipeline=self.name)
         trace.meta["executor"] = self.executor.describe()
         trace.meta["n_input"] = len(records)
+        # Attach the run's tracer so pool chunks record worker spans;
+        # restored afterwards because executors are shared between
+        # pipelines (curation and eval reuse one instance).
+        previous_tracer = self.executor.tracer
+        if obs.enabled:
+            self.executor.tracer = obs.tracer
         started = time.perf_counter()
-        for stage in self.stages:
-            records = self._run_stage(stage, records, trace)
+        try:
+            with obs.span(f"pipeline.{self.name}",
+                          n_input=len(records)) as span:
+                for stage in self.stages:
+                    records = self._run_stage(stage, records, trace, obs)
+                span.meta["n_output"] = len(records)
+        finally:
+            self.executor.tracer = previous_tracer
         trace.wall_time_s = time.perf_counter() - started
         if self.cache is not None:
             trace.meta["cache"] = self.cache.stats()
+        obs.publish_trace(trace)
         return PipelineResult(records=records, trace=trace)
 
     def _run_stage(
-        self, stage: Stage, records: List[Record], trace: PipelineTrace
+        self, stage: Stage, records: List[Record], trace: PipelineTrace,
+        obs: Observability,
     ) -> List[Record]:
         metrics = StageMetrics(name=stage.name, n_in=len(records))
         hits_before = self.cache.hits if self.cache else 0
         misses_before = self.cache.misses if self.cache else 0
         started = time.perf_counter()
-        records = stage.run(records, self.executor, self.cache, metrics)
+        with obs.span(f"{self.name}.{stage.name}",
+                      n_in=len(records)) as span:
+            records = stage.run(records, self.executor, self.cache, metrics)
+            span.meta["n_out"] = len(records)
         metrics.wall_time_s = time.perf_counter() - started
         metrics.n_out = len(records)
         if self.cache is not None:

@@ -15,13 +15,24 @@ it executes serially, on a thread pool, or on a process pool:
 
 Mode and worker count can be forced via ``REPRO_PIPELINE_MODE`` /
 ``REPRO_PIPELINE_WORKERS`` for operational tuning without code changes.
+
+When a :class:`~repro.obs.tracing.Tracer` is attached (the staged
+engine does this while a pipeline with observability runs), every pool
+chunk is wrapped in a ``worker[i]`` span parented under the caller's
+innermost open span.  Thread chunks record straight into the shared
+tracer; process chunks get a picklable :class:`~repro.obs.SpanContext`,
+record into a worker-local tracer, and ship their spans back with the
+results for the parent to absorb — so one merged trace sees inside the
+pool whatever the mode.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..obs.tracing import SpanContext, Tracer, worker_tracer
 
 MODES = ("serial", "thread", "process")
 
@@ -51,6 +62,9 @@ class ParallelExecutor:
         #: True when the last map degraded to serial (pool failure or
         #: unpicklable work in process mode).
         self.fell_back = False
+        #: When set, pool chunks run inside ``worker[i]`` spans (the
+        #: engine attaches the run's tracer for the duration of a run).
+        self.tracer: Optional[Tracer] = None
 
     @classmethod
     def from_env(cls, default_mode: str = "thread") -> "ParallelExecutor":
@@ -108,9 +122,32 @@ class ParallelExecutor:
                     else ProcessPoolExecutor)
         chunks = self._chunks(items)
         workers = min(self.max_workers, len(chunks))
+        tracer = self.tracer
+        if tracer is None:
+            runner: Callable[[tuple], Any] = _run_chunk
+            payloads: List[tuple] = [(fn, chunk) for chunk in chunks]
+        elif self.mode == "thread":
+            # Pool threads share the tracer; the ambient span stack is
+            # thread-local, so the parent is passed explicitly.
+            parent = tracer.current_context()
+            runner = _run_chunk_thread_traced
+            payloads = [(fn, chunk, tracer, parent, index)
+                        for index, chunk in enumerate(chunks)]
+        else:
+            # Workers can't share the tracer object: ship a picklable
+            # context, collect the spans with the results.
+            parent = tracer.current_context()
+            runner = _run_chunk_process_traced
+            payloads = [(fn, chunk, parent, index)
+                        for index, chunk in enumerate(chunks)]
         with pool_cls(max_workers=workers) as pool:
-            chunk_results = list(pool.map(_run_chunk,
-                                          [(fn, chunk) for chunk in chunks]))
+            chunk_results = list(pool.map(runner, payloads))
+        if tracer is not None and self.mode == "process":
+            unwrapped = []
+            for results, spans in chunk_results:
+                tracer.absorb(spans)
+                unwrapped.append(results)
+            chunk_results = unwrapped
         return [result for chunk in chunk_results for result in chunk]
 
 
@@ -119,3 +156,25 @@ def _run_chunk(payload: tuple) -> List[Any]:
     the dispatcher; ``fn`` itself must be picklable in process mode)."""
     fn, chunk = payload
     return [fn(item) for item in chunk]
+
+
+def _run_chunk_thread_traced(payload: tuple) -> List[Any]:
+    """One chunk inside a ``worker[i]`` span on the shared tracer."""
+    fn, chunk, tracer, parent, index = payload
+    with tracer.span(f"worker[{index}]", parent=parent,
+                     n_items=len(chunk), mode="thread"):
+        return [fn(item) for item in chunk]
+
+
+def _run_chunk_process_traced(
+    payload: tuple,
+) -> Tuple[List[Any], List[dict]]:
+    """One chunk in a worker process: record spans into a local tracer
+    parented under the shipped context; return them with the results."""
+    fn, chunk, parent, index = payload
+    tracer = worker_tracer(parent)
+    with tracer.span(f"worker[{index}]", parent=parent,
+                     n_items=len(chunk), mode="process",
+                     pid=os.getpid()):
+        results = [fn(item) for item in chunk]
+    return results, tracer.export()

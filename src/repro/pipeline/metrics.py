@@ -5,6 +5,15 @@ Every engine run produces a :class:`PipelineTrace` — one
 drop-reason histogram, and cache hit/miss deltas.  Traces serialise to
 JSON (`to_json` / `from_json` round-trip) so a curation or eval run can
 be diffed between PRs.
+
+Since the unified observability layer landed, the registry is the
+source of record: the engine folds every finished trace into it
+(:meth:`repro.obs.Observability.publish_trace`), and
+:meth:`PipelineTrace.from_registry` reconstructs the legacy document —
+byte-for-byte, golden-tested — from registry gauges and annotations
+alone.  The classes below follow the shared
+:class:`~repro.obs.Reportable` contract; ``schema`` identifies the
+shape on the class without perturbing the committed JSON layout.
 """
 
 from __future__ import annotations
@@ -13,10 +22,15 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..obs.registry import MetricRegistry
+from ..obs.reportable import strip_schema
+
 
 @dataclass
 class StageMetrics:
     """What one stage did to the record stream."""
+
+    schema = "pyranet/stage-metrics/v1"
 
     name: str
     n_in: int = 0
@@ -42,14 +56,19 @@ class StageMetrics:
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "StageMetrics":
-        return cls(**data)
+        return cls(**strip_schema(data))
 
 
 @dataclass
 class PipelineTrace:
     """The run report: stages in execution order plus run-level facts."""
+
+    schema = "pyranet/pipeline-trace/v1"
 
     pipeline: str = ""
     stages: List[StageMetrics] = field(default_factory=list)
@@ -111,3 +130,40 @@ class PipelineTrace:
     @classmethod
     def from_json(cls, text: str) -> "PipelineTrace":
         return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_registry(cls, registry: MetricRegistry,
+                      pipeline: str) -> "PipelineTrace":
+        """Rebuild the latest run's trace from the registry alone.
+
+        The engine publishes every finished trace via
+        :meth:`repro.obs.Observability.publish_trace`; this is the
+        inverse view.  Gauges store values uncoerced and annotations
+        hold the dict-shaped parts, so the reconstruction is
+        byte-identical to the original ``to_json`` output (golden-
+        tested).  Only the *latest* run per pipeline name is
+        recoverable — cumulative history lives in the counters.
+        """
+        prefix = f"pipeline.{pipeline or 'anonymous'}"
+        stage_names = registry.annotation(f"{prefix}.stages")
+        if stage_names is None:
+            raise KeyError(
+                f"registry holds no published trace for {pipeline!r}")
+        stages = []
+        for name in stage_names:
+            stage = f"{prefix}.stage.{name}"
+            stages.append(StageMetrics(
+                name=name,
+                n_in=registry.gauge(f"{stage}.n_in").value,
+                n_out=registry.gauge(f"{stage}.n_out").value,
+                wall_time_s=registry.gauge(f"{stage}.wall_time_s").value,
+                drops=dict(registry.annotation(f"{stage}.drops", {})),
+                cache_hits=registry.gauge(f"{stage}.cache_hits").value,
+                cache_misses=registry.gauge(f"{stage}.cache_misses").value,
+            ))
+        return cls(
+            pipeline=pipeline,
+            stages=stages,
+            wall_time_s=registry.gauge(f"{prefix}.wall_time_s").value,
+            meta=dict(registry.annotation(f"{prefix}.meta", {})),
+        )

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
 from ..dataset.records import DatasetEntry, PyraNetDataset
+from ..obs import Observability, resolve
 from ..pipeline import PipelineTrace, ResultCache, StageMetrics
 from .errors import ShardCorruptionError
 from .manifest import StoreManifest
@@ -56,12 +57,17 @@ class StoreReader:
             by content digest — trades the streaming memory bound for
             fast warm repeat reads (``select`` loops, multi-pass
             sampling).
+        obs: observability handle; shard loads become ``store.read_shard``
+            spans and ``store.read.*`` counters in the run's report.
     """
 
     def __init__(self, directory: PathLike, strict: bool = True,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.directory = Path(directory)
-        self.manifest = StoreManifest.load(self.directory)
+        self.obs = resolve(obs)
+        with self.obs.span("store.open", directory=str(directory)):
+            self.manifest = StoreManifest.load(self.directory)
         self.strict = strict
         self.cache = cache
         #: shard names opened (i.e. read from disk or cache) so far.
@@ -81,21 +87,25 @@ class StoreReader:
         """Verified entries of one shard, or ``None`` if skipped (lenient)."""
         start = time.perf_counter()
         self.opened_shards.append(info.name)
+        self.obs.counter("store.read.shards_opened").inc()
         try:
-            if self.cache is not None:
-                before = self.cache.misses
-                entries = self.cache.get_or_compute(
-                    "store-shard", info.digest,
-                    lambda: self._read_and_verify(info),
-                )
-                if self.cache.misses == before:
-                    self.metrics.cache_hits += 1
+            with self.obs.span("store.read_shard", shard=info.name,
+                               n_entries=info.n_entries):
+                if self.cache is not None:
+                    before = self.cache.misses
+                    entries = self.cache.get_or_compute(
+                        "store-shard", info.digest,
+                        lambda: self._read_and_verify(info),
+                    )
+                    if self.cache.misses == before:
+                        self.metrics.cache_hits += 1
+                    else:
+                        self.metrics.cache_misses += 1
                 else:
-                    self.metrics.cache_misses += 1
-            else:
-                entries = self._read_and_verify(info)
+                    entries = self._read_and_verify(info)
         except ShardCorruptionError as exc:
             self.metrics.record_drop(f"corrupt:{info.name}")
+            self.obs.counter("store.read.corrupt_shards").inc()
             if self.strict:
                 raise
             self.corruption_reports.append(CorruptionReport(
@@ -107,6 +117,7 @@ class StoreReader:
         finally:
             self.metrics.wall_time_s += time.perf_counter() - start
         self.metrics.n_in += info.n_entries
+        self.obs.counter("store.read.entries").inc(info.n_entries)
         return entries
 
     def _read_and_verify(self, info: ShardInfo) -> List[DatasetEntry]:

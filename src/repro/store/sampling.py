@@ -72,16 +72,23 @@ class SamplingService:
     def curriculum_phases(self, shuffle_within: bool = True,
                           seed: Optional[int] = None) -> List[Phase]:
         """The paper's curriculum, straight off the shards."""
-        return curriculum_phases(
-            self, shuffle_within=shuffle_within,
-            seed=self.seed if seed is None else seed)
+        with self.reader.obs.span("store.serve.curriculum") as span:
+            phases = curriculum_phases(
+                self, shuffle_within=shuffle_within,
+                seed=self.seed if seed is None else seed)
+            span.meta["n_phases"] = len(phases)
+        return phases
 
     def uniform_batches(self, batch_size: int = 64,
                         seed: Optional[int] = None) -> List[Phase]:
         """A shuffled single stream chunked into batches (layer-blind)."""
-        return random_phases(
-            self, seed=self.seed if seed is None else seed,
-            batch_size=batch_size)
+        with self.reader.obs.span("store.serve.uniform",
+                                  batch_size=batch_size) as span:
+            phases = random_phases(
+                self, seed=self.seed if seed is None else seed,
+                batch_size=batch_size)
+            span.meta["n_phases"] = len(phases)
+        return phases
 
     def weighted_batches(
         self,
@@ -100,6 +107,19 @@ class SamplingService:
         """
         if n_batches <= 0 or batch_size <= 0:
             raise ValueError("n_batches and batch_size must be positive")
+        with self.reader.obs.span("store.serve.weighted",
+                                  n_batches=n_batches,
+                                  batch_size=batch_size):
+            return self._weighted_batches(n_batches, batch_size, seed,
+                                          schedule)
+
+    def _weighted_batches(
+        self,
+        n_batches: int,
+        batch_size: int,
+        seed: Optional[int],
+        schedule: Optional[WeightSchedule],
+    ) -> List[Phase]:
         schedule = schedule or paper_schedule()
         sizes = {layer: count for layer, count in self.layer_sizes().items()
                  if layer > 0 and count > 0}

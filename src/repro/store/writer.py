@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
 from ..dataset.records import DatasetEntry
+from ..obs import Observability, resolve
 from .manifest import StoreManifest
 from .shard import ShardInfo, build_histogram, encode_entry, encode_shard, shard_name
 
@@ -41,6 +42,8 @@ class ShardWriter:
             shard — entries are never split).
         max_entries_per_shard: optional row-count bound on top of the
             byte bound.
+        obs: observability handle; the write becomes a ``store.write``
+            span with shard/entry/byte counters in the run's report.
     """
 
     def __init__(
@@ -48,6 +51,7 @@ class ShardWriter:
         directory: PathLike,
         max_shard_bytes: int = DEFAULT_SHARD_BYTES,
         max_entries_per_shard: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if max_shard_bytes <= 0:
             raise ValueError("max_shard_bytes must be positive")
@@ -56,10 +60,24 @@ class ShardWriter:
         self.directory = Path(directory)
         self.max_shard_bytes = max_shard_bytes
         self.max_entries_per_shard = max_entries_per_shard
+        self.obs = resolve(obs)
 
     def write(self, entries: Iterable[DatasetEntry],
               meta: Optional[dict] = None) -> StoreManifest:
         """Shard ``entries`` into the store directory; returns the manifest."""
+        with self.obs.span("store.write",
+                           directory=str(self.directory)) as span:
+            manifest = self._write(entries, meta)
+            span.meta["n_entries"] = manifest.n_entries
+            span.meta["n_shards"] = len(manifest.shards)
+        counters = self.obs.registry
+        counters.counter("store.write.entries").inc(manifest.n_entries)
+        counters.counter("store.write.shards").inc(len(manifest.shards))
+        counters.counter("store.write.bytes").inc(manifest.total_bytes)
+        return manifest
+
+    def _write(self, entries: Iterable[DatasetEntry],
+               meta: Optional[dict] = None) -> StoreManifest:
         self.directory.mkdir(parents=True, exist_ok=True)
         start = time.perf_counter()
         manifest = StoreManifest()
@@ -128,7 +146,8 @@ class ShardWriter:
 
 def write_store(entries: Iterable[DatasetEntry], directory: PathLike,
                 max_shard_bytes: int = DEFAULT_SHARD_BYTES,
-                meta: Optional[dict] = None) -> StoreManifest:
+                meta: Optional[dict] = None,
+                obs: Optional[Observability] = None) -> StoreManifest:
     """One-call convenience: shard ``entries`` into ``directory``."""
-    return ShardWriter(directory, max_shard_bytes=max_shard_bytes).write(
-        entries, meta=meta)
+    return ShardWriter(directory, max_shard_bytes=max_shard_bytes,
+                       obs=obs).write(entries, meta=meta)

@@ -1,0 +1,83 @@
+"""Span propagation across ParallelExecutor pool boundaries."""
+
+from repro.obs import Tracer
+from repro.pipeline import ParallelExecutor
+
+
+def _double(x):
+    """Module-level so process pools can pickle it."""
+    return x * 2
+
+
+def _run(mode):
+    executor = ParallelExecutor(mode=mode, max_workers=2, chunk_size=3)
+    tracer = Tracer()
+    executor.tracer = tracer
+    with tracer.span("stage") as stage:
+        results = executor.map(_double, list(range(12)))
+    return results, stage, tracer.export(), executor
+
+
+class TestThreadMode:
+    def test_worker_spans_parent_under_caller(self):
+        results, stage, spans, executor = _run("thread")
+        assert results == [x * 2 for x in range(12)]
+        assert not executor.fell_back
+        workers = [s for s in spans if s["name"].startswith("worker[")]
+        assert len(workers) == 4  # 12 items / chunk_size 3
+        for span in workers:
+            assert span["parent_id"] == stage.span_id
+            assert span["meta"]["mode"] == "thread"
+            assert span["trace_id"] == stage.trace_id
+        assert sum(s["meta"]["n_items"] for s in workers) == 12
+
+
+class TestProcessMode:
+    def test_worker_spans_cross_the_process_boundary(self):
+        results, stage, spans, executor = _run("process")
+        assert results == [x * 2 for x in range(12)]
+        assert not executor.fell_back
+        workers = [s for s in spans if s["name"].startswith("worker[")]
+        assert len(workers) == 4
+        for span in workers:
+            # Recorded in the worker, absorbed by the parent: same
+            # trace, parented under the calling stage span, ids from
+            # the pid-namespaced worker tracer.
+            assert span["parent_id"] == stage.span_id
+            assert span["trace_id"] == stage.trace_id
+            assert span["meta"]["mode"] == "process"
+            assert span["span_id"].startswith("w")
+            assert "pid" in span["meta"]
+
+    def test_worker_indices_cover_all_chunks(self):
+        _, _, spans, _ = _run("process")
+        names = sorted(s["name"] for s in spans
+                       if s["name"].startswith("worker["))
+        assert names == [f"worker[{i}]" for i in range(4)]
+
+    def test_unpicklable_fn_falls_back_without_worker_spans(self):
+        executor = ParallelExecutor(mode="process", max_workers=2,
+                                    chunk_size=3)
+        tracer = Tracer()
+        executor.tracer = tracer
+        with tracer.span("stage"):
+            results = executor.map(lambda x: x + 1, list(range(8)))
+        assert results == [x + 1 for x in range(8)]
+        assert executor.fell_back
+        assert [s["name"] for s in tracer.export()] == ["stage"]
+
+
+class TestSerialMode:
+    def test_no_worker_spans(self):
+        results, stage, spans, _ = _run("serial")
+        assert results == [x * 2 for x in range(12)]
+        assert [s["name"] for s in spans] == ["stage"]
+
+
+class TestUntraced:
+    def test_no_tracer_means_no_spans_and_same_results(self):
+        executor = ParallelExecutor(mode="thread", max_workers=2,
+                                    chunk_size=3)
+        assert executor.tracer is None
+        assert executor.map(_double, list(range(12))) == [
+            x * 2 for x in range(12)]

@@ -1,0 +1,157 @@
+"""One observability handle across curation → finetune → eval.
+
+The acceptance test for the unified telemetry API: a single PyraNet run
+driven with one :class:`Observability` emits one schema-versioned
+RunReport whose spans come from all three subsystems — including
+``worker[i]`` spans recorded *inside process-pool workers* during
+curation — and whose registry can rebuild the legacy curation trace
+byte-for-byte.
+"""
+
+import json
+
+import pytest
+
+from repro.core import PyraNet
+from repro.obs import Observability
+from repro.pipeline import ParallelExecutor, PipelineTrace
+
+
+@pytest.fixture(scope="module")
+def run():
+    """One small end-to-end run shared by every assertion."""
+    obs = Observability(run_id="e2e")
+    pyranet = PyraNet(
+        seed=0, n_samples=2, n_test_vectors=8,
+        executor=ParallelExecutor(mode="process", max_workers=2,
+                                  chunk_size=16),
+        obs=obs,
+    )
+    pyranet.build_dataset(n_github_files=60, n_llm_prompts=2,
+                          n_queries_per_prompt=3)
+    model = pyranet.finetune("codellama-7b-instruct-sim",
+                             recipe="architecture")
+    eval_report = pyranet.evaluate(model, suite="machine", n_problems=3)
+    return pyranet, eval_report, pyranet.run_report()
+
+
+class TestOneMergedReport:
+    def test_schema_versioned_document(self, run):
+        _, _, report = run
+        doc = json.loads(report.to_json())
+        assert doc["schema"] == "pyranet/run-report/v1"
+        assert doc["run_id"] == "e2e"
+        assert doc["meta"]["seed"] == 0
+
+    def test_spans_from_all_three_subsystems(self, run):
+        _, _, report = run
+        names = set(report.span_names())
+        # curation
+        assert "run.build_dataset" in names
+        assert "pipeline.curation" in names
+        assert "curation.dedup" in names
+        assert "curation.syntax_check" in names
+        # fine-tuning
+        assert "run.finetune" in names
+        assert "finetune.run" in names
+        assert any(n.startswith("finetune.phase.") for n in names)
+        # evaluation
+        assert "eval.run" in names
+        assert "pipeline.evaluation" in names
+        assert "evaluation.sample+simulate" in names
+
+    def test_process_mode_worker_spans_made_it_back(self, run):
+        _, _, report = run
+        process_workers = [s for s in report.worker_spans()
+                           if s["meta"].get("mode") == "process"]
+        assert process_workers, "no spans crossed the process boundary"
+        known = {s["span_id"] for s in report.spans}
+        for span in process_workers:
+            # Recorded in a pool worker: pid-namespaced id, parented
+            # under a stage span that exists in the same merged trace.
+            assert span["span_id"].startswith("w")
+            assert span["parent_id"] in known
+
+    def test_every_span_shares_the_run_trace_id(self, run):
+        _, _, report = run
+        trace_ids = {s["trace_id"] for s in report.spans}
+        assert len(trace_ids) == 1
+
+    def test_legacy_curation_trace_is_a_view_over_the_registry(self, run):
+        pyranet, _, _ = run
+        legacy = pyranet.curation.report.trace
+        rebuilt = PipelineTrace.from_registry(pyranet.obs.registry,
+                                              "curation")
+        assert rebuilt.to_json() == legacy.to_json()
+
+    def test_legacy_eval_trace_survives_unchanged(self, run):
+        _, eval_report, _ = run
+        trace = eval_report.trace
+        assert trace.pipeline == "evaluation"
+        assert trace.stage("sample+simulate").n_in == 3
+        # Old serialisation still round-trips.
+        assert PipelineTrace.from_json(trace.to_json()).to_json() == \
+            trace.to_json()
+
+    def test_drop_and_cache_views_are_populated(self, run):
+        _, _, report = run
+        # Curation always drops something at this scale.
+        assert sum(report.drop_histogram().values()) > 0
+        counters = report.metrics["counters"]
+        assert counters["pipeline.curation.runs"] == 1
+        assert counters["curation.files_in"] > 0
+        assert counters["finetune.phases_total"] > 0
+        assert counters["eval.problems"] == 3
+
+    def test_store_round_trip_joins_the_same_report(self, run, tmp_path):
+        pyranet, _, _ = run
+        manifest = pyranet.save_store(tmp_path / "store")
+        service = pyranet.load_store(tmp_path / "store", seed=0,
+                                    obs=pyranet.obs)
+        assert len(service) == manifest.n_entries
+        service.curriculum_phases()
+        report = pyranet.run_report()
+        names = set(report.span_names())
+        assert "store.write" in names
+        assert "store.open" in names
+        assert "store.read_shard" in names
+        assert "store.serve.curriculum" in names
+        assert report.metrics["counters"]["store.write.entries"] == \
+            manifest.n_entries
+
+    def test_write_trace_emits_one_artifact(self, run, tmp_path):
+        pyranet, _, _ = run
+        path = tmp_path / "trace.json"
+        report = pyranet.write_trace(path, meta={"entry": "test"})
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "pyranet/run-report/v1"
+        assert doc["meta"]["entry"] == "test"
+        assert len(doc["spans"]) == len(report.spans) > 0
+
+
+class TestNoopPath:
+    def test_disabled_observability_changes_no_results(self):
+        def outcome(obs):
+            pyranet = PyraNet(seed=3, n_samples=2, n_test_vectors=8,
+                              obs=obs)
+            pyranet.build_dataset(n_github_files=40, n_llm_prompts=1,
+                                  n_queries_per_prompt=2)
+            model = pyranet.finetune("codellama-7b-instruct-sim",
+                                     recipe="dataset")
+            report = pyranet.evaluate(model, suite="machine",
+                                      n_problems=2)
+            # Wall times differ run to run; compare the outcomes.
+            return (report.summary(),
+                    [result.to_dict() for result in report.results])
+
+        live = outcome(Observability())
+        noop = outcome(Observability.noop())
+        assert live == noop
+
+    def test_noop_run_report_is_empty(self):
+        pyranet = PyraNet(seed=1, obs=Observability.noop())
+        pyranet.build_dataset(n_github_files=30, n_llm_prompts=1,
+                              n_queries_per_prompt=2)
+        report = pyranet.run_report()
+        assert report.spans == []
+        assert report.metrics["counters"] == {}

@@ -1,0 +1,162 @@
+"""MetricRegistry instruments: counters, gauges, histograms, annotations."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricRegistry, NullRegistry
+from repro.obs.registry import Histogram
+
+
+class TestCounter:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_inc_accumulates(self):
+        counter = MetricRegistry().counter("n")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_threaded_increments_are_exact(self):
+        counter = MetricRegistry().counter("n")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+    def test_prefix_view(self):
+        registry = MetricRegistry()
+        registry.counter("cache.a.hits").inc(2)
+        registry.counter("cache.a.misses").inc(1)
+        registry.counter("store.read.entries").inc(9)
+        assert registry.counters("cache.") == {
+            "cache.a.hits": 2, "cache.a.misses": 1}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricRegistry().gauge("g")
+        gauge.set(1)
+        gauge.set(7)
+        assert gauge.value == 7
+
+    def test_value_is_not_coerced(self):
+        # Byte-identical legacy-trace views require ints to stay ints.
+        gauge = MetricRegistry().gauge("g")
+        gauge.set(3)
+        assert type(gauge.value) is int
+        gauge.set(3.5)
+        assert type(gauge.value) is float
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        histogram = MetricRegistry().histogram("h")
+        for value in (1.0, 5.0, 3.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 9.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 5.0
+        assert snap["samples"] == [1.0, 5.0, 3.0]
+
+    def test_reservoir_is_bounded(self):
+        histogram = Histogram("h", max_samples=16)
+        for value in range(1000):
+            histogram.observe(float(value))
+        snap = histogram.snapshot()
+        assert snap["count"] == 1000
+        assert len(snap["samples"]) == 16
+        assert all(0.0 <= s < 1000.0 for s in snap["samples"])
+
+    def test_reservoir_deterministic_for_same_name_and_seed(self):
+        # Identical observation sequences keep byte-identical samples.
+        def run():
+            histogram = Histogram("stage_wall", max_samples=8, seed=3)
+            for value in range(500):
+                histogram.observe(float(value))
+            return histogram.snapshot()
+
+        assert run() == run()
+
+    def test_reservoir_seed_depends_on_name(self):
+        def run(name):
+            histogram = Histogram(name, max_samples=8, seed=0)
+            for value in range(500):
+                histogram.observe(float(value))
+            return histogram.snapshot()["samples"]
+
+        assert run("a") != run("b")
+
+    def test_registry_seed_flows_into_reservoir(self):
+        def run(seed):
+            registry = MetricRegistry(seed=seed)
+            histogram = registry.histogram("h", max_samples=8)
+            for value in range(500):
+                histogram.observe(float(value))
+            return histogram.snapshot()["samples"]
+
+        assert run(0) == run(0)
+        assert run(0) != run(1)
+
+    def test_percentile(self):
+        histogram = MetricRegistry().histogram("h")
+        for value in range(101):
+            histogram.observe(float(value))
+        assert histogram.percentile(0) == 0.0
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(100) == 100.0
+        assert MetricRegistry().histogram("empty").percentile(50) is None
+
+    def test_rejects_nonpositive_reservoir(self):
+        with pytest.raises(ValueError):
+            Histogram("h", max_samples=0)
+
+
+class TestRegistrySnapshot:
+    def test_to_dict_shape(self):
+        registry = MetricRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(4)
+        registry.histogram("h").observe(1.5)
+        registry.annotate("meta", {"k": "v"})
+        snap = registry.to_dict()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 4}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["annotations"] == {"meta": {"k": "v"}}
+
+    def test_annotation_lookup_with_default(self):
+        registry = MetricRegistry()
+        assert registry.annotation("missing") is None
+        assert registry.annotation("missing", 3) == 3
+        registry.annotate("present", [1, 2])
+        assert registry.annotation("present") == [1, 2]
+
+
+class TestNullRegistry:
+    def test_records_nothing(self):
+        registry = NullRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(9)
+        registry.histogram("h").observe(1.0)
+        registry.annotate("a", "x")
+        snap = registry.to_dict()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {},
+                        "annotations": {}}
+
+    def test_hands_out_shared_instruments(self):
+        registry = NullRegistry()
+        assert registry.counter("a") is registry.counter("b")
+        assert registry.histogram("a") is registry.histogram("b")

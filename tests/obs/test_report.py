@@ -1,0 +1,94 @@
+"""RunReport: the merged artefact and its convenience views."""
+
+import json
+
+from repro.obs import (
+    RUN_REPORT_SCHEMA,
+    Observability,
+    RunReport,
+)
+
+
+def _sample_observability():
+    obs = Observability(run_id="test-run")
+    with obs.span("pipeline.curation") as run_span:
+        with obs.span("curation.dedup", parent=run_span.context):
+            pass
+        with obs.span("worker[0]", parent=run_span.context):
+            pass
+    with obs.span("eval.run"):
+        pass
+    obs.counter("pipeline.curation.drop.duplicate").inc(3)
+    obs.counter("pipeline.curation.drop.syntax error").inc(2)
+    obs.counter("cache.default.hits").inc(5)
+    obs.counter("cache.default.misses").inc(7)
+    obs.histogram("pipeline.stage_wall_s").observe(0.25)
+    return obs
+
+
+class TestViews:
+    def test_span_views(self):
+        report = _sample_observability().run_report()
+        assert set(report.span_names()) == {
+            "curation.dedup", "worker[0]", "pipeline.curation", "eval.run"}
+        assert [s["name"] for s in report.find_spans("eval.")] == ["eval.run"]
+        assert [s["name"] for s in report.worker_spans()] == ["worker[0]"]
+        assert report.subsystems() == [
+            "curation", "eval", "pipeline", "worker"]
+
+    def test_drop_histogram_parses_counters(self):
+        report = _sample_observability().run_report()
+        assert report.drop_histogram() == {
+            "duplicate": 3, "syntax error": 2}
+
+    def test_cache_stats_parses_counters(self):
+        report = _sample_observability().run_report()
+        assert report.cache_stats() == {
+            "default": {"hits": 5, "misses": 7}}
+
+    def test_span_tree_and_summary(self):
+        report = _sample_observability().run_report()
+        tree = report.span_tree()
+        roots = [s["name"] for s in tree[None]]
+        assert sorted(roots) == ["eval.run", "pipeline.curation"]
+        lines = report.summary_lines()
+        assert lines[0].startswith("run test-run: 4 spans")
+        assert any("curation.dedup" in line for line in lines)
+
+
+class TestSerialisation:
+    def test_schema_is_embedded(self):
+        report = _sample_observability().run_report(meta={"seed": 0})
+        doc = json.loads(report.to_json())
+        assert doc["schema"] == RUN_REPORT_SCHEMA == "pyranet/run-report/v1"
+        assert doc["meta"] == {"seed": 0}
+
+    def test_round_trip(self):
+        report = _sample_observability().run_report(meta={"seed": 4})
+        restored = RunReport.from_json(report.to_json())
+        assert restored.to_dict() == report.to_dict()
+        assert restored.run_id == "test-run"
+
+    def test_metrics_snapshot_rides_along(self):
+        report = _sample_observability().run_report()
+        assert report.metrics["counters"]["cache.default.hits"] == 5
+        histogram = report.metrics["histograms"]["pipeline.stage_wall_s"]
+        assert histogram["count"] == 1
+
+
+class TestObservabilityHandle:
+    def test_noop_is_disabled_and_collects_nothing(self):
+        obs = Observability.noop()
+        assert not obs.enabled
+        with obs.span("s"):
+            obs.counter("c").inc()
+        report = obs.run_report()
+        assert report.spans == []
+        assert report.metrics["counters"] == {}
+
+    def test_live_handle_is_enabled(self):
+        assert Observability().enabled
+
+    def test_run_id_defaults_to_trace_id(self):
+        obs = Observability()
+        assert obs.run_id == obs.tracer.trace_id

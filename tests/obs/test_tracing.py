@@ -1,0 +1,146 @@
+"""Tracer semantics: nesting, explicit parents, worker propagation."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import NullTracer, SpanContext, Tracer, worker_tracer
+
+
+class TestNesting:
+    def test_lexical_nesting_sets_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        spans = tracer.export()
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        assert spans[1]["parent_id"] is None
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        with tracer.span("anchor") as anchor:
+            context = anchor.context
+        with tracer.span("elsewhere"):
+            with tracer.span("child", parent=context) as child:
+                pass
+        assert child.parent_id == anchor.span_id
+
+    def test_empty_parent_context_is_ignored(self):
+        # current_context() with no open span returns span_id="" —
+        # passing that along must not install "" as a parent id.
+        tracer = Tracer()
+        empty = tracer.current_context()
+        assert empty.span_id == ""
+        with tracer.span("root", parent=empty) as span:
+            pass
+        assert span.parent_id is None
+
+    def test_thread_stacks_are_independent(self):
+        tracer = Tracer()
+        seen = {}
+
+        def other():
+            with tracer.span("worker-root") as span:
+                seen["parent"] = span.parent_id
+
+        with tracer.span("main-open"):
+            thread = threading.Thread(target=other)
+            thread.start()
+            thread.join()
+        # The other thread's stack was empty: no implicit nesting under
+        # the main thread's open span.
+        assert seen["parent"] is None
+
+
+class TestSpanFacts:
+    def test_error_status_and_reraise(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        span = tracer.export()[0]
+        assert span["status"] == "error"
+
+    def test_meta_kwargs_and_mutation(self):
+        tracer = Tracer()
+        with tracer.span("s", n_in=4) as span:
+            span.meta["n_out"] = 3
+        exported = tracer.export()[0]
+        assert exported["meta"] == {"n_in": 4, "n_out": 3}
+
+    def test_times_are_recorded(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            sum(range(1000))
+        span = tracer.export()[0]
+        assert span["wall_time_s"] >= 0.0
+        assert span["cpu_time_s"] >= 0.0
+
+    def test_span_ids_are_sequential_and_prefixed(self):
+        tracer = Tracer(id_prefix="t")
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s["span_id"] for s in tracer.export()] == ["t0001", "t0002"]
+
+
+class TestContextPropagation:
+    def test_span_context_pickles(self):
+        context = SpanContext(trace_id="abc", span_id="s0001")
+        assert pickle.loads(pickle.dumps(context)) == context
+
+    def test_span_context_dict_round_trip(self):
+        context = SpanContext(trace_id="abc", span_id="s0001")
+        assert SpanContext.from_dict(context.to_dict()) == context
+
+    def test_worker_tracer_inherits_trace_and_parent(self):
+        parent = SpanContext(trace_id="trace99", span_id="s0042")
+        tracer = worker_tracer(parent)
+        assert tracer.trace_id == "trace99"
+        with tracer.span("chunk") as span:
+            pass
+        exported = tracer.export()[0]
+        assert exported["parent_id"] == "s0042"
+        assert exported["trace_id"] == "trace99"
+        # pid-namespaced ids never collide with the parent tracer's.
+        assert exported["span_id"].startswith("w")
+
+    def test_absorb_merges_worker_spans(self):
+        main = Tracer()
+        with main.span("stage") as stage:
+            context = stage.context
+        worker = worker_tracer(context)
+        with worker.span("worker[0]"):
+            pass
+        main.absorb(worker.export())
+        names = [s["name"] for s in main.export()]
+        assert names == ["stage", "worker[0]"]
+        assert len(main) == 2
+
+    def test_current_context_tracks_innermost(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                assert tracer.current_context().span_id == inner.span_id
+
+
+class TestNullTracer:
+    def test_null_tracer_keeps_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("s", k=1) as span:
+            span.meta["x"] = 2  # must not blow up
+        assert tracer.export() == []
+        assert len(tracer) == 0
