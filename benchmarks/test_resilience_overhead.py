@@ -1,0 +1,91 @@
+"""Resilience overhead — the cost of the retry/quarantine guards when
+nothing actually fails.
+
+Runs the same curation twice per round, once with no resilience handle
+(the disabled shared instance: stage functions run bare) and once with
+an enabled :class:`Resilience` — default retry policy, per-stage
+breakers, no checkpointer, no fault plan — and compares wall times.
+The DESIGN.md contract is that a fault-free run pays only the guard
+wrapper per record, never a backoff sleep or a journal write, so the
+protected path must stay within 5% of the bare one.
+
+Medians over interleaved rounds are compared (interleaving cancels
+machine drift); per-round numbers land in the benchmark JSON via
+``extra_info`` so later PRs can watch the trajectory.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.corpus.github_sim import GitHubScrapeSimulator
+from repro.dataset.pipeline import CurationPipeline
+from repro.pipeline import ParallelExecutor
+from repro.resilience import Resilience
+
+#: Acceptance bound: the no-fault guarded path within 5% of the bare one.
+MAX_OVERHEAD = 0.05
+
+ROUNDS = 5
+
+
+def _curate_once(raw_files, resilience):
+    started = time.perf_counter()
+    result = CurationPipeline(
+        seed=0, executor=ParallelExecutor(mode="thread", max_workers=4),
+        resilience=resilience,
+    ).run(raw_files)
+    return time.perf_counter() - started, result
+
+
+def test_resilience_overhead_under_five_percent(benchmark, scale, capsys):
+    raw_files = GitHubScrapeSimulator(seed=0).scrape(scale.n_github_files)
+
+    # Warm both paths once (imports, pool spin-up, allocator noise).
+    _curate_once(raw_files, None)
+    _curate_once(raw_files, Resilience())
+
+    bare_times, guarded_times = [], []
+    last_summary = {}
+    for _ in range(ROUNDS):
+        bare_s, bare_result = _curate_once(raw_files, None)
+        res = Resilience()
+        guarded_s, guarded_result = _curate_once(raw_files, res)
+        bare_times.append(bare_s)
+        guarded_times.append(guarded_s)
+        last_summary = res.summary()
+        # The guards must never change the data, and with no faults
+        # scheduled they must never fire.
+        assert [e.to_dict() for e in guarded_result.dataset] == [
+            e.to_dict() for e in bare_result.dataset]
+        assert last_summary["retries"] == 0
+        assert last_summary["quarantined"] == 0
+
+    bare_med = statistics.median(bare_times)
+    guarded_med = statistics.median(guarded_times)
+    overhead = guarded_med / bare_med - 1.0
+
+    benchmark.extra_info["n_files"] = len(raw_files)
+    benchmark.extra_info["bare_median_s"] = round(bare_med, 4)
+    benchmark.extra_info["guarded_median_s"] = round(guarded_med, 4)
+    benchmark.extra_info["overhead"] = round(overhead, 4)
+
+    # One timed pass for pytest-benchmark's own stats (guarded path).
+    benchmark.pedantic(_curate_once, args=(raw_files, Resilience()),
+                       rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print("Resilience overhead (curation, thread x4, no faults)")
+        print(f"  corpus          : {len(raw_files)} files")
+        print(f"  bare median     : {bare_med:8.3f} s over {ROUNDS} rounds")
+        print(f"  guarded median  : {guarded_med:8.3f} s "
+              f"(summary {last_summary})")
+        print(f"  overhead        : {100 * overhead:+.2f}% "
+              f"(bound {100 * MAX_OVERHEAD:.0f}%)")
+
+    assert overhead < MAX_OVERHEAD, (
+        f"no-fault resilience costs {100 * overhead:.1f}% "
+        f"(> {100 * MAX_OVERHEAD:.0f}%) over the bare path"
+    )

@@ -1,6 +1,6 @@
 """Shared command-line conventions for the example scripts.
 
-Every ``examples/*.py`` accepts the same five flags:
+Every ``examples/*.py`` accepts the same flags:
 
 ``--seed N``
     master seed for whatever the script randomises;
@@ -15,7 +15,15 @@ Every ``examples/*.py`` accepts the same five flags:
     run fan-out-capable stages on a thread pool;
 ``--store-dir PATH``
     write/read the sharded dataset store where the script has one
-    (scripts with nothing to store say so and continue).
+    (scripts with nothing to store say so and continue);
+``--resume RUN_ID``
+    journal pipeline progress under ``.pyranet-runs/RUN_ID`` and, when
+    a journal already exists there, resume the killed run
+    byte-identically instead of starting over;
+``--fault-plan PATH``
+    load a :class:`repro.resilience.FaultPlan` JSON schedule and inject
+    it into the run (resilience drills: transient faults, delays,
+    simulated crashes).
 
 Keeping the surface identical means any example can be diffed against
 any other run with the same tooling:
@@ -30,11 +38,12 @@ from typing import Any, Dict, Optional
 
 from repro.obs import Observability
 from repro.pipeline import ParallelExecutor
+from repro.resilience import Checkpointer, FaultPlan, Resilience
 
 
 def build_parser(description: str,
                  default_seed: int = 0) -> argparse.ArgumentParser:
-    """The shared parser: same five flags on every example."""
+    """The shared parser: the same flag set on every example."""
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument(
         "--seed", type=int, default=default_seed, metavar="N",
@@ -51,6 +60,13 @@ def build_parser(description: str,
     parser.add_argument(
         "--store-dir", metavar="PATH", default=None,
         help="write/read the sharded dataset store at PATH")
+    parser.add_argument(
+        "--resume", metavar="RUN_ID", default=None,
+        help="journal progress under .pyranet-runs/RUN_ID and resume "
+             "a killed run from its checkpoint journal")
+    parser.add_argument(
+        "--fault-plan", metavar="PATH", default=None,
+        help="inject the FaultPlan JSON schedule at PATH into the run")
     return parser
 
 
@@ -58,6 +74,26 @@ def executor_from(args: argparse.Namespace) -> Optional[ParallelExecutor]:
     """A thread-pool executor under ``--parallel``, else None (caller
     default)."""
     return ParallelExecutor(mode="thread") if args.parallel else None
+
+
+def resilience_from(args: argparse.Namespace,
+                    obs: Optional[Observability] = None,
+                    ) -> Optional[Resilience]:
+    """A :class:`Resilience` runtime when ``--resume`` or
+    ``--fault-plan`` ask for one, else None (resilience off — the
+    pipeline takes its single no-op path)."""
+    checkpointer = None
+    if args.resume:
+        checkpointer = Checkpointer(
+            Path(".pyranet-runs") / args.resume)
+    fault_plan = None
+    if args.fault_plan:
+        fault_plan = FaultPlan.from_json(
+            Path(args.fault_plan).read_text(encoding="utf-8"))
+    if checkpointer is None and fault_plan is None:
+        return None
+    return Resilience(checkpointer=checkpointer, fault_plan=fault_plan,
+                      obs=obs)
 
 
 def observability_from(args: argparse.Namespace) -> Observability:

@@ -18,7 +18,9 @@ from the unified observability layer; ``--parallel`` runs per-file
 stages on a thread pool; ``--store-dir PATH`` additionally writes the
 dataset as a sharded, content-addressed store (see :mod:`repro.store`)
 and demonstrates an indexed layer read plus curriculum serving straight
-off the shards.
+off the shards; ``--resume RUN_ID`` journals progress so a killed run
+picks up from its last checkpoint; ``--fault-plan PATH`` injects a
+deterministic fault schedule (resilience drills).
 """
 
 import random
@@ -62,8 +64,13 @@ def main() -> None:
 
     print("\n3) Curating (filters -> dedup -> syntax check -> labels)…")
     executor = _cli.executor_from(args) or ParallelExecutor.serial()
+    resilience = _cli.resilience_from(args, obs=obs)
     result = CurationPipeline(seed=args.seed, executor=executor,
-                              obs=obs).run(raw_files, generated)
+                              obs=obs,
+                              resilience=resilience).run(raw_files,
+                                                         generated)
+    if resilience is not None:
+        print("    resilience:", resilience.summary())
     for line in result.report.summary_lines():
         print("   ", line)
 

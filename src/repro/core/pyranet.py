@@ -47,6 +47,7 @@ from ..finetune.curriculum import LayeredSource
 from ..model.interfaces import FineTunable
 from ..obs import Observability, RunReport, resolve
 from ..pipeline import ParallelExecutor, ResultCache
+from ..resilience import Resilience
 from ..store import (
     DEFAULT_SHARD_BYTES,
     SamplingService,
@@ -77,6 +78,13 @@ class PyraNet:
             registry/trace and :meth:`run_report` /
             :meth:`write_trace` just work; pass
             ``Observability.noop()`` to disable collection.
+        resilience: shared resilience runtime (see
+            :mod:`repro.resilience`).  When set, curation and
+            evaluation runs retry transient faults, quarantine poisoned
+            records into its dead-letter report, and — with a
+            checkpointer attached — journal progress so a killed run
+            resumes byte-identically.  ``None`` keeps the original
+            non-resilient code path.
     """
 
     seed: int = 0
@@ -85,6 +93,7 @@ class PyraNet:
     n_test_vectors: int = 24
     executor: Optional[ParallelExecutor] = None
     obs: Observability = field(default_factory=Observability)
+    resilience: Optional[Resilience] = None
 
     curation: Optional[CurationResult] = None
     _machine_problems: Optional[List[EvalProblem]] = None
@@ -116,6 +125,7 @@ class PyraNet:
                 dedup_threshold=dedup_threshold,
                 executor=self.executor,
                 obs=self.obs,
+                resilience=self.resilience,
             )
             span.meta["n_entries"] = len(self.curation.dataset)
         return self.curation.dataset
@@ -140,11 +150,14 @@ class PyraNet:
             self.dataset, directory, max_shard_bytes=max_shard_bytes,
             meta={"seed": self.seed, "source": "curation"},
             obs=self.obs,
+            resilience=self.resilience,
         )
 
     @staticmethod
     def load_store(directory, strict: bool = True, seed: int = 0,
-                   obs: Optional[Observability] = None) -> SamplingService:
+                   obs: Optional[Observability] = None,
+                   resilience: Optional[Resilience] = None
+                   ) -> SamplingService:
         """Open a store for serving; the returned service slots into
         :meth:`finetune` wherever a dataset is accepted.
 
@@ -152,7 +165,7 @@ class PyraNet:
         fine-tuning re-reads shards from memory, not disk.
         """
         reader = StoreReader(directory, strict=strict, cache=ResultCache(),
-                             obs=resolve(obs))
+                             obs=resolve(obs), resilience=resilience)
         return SamplingService(reader, seed=seed)
 
     # -- models ------------------------------------------------------------
@@ -246,6 +259,7 @@ class PyraNet:
             executor=self.executor,
             cache=self._eval_cache,
             obs=self.obs,
+            resilience=self.resilience,
         )
 
     # -- telemetry ----------------------------------------------------------

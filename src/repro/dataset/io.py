@@ -13,6 +13,7 @@ import os
 from pathlib import Path
 from typing import Dict, Union
 
+from ..resilience.atomic import fsync_dir
 from .records import DatasetEntry, PyraNetDataset
 
 PathLike = Union[str, Path]
@@ -24,6 +25,8 @@ def save_jsonl(dataset: PyraNetDataset, path: PathLike) -> int:
     The file is written to a ``*.tmp`` sibling and atomically renamed
     into place, so ``path`` only ever holds a complete dataset — a
     crash mid-write leaves the previous contents (or nothing) intact.
+    The parent directory is fsynced after the rename so the new name
+    survives power loss as well as a process kill.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -38,6 +41,7 @@ def save_jsonl(dataset: PyraNetDataset, path: PathLike) -> int:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent)
     finally:
         if tmp.exists():
             tmp.unlink()

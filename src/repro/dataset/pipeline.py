@@ -45,6 +45,7 @@ from ..pipeline import (
     ResultCache,
     StagedPipeline,
 )
+from ..resilience.runtime import Resilience
 from .complexity import classify_code
 from .dedup import dedup_keep_indices
 from .describe import describe_source
@@ -161,6 +162,10 @@ class CurationPipeline:
             work; a fresh private cache when not supplied.
         obs: observability handle; stage and worker spans plus the
             published trace land in its registry for the run report.
+        resilience: resilience runtime — per-record stages run behind
+            retry/quarantine shields, batch stages retry whole, and
+            when its checkpointer is set the run journals progress and
+            resumes byte-identically after a kill.
     """
 
     dedup_threshold: float = 0.8
@@ -168,6 +173,7 @@ class CurationPipeline:
     executor: Optional[ParallelExecutor] = None
     cache: Optional[ResultCache] = None
     obs: Optional[Observability] = None
+    resilience: Optional[Resilience] = None
 
     def run(
         self,
@@ -187,6 +193,8 @@ class CurationPipeline:
             # must be an identity check, not ``or``.
             cache=self.cache if self.cache is not None else ResultCache(),
             obs=obs,
+            resilience=self.resilience,
+            checkpoint_extra=(self.seed, self.dedup_threshold),
         )
         result = engine.run(records=records)
         obs.counter("curation.runs").inc()
@@ -195,9 +203,16 @@ class CurationPipeline:
         dataset = PyraNetDataset()
         for record in result.records:
             dataset.add(record.value)
+        layers = layer_holder.get("report")
+        if layers is None:
+            # The layer stage was restored from a checkpoint journal, so
+            # its side-channel report never fired; recompute it from the
+            # (identical) surviving entries.
+            layers = assign_layers([record.value
+                                    for record in result.records])
         report = PipelineReport(
             funnel=self._funnel_from(result.trace, dataset),
-            layers=layer_holder.get("report", LayerReport()),
+            layers=layers,
             n_collected_github=len(raw_files),
             n_generated_llm=len(generated),
             trace=result.trace,
@@ -374,6 +389,7 @@ def build_pyranet(
     executor: Optional[ParallelExecutor] = None,
     cache: Optional[ResultCache] = None,
     obs: Optional[Observability] = None,
+    resilience: Optional[Resilience] = None,
 ) -> CurationResult:
     """One-call PyraNet construction at a configurable scale.
 
@@ -399,6 +415,6 @@ def build_pyranet(
 
     pipeline = CurationPipeline(
         dedup_threshold=dedup_threshold, seed=seed,
-        executor=executor, cache=cache, obs=obs,
+        executor=executor, cache=cache, obs=obs, resilience=resilience,
     )
     return pipeline.run(raw_files, generated)

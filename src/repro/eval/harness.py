@@ -34,6 +34,7 @@ from ..pipeline import (
     ResultCache,
     StagedPipeline,
 )
+from ..resilience.runtime import Resilience
 from .functional import TestOutcome, run_functional_test
 from .passk import mean_pass_at_k, pass_at_k
 
@@ -167,6 +168,7 @@ def evaluate_model(
     executor: Optional[ParallelExecutor] = None,
     cache: Optional[ResultCache] = None,
     obs: Optional[Observability] = None,
+    resilience: Optional[Resilience] = None,
 ) -> EvalReport:
     """Run the full sampling + functional-check loop.
 
@@ -188,6 +190,10 @@ def evaluate_model(
         obs: observability handle; the run becomes an ``eval.run`` span
             enclosing the engine's stage/worker spans, with problem and
             sample counters in the run's report.
+        resilience: resilience runtime — per-problem work retries and
+            quarantines under its policy, and with a checkpointer set
+            the run journals per-problem batches and resumes a killed
+            evaluation without re-sampling finished problems.
     """
     problems = list(problems)
     obs = resolve(obs)
@@ -236,6 +242,9 @@ def evaluate_model(
         executor=executor or ParallelExecutor.from_env(default_mode="thread"),
         cache=outcome_cache,
         obs=obs,
+        resilience=resilience,
+        checkpoint_extra=(name, n_samples, temperature, seed,
+                          n_test_vectors),
     )
     with obs.span("eval.run", suite=suite, model=name,
                   n_problems=len(problems), n_samples=n_samples) as span:

@@ -17,15 +17,20 @@ cost.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..obs import Observability, resolve
+from ..resilience.checkpoint import Checkpointer, ResumeState, run_signature
+from ..resilience.runtime import Resilience
+from ..resilience.runtime import resolve as resolve_resilience
 from .cache import ResultCache
 from .executor import ParallelExecutor
 from .metrics import PipelineTrace, StageMetrics
-from .stage import Record, Stage
+from .stage import Record, RecordStage, Stage
 
 
 @dataclass
@@ -49,6 +54,14 @@ class StagedPipeline:
             ``cache_namespace``; also usable directly by stage closures.
         obs: observability handle collecting spans and metrics for the
             run; ``None`` uses the shared no-op instance.
+        resilience: resilience runtime for the run — retry/quarantine
+            shields around per-record work, retry around batch stages,
+            and (when its checkpointer is set) batch-granular journaling
+            that makes a killed run resumable byte-identically.  ``None``
+            uses the shared disabled instance (original code path).
+        checkpoint_extra: extra parameters folded into the checkpoint
+            run signature (seeds, thresholds) so a journal can only
+            resume the run configuration that wrote it.
     """
 
     name: str
@@ -56,6 +69,8 @@ class StagedPipeline:
     executor: ParallelExecutor = field(default_factory=ParallelExecutor.serial)
     cache: Optional[ResultCache] = None
     obs: Optional[Observability] = None
+    resilience: Optional[Resilience] = None
+    checkpoint_extra: Any = None
 
     def add(self, stage: Stage) -> "StagedPipeline":
         self.stages.append(stage)
@@ -68,42 +83,92 @@ class StagedPipeline:
             records = [Record(index, value)
                        for index, value in enumerate(values)]
         obs = resolve(self.obs)
+        res = resolve_resilience(self.resilience)
         trace = PipelineTrace(pipeline=self.name)
         trace.meta["executor"] = self.executor.describe()
         trace.meta["n_input"] = len(records)
         # Attach the run's tracer so pool chunks record worker spans;
         # restored afterwards because executors are shared between
-        # pipelines (curation and eval reuse one instance).
+        # pipelines (curation and eval reuse one instance).  The
+        # resilience runtime is bound to the run's observability the
+        # same way, so retry/trip/resume counters land in this run's
+        # registry.
         previous_tracer = self.executor.tracer
         if obs.enabled:
             self.executor.tracer = obs.tracer
+        previous_res_obs = res.obs
+        if res.enabled and res.obs is None:
+            res.obs = obs
+        ckpt = res.checkpointer if res.enabled else None
+        state: Optional[ResumeState] = None
+        if ckpt is not None:
+            signature = run_signature(
+                [(r.index, r.value, r.meta) for r in records],
+                [stage.name for stage in self.stages],
+                extra=(self.name, self.checkpoint_extra))
+            state = ckpt.begin(signature)
+            if state.fresh:
+                state = None
         started = time.perf_counter()
         try:
             with obs.span(f"pipeline.{self.name}",
                           n_input=len(records)) as span:
-                for stage in self.stages:
-                    records = self._run_stage(stage, records, trace, obs)
+                for index, stage in enumerate(self.stages):
+                    records = self._run_stage(
+                        stage, index, records, trace, obs, res, ckpt, state)
                 span.meta["n_output"] = len(records)
         finally:
             self.executor.tracer = previous_tracer
+            res.obs = previous_res_obs
         trace.wall_time_s = time.perf_counter() - started
         if self.cache is not None:
             trace.meta["cache"] = self.cache.stats()
+        if res.enabled:
+            trace.meta["resilience"] = res.summary()
         obs.publish_trace(trace)
+        if ckpt is not None:
+            ckpt.finish({"n_output": len(records)})
         return PipelineResult(records=records, trace=trace)
 
     def _run_stage(
-        self, stage: Stage, records: List[Record], trace: PipelineTrace,
-        obs: Observability,
+        self, stage: Stage, stage_index: int, records: List[Record],
+        trace: PipelineTrace, obs: Observability, res: Resilience,
+        ckpt: Optional[Checkpointer], state: Optional[ResumeState],
     ) -> List[Record]:
         metrics = StageMetrics(name=stage.name, n_in=len(records))
         hits_before = self.cache.hits if self.cache else 0
         misses_before = self.cache.misses if self.cache else 0
+        site = f"stage.{stage.name}"
+        retries_before = res.retries_for(site) if res.enabled else 0
+        quarantined_before = res.quarantined_for(site) if res.enabled else 0
         started = time.perf_counter()
         with obs.span(f"{self.name}.{stage.name}",
                       n_in=len(records)) as span:
-            records = stage.run(records, self.executor, self.cache, metrics)
+            restored = (state.stage_result(stage_index)
+                        if state is not None else None)
+            if restored is not None:
+                records = list(restored["records"])
+                _merge_drops(metrics, restored["drops"])
+                res.record_resumed(stages=1)
+                span.meta["resumed"] = True
+            elif isinstance(stage, RecordStage):
+                records, resumed = self._run_record_stage(
+                    stage, stage_index, records, metrics, res, ckpt,
+                    state, site)
+                if resumed:
+                    span.meta["resumed_batches"] = resumed
+            else:
+                records = self._run_batch_stage(
+                    stage, stage_index, records, metrics, res, ckpt, site)
             span.meta["n_out"] = len(records)
+            if res.enabled:
+                retries = res.retries_for(site) - retries_before
+                quarantined = (res.quarantined_for(site)
+                               - quarantined_before)
+                if retries:
+                    span.meta["retries"] = retries
+                if quarantined:
+                    span.meta["quarantined"] = quarantined
         metrics.wall_time_s = time.perf_counter() - started
         metrics.n_out = len(records)
         if self.cache is not None:
@@ -111,3 +176,107 @@ class StagedPipeline:
             metrics.cache_misses = self.cache.misses - misses_before
         trace.stages.append(metrics)
         return records
+
+    def _run_record_stage(
+        self, stage: RecordStage, stage_index: int, records: List[Record],
+        metrics: StageMetrics, res: Resilience,
+        ckpt: Optional[Checkpointer], state: Optional[ResumeState],
+        site: str,
+    ) -> Tuple[List[Record], int]:
+        """Per-record stage under a shield, optionally batch-journaled.
+
+        Without a checkpointer the stage runs exactly as before (one
+        call, shared metrics).  With one, records run in journal-sized
+        batches: already-journaled batches are replayed from the
+        checkpoint (records and drop reasons alike), the rest run live
+        and commit as they finish — so a kill between batches loses at
+        most one batch of work.
+        """
+        previous_shield = self.executor.shield
+        self.executor.shield = (res.shield(site, self.executor.mode)
+                                if res.enabled else None)
+        try:
+            if ckpt is None:
+                return (stage.run(records, self.executor, self.cache,
+                                  metrics), 0)
+            interval = max(1, ckpt.interval)
+            batches = [records[start:start + interval]
+                       for start in range(0, len(records), interval)]
+            completed = (state.completed_batches(stage_index)
+                         if state is not None else 0)
+            survivors: List[Record] = []
+            resumed = 0
+            for batch_index, chunk in enumerate(batches):
+                if batch_index < completed:
+                    payload = state.batch_result(stage_index, batch_index)
+                    out = list(payload["survivors"])
+                    drops = payload["drops"]
+                    resumed += 1
+                else:
+                    batch_metrics = StageMetrics(name=stage.name,
+                                                 n_in=len(chunk))
+                    out = stage.run(list(chunk), self.executor,
+                                    self.cache, batch_metrics)
+                    drops = batch_metrics.drops
+                    ckpt.record_batch(stage_index, batch_index, stage.name, {
+                        "survivors": list(out),
+                        "drops": dict(drops),
+                        "digest": _records_digest(out),
+                        "cache_namespace": stage.cache_namespace,
+                    })
+                _merge_drops(metrics, drops)
+                survivors.extend(out)
+            if resumed:
+                res.record_resumed(batches=resumed)
+            ckpt.record_stage(stage_index, stage.name, {
+                "records": list(survivors),
+                "drops": dict(metrics.drops),
+                "digest": _records_digest(survivors),
+            })
+            return survivors, resumed
+        finally:
+            self.executor.shield = previous_shield
+
+    def _run_batch_stage(
+        self, stage: Stage, stage_index: int, records: List[Record],
+        metrics: StageMetrics, res: Resilience,
+        ckpt: Optional[Checkpointer], site: str,
+    ) -> List[Record]:
+        """Whole-population stage under the retry policy.
+
+        Each attempt gets fresh metrics so a retried stage cannot
+        double-count drops; batch stages are atomic from the journal's
+        point of view (one entry on success)."""
+
+        def attempt() -> Tuple[List[Record], StageMetrics]:
+            attempt_metrics = StageMetrics(name=stage.name,
+                                           n_in=len(records))
+            out = stage.run(records, self.executor, self.cache,
+                            attempt_metrics)
+            return out, attempt_metrics
+
+        if res.enabled:
+            out, attempt_metrics = res.call(site, attempt)
+        else:
+            out, attempt_metrics = attempt()
+        _merge_drops(metrics, attempt_metrics.drops)
+        if ckpt is not None:
+            ckpt.record_stage(stage_index, stage.name, {
+                "records": list(out),
+                "drops": dict(attempt_metrics.drops),
+                "digest": _records_digest(out),
+            })
+        return out
+
+
+def _merge_drops(metrics: StageMetrics, drops: Any) -> None:
+    for reason, count in dict(drops).items():
+        metrics.drops[reason] = metrics.drops.get(reason, 0) + count
+
+
+def _records_digest(records: Sequence[Record]) -> str:
+    """Content digest of a record batch, journaled alongside it so a
+    resumed run can assert it is replaying exactly what was committed."""
+    blob = pickle.dumps([(r.index, r.value, r.meta) for r in records],
+                        protocol=4)
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()

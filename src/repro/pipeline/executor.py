@@ -65,6 +65,10 @@ class ParallelExecutor:
         #: When set, pool chunks run inside ``worker[i]`` spans (the
         #: engine attaches the run's tracer for the duration of a run).
         self.tracer: Optional[Tracer] = None
+        #: When set (a ``repro.resilience.StageShield``, attached by the
+        #: engine per stage), mapped functions are wrapped with retry +
+        #: quarantine guards and the results settled in the parent.
+        self.shield: Optional[Any] = None
 
     @classmethod
     def from_env(cls, default_mode: str = "thread") -> "ParallelExecutor":
@@ -97,10 +101,14 @@ class ParallelExecutor:
         """
         self.fell_back = False
         items = list(items)
+        shield = self.shield
+        if shield is not None:
+            fn = shield.wrap(fn)
         if self.mode == "serial" or len(items) <= 1:
-            return [fn(item) for item in items]
+            results = [fn(item) for item in items]
+            return shield.settle(results) if shield is not None else results
         try:
-            return self._pool_map(fn, items)
+            results = self._pool_map(fn, items)
         except Exception as exc:
             # Process pools fail on unpicklable work (closures, local
             # functions) in mode-specific ways — PicklingError,
@@ -109,11 +117,27 @@ class ParallelExecutor:
             # those; let genuine errors raised by ``fn`` propagate
             # (thread pools add no serialisation failure modes, so in
             # thread mode only infrastructure errors are swallowed).
+            # Note a SimulatedCrash from fault injection is a
+            # BaseException and tears straight through this handler.
             if self.mode == "thread" and not isinstance(
                     exc, (OSError, RuntimeError)):
                 raise
             self.fell_back = True
-            return [fn(item) for item in items]
+            results = [fn(item) for item in items]
+        return shield.settle(results) if shield is not None else results
+
+    def run_serial(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        """A plain in-order loop over ``items`` that still honours the
+        attached shield — the path non-parallel stages use, so trivially
+        cheap stage functions get retry/quarantine protection without
+        pool overhead."""
+        shield = self.shield
+        if shield is not None:
+            fn = shield.wrap(fn)
+        results = [fn(item) for item in items]
+        return shield.settle(results) if shield is not None else results
 
     def _pool_map(
         self, fn: Callable[[Any], Any], items: List[Any]

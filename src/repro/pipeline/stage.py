@@ -24,6 +24,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..resilience.runtime import Quarantined
 from .cache import ResultCache, content_key
 from .executor import ParallelExecutor
 from .metrics import StageMetrics
@@ -125,7 +126,7 @@ class RecordStage(Stage):
         elif self.parallel:
             outcomes = executor.map(self.fn, [r.value for r in todo])
         else:
-            outcomes = [self.fn(record.value) for record in todo]
+            outcomes = executor.run_serial(self.fn, [r.value for r in todo])
 
         survivors: List[Record] = []
         position = 0
@@ -167,9 +168,12 @@ class RecordStage(Stage):
             if self.parallel:
                 computed = executor.map(self.fn, missing_values)
             else:
-                computed = [self.fn(value) for value in missing_values]
+                computed = executor.run_serial(self.fn, missing_values)
             for key, outcome in zip(missing_keys, computed):
-                cache.put(key, outcome)
+                # A quarantined outcome reflects this run's faults, not
+                # the value — caching it would poison later runs.
+                if not isinstance(outcome, Quarantined):
+                    cache.put(key, outcome)
                 by_key[key] = outcome
         return [by_key[key] for key in keys]
 
@@ -177,6 +181,9 @@ class RecordStage(Stage):
     def _apply(
         record: Record, outcome: Any, metrics: StageMetrics
     ) -> Optional[Record]:
+        if isinstance(outcome, Quarantined):
+            metrics.record_drop(f"quarantined:{outcome.error_type}")
+            return None
         if isinstance(outcome, Drop):
             metrics.record_drop(outcome.reason)
             return None

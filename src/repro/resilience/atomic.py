@@ -1,0 +1,68 @@
+"""Durable atomic file writes shared across the persistence layers.
+
+``tmp sibling + os.replace`` makes a write *atomic* (readers see the
+old bytes or the new bytes, never a torn file) but not *durable*: the
+rename itself lives in the parent directory's metadata, and a power
+loss after ``os.replace`` can still roll the directory entry back.
+Closing the gap needs three syncs — file data, then the rename, then
+the directory that recorded it:
+
+1. ``fsync`` the temporary file before the rename;
+2. ``os.replace`` the tmp over the target;
+3. ``fsync`` the parent directory so the rename is on disk too.
+
+:func:`atomic_write_bytes` does all three; :func:`fsync_dir` is the
+directory half, exported separately for call sites that manage their
+own file handles (``save_jsonl`` streams rows through a text handle).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def fsync_dir(directory: PathLike) -> None:
+    """Flush ``directory``'s entry table to disk (making a just-renamed
+    child durable).  A no-op on platforms that cannot fsync a directory
+    handle (Windows raises, some filesystems return EINVAL)."""
+    flags = os.O_RDONLY
+    # O_DIRECTORY (where available) refuses to open anything else.
+    flags |= getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(str(directory), flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, payload: bytes,
+                       durable: bool = True) -> None:
+    """Write ``payload`` to ``path`` atomically (and durably by default).
+
+    The bytes land in a ``*.tmp`` sibling first, are fsynced, and are
+    renamed into place; with ``durable`` the parent directory is then
+    fsynced so the rename survives power loss, not just a process kill.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if durable:
+            fsync_dir(path.parent)
+    finally:
+        if tmp.exists():
+            tmp.unlink()

@@ -27,6 +27,9 @@ from typing import Iterator, List, Optional, Union
 from ..dataset.records import DatasetEntry, PyraNetDataset
 from ..obs import Observability, resolve
 from ..pipeline import PipelineTrace, ResultCache, StageMetrics
+from ..resilience.errors import CircuitOpenError
+from ..resilience.runtime import Resilience
+from ..resilience.runtime import resolve as resolve_resilience
 from .errors import ShardCorruptionError
 from .manifest import StoreManifest
 from .shard import ShardInfo, decode_shard, shard_digest
@@ -59,13 +62,22 @@ class StoreReader:
             sampling).
         obs: observability handle; shard loads become ``store.read_shard``
             spans and ``store.read.*`` counters in the run's report.
+        resilience: resilience runtime — transient read failures are
+            retried under its policy (counted at the ``store.read_shard``
+            site), and each shard gets a circuit breaker
+            (``store.shard.<digest>``): a shard that keeps failing trips
+            open, later reads are rejected without touching disk, and in
+            lenient mode the rejection lands in
+            :attr:`corruption_reports` like any other corruption.
     """
 
     def __init__(self, directory: PathLike, strict: bool = True,
                  cache: Optional[ResultCache] = None,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 resilience: Optional[Resilience] = None) -> None:
         self.directory = Path(directory)
         self.obs = resolve(obs)
+        self.resilience = resolve_resilience(resilience)
         with self.obs.span("store.open", directory=str(directory)):
             self.manifest = StoreManifest.load(self.directory)
         self.strict = strict
@@ -95,22 +107,36 @@ class StoreReader:
                     before = self.cache.misses
                     entries = self.cache.get_or_compute(
                         "store-shard", info.digest,
-                        lambda: self._read_and_verify(info),
+                        lambda: self._guarded_read(info),
                     )
                     if self.cache.misses == before:
                         self.metrics.cache_hits += 1
                     else:
                         self.metrics.cache_misses += 1
                 else:
-                    entries = self._read_and_verify(info)
+                    entries = self._guarded_read(info)
         except ShardCorruptionError as exc:
             self.metrics.record_drop(f"corrupt:{info.name}")
             self.obs.counter("store.read.corrupt_shards").inc()
             if self.strict:
                 raise
+            self._record_skip(info)
             self.corruption_reports.append(CorruptionReport(
                 shard=info.name, reason=exc.reason,
                 expected=exc.expected, actual=exc.actual,
+                n_entries_lost=info.n_entries,
+            ))
+            return None
+        except CircuitOpenError:
+            # The shard's breaker tripped on persistent failures; the
+            # read was rejected without touching disk at all.
+            self.metrics.record_drop(f"circuit-open:{info.name}")
+            self.obs.counter("store.read.circuit_open").inc()
+            if self.strict:
+                raise
+            self._record_skip(info)
+            self.corruption_reports.append(CorruptionReport(
+                shard=info.name, reason="circuit open",
                 n_entries_lost=info.n_entries,
             ))
             return None
@@ -119,6 +145,23 @@ class StoreReader:
         self.metrics.n_in += info.n_entries
         self.obs.counter("store.read.entries").inc(info.n_entries)
         return entries
+
+    def _guarded_read(self, info: ShardInfo) -> List[DatasetEntry]:
+        """One shard read under the resilience policy: transient faults
+        retry; repeated failures feed the shard's circuit breaker."""
+        res = self.resilience
+        if not res.enabled:
+            return self._read_and_verify(info)
+        breaker = res.breaker(f"store.shard.{info.digest[:12]}")
+        return res.call("store.read_shard",
+                        lambda: self._read_and_verify(info),
+                        breaker=breaker)
+
+    def _record_skip(self, info: ShardInfo) -> None:
+        """Lenient skips leave a per-digest audit trail in the metric
+        registry, so a run report names exactly which shards were lost."""
+        self.obs.counter("store.read.skipped_shards").inc()
+        self.obs.counter(f"store.read.skipped.{info.digest[:12]}").inc()
 
     def _read_and_verify(self, info: ShardInfo) -> List[DatasetEntry]:
         path = self.directory / info.name

@@ -16,13 +16,15 @@ partial store.
 
 from __future__ import annotations
 
-import os
 import time
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
 from ..dataset.records import DatasetEntry
 from ..obs import Observability, resolve
+from ..resilience.atomic import atomic_write_bytes
+from ..resilience.runtime import Resilience
+from ..resilience.runtime import resolve as resolve_resilience
 from .manifest import StoreManifest
 from .shard import ShardInfo, build_histogram, encode_entry, encode_shard, shard_name
 
@@ -44,6 +46,9 @@ class ShardWriter:
             byte bound.
         obs: observability handle; the write becomes a ``store.write``
             span with shard/entry/byte counters in the run's report.
+        resilience: resilience runtime — shard-blob writes are retried
+            under its policy at the ``store.write_shard`` site, so a
+            transient filesystem hiccup costs a retry, not the store.
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class ShardWriter:
         max_shard_bytes: int = DEFAULT_SHARD_BYTES,
         max_entries_per_shard: Optional[int] = None,
         obs: Optional[Observability] = None,
+        resilience: Optional[Resilience] = None,
     ) -> None:
         if max_shard_bytes <= 0:
             raise ValueError("max_shard_bytes must be positive")
@@ -61,6 +67,7 @@ class ShardWriter:
         self.max_shard_bytes = max_shard_bytes
         self.max_entries_per_shard = max_entries_per_shard
         self.obs = resolve(obs)
+        self.resilience = resolve_resilience(resilience)
 
     def write(self, entries: Iterable[DatasetEntry],
               meta: Optional[dict] = None) -> StoreManifest:
@@ -132,22 +139,16 @@ class ShardWriter:
             # Content-addressed: an existing file with this name already
             # holds exactly these bytes.
             return
-        tmp = path.with_name(path.name + ".tmp")
-        try:
-            with tmp.open("wb") as handle:
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():
-                tmp.unlink()
+        self.resilience.call(
+            "store.write_shard", lambda: atomic_write_bytes(path, payload))
 
 
 def write_store(entries: Iterable[DatasetEntry], directory: PathLike,
                 max_shard_bytes: int = DEFAULT_SHARD_BYTES,
                 meta: Optional[dict] = None,
-                obs: Optional[Observability] = None) -> StoreManifest:
+                obs: Optional[Observability] = None,
+                resilience: Optional[Resilience] = None) -> StoreManifest:
     """One-call convenience: shard ``entries`` into ``directory``."""
     return ShardWriter(directory, max_shard_bytes=max_shard_bytes,
-                       obs=obs).write(entries, meta=meta)
+                       obs=obs, resilience=resilience).write(entries,
+                                                             meta=meta)

@@ -60,6 +60,38 @@ class TestCrashSafety:
         assert [e.entry_id for e in load_jsonl(path)] == ["keep"]
         assert list(tmp_path.iterdir()) == [path]
 
+    def test_parent_directory_fsynced_after_replace(self, tmp_path,
+                                                    monkeypatch):
+        """Durability, not just atomicity: the rename lives in the
+        parent directory's metadata, so after ``os.replace`` the
+        directory itself must be fsynced or power loss can roll the
+        new name back."""
+        import stat
+
+        events = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+
+        def spy_fsync(fd):
+            kind = ("dir" if stat.S_ISDIR(os.fstat(fd).st_mode)
+                    else "file")
+            events.append(("fsync", kind))
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("replace", ""))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        save_jsonl(make_dataset(["a", "b"]), tmp_path / "ds.jsonl")
+
+        assert ("fsync", "dir") in events
+        # Order: file bytes -> rename -> directory entry.
+        assert events.index(("fsync", "file")) \
+            < events.index(("replace", "")) \
+            < events.index(("fsync", "dir"))
+
 
 class TestDuplicateIds:
     def test_duplicate_id_names_both_lines(self, tmp_path):

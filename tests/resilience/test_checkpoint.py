@@ -1,0 +1,127 @@
+"""Checkpointer journal tests: atomicity, resume, signature binding."""
+
+import pytest
+
+from repro.resilience import CheckpointError, Checkpointer, run_signature
+
+
+class TestRunSignature:
+    def test_stable_for_identical_runs(self):
+        a = run_signature([1, 2, 3], ["s1", "s2"], extra=(7,))
+        b = run_signature([1, 2, 3], ["s1", "s2"], extra=(7,))
+        assert a == b
+        assert len(a) == 32  # blake2b-16 hex
+
+    def test_sensitive_to_every_component(self):
+        base = run_signature([1, 2], ["s1"], extra=None)
+        assert run_signature([1, 3], ["s1"], extra=None) != base
+        assert run_signature([1, 2], ["s2"], extra=None) != base
+        assert run_signature([1, 2], ["s1"], extra="x") != base
+
+
+class TestCheckpointer:
+    def test_begin_fresh(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "j")
+        state = ckpt.begin("sig-a")
+        assert state.fresh
+        assert state.signature == "sig-a"
+        # The begin entry is on disk already.
+        entries = ckpt.entries()
+        assert [e["kind"] for e in entries] == ["begin"]
+
+    def test_record_and_resume(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "j")
+        ckpt.begin("sig")
+        ckpt.record_batch(0, 0, "stage-a", {"survivors": [1, 2]})
+        ckpt.record_batch(0, 1, "stage-a", {"survivors": [3]})
+        ckpt.record_stage(1, "stage-b", {"records": [9]})
+
+        state = Checkpointer(tmp_path / "j").resume_run()
+        assert not state.fresh
+        assert not state.finished
+        assert state.completed_batches(0) == 2
+        assert state.batch_result(0, 1) == {"survivors": [3]}
+        assert state.stage_result(1) == {"records": [9]}
+        assert state.stage_result(0) is None
+
+    def test_begin_resumes_unfinished_same_signature(self, tmp_path):
+        first = Checkpointer(tmp_path / "j")
+        first.begin("sig")
+        first.record_batch(0, 0, "s", "payload")
+
+        second = Checkpointer(tmp_path / "j")
+        state = second.begin("sig")
+        assert not state.fresh
+        assert state.batch_result(0, 0) == "payload"
+        # New entries continue the sequence rather than clobbering.
+        second.record_batch(0, 1, "s", "more")
+        assert second.begin("sig").completed_batches(0) == 2
+
+    def test_begin_wipes_on_signature_mismatch(self, tmp_path):
+        first = Checkpointer(tmp_path / "j")
+        first.begin("sig-a")
+        first.record_batch(0, 0, "s", "stale")
+
+        state = Checkpointer(tmp_path / "j").begin("sig-b")
+        assert state.fresh
+        assert state.batch_result(0, 0) is None
+
+    def test_begin_wipes_finished_journal(self, tmp_path):
+        first = Checkpointer(tmp_path / "j")
+        first.begin("sig")
+        first.record_stage(0, "s", "done")
+        first.finish({"n_output": 1})
+
+        state = Checkpointer(tmp_path / "j").begin("sig")
+        assert state.fresh  # a finished run re-runs from scratch
+
+    def test_completed_batches_stops_at_gap(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "j")
+        ckpt.begin("sig")
+        ckpt.record_batch(0, 0, "s", "a")
+        ckpt.record_batch(0, 2, "s", "c")  # batch 1 missing
+        state = Checkpointer(tmp_path / "j").resume_run()
+        assert state.completed_batches(0) == 1
+
+    def test_corrupt_entry_truncates_journal(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "j")
+        ckpt.begin("sig")
+        ckpt.record_batch(0, 0, "s", "kept")
+        ckpt.record_batch(0, 1, "s", "torn")
+        ckpt.record_batch(0, 2, "s", "after")
+
+        # Corrupt the *middle* entry; everything from it on is untrusted.
+        paths = sorted((tmp_path / "j").glob("journal-*.ckpt"))
+        blob = bytearray(paths[2].read_bytes())
+        blob[-1] ^= 0xFF
+        paths[2].write_bytes(bytes(blob))
+
+        state = Checkpointer(tmp_path / "j").resume_run()
+        assert state.completed_batches(0) == 1
+        assert state.batch_result(0, 0) == "kept"
+        assert state.batch_result(0, 2) is None
+
+    def test_resume_run_raises_when_nothing_there(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            Checkpointer(tmp_path / "missing").resume_run()
+
+    def test_clear_removes_entries_and_tmp(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "j")
+        ckpt.begin("sig")
+        ckpt.record_stage(0, "s", "x")
+        (tmp_path / "j" / "journal-000099.ckpt.tmp").write_bytes(b"junk")
+        ckpt.clear()
+        assert list((tmp_path / "j").iterdir()) == []
+
+    def test_interval_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path, interval=0)
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        ckpt = Checkpointer(tmp_path / "j")
+        ckpt.begin("sig")
+        for i in range(5):
+            ckpt.record_batch(0, i, "s", i)
+        leftovers = [p for p in (tmp_path / "j").iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []

@@ -1,0 +1,142 @@
+"""FaultPlan / FaultRule / flip_shard_byte unit tests."""
+
+import pickle
+
+import pytest
+
+from repro.resilience import (
+    FaultPlan,
+    FaultRule,
+    SimulatedCrash,
+    TransientFault,
+    flip_shard_byte,
+    register_fault_exception,
+)
+
+
+class TestFaultRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="s", kind="explode")
+        with pytest.raises(ValueError):
+            FaultRule(site="s", kind="raise", exception="NoSuchError")
+
+    def test_ordinal_matching(self):
+        rule = FaultRule(site="s", ordinals=(0, 3))
+        assert rule.matches(0)
+        assert not rule.matches(1)
+        assert rule.matches(3)
+
+    def test_dict_round_trip(self):
+        rule = FaultRule(site="s", kind="delay", ordinals=(2,), delay_s=0.5)
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+
+class TestFaultPlan:
+    def test_inactive_site_passthrough(self):
+        plan = FaultPlan([FaultRule(site="watched", ordinals=(0,))])
+
+        def fn():
+            return "x"
+
+        assert plan.wrap("unwatched", fn) is fn  # literally untouched
+        assert plan.wrap("watched", fn) is not fn
+
+    def test_raise_at_scheduled_ordinals_only(self):
+        plan = FaultPlan([FaultRule(site="s", ordinals=(1, 2))])
+        wrapped = plan.wrap("s", lambda: "ok")
+        assert wrapped() == "ok"            # ordinal 0: clean
+        with pytest.raises(TransientFault):
+            wrapped()                       # ordinal 1
+        with pytest.raises(TransientFault):
+            wrapped()                       # ordinal 2
+        assert wrapped() == "ok"            # ordinal 3: clean again
+        assert plan.calls("s") == 4
+        assert plan.report() == {"s": {"raise": 2}}
+
+    def test_named_exception(self):
+        plan = FaultPlan([FaultRule(site="s", ordinals=(0,),
+                                    exception="OSError", message="disk")])
+        with pytest.raises(OSError, match="disk"):
+            plan.wrap("s", lambda: None)()
+
+    def test_registered_exception(self):
+        class Custom(Exception):
+            pass
+
+        register_fault_exception("CustomTestError", Custom)
+        plan = FaultPlan([FaultRule(site="s", ordinals=(0,),
+                                    exception="CustomTestError")])
+        with pytest.raises(Custom):
+            plan.wrap("s", lambda: None)()
+
+    def test_delay_uses_injected_sleep(self):
+        slept = []
+        plan = FaultPlan(
+            [FaultRule(site="s", kind="delay", ordinals=(0,), delay_s=1.5)],
+            sleep=slept.append)
+        assert plan.wrap("s", lambda: "done")() == "done"
+        assert slept == [1.5]
+
+    def test_crash_is_base_exception(self):
+        plan = FaultPlan([FaultRule(site="s", kind="crash", ordinals=(0,))])
+        wrapped = plan.wrap("s", lambda: None)
+        with pytest.raises(SimulatedCrash) as info:
+            wrapped()
+        assert not isinstance(info.value, Exception)
+        assert (info.value.site, info.value.ordinal) == ("s", 0)
+
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(5, ["x", "y"], n_faults=3, max_ordinal=20)
+        b = FaultPlan.seeded(5, ["x", "y"], n_faults=3, max_ordinal=20)
+        c = FaultPlan.seeded(6, ["x", "y"], n_faults=3, max_ordinal=20)
+        assert a.to_dict() == b.to_dict()
+        assert a.to_dict() != c.to_dict()
+        for rule in a.rules:
+            assert len(rule.ordinals) == 3
+            assert all(0 <= o < 20 for o in rule.ordinals)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan([
+            FaultRule(site="a", ordinals=(1,)),
+            FaultRule(site="b", kind="crash", ordinals=(0, 7)),
+        ])
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.to_dict() == plan.to_dict()
+        assert restored.sites() == ["a", "b"]
+
+    def test_wrapped_callable_is_unpicklable(self):
+        # By design: plan counters must stay shared, so the wrapper
+        # refuses to cross a process boundary and the executor falls
+        # back to serial.
+        plan = FaultPlan([FaultRule(site="s", ordinals=(0,))])
+        wrapped = plan.wrap("s", len)
+        with pytest.raises(TypeError, match="process boundary"):
+            pickle.dumps(wrapped)
+
+
+class TestFlipShardByte:
+    def test_flips_exactly_one_byte(self, tmp_path):
+        path = tmp_path / "blob"
+        original = bytes(range(64))
+        path.write_bytes(original)
+        offset = flip_shard_byte(path, seed=3)
+        mutated = path.read_bytes()
+        assert mutated != original
+        diffs = [i for i, (a, b) in enumerate(zip(original, mutated))
+                 if a != b]
+        assert diffs == [offset]
+        assert mutated[offset] == original[offset] ^ 0xFF
+
+    def test_seed_determinism_and_explicit_offset(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.write_bytes(bytes(100))
+        b.write_bytes(bytes(100))
+        assert flip_shard_byte(a, seed=9) == flip_shard_byte(b, seed=9)
+        assert flip_shard_byte(a, offset=5) == 5
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            flip_shard_byte(path)

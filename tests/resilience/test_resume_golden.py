@@ -1,0 +1,183 @@
+"""Golden-equivalence drills: kill, resume, and fault-absorption runs
+must produce byte-identical datasets and drop histograms.
+
+These are the acceptance tests for the resilience subsystem — marked
+``faults`` so CI can run them as a dedicated smoke job
+(``pytest -m faults``).
+"""
+
+import json
+
+import pytest
+
+from repro.corpus.github_sim import GitHubScrapeSimulator
+from repro.dataset.pipeline import CurationPipeline
+from repro.eval.harness import evaluate_model
+from repro.eval.problems.machine import build_machine_problems
+from repro.model.interfaces import FineTunable, TrainStats
+from repro.obs import Observability
+from repro.pipeline import ParallelExecutor
+from repro.resilience import (
+    Checkpointer,
+    FaultPlan,
+    FaultRule,
+    Resilience,
+    RetryPolicy,
+    SimulatedCrash,
+)
+
+pytestmark = pytest.mark.faults
+
+SEED = 3
+N_FILES = 60
+
+
+def make_inputs():
+    return GitHubScrapeSimulator(seed=SEED).scrape(N_FILES)
+
+
+def run_curation(resilience=None, obs=None):
+    pipeline = CurationPipeline(
+        seed=SEED,
+        executor=ParallelExecutor.serial(),
+        obs=obs,
+        resilience=resilience,
+    )
+    return pipeline.run(make_inputs())
+
+
+def dataset_bytes(dataset) -> bytes:
+    """The run's output as one canonical byte string."""
+    return "\n".join(
+        json.dumps(entry.to_dict(), sort_keys=True)
+        for entry in dataset
+    ).encode("utf-8")
+
+
+def drop_histograms(result):
+    """stage name -> drop-reason histogram, across the whole trace."""
+    return {stage.name: dict(stage.drops)
+            for stage in result.report.trace.stages}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """One uninterrupted reference run."""
+    result = run_curation()
+    return dataset_bytes(result.dataset), drop_histograms(result)
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("crash_ordinal", [3, 10, 17])
+    def test_resumed_run_is_byte_identical(self, tmp_path, golden,
+                                           crash_ordinal):
+        golden_bytes, golden_drops = golden
+        journal = tmp_path / "journal"
+
+        # 1. The run dies at an exact record boundary: SimulatedCrash
+        #    is a BaseException, so nothing absorbs it.
+        plan = FaultPlan([FaultRule(site="stage.syntax_check",
+                                    kind="crash",
+                                    ordinals=(crash_ordinal,))])
+        doomed = Resilience(
+            checkpointer=Checkpointer(journal, interval=4),
+            fault_plan=plan,
+        )
+        with pytest.raises(SimulatedCrash):
+            run_curation(resilience=doomed)
+
+        # 2. A fresh process resumes from the journal alone.
+        revived = Resilience(checkpointer=Checkpointer(journal, interval=4))
+        result = run_curation(resilience=revived)
+
+        assert dataset_bytes(result.dataset) == golden_bytes
+        assert drop_histograms(result) == golden_drops
+        summary = revived.summary()
+        assert summary["resumed_stages"] + summary["resumed_batches"] > 0
+
+    def test_finished_journal_reruns_from_scratch(self, tmp_path, golden):
+        golden_bytes, _ = golden
+        journal = tmp_path / "journal"
+        first = Resilience(checkpointer=Checkpointer(journal, interval=4))
+        run_curation(resilience=first)
+
+        again = Resilience(checkpointer=Checkpointer(journal, interval=4))
+        result = run_curation(resilience=again)
+        assert dataset_bytes(result.dataset) == golden_bytes
+        assert again.summary()["resumed_stages"] == 0
+
+
+class TestTransientAbsorption:
+    def test_faults_absorbed_with_identical_output(self, golden):
+        golden_bytes, golden_drops = golden
+        plan = FaultPlan([FaultRule(site="stage.rank_label",
+                                    ordinals=(0, 5, 9))])
+        obs = Observability()
+        res = Resilience(
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0),
+            fault_plan=plan,
+            obs=obs,
+        )
+        result = run_curation(resilience=res, obs=obs)
+
+        assert dataset_bytes(result.dataset) == golden_bytes
+        assert drop_histograms(result) == golden_drops
+        assert res.total_retries == 3
+        assert res.total_quarantined == 0
+        # The retries are visible in the observability layer too.
+        assert obs.registry.counter("resilience.retries").value == 3
+
+    def test_persistent_fault_quarantines_not_crashes(self, golden):
+        golden_bytes, _ = golden
+        # Ordinals 0..9 all fault: retries exhaust and the record is
+        # quarantined to the dead-letter report, not raised.
+        plan = FaultPlan([FaultRule(site="stage.rank_label",
+                                    ordinals=tuple(range(10)))])
+        res = Resilience(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0),
+            fault_plan=plan,
+        )
+        result = run_curation(resilience=res)
+
+        assert res.total_quarantined > 0
+        assert len(res.dead_letter) == res.total_quarantined
+        assert dataset_bytes(result.dataset) != golden_bytes  # rows lost
+        drops = drop_histograms(result)["rank_label"]
+        assert any(reason.startswith("quarantined:")
+                   for reason in drops)
+
+
+class _JunkModel(FineTunable):
+    def train_batch(self, examples, loss_weight):
+        return TrainStats()
+
+    def generate(self, description, temperature=0.8, rng=None,
+                 module_header=None):
+        return f"junk {rng.random() if rng else 0}"
+
+
+class TestEvalResume:
+    def test_killed_eval_resumes_identically(self, tmp_path):
+        problems = build_machine_problems()[:4]
+        model = _JunkModel()
+        kwargs = dict(n_samples=3, seed=11, n_test_vectors=8,
+                      executor=ParallelExecutor.serial())
+
+        golden = evaluate_model(model, problems, **kwargs)
+
+        journal = tmp_path / "journal"
+        plan = FaultPlan([FaultRule(site="stage.sample+simulate",
+                                    kind="crash", ordinals=(2,))])
+        doomed = Resilience(checkpointer=Checkpointer(journal, interval=1),
+                            fault_plan=plan)
+        with pytest.raises(SimulatedCrash):
+            evaluate_model(model, problems, resilience=doomed, **kwargs)
+
+        revived = Resilience(checkpointer=Checkpointer(journal, interval=1))
+        resumed = evaluate_model(model, problems, resilience=revived,
+                                 **kwargs)
+
+        golden_rows = [r.to_dict() for r in golden.results]
+        resumed_rows = [r.to_dict() for r in resumed.results]
+        assert resumed_rows == golden_rows
+        assert revived.summary()["resumed_batches"] > 0

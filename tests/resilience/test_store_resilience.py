@@ -1,0 +1,174 @@
+"""Store I/O under the resilience runtime: retried reads, per-shard
+breakers feeding CorruptionReport, skipped-shard audit counters, and
+retried writes."""
+
+import random
+
+import pytest
+
+from repro.dataset.records import (
+    CompileStatus,
+    Complexity,
+    DatasetEntry,
+    PyraNetDataset,
+)
+from repro.obs import Observability
+from repro.resilience import (
+    BreakerConfig,
+    CircuitOpenError,
+    FaultPlan,
+    FaultRule,
+    Resilience,
+    RetryPolicy,
+    flip_shard_byte,
+)
+from repro.store import ShardCorruptionError, ShardWriter, StoreReader
+
+
+def make_dataset(n=40, seed=0):
+    rng = random.Random(seed)
+    dataset = PyraNetDataset()
+    for i in range(n):
+        dataset.add(DatasetEntry(
+            entry_id=f"e{i}",
+            code=f"module m{i}(input a, output y);\n"
+                 f"  assign y = ~a; // unit {i}\nendmodule",
+            description=f"inverter variant {i}",
+            ranking=rng.randrange(21),
+            complexity=Complexity(rng.randrange(4)),
+            compile_status=CompileStatus.CLEAN,
+            layer=rng.randrange(1, 7),
+        ))
+    return dataset
+
+
+def entry_dicts(entries):
+    return [e.to_dict() for e in entries]
+
+
+NO_SLEEP = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+ONE_SHOT = RetryPolicy(max_attempts=1, base_delay_s=0.0, jitter=0.0)
+
+
+class TestRetriedReads:
+    def test_transient_read_fault_is_absorbed(self, tmp_path):
+        dataset = make_dataset()
+        ShardWriter(tmp_path, max_shard_bytes=2048).write(dataset)
+
+        plan = FaultPlan([FaultRule(site="store.read_shard",
+                                    ordinals=(0, 2),
+                                    exception="OSError")])
+        obs = Observability()
+        res = Resilience(retry=NO_SLEEP, fault_plan=plan, obs=obs)
+        reader = StoreReader(tmp_path, resilience=res, obs=obs)
+
+        assert entry_dicts(reader.read_all()) == entry_dicts(dataset)
+        assert reader.corruption_reports == []
+        assert res.retries_for("store.read_shard") == 2
+        assert obs.registry.counter("resilience.retries").value == 2
+
+    def test_injected_corruption_error_is_retried_too(self, tmp_path):
+        # An injected ShardCorruptionError takes the exact path a real
+        # checksum mismatch would — and a transient one is absorbed.
+        dataset = make_dataset(n=10)
+        ShardWriter(tmp_path).write(dataset)
+        plan = FaultPlan([FaultRule(site="store.read_shard", ordinals=(0,),
+                                    exception="ShardCorruptionError")])
+        res = Resilience(retry=NO_SLEEP, fault_plan=plan)
+        reader = StoreReader(tmp_path, resilience=res)
+        assert len(reader.read_all()) == len(dataset)
+        assert res.retries_for("store.read_shard") == 1
+
+
+class TestShardBreaker:
+    def _corrupt_store(self, tmp_path):
+        dataset = make_dataset()
+        manifest = ShardWriter(tmp_path, max_shard_bytes=2048).write(dataset)
+        assert len(manifest.shards) > 1
+        victim = manifest.shards[0]
+        flip_shard_byte(tmp_path / victim.name, seed=1)
+        return manifest, victim
+
+    def test_persistent_corruption_trips_breaker_into_report(self, tmp_path):
+        manifest, victim = self._corrupt_store(tmp_path)
+        obs = Observability()
+        res = Resilience(
+            retry=ONE_SHOT,
+            breaker=BreakerConfig(trip_threshold=2, cooldown_attempts=1000),
+            obs=obs,
+        )
+        reader = StoreReader(tmp_path, strict=False, resilience=res, obs=obs)
+
+        # Two sweeps fail on the bad shard and trip its breaker; the
+        # third is rejected without touching disk.
+        for _ in range(3):
+            reader.corruption_reports.clear()
+            reader.verify()
+
+        assert [r.reason for r in reader.corruption_reports] \
+            == ["circuit open"]
+        report = reader.corruption_reports[0]
+        assert report.shard == victim.name
+        assert report.n_entries_lost == victim.n_entries
+
+        counters = obs.registry
+        assert counters.counter("resilience.breaker.trips").value == 1
+        assert counters.counter("store.read.circuit_open").value == 1
+        # Satellite: every lenient skip leaves a per-digest audit trail.
+        assert counters.counter("store.read.skipped_shards").value == 3
+        digest_key = f"store.read.skipped.{victim.digest[:12]}"
+        assert counters.counter(digest_key).value == 3
+
+        breakers = res.report().breakers
+        assert any(b["site"] == f"store.shard.{victim.digest[:12]}"
+                   and b["state"] == "open" for b in breakers)
+
+    def test_strict_reader_raises_circuit_open(self, tmp_path):
+        self._corrupt_store(tmp_path)
+        res = Resilience(
+            retry=ONE_SHOT,
+            breaker=BreakerConfig(trip_threshold=1, cooldown_attempts=1000),
+        )
+        reader = StoreReader(tmp_path, strict=True, resilience=res)
+        with pytest.raises(ShardCorruptionError):
+            reader.read_all()
+        with pytest.raises(CircuitOpenError):
+            reader.read_all()
+
+    def test_healthy_shards_still_read_while_one_is_open(self, tmp_path):
+        manifest, victim = self._corrupt_store(tmp_path)
+        res = Resilience(
+            retry=ONE_SHOT,
+            breaker=BreakerConfig(trip_threshold=1, cooldown_attempts=1000),
+        )
+        reader = StoreReader(tmp_path, strict=False, resilience=res)
+        survivors = reader.read_all()
+        expected = manifest.n_entries - victim.n_entries
+        assert len(survivors) == expected
+
+
+class TestRetriedWrites:
+    def test_transient_write_fault_is_absorbed(self, tmp_path):
+        dataset = make_dataset()
+        plan = FaultPlan([FaultRule(site="store.write_shard", ordinals=(0,),
+                                    exception="OSError",
+                                    message="disk hiccup")])
+        res = Resilience(retry=NO_SLEEP, fault_plan=plan)
+        manifest = ShardWriter(tmp_path, max_shard_bytes=2048,
+                               resilience=res).write(dataset)
+
+        assert res.retries_for("store.write_shard") == 1
+        # A plain reader (no resilience) verifies every byte landed.
+        assert entry_dicts(StoreReader(tmp_path).read_all()) \
+            == entry_dicts(dataset)
+        assert manifest.n_entries == len(dataset)
+
+    def test_persistent_write_fault_raises_original(self, tmp_path):
+        dataset = make_dataset(n=10)
+        plan = FaultPlan([FaultRule(site="store.write_shard",
+                                    ordinals=tuple(range(10)),
+                                    exception="OSError",
+                                    message="disk gone")])
+        res = Resilience(retry=ONE_SHOT, fault_plan=plan)
+        with pytest.raises(OSError, match="disk gone"):
+            ShardWriter(tmp_path, resilience=res).write(dataset)
