@@ -1,0 +1,196 @@
+"""Dedup hot path: signature throughput and warm persistent-cache runs.
+
+Two numbers this PR is accountable for, emitted to ``BENCH_dedup.json``
+(uploaded as a CI artifact) so later PRs have a trajectory to beat:
+
+* **Signature throughput** — the rewritten MinHash signing (one blake2b
+  per shingle + universal-hash lanes) against the legacy scheme it
+  replaced (one salted blake2b per ``(shingle, salt)`` pair), asserted
+  at **>= 5x** and typically >30x.
+* **Warm re-run speedup** — curation over an unchanged corpus with a
+  persistent :class:`~repro.pipeline.DiskCache`: the second run serves
+  syntax/rank/describe results from disk instead of recomputing.
+  Target 10x; the hard floor here is deliberately loose (2x) because
+  CI wall-clock is noisy — the *zero recompute* guarantee itself is
+  asserted exactly, via cache counters, in
+  ``tests/pipeline/test_warm_runs.py``.
+
+Deliberately free of ``pytest-benchmark``: the CI smoke job runs this
+file both as a test and as a plain script (``python
+benchmarks/test_dedup_throughput.py --quick``) in environments where
+only the core test deps are installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.corpus.github_sim import GitHubScrapeSimulator
+from repro.dataset.dedup import MinHasher, deduplicate, tokenize_for_dedup
+from repro.dataset.pipeline import CurationPipeline
+from repro.pipeline import DiskCache, ResultCache
+
+#: Hard floor for the signature rewrite (acceptance criterion).
+SIGNATURE_SPEEDUP_FLOOR = 5.0
+#: Aspirational target recorded in the JSON; see module docstring.
+WARM_SPEEDUP_TARGET = 10.0
+#: Hard floor for the warm re-run (kept loose: CI timing is noisy).
+WARM_SPEEDUP_FLOOR = 2.0
+
+REPORT_PATH = "BENCH_dedup.json"
+
+
+def _legacy_hash64(text: str, salt: int) -> int:
+    digest = hashlib.blake2b(
+        text.encode("utf-8", "replace"), digest_size=8,
+        salt=salt.to_bytes(8, "little"),
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class LegacySaltedMinHasher(MinHasher):
+    """The pre-rewrite baseline: one salted digest per (shingle, salt)."""
+
+    def signature(self, shingles):
+        if not shingles:
+            return tuple([0] * self.n_perm)
+        return tuple(
+            min(_legacy_hash64(s, salt) for s in shingles)
+            for salt in range(self.n_perm)
+        )
+
+
+def run_dedup_benchmark(n_files: int, cache_root: Path) -> Dict[str, Any]:
+    """Measure both numbers at ``n_files`` corpus scale."""
+    raw_files = GitHubScrapeSimulator(seed=0).scrape(n_files)
+    corpus = [f.content for f in raw_files]
+    shingle_sets = [tokenize_for_dedup(code) for code in corpus]
+    n_shingles = sum(len(s) for s in shingle_sets)
+
+    new_hasher, legacy_hasher = MinHasher(64), LegacySaltedMinHasher(64)
+    started = time.perf_counter()
+    new_signatures = [new_hasher.signature(s) for s in shingle_sets]
+    new_s = time.perf_counter() - started
+    started = time.perf_counter()
+    legacy_signatures = [legacy_hasher.signature(s) for s in shingle_sets]
+    legacy_s = time.perf_counter() - started
+    assert len(new_signatures) == len(legacy_signatures) == n_files
+
+    started = time.perf_counter()
+    report = deduplicate(corpus, threshold=0.8)
+    dedup_s = time.perf_counter() - started
+
+    def curate_once() -> float:
+        cache = ResultCache(name="curation",
+                            disk=DiskCache(cache_root / "curation"))
+        started = time.perf_counter()
+        CurationPipeline(seed=0, cache=cache).run(raw_files)
+        return time.perf_counter() - started
+
+    cold_s = curate_once()
+    warm_s = curate_once()
+
+    return {
+        "schema": "pyranet-bench-dedup/v1",
+        "n_files": n_files,
+        "n_shingles": n_shingles,
+        "signature": {
+            "legacy_s": round(legacy_s, 4),
+            "new_s": round(new_s, 4),
+            "speedup": round(legacy_s / new_s, 2),
+            "floor": SIGNATURE_SPEEDUP_FLOOR,
+            "shingles_per_s": round(n_shingles / new_s, 1),
+        },
+        "dedup": {
+            "wall_s": round(dedup_s, 4),
+            "n_kept": len(report.kept_indices),
+            "n_removed": report.n_removed,
+            "candidate_pairs_checked": report.candidate_pairs_checked,
+        },
+        "warm_run": {
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "speedup": round(cold_s / warm_s, 2),
+            "target": WARM_SPEEDUP_TARGET,
+            "floor": WARM_SPEEDUP_FLOOR,
+        },
+    }
+
+
+def summary_lines(payload: Dict[str, Any]) -> list:
+    sig, warm = payload["signature"], payload["warm_run"]
+    return [
+        "Dedup hot-path benchmark "
+        f"({payload['n_files']} files, {payload['n_shingles']} shingles)",
+        f"  legacy signatures : {sig['legacy_s']:8.3f} s",
+        f"  rewritten         : {sig['new_s']:8.3f} s  "
+        f"({sig['speedup']:.1f}x, floor {sig['floor']:.0f}x)",
+        f"  full deduplicate  : {payload['dedup']['wall_s']:8.3f} s  "
+        f"({payload['dedup']['n_removed']} removed)",
+        f"  curation cold     : {warm['cold_s']:8.3f} s",
+        f"  curation warm     : {warm['warm_s']:8.3f} s  "
+        f"({warm['speedup']:.1f}x, target {warm['target']:.0f}x)",
+    ]
+
+
+def check_floors(payload: Dict[str, Any]) -> None:
+    sig, warm = payload["signature"], payload["warm_run"]
+    assert sig["speedup"] >= SIGNATURE_SPEEDUP_FLOOR, (
+        f"signature rewrite regressed: {sig['speedup']}x "
+        f"< floor {SIGNATURE_SPEEDUP_FLOOR}x")
+    assert warm["speedup"] >= WARM_SPEEDUP_FLOOR, (
+        f"warm persistent-cache run regressed: {warm['speedup']}x "
+        f"< floor {WARM_SPEEDUP_FLOOR}x")
+
+
+def write_report(payload: Dict[str, Any],
+                 path: str = REPORT_PATH) -> None:
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def test_dedup_throughput(scale, capsys, tmp_path):
+    payload = run_dedup_benchmark(scale.n_github_files, tmp_path)
+    payload["scale"] = scale.name
+    write_report(payload)
+    with capsys.disabled():
+        print()
+        for line in summary_lines(payload):
+            print(line)
+    check_floors(payload)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the dedup hot path and the persistent "
+                    "cache's warm re-run; write BENCH_dedup.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small corpus (CI smoke scale)")
+    parser.add_argument(
+        "--n-files", type=int, default=None, metavar="N",
+        help="explicit corpus size (overrides --quick)")
+    parser.add_argument(
+        "--json", default=REPORT_PATH, metavar="PATH",
+        help=f"report path (default {REPORT_PATH})")
+    args = parser.parse_args()
+    n_files = args.n_files or (250 if args.quick else 700)
+    with tempfile.TemporaryDirectory() as cache_root:
+        payload = run_dedup_benchmark(n_files, Path(cache_root))
+    payload["scale"] = "quick" if args.quick else "cli"
+    for line in summary_lines(payload):
+        print(line)
+    write_report(payload, args.json)
+    print(f"wrote {args.json}")
+    check_floors(payload)
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,11 @@ Every ``examples/*.py`` accepts the same flags:
 ``--store-dir PATH``
     write/read the sharded dataset store where the script has one
     (scripts with nothing to store say so and continue);
+``--cache-dir PATH``
+    persist content-addressed stage results (syntax checks, rankings,
+    simulation outcomes) under PATH, so re-running the script over an
+    unchanged corpus serves them from disk instead of recomputing
+    (scripts with no cached stages say so and continue);
 ``--resume RUN_ID``
     journal pipeline progress under ``.pyranet-runs/RUN_ID`` and, when
     a journal already exists there, resume the killed run
@@ -37,7 +42,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.obs import Observability
-from repro.pipeline import ParallelExecutor
+from repro.pipeline import DiskCache, ParallelExecutor, ResultCache
 from repro.resilience import Checkpointer, FaultPlan, Resilience
 
 
@@ -60,6 +65,10 @@ def build_parser(description: str,
     parser.add_argument(
         "--store-dir", metavar="PATH", default=None,
         help="write/read the sharded dataset store at PATH")
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="persist content-addressed stage results under PATH; "
+             "re-runs over an unchanged corpus skip recomputation")
     parser.add_argument(
         "--resume", metavar="RUN_ID", default=None,
         help="journal progress under .pyranet-runs/RUN_ID and resume "
@@ -94,6 +103,19 @@ def resilience_from(args: argparse.Namespace,
         return None
     return Resilience(checkpointer=checkpointer, fault_plan=fault_plan,
                       obs=obs)
+
+
+def cache_from(args: argparse.Namespace, obs: Observability,
+               name: str = "curation") -> Optional[ResultCache]:
+    """A :class:`ResultCache` with a persistent disk tier under
+    ``--cache-dir`` (namespaced per cache name so curation and eval
+    entries never share a directory), else None (caller default — a
+    private in-memory cache)."""
+    if not args.cache_dir:
+        return None
+    return ResultCache(
+        name=name, registry=obs.registry,
+        disk=DiskCache(Path(args.cache_dir) / name, obs=obs))
 
 
 def observability_from(args: argparse.Namespace) -> Observability:
@@ -137,3 +159,10 @@ def note_unused_store(args: argparse.Namespace) -> None:
     if args.store_dir:
         print(f"(--store-dir {args.store_dir}: this example has no "
               "dataset store to write; ignored)")
+
+
+def note_unused_cache(args: argparse.Namespace) -> None:
+    """For scripts with no cached stages: acknowledge the flag."""
+    if args.cache_dir:
+        print(f"(--cache-dir {args.cache_dir}: this example has no "
+              "cached stages to persist; ignored)")

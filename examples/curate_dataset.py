@@ -18,7 +18,9 @@ from the unified observability layer; ``--parallel`` runs per-file
 stages on a thread pool; ``--store-dir PATH`` additionally writes the
 dataset as a sharded, content-addressed store (see :mod:`repro.store`)
 and demonstrates an indexed layer read plus curriculum serving straight
-off the shards; ``--resume RUN_ID`` journals progress so a killed run
+off the shards; ``--cache-dir PATH`` persists the syntax-check /
+ranking / description results on disk so a second run over the same
+corpus serves them from the cache instead of recomputing; ``--resume RUN_ID`` journals progress so a killed run
 picks up from its last checkpoint; ``--fault-plan PATH`` injects a
 deterministic fault schedule (resilience drills).
 """
@@ -65,12 +67,18 @@ def main() -> None:
     print("\n3) Curating (filters -> dedup -> syntax check -> labels)…")
     executor = _cli.executor_from(args) or ParallelExecutor.serial()
     resilience = _cli.resilience_from(args, obs=obs)
+    cache = _cli.cache_from(args, obs)
     result = CurationPipeline(seed=args.seed, executor=executor,
-                              obs=obs,
+                              obs=obs, cache=cache,
                               resilience=resilience).run(raw_files,
                                                          generated)
     if resilience is not None:
         print("    resilience:", resilience.summary())
+    if cache is not None:
+        disk = cache.stats()["disk"]
+        print(f"    cache dir {args.cache_dir}: "
+              f"{disk['hits']} disk hits, {disk['misses']} misses, "
+              f"{disk['entries']} entries on disk")
     for line in result.report.summary_lines():
         print("   ", line)
 

@@ -10,7 +10,9 @@ Shared flags (see ``_cli.py``): ``--trace-json`` writes the merged
 run report — one JSON document with spans and metrics from curation,
 the store, fine-tuning and evaluation; ``--report-json`` writes the
 tuned model's evaluation report; ``--store-dir`` round-trips the
-curated dataset through the sharded store before fine-tuning.
+curated dataset through the sharded store before fine-tuning;
+``--cache-dir`` persists curation and evaluation stage results on disk
+so a re-run over the same corpus skips the recomputation.
 """
 
 import _cli
@@ -22,7 +24,8 @@ def main() -> None:
         "Build PyraNet, fine-tune, evaluate pass@k").parse_args()
     pyranet = PyraNet(seed=args.seed, n_samples=5, n_test_vectors=12,
                       executor=_cli.executor_from(args),
-                      obs=_cli.observability_from(args))
+                      obs=_cli.observability_from(args),
+                      cache_dir=args.cache_dir)
 
     print("1) Building the PyraNet dataset "
           "(simulated scrape + LLM generation + curation)…")

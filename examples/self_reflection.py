@@ -28,6 +28,7 @@ def main() -> None:
         "Compiler-feedback repair loop demo", default_seed=11).parse_args()
     obs = _cli.observability_from(args)
     _cli.note_unused_store(args)
+    _cli.note_unused_cache(args)
 
     design = generate_design("updown_counter", random.Random(3),
                              params={"WIDTH": 4})

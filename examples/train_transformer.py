@@ -46,6 +46,7 @@ def main() -> None:
         "Weighted fine-tuning on the numpy transformer").parse_args()
     obs = _cli.observability_from(args)
     _cli.note_unused_store(args)
+    _cli.note_unused_cache(args)
     if args.parallel:
         print("(--parallel: gradient steps are sequential; ignored)")
 

@@ -46,7 +46,7 @@ from ..model.generator import (
 from ..finetune.curriculum import LayeredSource
 from ..model.interfaces import FineTunable
 from ..obs import Observability, RunReport, resolve
-from ..pipeline import ParallelExecutor, ResultCache
+from ..pipeline import DiskCache, ParallelExecutor, ResultCache
 from ..resilience import Resilience
 from ..store import (
     DEFAULT_SHARD_BYTES,
@@ -85,6 +85,15 @@ class PyraNet:
             checkpointer attached — journal progress so a killed run
             resumes byte-identically.  ``None`` keeps the original
             non-resilient code path.
+        cache_dir: when set, curation and evaluation caches gain a
+            persistent :class:`~repro.pipeline.DiskCache` tier under
+            this directory (``<cache_dir>/curation``, ``<cache_dir>/
+            eval``), so a re-run over an unchanged corpus serves
+            syntax-check / ranking / simulation results from disk
+            instead of recomputing (``cache.<name>.disk.*`` counters
+            in :meth:`run_report` prove it).  Entries are digest-
+            verified on read; corruption means recompute, never a bad
+            result.
     """
 
     seed: int = 0
@@ -94,6 +103,7 @@ class PyraNet:
     executor: Optional[ParallelExecutor] = None
     obs: Observability = field(default_factory=Observability)
     resilience: Optional[Resilience] = None
+    cache_dir: Optional[str] = None
 
     curation: Optional[CurationResult] = None
     _machine_problems: Optional[List[EvalProblem]] = None
@@ -103,6 +113,23 @@ class PyraNet:
     #: across a Table I grid, models regenerate many identical
     #: completions and each unique one simulates exactly once.
     _eval_cache: ResultCache = field(default_factory=ResultCache)
+    #: Curation per-file results (syntax check, ranking, descriptions);
+    #: only built when ``cache_dir`` asks for persistence — otherwise
+    #: the pipeline keeps its private in-memory cache.
+    _curation_cache: Optional[ResultCache] = None
+
+    def __post_init__(self) -> None:
+        if self.cache_dir is None:
+            return
+        from pathlib import Path
+
+        base = Path(self.cache_dir)
+        self._curation_cache = ResultCache(
+            name="curation", registry=self.obs.registry,
+            disk=DiskCache(base / "curation", obs=self.obs))
+        self._eval_cache = ResultCache(
+            name="eval", registry=self.obs.registry,
+            disk=DiskCache(base / "eval", obs=self.obs))
 
     # -- dataset ------------------------------------------------------------
 
@@ -124,6 +151,7 @@ class PyraNet:
                 seed=self.seed,
                 dedup_threshold=dedup_threshold,
                 executor=self.executor,
+                cache=self._curation_cache,
                 obs=self.obs,
                 resilience=self.resilience,
             )

@@ -2,8 +2,8 @@
 
 The paper deduplicates with "the Jaccard similarity algorithm … the
 intersection over the union of the sets" of code tokens, dropping pairs
-above a threshold.  Pairwise Jaccard is O(n²); for corpus-scale inputs
-we index MinHash signatures with locality-sensitive hashing and verify
+at or above a threshold.  Pairwise Jaccard is O(n²); for corpus-scale
+inputs we index MinHash signatures with locality-sensitive hashing and verify
 candidate pairs exactly, which preserves the paper's decision rule
 while staying near-linear.
 """
@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 import re
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 _TOKEN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|\d+|[^\sA-Za-z0-9_]")
 
@@ -46,35 +46,106 @@ def jaccard(a: FrozenSet[str], b: FrozenSet[str]) -> float:
     return intersection / union
 
 
-def _hash64(text: str, salt: int) -> int:
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the repo
+    _np = None
+
+#: Universal-hash modulus: the Mersenne prime 2^61 - 1.  Lanes live in
+#: 64-bit words but never exceed p.
+_MERSENNE_P = (1 << 61) - 1
+#: Parameter bounds chosen so ``a * h + b`` is exact in a uint64 lane:
+#: a < 2^31 and h < 2^32 keep the product under 2^63, and b < p keeps
+#: the sum under 2^64 — the vectorised path and the pure-Python
+#: fallback therefore compute the identical integers.
+_A_BOUND = (1 << 31) - 1
+_H_MASK = (1 << 32) - 1
+
+#: Below this many shingles the numpy array round-trip costs more than
+#: the plain loop it replaces.
+_VECTOR_MIN_SHINGLES = 16
+
+
+def _shingle_hash(text: str) -> int:
+    """One blake2b per shingle — the single digest all ``n_perm``
+    permutation lanes are derived from."""
     digest = hashlib.blake2b(
         text.encode("utf-8", "replace"), digest_size=8,
-        salt=salt.to_bytes(8, "little"),
     ).digest()
-    return int.from_bytes(digest, "little")
+    return int.from_bytes(digest, "little") & _H_MASK
+
+
+def _perm_params(seed: int, index: int) -> Tuple[int, int]:
+    """The (a, b) coefficients of permutation ``index``: a seeded
+    blake2b expansion, so signatures are identical on every platform
+    and Python version.  ``a`` is non-zero (a zero multiplier would
+    collapse the permutation to a constant)."""
+    digest = hashlib.blake2b(
+        f"minhash:{seed}:{index}".encode("ascii"), digest_size=16,
+    ).digest()
+    a = 1 + int.from_bytes(digest[:8], "little") % _A_BOUND
+    b = int.from_bytes(digest[8:], "little") % _MERSENNE_P
+    return a, b
 
 
 @dataclass
 class MinHasher:
     """MinHash signatures over shingle sets.
 
-    ``n_perm`` permutations are simulated with salted 64-bit hashes.
+    Each shingle is hashed **once** (blake2b); the ``n_perm``
+    permutations are then simulated with a seeded universal-hash mix
+    ``(a_i * h + b_i) mod p`` over the Mersenne prime ``p = 2^61 - 1``.
+    That turns the per-file cost from ``n_perm × |shingles|`` digest
+    calls into ``|shingles|`` digests plus cheap integer lanes — the
+    dominant cost of corpus-scale deduplication
+    (``benchmarks/test_dedup_throughput.py`` pins the speedup).  The
+    lanes are vectorised with numpy when it is importable; the
+    pure-Python fallback computes the identical integers.
     """
 
     n_perm: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._params = [_perm_params(self.seed, index)
+                        for index in range(self.n_perm)]
+        if _np is not None:
+            self._a = _np.array([a for a, _ in self._params],
+                                dtype=_np.uint64)[:, None]
+            self._b = _np.array([b for _, b in self._params],
+                                dtype=_np.uint64)[:, None]
 
     def signature(self, shingles: FrozenSet[str]) -> Tuple[int, ...]:
         if not shingles:
             return tuple([0] * self.n_perm)
+        hashes = [_shingle_hash(s) for s in shingles]
+        if _np is not None and len(hashes) >= _VECTOR_MIN_SHINGLES:
+            lanes = (self._a * _np.array(hashes, dtype=_np.uint64)
+                     + self._b) % _np.uint64(_MERSENNE_P)
+            return tuple(int(lane) for lane in lanes.min(axis=1))
+        p = _MERSENNE_P
         return tuple(
-            min(_hash64(s, salt) for s in shingles)
-            for salt in range(self.n_perm)
+            min((a * h + b) % p for h in hashes)
+            for a, b in self._params
         )
 
     @staticmethod
     def estimate(sig_a: Sequence[int], sig_b: Sequence[int]) -> float:
         matches = sum(1 for x, y in zip(sig_a, sig_b) if x == y)
         return matches / len(sig_a)
+
+
+def band_key(band: int, chunk: Sequence[int]) -> Tuple[int, str]:
+    """The LSH bucket key for one signature band.
+
+    The chunk is digested with blake2b over its 64-bit little-endian
+    lanes — unlike builtin ``hash(tuple)``, the key is identical across
+    platforms, word sizes, and Python versions, so bucket contents (and
+    therefore ``candidate_pairs_checked`` in a :class:`DedupReport`)
+    are reproducible everywhere.
+    """
+    raw = b"".join(value.to_bytes(8, "little") for value in chunk)
+    return band, hashlib.blake2b(raw, digest_size=8).hexdigest()
 
 
 @dataclass
@@ -96,30 +167,40 @@ def deduplicate(
     threshold: float = 0.8,
     n_perm: int = 64,
     bands: int = 16,
+    hasher: Optional[MinHasher] = None,
 ) -> DedupReport:
     """Drop near-duplicates by Jaccard threshold.
 
     Args:
         codes: the code texts.
-        threshold: Jaccard similarity above which the later file is
-            considered a duplicate of the earlier one.
-        n_perm: MinHash permutations.
-        bands: LSH bands (must divide ``n_perm``); more bands catch
-            lower similarities at the cost of more candidates.
+        threshold: Jaccard similarity **at or above** which the later
+            file is considered a duplicate of the earlier one — the
+            paper's decision rule is inclusive, so a pair whose
+            similarity equals the threshold exactly is dropped.
+        n_perm: MinHash permutations (ignored when ``hasher`` is given).
+        bands: LSH bands (must divide the permutation count); more
+            bands catch lower similarities at the cost of more
+            candidates.
+        hasher: an explicit :class:`MinHasher` — injectable so tests
+            can pin LSH behaviour against alternative signature
+            schemes; candidate *verification* is always exact Jaccard,
+            so the hasher only affects which pairs get checked.
 
     Returns:
         A :class:`DedupReport` whose ``kept_indices`` preserve input
         order (first occurrence wins).
     """
+    if hasher is None:
+        hasher = MinHasher(n_perm)
+    n_perm = hasher.n_perm
     if n_perm % bands != 0:
         raise ValueError(f"bands={bands} must divide n_perm={n_perm}")
     rows = n_perm // bands
-    hasher = MinHasher(n_perm)
     shingle_sets = [tokenize_for_dedup(code) for code in codes]
     signatures = [hasher.signature(s) for s in shingle_sets]
 
     report = DedupReport()
-    buckets: Dict[Tuple[int, int], List[int]] = {}
+    buckets: Dict[Tuple[int, str], List[int]] = {}
     for index, signature in enumerate(signatures):
         if index in report.duplicate_of:
             continue
@@ -128,7 +209,7 @@ def deduplicate(
         keys = []
         for band in range(bands):
             chunk = signature[band * rows:(band + 1) * rows]
-            key = (band, hash(chunk))
+            key = band_key(band, chunk)
             keys.append(key)
             candidates.update(buckets.get(key, ()))
         duplicate = None

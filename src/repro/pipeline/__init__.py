@@ -9,6 +9,7 @@ content-hash result cache for expensive pure per-file work.
 """
 
 from .cache import ResultCache, content_key
+from .diskcache import DiskCache
 from .engine import PipelineResult, StagedPipeline
 from .executor import ParallelExecutor
 from .metrics import PipelineTrace, StageMetrics
@@ -16,6 +17,7 @@ from .stage import BatchStage, Drop, Keep, Record, RecordStage, Stage
 
 __all__ = [
     "BatchStage",
+    "DiskCache",
     "Drop",
     "Keep",
     "ParallelExecutor",

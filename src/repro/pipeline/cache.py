@@ -7,13 +7,22 @@ files, and pass@k sampling regenerates the same completion many times.
 under a (namespace, blake2b(content)) key, so one cache instance can be
 shared across stages — and across whole runs — without collisions.
 
+Two tiers.  The memory tier is a true LRU ``OrderedDict`` (lookups
+refresh recency, so under ``max_entries`` pressure hot entries survive
+and stale ones go).  Optionally a :class:`~repro.pipeline.diskcache
+.DiskCache` spill tier persists entries across processes: a memory miss
+probes the disk, promotes hits back into memory, and every ``put``
+writes through — which is what lets a re-run over an unchanged corpus
+skip recomputation entirely.
+
 The cache is thread-safe (stages may compute from a thread pool).  Hit
 and miss counters are :class:`~repro.obs.registry.Counter` instruments
 — each locks its own updates, so the counts stay consistent even on
 paths that touch them outside the entry lock — and can live in a shared
 :class:`~repro.obs.registry.MetricRegistry` (``cache.<name>.hits`` /
-``cache.<name>.misses``) so every cache in a run reports into the same
-:class:`~repro.obs.RunReport`.
+``cache.<name>.misses``, plus ``cache.<name>.disk.{hits,misses,corrupt,
+evictions}`` when a disk tier is attached) so every cache in a run
+reports into the same :class:`~repro.obs.RunReport`.
 """
 
 from __future__ import annotations
@@ -21,21 +30,22 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..obs.registry import Counter, MetricRegistry, NullRegistry
+from .diskcache import CORRUPT, HIT, DiskCache
 
 
 def content_key(namespace: str, *parts: Any) -> str:
     """A stable key for ``parts`` under ``namespace``.
 
     Strings hash by their UTF-8 bytes; everything else by ``repr``.
-    Parts are length-prefixed so ``("ab", "c")`` and ``("a", "bc")``
-    cannot collide.
+    The namespace and every part are length-prefixed, so neither
+    ``("ab", "c")`` / ``("a", "bc")`` nor a namespace that happens to
+    end with another key's encoded first part can collide.
     """
     digest = hashlib.blake2b(digest_size=16)
-    digest.update(namespace.encode("utf-8", "replace"))
-    for part in parts:
+    for part in (namespace,) + parts:
         if isinstance(part, str):
             raw = part.encode("utf-8", "replace")
         elif isinstance(part, bytes):
@@ -51,28 +61,42 @@ class ResultCache:
     """Memoisation keyed on content hashes.
 
     Args:
-        max_entries: evict oldest entries beyond this count (``None``
-            keeps everything — fine for in-process runs at our scale).
+        max_entries: evict the *least recently used* entries beyond
+            this count (``None`` keeps everything — fine for in-process
+            runs at our scale).
         name: cache name used in metric names (``cache.<name>.hits``).
         registry: optional shared :class:`MetricRegistry` to own the
             hit/miss counters; private counters otherwise.
+        disk: optional persistent spill tier (:class:`DiskCache`).
+            Probed on memory misses, written through on every ``put``;
+            corrupted or stale entries are discarded and recomputed,
+            never served.
     """
 
     def __init__(self, max_entries: Optional[int] = None,
                  name: str = "default",
-                 registry: Optional[MetricRegistry] = None) -> None:
+                 registry: Optional[MetricRegistry] = None,
+                 disk: Optional[DiskCache] = None) -> None:
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.Lock()
         self.max_entries = max_entries
         self.name = name
+        self.disk = disk
         if registry is not None and not isinstance(registry, NullRegistry):
-            self._hits = registry.counter(f"cache.{name}.hits")
-            self._misses = registry.counter(f"cache.{name}.misses")
+            make = registry.counter
         else:
             # A null registry would swallow the counts the engine's
             # trace relies on — fall back to private counters.
-            self._hits = Counter(f"cache.{name}.hits")
-            self._misses = Counter(f"cache.{name}.misses")
+            make = Counter
+        self._hits = make(f"cache.{name}.hits")
+        self._misses = make(f"cache.{name}.misses")
+        if disk is not None:
+            # Created only alongside a disk tier so disk-less caches
+            # add no counter names to existing run reports.
+            self._disk_hits = make(f"cache.{name}.disk.hits")
+            self._disk_misses = make(f"cache.{name}.disk.misses")
+            self._disk_corrupt = make(f"cache.{name}.disk.corrupt")
+            self._disk_evictions = make(f"cache.{name}.disk.evictions")
 
     @property
     def hits(self) -> int:
@@ -86,29 +110,110 @@ class ResultCache:
         with self._lock:
             return len(self._entries)
 
+    def _remember(self, key: str, value: Any) -> None:
+        """Insert into the memory tier, evicting LRU entries."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if (self.max_entries is not None
+                    and len(self._entries) > self.max_entries):
+                self._entries.popitem(last=False)
+
+    def _disk_probe(self, key: str, default: Any) -> Any:
+        """Second-tier lookup; promotes hits into memory.  Counts the
+        overall hit/miss too — a disk hit still means "served without
+        recomputing"."""
+        status, value = self.disk.get(key)
+        if status == HIT:
+            self._remember(key, value)
+            self._hits.inc()
+            self._disk_hits.inc()
+            return value
+        if status == CORRUPT:
+            self._disk_corrupt.inc()
+        else:
+            self._disk_misses.inc()
+        self._misses.inc()
+        return default
+
     def get(self, key: str, default: Any = None) -> Any:
         """Look up ``key``, counting the hit/miss."""
         with self._lock:
             found = key in self._entries
-            value = self._entries[key] if found else default
+            if found:
+                value = self._entries[key]
+                # The lookup is a *use*: refresh recency so eviction
+                # under max_entries is LRU, not FIFO.
+                self._entries.move_to_end(key)
         # Counters lock themselves; bumping outside the entry lock
         # keeps the hot path short and the counts exact.
         if found:
             self._hits.inc()
             return value
+        if self.disk is not None:
+            return self._disk_probe(key, default)
         self._misses.inc()
-        return value
+        return default
+
+    def get_many(
+        self,
+        keys: Sequence[str],
+        default: Any = None,
+        mapper: Optional[Callable[[Callable[[str], Any], Sequence[str]],
+                                  List[Any]]] = None,
+    ) -> List[Any]:
+        """Batched :meth:`get` over distinct ``keys``.
+
+        One pass over the memory tier under a single lock, then one
+        batched probe of the disk tier for the remainder — optionally
+        fanned out through ``mapper`` (e.g. ``executor.io_map``), since
+        a warm run's latency is dominated by those reads.  Counter
+        semantics match per-key :meth:`get` calls exactly.
+        """
+        found: Dict[str, Any] = {}
+        missing: List[str] = []
+        with self._lock:
+            for key in keys:
+                if key in found or key in missing:
+                    continue
+                if key in self._entries:
+                    found[key] = self._entries[key]
+                    self._entries.move_to_end(key)
+                else:
+                    missing.append(key)
+        if found:
+            self._hits.inc(len(found))
+        if missing:
+            if self.disk is not None:
+                probes = (mapper(self.disk.get, missing) if mapper
+                          else [self.disk.get(key) for key in missing])
+                n_hits = 0
+                for key, (status, value) in zip(missing, probes):
+                    if status == HIT:
+                        self._remember(key, value)
+                        found[key] = value
+                        n_hits += 1
+                        self._disk_hits.inc()
+                    elif status == CORRUPT:
+                        self._disk_corrupt.inc()
+                    else:
+                        self._disk_misses.inc()
+                self._hits.inc(n_hits)
+                self._misses.inc(len(missing) - n_hits)
+            else:
+                self._misses.inc(len(missing))
+        return [found[key] if key in found else default for key in keys]
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
             return key in self._entries
 
     def put(self, key: str, value: Any) -> None:
-        with self._lock:
-            self._entries[key] = value
-            if (self.max_entries is not None
-                    and len(self._entries) > self.max_entries):
-                self._entries.popitem(last=False)
+        self._remember(key, value)
+        if self.disk is not None:
+            evicted = self.disk.put(key, value)
+            if evicted:
+                self._disk_evictions.inc(evicted)
 
     def get_or_compute(
         self,
@@ -131,19 +236,37 @@ class ResultCache:
         self.put(key, value)
         return value
 
+    def sync_disk(self) -> None:
+        """Flush the disk tier's directory once (the engine calls this
+        at the end of a run, making the run's entries durable without
+        per-entry fsyncs)."""
+        if self.disk is not None:
+            self.disk.sync()
+
     def stats(self) -> Dict[str, Any]:
         with self._lock:
             entries = len(self._entries)
         hits, misses = self._hits.value, self._misses.value
         total = hits + misses
-        return {
+        stats: Dict[str, Any] = {
             "entries": entries,
             "hits": hits,
             "misses": misses,
             "hit_rate": hits / total if total else 0.0,
         }
+        if self.disk is not None:
+            stats["disk"] = {
+                "entries": len(self.disk),
+                "hits": self._disk_hits.value,
+                "misses": self._disk_misses.value,
+                "corrupt": self._disk_corrupt.value,
+                "evictions": self._disk_evictions.value,
+            }
+        return stats
 
     def clear(self) -> None:
+        """Drop the memory tier and reset counters; the disk tier (when
+        present) is deliberately left intact — it outlives runs."""
         with self._lock:
             self._entries.clear()
         self._hits.reset()

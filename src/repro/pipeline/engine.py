@@ -123,6 +123,10 @@ class StagedPipeline:
         trace.wall_time_s = time.perf_counter() - started
         if self.cache is not None:
             trace.meta["cache"] = self.cache.stats()
+            # Disk-tier entries are written atomically but unsynced
+            # during the run; one directory flush here makes the whole
+            # run's entries durable without per-entry fsyncs.
+            self.cache.sync_disk()
         if res.enabled:
             trace.meta["resilience"] = res.summary()
         obs.publish_trace(trace)

@@ -126,6 +126,30 @@ class ParallelExecutor:
             results = [fn(item) for item in items]
         return shield.settle(results) if shield is not None else results
 
+    def io_map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> List[Any]:
+        """Order-preserving map for I/O side work (disk-cache probes).
+
+        A thread pool when this executor is parallel, a plain loop
+        otherwise — never the attached shield, tracer, or a process
+        pool: the work is not record computation, so it must not be
+        retried, quarantined, traced as worker spans, or pickled to
+        another process.  Pool failures degrade to the serial loop.
+        """
+        items = list(items)
+        if self.mode == "serial" or len(items) <= 1:
+            return [fn(item) for item in items]
+        chunks = self._chunks(items)
+        try:
+            with ThreadPoolExecutor(
+                    max_workers=min(self.max_workers, len(chunks))) as pool:
+                chunk_results = list(pool.map(
+                    lambda chunk: [fn(item) for item in chunk], chunks))
+        except (OSError, RuntimeError):
+            return [fn(item) for item in items]
+        return [result for chunk in chunk_results for result in chunk]
+
     def run_serial(
         self, fn: Callable[[Any], Any], items: Sequence[Any]
     ) -> List[Any]:

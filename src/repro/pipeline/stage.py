@@ -151,19 +151,29 @@ class RecordStage(Stage):
         miss = object()
         keys = [content_key(self.cache_namespace, self.key_of(r.value))
                 for r in todo]
+        unique_keys: List[str] = []
+        values_by_key: Dict[str, Any] = {}
+        for key, record in zip(keys, todo):
+            if key not in values_by_key:
+                unique_keys.append(key)
+                values_by_key[key] = record.value
+        # One batched lookup: memory under a single lock, then the
+        # disk tier probed through the executor's I/O map — on a warm
+        # persistent cache those reads *are* the stage, so they fan
+        # out instead of running one stat+read at a time.
+        looked_up = cache.get_many(
+            unique_keys, default=miss,
+            mapper=executor.io_map if self.parallel else None)
         by_key: Dict[str, Any] = {}
         missing_keys: List[str] = []
         missing_values: List[Any] = []
-        for key, record in zip(keys, todo):
-            if key in by_key:
-                continue
-            found = cache.get(key, miss)
+        for key, found in zip(unique_keys, looked_up):
             if found is not miss:
                 by_key[key] = found
             else:
                 by_key[key] = miss  # claimed; computed below
                 missing_keys.append(key)
-                missing_values.append(record.value)
+                missing_values.append(values_by_key[key])
         if missing_values:
             if self.parallel:
                 computed = executor.map(self.fn, missing_values)

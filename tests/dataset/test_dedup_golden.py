@@ -1,0 +1,239 @@
+"""Golden and property tests for the rewritten MinHash signing.
+
+The signing hot path changed from one salted blake2b per
+``(shingle, salt)`` pair to one blake2b per shingle plus seeded
+universal-hash lanes ``(a_i * h + b_i) mod p``.  Signatures are
+*different numbers* under the two schemes — what must not change is
+every downstream decision :func:`~repro.dataset.dedup.deduplicate`
+makes.  The golden test here pins exactly that on a seeded 500-file
+scrape; the property tests pin the statistical contract (the estimate
+tracks exact Jaccard) and the numpy/pure-Python parity the fallback
+promises.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.dataset.dedup as dedup_module
+from repro.corpus import GitHubScrapeSimulator
+from repro.dataset.dedup import (
+    MinHasher,
+    band_key,
+    deduplicate,
+    jaccard,
+    tokenize_for_dedup,
+)
+
+CODE_A = """\
+module counter(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 0;
+    else q <= q + 1;
+  end
+endmodule
+"""
+
+CODE_A_FORK = """\
+// forked from somewhere
+module counter(input clk, input rst, output reg [3:0] q);
+  always @(posedge clk) begin
+      if (rst) q <= 0;
+      else q <= q + 1;
+  end
+endmodule
+"""
+
+
+def _legacy_hash64(text: str, salt: int) -> int:
+    digest = hashlib.blake2b(
+        text.encode("utf-8", "replace"), digest_size=8,
+        salt=salt.to_bytes(8, "little"),
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class LegacySaltedMinHasher(MinHasher):
+    """The pre-rewrite scheme: one salted blake2b per (shingle, salt).
+
+    Kept verbatim as the golden baseline — ``deduplicate`` decisions
+    must be identical whichever hasher builds the LSH index, because
+    candidate verification is exact Jaccard either way.
+    """
+
+    def signature(self, shingles):
+        if not shingles:
+            return tuple([0] * self.n_perm)
+        return tuple(
+            min(_legacy_hash64(s, salt) for s in shingles)
+            for salt in range(self.n_perm)
+        )
+
+
+class TestGoldenDecisions:
+    def test_scraped_corpus_decisions_preserved(self):
+        """Keep/drop decisions on a seeded 500-file scrape match the
+        legacy salted-blake2b signature scheme exactly."""
+        corpus = [f.content for f in
+                  GitHubScrapeSimulator(seed=11).scrape(500)]
+        assert len(corpus) == 500
+        new = deduplicate(corpus, threshold=0.8)
+        old = deduplicate(corpus, threshold=0.8,
+                          hasher=LegacySaltedMinHasher(n_perm=64))
+        assert new.kept_indices == old.kept_indices
+        assert new.duplicate_of == old.duplicate_of
+        # The scrape plants duplicates: the test corpus must actually
+        # exercise the drop path, not vacuously agree on "keep all".
+        assert new.n_removed > 0
+
+    def test_signature_deterministic_across_instances(self):
+        shingles = tokenize_for_dedup(CODE_A)
+        assert (MinHasher(n_perm=32).signature(shingles)
+                == MinHasher(n_perm=32).signature(shingles))
+
+    def test_seed_changes_signature(self):
+        shingles = tokenize_for_dedup(CODE_A)
+        assert (MinHasher(n_perm=32, seed=0).signature(shingles)
+                != MinHasher(n_perm=32, seed=1).signature(shingles))
+
+
+class TestNumpyParity:
+    def test_pure_python_fallback_matches_vectorised(self, monkeypatch):
+        """The fallback is an exact reimplementation, not an
+        approximation: identical integers, lane for lane."""
+        if dedup_module._np is None:
+            pytest.skip("numpy unavailable; only the fallback ran")
+        hasher = MinHasher(n_perm=64)
+        cases = [tokenize_for_dedup(CODE_A),
+                 tokenize_for_dedup(CODE_A_FORK),
+                 frozenset(f"shingle {i}" for i in range(200))]
+        vectorised = [hasher.signature(s) for s in cases]
+        monkeypatch.setattr(dedup_module, "_np", None)
+        assert [hasher.signature(s) for s in cases] == vectorised
+
+    def test_small_sets_take_the_loop_path(self):
+        # Below the vector threshold both builds run the same loop;
+        # the answer must still be a full-width signature.
+        sig = MinHasher(n_perm=64).signature(frozenset({"one", "two"}))
+        assert len(sig) == 64
+        assert all(0 <= lane < dedup_module._MERSENNE_P for lane in sig)
+
+
+class TestBandKeys:
+    def test_band_keys_are_pinned(self):
+        """Bucket keys are blake2b digests of the band's 64-bit lanes —
+        stable across platforms and Python versions, unlike the builtin
+        ``hash(tuple)`` they replaced.  These exact values are the
+        regression contract."""
+        assert band_key(0, (0,)) == (
+            0, hashlib.blake2b((0).to_bytes(8, "little"),
+                               digest_size=8).hexdigest())
+        assert band_key(3, (1, 2)) == (3, "96a3cf72d606b6a4")
+        assert band_key(0, (2 ** 61 - 2, 12345)) == (0, "f74b5c3f5b93d9d4")
+
+    def test_band_index_disambiguates_equal_chunks(self):
+        assert band_key(0, (7, 8)) != band_key(1, (7, 8))
+
+    def test_chunk_order_matters(self):
+        assert band_key(0, (1, 2)) != band_key(0, (2, 1))
+
+
+#: CODE_A with one extra declaration: structurally changed (comment
+#: and whitespace edits do not move Jaccard — shingles strip both), so
+#: the pair's exact similarity is strictly between 0 and 1.
+CODE_A_VARIANT = CODE_A.replace("endmodule",
+                                "  wire spare_net;\nendmodule")
+
+
+class TestThresholdBoundary:
+    def test_similarity_equal_to_threshold_drops(self):
+        """The paper's rule is inclusive: a pair at exactly the
+        threshold is a duplicate."""
+        similarity = jaccard(tokenize_for_dedup(CODE_A),
+                             tokenize_for_dedup(CODE_A_VARIANT))
+        assert 0.0 < similarity < 1.0
+        at = deduplicate([CODE_A, CODE_A_VARIANT], threshold=similarity)
+        assert at.kept_indices == [0]
+        assert at.duplicate_of == {1: 0}
+
+    def test_similarity_below_threshold_keeps(self):
+        similarity = jaccard(tokenize_for_dedup(CODE_A),
+                             tokenize_for_dedup(CODE_A_VARIANT))
+        above = deduplicate([CODE_A, CODE_A_VARIANT],
+                            threshold=similarity + 1e-9)
+        assert above.kept_indices == [0, 1]
+        assert above.duplicate_of == {}
+
+
+@st.composite
+def overlapping_sets(draw):
+    """Two shingle sets built from shared/private element pools so the
+    exact Jaccard spans the whole [0, 1] range."""
+    shared = draw(st.integers(min_value=0, max_value=60))
+    only_a = draw(st.integers(min_value=0, max_value=60))
+    only_b = draw(st.integers(min_value=0, max_value=60))
+    a = frozenset(f"shared {i}" for i in range(shared)) | frozenset(
+        f"a {i}" for i in range(only_a))
+    b = frozenset(f"shared {i}" for i in range(shared)) | frozenset(
+        f"b {i}" for i in range(only_b))
+    return a, b
+
+
+class TestEstimateQuality:
+    @settings(max_examples=30, deadline=None)
+    @given(overlapping_sets())
+    def test_estimate_tracks_exact_jaccard(self, sets):
+        """Per-pair gross-bias catcher.  The tolerance is deliberately
+        loose: a pairwise-independent hash family is not min-wise
+        independent, so on *tiny* sets a single pair's estimate can
+        legitimately deviate by ~0.3 — what must never happen is the
+        estimate collapsing toward 0 or 1 regardless of the true
+        similarity.  The tight quality pin is the aggregate test
+        below."""
+        a, b = sets
+        hasher = MinHasher(n_perm=256)
+        estimate = hasher.estimate(hasher.signature(a),
+                                   hasher.signature(b))
+        assert abs(estimate - jaccard(a, b)) <= 0.4
+
+    def test_mean_estimate_error_is_small(self):
+        """The statistical contract, pinned deterministically: over 200
+        fixed pseudo-random set pairs spanning the whole similarity
+        range, the mean |estimate - exact| stays tiny (measured 0.050
+        at 256 permutations) and no single pair strays past 0.25.
+        Signatures are platform-stable, so this never flakes — a biased
+        universal-hash mix moves the mean immediately."""
+        import random
+
+        hasher = MinHasher(n_perm=256)
+        rng = random.Random(2)
+        errors = []
+        for trial in range(200):
+            shared = rng.randint(0, 80)
+            only_a, only_b = rng.randint(0, 80), rng.randint(0, 80)
+            a = (frozenset(f"s{trial} {i}" for i in range(shared))
+                 | frozenset(f"a{trial} {i}" for i in range(only_a)))
+            b = (frozenset(f"s{trial} {i}" for i in range(shared))
+                 | frozenset(f"b{trial} {i}" for i in range(only_b)))
+            if not a and not b:
+                continue
+            estimate = hasher.estimate(hasher.signature(a),
+                                       hasher.signature(b))
+            errors.append(abs(estimate - jaccard(a, b)))
+        assert sum(errors) / len(errors) <= 0.08
+        assert max(errors) <= 0.25
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        hasher = MinHasher(n_perm=256)
+        a = frozenset(f"a {i}" for i in range(100))
+        b = frozenset(f"b {i}" for i in range(100))
+        estimate = hasher.estimate(hasher.signature(a),
+                                   hasher.signature(b))
+        assert estimate <= 0.05
+
+    def test_identical_sets_estimate_is_one(self):
+        hasher = MinHasher(n_perm=128)
+        s = tokenize_for_dedup(CODE_A)
+        assert hasher.estimate(hasher.signature(s),
+                               hasher.signature(s)) == 1.0

@@ -1,0 +1,178 @@
+"""DiskCache: atomic persistence, digest verification, LRU sweeps.
+
+The persistent tier's contract is narrow but strict: an entry written
+by one process is served to the next, a damaged entry is *never*
+served (schema, digest, and unpickle failures all discard and report
+``CORRUPT`` so the caller recomputes), and the entry count respects
+``max_entries`` via mtime-ordered sweeps.
+"""
+
+import os
+
+import pytest
+
+from repro.obs import Observability
+from repro.pipeline.diskcache import (
+    CORRUPT,
+    HIT,
+    MISS,
+    SCHEMA,
+    DiskCache,
+)
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("k1", {"rank": 17, "ok": True})
+        assert cache.get("k1") == (HIT, {"rank": 17, "ok": True})
+        assert len(cache) == 1
+
+    def test_absent_key_is_a_miss(self, tmp_path):
+        assert DiskCache(tmp_path).get("nope") == (MISS, None)
+
+    def test_entries_survive_across_instances(self, tmp_path):
+        """The whole point of the tier: a fresh process (here a fresh
+        instance) sees the previous run's entries."""
+        DiskCache(tmp_path).put("k", [1, 2, 3])
+        fresh = DiskCache(tmp_path)
+        assert len(fresh) == 1
+        assert fresh.get("k") == (HIT, [1, 2, 3])
+
+    def test_overwrite_same_key(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("k", "first")
+        cache.put("k", "second")
+        assert cache.get("k") == (HIT, "second")
+        assert len(cache) == 1
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for i in range(5):
+            cache.put(f"k{i}", i)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_unpicklable_value_skipped(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.put("bad", lambda: None) == 0
+        assert cache.get("bad") == (MISS, None)
+        assert len(cache) == 0
+
+
+class TestCorruption:
+    def _entry_path(self, cache, key):
+        path = cache.path_for(key)
+        assert path.exists()
+        return path
+
+    def test_flipped_payload_byte_detected_and_discarded(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("k", {"result": "pass"})
+        path = self._entry_path(cache, "k")
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert cache.get("k") == (CORRUPT, None)
+        # Discarded, not re-served: the entry file is gone and the next
+        # lookup is a plain miss.
+        assert not path.exists()
+        assert cache.get("k") == (MISS, None)
+        assert len(cache) == 0
+
+    def test_truncated_entry_detected(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("k", list(range(100)))
+        path = self._entry_path(cache, "k")
+        path.write_bytes(path.read_bytes()[:-10])
+        assert cache.get("k") == (CORRUPT, None)
+        assert not path.exists()
+
+    def test_foreign_schema_discarded(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("k", 1)
+        path = self._entry_path(cache, "k")
+        raw = path.read_bytes()
+        path.write_bytes(raw.replace(SCHEMA, b"pyranet-diskcache/v0"))
+        assert cache.get("k") == (CORRUPT, None)
+        assert not path.exists()
+
+    def test_garbage_file_discarded(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.path_for("k").write_bytes(b"not an entry at all")
+        # The open-time scan counted it; the failed read uncounts it.
+        assert DiskCache(tmp_path).get("k") == (CORRUPT, None)
+
+    def test_recompute_after_corruption(self, tmp_path):
+        """End to end: corrupt entry -> discarded -> recomputed ->
+        healthy entry served afterwards."""
+        cache = DiskCache(tmp_path)
+        cache.put("k", "original")
+        path = self._entry_path(cache, "k")
+        raw = bytearray(path.read_bytes())
+        raw[len(SCHEMA) + 5] ^= 0x01
+        path.write_bytes(bytes(raw))
+        status, _ = cache.get("k")
+        assert status == CORRUPT
+        cache.put("k", "recomputed")
+        assert cache.get("k") == (HIT, "recomputed")
+
+
+class TestEviction:
+    def test_sweep_keeps_most_recent(self, tmp_path):
+        cache = DiskCache(tmp_path, max_entries=3)
+        evicted = 0
+        for i in range(6):
+            path = cache.path_for(f"k{i}")
+            evicted += cache.put(f"k{i}", i)
+            # Distinct mtimes make the LRU order deterministic even on
+            # coarse-timestamp filesystems.
+            os.utime(path, ns=(i * 1_000_000, i * 1_000_000))
+        assert evicted == 3
+        assert len(cache) == 3
+        assert cache.get("k0") == (MISS, None)
+        assert cache.get("k5") == (HIT, 5)
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = DiskCache(tmp_path, max_entries=2)
+        cache.put("old", 1)
+        cache.put("hot", 2)
+        for i, key in enumerate(("old", "hot")):
+            os.utime(cache.path_for(key),
+                     ns=(i * 1_000_000, i * 1_000_000))
+        # A read is a *use*: it must survive the next sweep even though
+        # it was written first.
+        assert cache.get("old") == (HIT, 1)
+        cache.put("new", 3)
+        assert cache.get("old") == (HIT, 1)
+        assert cache.get("new") == (HIT, 3)
+        assert cache.get("hot") == (MISS, None)
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for i in range(50):
+            assert cache.put(f"k{i}", i) == 0
+        assert len(cache) == 50
+
+
+class TestDurability:
+    def test_sync_flushes_without_error(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("k", 1)
+        cache.sync()
+        assert cache.get("k") == (HIT, 1)
+
+    def test_open_and_sweep_record_spans(self, tmp_path):
+        obs = Observability()
+        cache = DiskCache(tmp_path, max_entries=1, obs=obs)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.sync()
+        names = [span["name"] for span in obs.run_report().spans]
+        assert "cache.disk.open" in names
+        assert "cache.disk.sweep" in names
+        assert "cache.disk.sync" in names
+
+    def test_durable_mode_syncs_each_write(self, tmp_path):
+        cache = DiskCache(tmp_path, durable=True)
+        cache.put("k", {"durable": True})
+        assert cache.get("k") == (HIT, {"durable": True})
