@@ -13,6 +13,13 @@ Every ``examples/*.py`` accepts the same flags:
     counters, histograms — as one schema-versioned JSON artifact;
 ``--parallel``
     run fan-out-capable stages on a thread pool;
+``--stream``
+    curate through the memory-bounded streaming path where the script
+    has one (byte-identical output; scripts without a streaming path
+    say so and continue);
+``--workers N``
+    with ``--stream``, fan the fused stage workers out over an
+    N-process pool (default: in-process serial);
 ``--store-dir PATH``
     write/read the sharded dataset store where the script has one
     (scripts with nothing to store say so and continue);
@@ -63,6 +70,14 @@ def build_parser(description: str,
         "--parallel", action="store_true",
         help="run fan-out-capable stages on a thread pool")
     parser.add_argument(
+        "--stream", action="store_true",
+        help="use the memory-bounded streaming curate path "
+             "(byte-identical output)")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="with --stream: fan fused stage workers out over an "
+             "N-process pool")
+    parser.add_argument(
         "--store-dir", metavar="PATH", default=None,
         help="write/read the sharded dataset store at PATH")
     parser.add_argument(
@@ -80,9 +95,19 @@ def build_parser(description: str,
 
 
 def executor_from(args: argparse.Namespace) -> Optional[ParallelExecutor]:
-    """A thread-pool executor under ``--parallel``, else None (caller
-    default)."""
+    """A process pool under ``--workers N`` (N > 1), a thread pool
+    under ``--parallel``, else None (caller default)."""
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers > 1:
+        return ParallelExecutor(mode="process", max_workers=workers)
     return ParallelExecutor(mode="thread") if args.parallel else None
+
+
+def note_unused_stream(args: argparse.Namespace) -> None:
+    """For scripts with no streaming curate path: acknowledge the flag."""
+    if getattr(args, "stream", False):
+        print("(--stream: this example has no streaming curate path; "
+              "ignored)")
 
 
 def resilience_from(args: argparse.Namespace,

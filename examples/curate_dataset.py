@@ -8,6 +8,7 @@ saves the dataset as JSONL.
     python examples/curate_dataset.py
     python examples/curate_dataset.py --parallel --report-json report.json
     python examples/curate_dataset.py --store-dir pyranet_store
+    python examples/curate_dataset.py --stream --workers 4
 
 All examples share one CLI (see ``_cli.py``): ``--report-json PATH``
 writes the full machine-readable pipeline report (funnel counters,
@@ -22,7 +23,10 @@ off the shards; ``--cache-dir PATH`` persists the syntax-check /
 ranking / description results on disk so a second run over the same
 corpus serves them from the cache instead of recomputing; ``--resume RUN_ID`` journals progress so a killed run
 picks up from its last checkpoint; ``--fault-plan PATH`` injects a
-deterministic fault schedule (resilience drills).
+deterministic fault schedule (resilience drills); ``--stream`` curates
+through the memory-bounded streaming path (the scrape is consumed
+lazily, output is byte-identical) and ``--workers N`` fans its fused
+stage workers out over an N-process pool.
 """
 
 import random
@@ -33,7 +37,14 @@ from repro.corpus import (
     SimulatedCommercialLLM,
     build_keyword_database,
 )
-from repro.dataset import CurationPipeline, save_jsonl
+from repro.dataset import (
+    CurationPipeline,
+    StreamingCurationPipeline,
+    chain_batches,
+    generated_batches,
+    raw_file_batches,
+    save_jsonl,
+)
 from repro.eval import render_pyramid
 from repro.pipeline import ParallelExecutor, ResultCache
 from repro.store import SamplingService, ShardWriter, StoreReader
@@ -45,9 +56,14 @@ def main() -> None:
     obs = _cli.observability_from(args)
     print("1) Scraping (simulated GitHub population)…")
     scraper = GitHubScrapeSimulator(seed=args.seed)
-    raw_files = scraper.scrape(500)
-    print(f"   collected {len(raw_files)} files, e.g. "
-          f"{raw_files[0].path!r}")
+    if args.stream:
+        raw_files = None
+        print("   streaming: the 500-file scrape is consumed lazily "
+              "in step 3, one batch at a time")
+    else:
+        raw_files = scraper.scrape(500)
+        print(f"   collected {len(raw_files)} files, e.g. "
+              f"{raw_files[0].path!r}")
 
     print("\n2) Generating extra samples with the commercial LLM "
           "(Fig. 2 pipeline)…")
@@ -68,13 +84,30 @@ def main() -> None:
     executor = _cli.executor_from(args) or ParallelExecutor.serial()
     resilience = _cli.resilience_from(args, obs=obs)
     cache = _cli.cache_from(args, obs)
-    result = CurationPipeline(seed=args.seed, executor=executor,
-                              obs=obs, cache=cache,
-                              resilience=resilience).run(raw_files,
-                                                         generated)
+    if args.stream:
+        mode = executor.describe()
+        print(f"   streaming curate path ({mode['mode']} workers, "
+              "bounded batches; output is byte-identical to the "
+              "in-memory pipeline)")
+        if cache is not None:
+            print(f"    (--cache-dir {args.cache_dir}: the streaming "
+                  "path has no per-record cache; ignored)")
+        source = chain_batches(
+            raw_file_batches(scraper.iter_scrape(500, batch_size=128)),
+            generated_batches(generated, batch_size=128),
+        )
+        result = StreamingCurationPipeline(
+            seed=args.seed, batch_size=128, executor=executor,
+            obs=obs, resilience=resilience,
+        ).run_stream(source, source_token=f"curate-example:{args.seed}")
+    else:
+        result = CurationPipeline(seed=args.seed, executor=executor,
+                                  obs=obs, cache=cache,
+                                  resilience=resilience).run(raw_files,
+                                                             generated)
     if resilience is not None:
         print("    resilience:", resilience.summary())
-    if cache is not None:
+    if cache is not None and not args.stream:
         disk = cache.stats()["disk"]
         print(f"    cache dir {args.cache_dir}: "
               f"{disk['hits']} disk hits, {disk['misses']} misses, "

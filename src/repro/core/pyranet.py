@@ -139,11 +139,23 @@ class PyraNet:
         n_llm_prompts: int = 30,
         n_queries_per_prompt: int = 8,
         dedup_threshold: float = 0.8,
+        stream: bool = False,
+        workers: Optional[int] = None,
+        batch_size: int = 256,
+        spill_dir: Optional[str] = None,
     ) -> PyraNetDataset:
-        """Synthesize + curate the PyraNet dataset."""
+        """Synthesize + curate the PyraNet dataset.
+
+        ``stream=True`` routes curation through the memory-bounded
+        :class:`~repro.dataset.streaming.StreamingCurationPipeline`
+        (byte-identical output); ``workers=N`` fans the fused stages
+        out over a process pool, and ``spill_dir`` keeps survivor /
+        shuffle state on disk instead of in memory.
+        """
         with self.obs.span("run.build_dataset",
                            n_github_files=n_github_files,
-                           n_llm_prompts=n_llm_prompts) as span:
+                           n_llm_prompts=n_llm_prompts,
+                           stream=stream) as span:
             self.curation = build_pyranet(
                 n_github_files=n_github_files,
                 n_llm_prompts=n_llm_prompts,
@@ -154,6 +166,10 @@ class PyraNet:
                 cache=self._curation_cache,
                 obs=self.obs,
                 resilience=self.resilience,
+                stream=stream,
+                workers=workers,
+                batch_size=batch_size,
+                spill_dir=spill_dir,
             )
             span.meta["n_entries"] = len(self.curation.dataset)
         return self.curation.dataset

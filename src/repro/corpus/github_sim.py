@@ -16,8 +16,9 @@ issues only).
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from . import mutate
 from .templates import generate_random_design
@@ -91,7 +92,15 @@ class GitHubScrapeSimulator:
     ) -> None:
         self._rng = random.Random(seed)
         self._profile = profile or QualityProfile()
-        self._emitted: List[RawFile] = []
+        #: Duplicate-candidate pool: every *eligible* emitted file, in
+        #: emission order.  Eligibility (status, length) is fixed at
+        #: emission time, so appending eligible files as they are made
+        #: is exactly equivalent to the historical "filter the full
+        #: emission log on every duplicate draw" — same members, same
+        #: order, same RNG draws — while retaining only what a
+        #: duplicate can actually reference.
+        self._candidates: "deque" = deque()
+        self._n_emitted = 0
         self._file_counter = 0
 
     def _path(self, hint: str) -> str:
@@ -104,8 +113,42 @@ class GitHubScrapeSimulator:
 
     def scrape(self, n_files: int) -> List[RawFile]:
         """Generate ``n_files`` raw files following the profile."""
-        categories = self._profile.normalised()
         files: List[RawFile] = []
+        for batch in self.iter_scrape(n_files, batch_size=max(1, n_files)):
+            files.extend(batch)
+        return files
+
+    def iter_scrape(
+        self,
+        n_files: int,
+        batch_size: int = 256,
+        candidate_window: Optional[int] = None,
+    ) -> Iterator[List[RawFile]]:
+        """Generate ``n_files`` raw files as a stream of batches.
+
+        The streaming form of :meth:`scrape` — in fact :meth:`scrape`
+        is implemented on top of it, so with ``candidate_window=None``
+        the emitted population is *identical* to the materialised one
+        for the same simulator state.
+
+        ``candidate_window`` bounds the duplicate-candidate pool to the
+        most recent N eligible files.  Without it the pool grows with
+        the corpus (every clean file ever emitted stays referencable),
+        which is exactly the unbounded memory a 1M-file streaming run
+        must avoid; with it, duplicates reference recent files only and
+        the stream differs from :meth:`scrape` (a different, equally
+        valid population).  Setting a window is sticky for the
+        simulator's lifetime.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if candidate_window is not None:
+            if candidate_window <= 0:
+                raise ValueError("candidate_window must be positive")
+            self._candidates = deque(self._candidates,
+                                     maxlen=candidate_window)
+        categories = self._profile.normalised()
+        batch: List[RawFile] = []
         for _ in range(n_files):
             roll = self._rng.random()
             cumulative = 0.0
@@ -116,9 +159,19 @@ class GitHubScrapeSimulator:
                     chosen = name
                     break
             produced = self._produce(chosen)
-            files.append(produced)
-            self._emitted.append(produced)
-        return files
+            self._register(produced)
+            batch.append(produced)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def _register(self, produced: RawFile) -> None:
+        self._n_emitted += 1
+        if (produced.truth_status in ("clean", "dependency")
+                and len(produced.content) > 40):
+            self._candidates.append(produced)
 
     # -- category producers ----------------------------------------------------
 
@@ -130,7 +183,7 @@ class GitHubScrapeSimulator:
         if category == "dependency":
             return self._produce_broken(mutate.break_dependency,
                                         "dependency")
-        if category == "duplicate" and self._emitted:
+        if category == "duplicate" and self._n_emitted:
             return self._produce_duplicate()
         return self._produce_clean()
 
@@ -154,12 +207,10 @@ class GitHubScrapeSimulator:
         )
 
     def _produce_duplicate(self) -> RawFile:
-        candidates = [f for f in self._emitted
-                      if f.truth_status in ("clean", "dependency")
-                      and len(f.content) > 40]
+        candidates = self._candidates
         if not candidates:
             return self._produce_clean()
-        original = self._rng.choice(candidates)
+        original = candidates[self._rng.randrange(len(candidates))]
         content = original.content
         mutations = ["duplicate"]
         if self._rng.random() < 0.6:

@@ -2,23 +2,39 @@
 
 from .records import Complexity, CompileStatus, DatasetEntry, PyraNetDataset
 from .filters import FunnelStats, run_filter_funnel
-from .dedup import DedupReport, deduplicate, jaccard, tokenize_for_dedup
+from .dedup import (
+    DedupReport,
+    deduplicate,
+    deduplicate_partitioned,
+    jaccard,
+    tokenize_for_dedup,
+)
 from .ranking import RankingResult, rank_code, score_code
 from .complexity import classify_code, classify_metrics, complexity_score
 from .describe import describe_module, describe_source
 from .layering import LayerReport, assign_layers, layer_for
 from .pipeline import CurationPipeline, CurationResult, build_pyranet
+from .streaming import (
+    StreamingCurationPipeline,
+    StreamingStoreResult,
+    chain_batches,
+    generated_batches,
+    raw_file_batches,
+)
 from .corrupt import shuffle_labels
 from .io import load_jsonl, save_jsonl
 
 __all__ = [
     "Complexity", "CompileStatus", "DatasetEntry", "PyraNetDataset",
     "FunnelStats", "run_filter_funnel",
-    "DedupReport", "deduplicate", "jaccard", "tokenize_for_dedup",
+    "DedupReport", "deduplicate", "deduplicate_partitioned",
+    "jaccard", "tokenize_for_dedup",
     "RankingResult", "rank_code", "score_code",
     "classify_code", "classify_metrics", "complexity_score",
     "describe_module", "describe_source",
     "LayerReport", "assign_layers", "layer_for",
     "CurationPipeline", "CurationResult", "build_pyranet",
+    "StreamingCurationPipeline", "StreamingStoreResult",
+    "chain_batches", "generated_batches", "raw_file_batches",
     "shuffle_labels", "load_jsonl", "save_jsonl",
 ]

@@ -236,3 +236,177 @@ def dedup_keep_indices(
 ) -> List[int]:
     """Convenience adapter for the filter funnel: indices to keep."""
     return deduplicate(codes, threshold).kept_indices
+
+
+# -- band-partitioned (distributed) dedup -------------------------------
+#
+# :func:`deduplicate` is inherently sequential: the candidate set of
+# index ``i`` is "kept indices j < i sharing at least one LSH band key
+# with i", and keep/drop decisions feed back into the buckets.  The
+# partitioned form below splits that into a pure map-reduce whose
+# decisions are *provably identical*:
+#
+# * map: each partition owns a subset of band keys (whole bands — a
+#   key's band determines its partition, so no coordination is needed)
+#   and emits every colliding ``(earlier, later)`` index pair in its
+#   buckets, regardless of keep status;
+# * reduce: the merged pair lists give, for each index ``i``, the full
+#   set ``{j < i : j shares a band key with i}``.  A single ascending
+#   resolve pass then filters candidates by "j is currently kept" —
+#   because indices are resolved in ascending order, j's keep status is
+#   final when i is examined, so the filtered set equals the sequential
+#   bucket contents exactly.  Candidates are verified with exact
+#   Jaccard in ascending order with the same inclusive threshold and
+#   first-match break, so ``kept_indices``, ``duplicate_of`` *and*
+#   ``candidate_pairs_checked`` all reproduce :func:`deduplicate`
+#   bit-for-bit for any band→partition assignment
+#   (``tests/dataset/test_dedup_partition.py`` property-tests this).
+
+BandKey = Tuple[int, str]
+
+
+def signature_band_keys(signature: Sequence[int],
+                        bands: int) -> List[BandKey]:
+    """All LSH bucket keys of one signature, band by band."""
+    n_perm = len(signature)
+    if n_perm % bands != 0:
+        raise ValueError(f"bands={bands} must divide n_perm={n_perm}")
+    rows = n_perm // bands
+    return [band_key(band, signature[band * rows:(band + 1) * rows])
+            for band in range(bands)]
+
+
+def band_candidate_pairs(
+    keyed_indices: Sequence[Tuple[BandKey, int]],
+) -> List[Tuple[int, int]]:
+    """Map side of partitioned dedup: collision pairs in one partition.
+
+    ``keyed_indices`` are ``(band_key, index)`` emissions for the band
+    keys this partition owns.  Every pair of indices sharing a key is
+    emitted as ``(earlier, later)``, sorted — keep status is *not*
+    consulted here (it cannot be known partition-locally); the resolve
+    pass filters.  Module-level and argument-picklable, so it runs
+    unchanged under the process executor backend.
+    """
+    buckets: Dict[BandKey, List[int]] = {}
+    for key, index in keyed_indices:
+        buckets.setdefault(key, []).append(index)
+    pairs: Set[Tuple[int, int]] = set()
+    for members in buckets.values():
+        members.sort()
+        for pos in range(1, len(members)):
+            later = members[pos]
+            for earlier in members[:pos]:
+                if earlier != later:
+                    pairs.add((earlier, later))
+    return sorted(pairs)
+
+
+def merge_band_candidates(
+    pair_lists: Sequence[Sequence[Tuple[int, int]]],
+) -> Dict[int, List[int]]:
+    """Reduce side: merge per-partition pair lists into an adjacency.
+
+    Returns ``{later: sorted earlier candidates}``.  A pair may arrive
+    from several partitions (two files can collide in many bands);
+    duplicates are dropped so the resolve pass checks each candidate
+    once — exactly like the sequential version's candidate *set*.
+    """
+    adjacency: Dict[int, Set[int]] = {}
+    for pairs in pair_lists:
+        for earlier, later in pairs:
+            adjacency.setdefault(later, set()).add(earlier)
+    return {later: sorted(earlier_set)
+            for later, earlier_set in adjacency.items()}
+
+
+def resolve_duplicates(
+    indices: Sequence[int],
+    adjacency: Dict[int, List[int]],
+    shingles_for,
+    threshold: float = 0.8,
+) -> DedupReport:
+    """Deterministic cross-band merge: sequential decisions, serially.
+
+    ``indices`` must be ascending (input order); ``shingles_for(i)``
+    returns the shingle set of index ``i`` — a callable so streaming
+    callers can lazily materialise only the indices that appear in
+    ``adjacency``.  The loop mirrors :func:`deduplicate`'s decision
+    loop exactly: candidates ascending, dropped candidates skipped,
+    exact-Jaccard verification, inclusive threshold, first match wins.
+    """
+    report = DedupReport()
+    kept: Set[int] = set()
+    for index in indices:
+        duplicate = None
+        for candidate in adjacency.get(index, ()):  # ascending
+            if candidate not in kept:
+                continue
+            report.candidate_pairs_checked += 1
+            similarity = jaccard(shingles_for(index),
+                                 shingles_for(candidate))
+            if similarity >= threshold:
+                duplicate = candidate
+                break
+        if duplicate is not None:
+            report.duplicate_of[index] = duplicate
+            continue
+        report.kept_indices.append(index)
+        kept.add(index)
+    return report
+
+
+def deduplicate_partitioned(
+    codes: Sequence[str],
+    threshold: float = 0.8,
+    n_perm: int = 64,
+    bands: int = 16,
+    n_partitions: int = 4,
+    hasher: Optional[MinHasher] = None,
+    partition_of=None,
+    mapper=None,
+) -> DedupReport:
+    """:func:`deduplicate`, decomposed as band-partitioned map-reduce.
+
+    Args:
+        codes / threshold / n_perm / bands / hasher: as
+            :func:`deduplicate`.
+        n_partitions: how many shared-nothing partitions the band keys
+            are split across.
+        partition_of: ``band_key -> partition id`` (default: the band
+            number modulo ``n_partitions``).  Any assignment yields
+            identical decisions — the union of emitted pairs does not
+            depend on how bands are grouped.
+        mapper: ``(fn, items) -> results`` used to run the map side —
+            pass ``ParallelExecutor(...).map`` for real parallelism;
+            defaults to in-process sequential mapping.
+
+    Returns a :class:`DedupReport` equal to ``deduplicate(codes, …)``
+    field-for-field.
+    """
+    if hasher is None:
+        hasher = MinHasher(n_perm)
+    n_perm = hasher.n_perm
+    if n_perm % bands != 0:
+        raise ValueError(f"bands={bands} must divide n_perm={n_perm}")
+    if n_partitions <= 0:
+        raise ValueError("n_partitions must be positive")
+    if partition_of is None:
+        partition_of = lambda key: key[0] % n_partitions  # noqa: E731
+    shingle_sets = [tokenize_for_dedup(code) for code in codes]
+    signatures = [hasher.signature(s) for s in shingle_sets]
+
+    partitions: List[List[Tuple[BandKey, int]]] = [
+        [] for _ in range(n_partitions)]
+    for index, signature in enumerate(signatures):
+        for key in signature_band_keys(signature, bands):
+            partitions[partition_of(key)].append((key, index))
+
+    if mapper is None:
+        pair_lists = [band_candidate_pairs(part) for part in partitions]
+    else:
+        pair_lists = mapper(band_candidate_pairs, partitions)
+    adjacency = merge_band_candidates(pair_lists)
+    return resolve_duplicates(
+        range(len(codes)), adjacency,
+        lambda i: shingle_sets[i], threshold)

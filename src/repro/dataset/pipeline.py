@@ -390,18 +390,29 @@ def build_pyranet(
     cache: Optional[ResultCache] = None,
     obs: Optional[Observability] = None,
     resilience: Optional[Resilience] = None,
+    stream: bool = False,
+    workers: Optional[int] = None,
+    batch_size: int = 256,
+    spill_dir=None,
 ) -> CurationResult:
     """One-call PyraNet construction at a configurable scale.
 
     Simulates the scrape, runs the commercial-LLM generation pipeline
     (Fig. 2), and curates everything into the six-layer dataset.
+
+    With ``stream=True`` the scrape is consumed as a lazy batch stream
+    through :class:`~.streaming.StreamingCurationPipeline` — the raw
+    corpus is never materialised, and the result is byte-identical to
+    the in-memory path.  ``workers=N`` (streaming only, N > 1) fans the
+    fused stages out over a process pool unless an explicit ``executor``
+    is given; ``spill_dir`` bounds survivor/shuffle memory with disk
+    spill.
     """
     from ..corpus.github_sim import GitHubScrapeSimulator
     from ..corpus.keywords import build_keyword_database
     from ..corpus.llm_sim import SimulatedCommercialLLM
 
     scraper = GitHubScrapeSimulator(seed=seed)
-    raw_files = scraper.scrape(n_github_files)
 
     db = build_keyword_database()
     llm = SimulatedCommercialLLM(seed=seed + 1)
@@ -413,6 +424,33 @@ def build_pyranet(
             llm.generate_batch(entry, n_queries=n_queries_per_prompt)
         )
 
+    if stream:
+        from .streaming import (
+            StreamingCurationPipeline,
+            chain_batches,
+            generated_batches,
+            raw_file_batches,
+        )
+
+        if executor is None and workers and workers > 1:
+            executor = ParallelExecutor(mode="process",
+                                        max_workers=workers)
+        streaming = StreamingCurationPipeline(
+            dedup_threshold=dedup_threshold, seed=seed,
+            batch_size=batch_size, executor=executor, obs=obs,
+            resilience=resilience, spill_dir=spill_dir,
+        )
+        source = chain_batches(
+            raw_file_batches(
+                scraper.iter_scrape(n_github_files,
+                                    batch_size=batch_size)),
+            generated_batches(generated, batch_size=batch_size),
+        )
+        token = (f"build-pyranet:{seed}:{n_github_files}:"
+                 f"{n_llm_prompts}:{n_queries_per_prompt}")
+        return streaming.run_stream(source, source_token=token)
+
+    raw_files = scraper.scrape(n_github_files)
     pipeline = CurationPipeline(
         dedup_threshold=dedup_threshold, seed=seed,
         executor=executor, cache=cache, obs=obs, resilience=resilience,

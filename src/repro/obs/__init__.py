@@ -18,6 +18,7 @@ The telemetry layer the rest of the system records into:
 """
 
 from .context import NOOP, Observability, resolve
+from .proc import rss_peak_bytes
 from .registry import (
     Counter,
     Gauge,
@@ -51,6 +52,7 @@ __all__ = [
     "Tracer",
     "report_json",
     "resolve",
+    "rss_peak_bytes",
     "strip_schema",
     "warn_deprecated",
     "worker_tracer",

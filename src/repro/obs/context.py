@@ -18,8 +18,10 @@ registry, not a second bookkeeping system.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Dict, Optional
 
+from .proc import rss_peak_bytes
 from .registry import MetricRegistry, NullRegistry
 from .report import RunReport
 from .tracing import NullTracer, Tracer
@@ -55,7 +57,25 @@ class Observability:
     # -- convenience passthroughs --------------------------------------
 
     def span(self, name: str, **meta: Any):
-        return self.tracer.span(name, **meta)
+        if not self.enabled:
+            return self.tracer.span(name, **meta)
+        return self._sampled_span(name, meta)
+
+    @contextmanager
+    def _sampled_span(self, name: str, meta: Dict[str, Any]):
+        """A tracer span that samples ``proc.rss_peak_bytes`` at exit.
+
+        Sampling at span boundaries makes the memory high-water mark a
+        standard gauge in every :class:`RunReport` — the streaming
+        path's flat-RSS property is observable wherever observability
+        is on, at the cost of one ``/proc`` read per span exit."""
+        with self.tracer.span(name, **meta) as span:
+            try:
+                yield span
+            finally:
+                peak = rss_peak_bytes()
+                if peak is not None:
+                    self.registry.gauge("proc.rss_peak_bytes").set(peak)
 
     def counter(self, name: str):
         return self.registry.counter(name)

@@ -1,0 +1,59 @@
+"""Process-level resource probes.
+
+The streaming curate path claims a flat memory profile; that claim
+should be *observable* in every run report, not just asserted in one
+benchmark.  :func:`rss_peak_bytes` reads the process's resident-set
+high-water mark — ``VmHWM`` from ``/proc/self/status`` on Linux, with a
+portable ``resource.getrusage`` fallback elsewhere — and
+:class:`~repro.obs.Observability` samples it into the
+``proc.rss_peak_bytes`` gauge at every span exit.
+
+The value is a per-process *high-water* mark: it is monotone within a
+process, so comparing two in-process phases shows growth, but comparing
+two corpus sizes requires a fresh process per measurement
+(``benchmarks/test_scaleout.py`` re-invokes itself for exactly this
+reason).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+_PROC_STATUS = "/proc/self/status"
+
+
+def _rss_peak_from_proc() -> Optional[int]:
+    try:
+        with open(_PROC_STATUS, "rb") as handle:
+            for line in handle:
+                if line.startswith(b"VmHWM:"):
+                    # "VmHWM:    123456 kB"
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def _rss_peak_from_rusage() -> Optional[int]:
+    try:
+        import resource
+    except ImportError:
+        return None
+    try:
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (OSError, ValueError):
+        return None
+    if peak <= 0:
+        return None
+    # ru_maxrss is bytes on macOS, kibibytes on Linux and the BSDs.
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def rss_peak_bytes() -> Optional[int]:
+    """Peak resident set size of this process in bytes, or ``None``
+    when the platform exposes neither probe."""
+    peak = _rss_peak_from_proc()
+    if peak is not None:
+        return peak
+    return _rss_peak_from_rusage()

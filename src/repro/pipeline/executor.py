@@ -29,8 +29,9 @@ pool whatever the mode.
 from __future__ import annotations
 
 import os
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..obs.tracing import SpanContext, Tracer, worker_tracer
 
@@ -149,6 +150,118 @@ class ParallelExecutor:
         except (OSError, RuntimeError):
             return [fn(item) for item in items]
         return [result for chunk in chunk_results for result in chunk]
+
+    def stream_map(
+        self,
+        fn: Callable[[Any], Any],
+        iterable: Iterable[Any],
+        window: Optional[int] = None,
+    ) -> Iterator[Any]:
+        """Ordered streaming map: a generator with bounded look-ahead.
+
+        Unlike :meth:`map`, the input is never materialised — at most
+        ``window`` items (default ``max_workers * 2``) are in flight or
+        buffered at once, so mapping over a million-record source holds
+        a constant number of items in memory.  Items are submitted one
+        per task (streaming callers pass whole batches as items, so
+        chunking would only add latency).  Results come back strictly
+        in input order.
+
+        Failure semantics mirror :meth:`map`: exceptions raised by
+        ``fn`` propagate in thread mode; infrastructure failures (pool
+        creation, pickling, a broken process pool) flip
+        :attr:`fell_back` and the remainder of the stream is computed
+        serially in this process.  The attached :attr:`shield` is *not*
+        honoured — streaming stages do their own guarding — but the
+        attached :attr:`tracer` is: each in-pool item runs inside a
+        ``worker[i]`` span exactly like pooled chunks in :meth:`map`.
+        """
+        self.fell_back = False
+        iterator = iter(iterable)
+        if self.mode == "serial":
+            for item in iterator:
+                yield fn(item)
+            return
+        if window is None:
+            window = self.max_workers * 2
+        window = max(1, window)
+        pool_cls = (ThreadPoolExecutor if self.mode == "thread"
+                    else ProcessPoolExecutor)
+        tracer = self.tracer
+        parent = tracer.current_context() if tracer is not None else None
+        try:
+            pool = pool_cls(max_workers=self.max_workers)
+        except (OSError, RuntimeError):
+            self.fell_back = True
+            for item in iterator:
+                yield fn(item)
+            return
+
+        def submit(item: Any, index: int):
+            if tracer is None:
+                return pool.submit(_run_chunk, (fn, [item]))
+            if self.mode == "thread":
+                return pool.submit(_run_chunk_thread_traced,
+                                   (fn, [item], tracer, parent, index))
+            return pool.submit(_run_chunk_process_traced,
+                               (fn, [item], parent, index))
+
+        def resolve(future: Any) -> Any:
+            out = future.result()
+            if tracer is not None and self.mode == "process":
+                results, spans = out
+                tracer.absorb(spans)
+                return results[0]
+            return out[0]
+
+        def infra_failure(exc: Exception) -> bool:
+            # Same split as map(): thread pools add no serialisation
+            # failure modes, so in thread mode only OSError/RuntimeError
+            # count as infrastructure; process-mode failures (pickling,
+            # BrokenProcessPool) all degrade to serial recompute.
+            return self.mode != "thread" or isinstance(
+                exc, (OSError, RuntimeError))
+
+        pending: "deque" = deque()
+        index = 0
+        exhausted = False
+        try:
+            while True:
+                while not exhausted and len(pending) < window:
+                    try:
+                        item = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.append((item, submit(item, index)))
+                    index += 1
+                if not pending:
+                    return
+                item, future = pending.popleft()
+                try:
+                    result = resolve(future)
+                except Exception as exc:
+                    if not infra_failure(exc):
+                        raise
+                    # The pool is suspect: recompute this item here,
+                    # settle whatever is already in flight, then finish
+                    # the stream serially.
+                    self.fell_back = True
+                    yield fn(item)
+                    while pending:
+                        flight_item, flight_future = pending.popleft()
+                        try:
+                            yield resolve(flight_future)
+                        except Exception as flight_exc:
+                            if not infra_failure(flight_exc):
+                                raise
+                            yield fn(flight_item)
+                    for item in iterator:
+                        yield fn(item)
+                    return
+                yield result
+        finally:
+            pool.shutdown(wait=False)
 
     def run_serial(
         self, fn: Callable[[Any], Any], items: Sequence[Any]

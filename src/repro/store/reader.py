@@ -203,6 +203,27 @@ class StoreReader:
                 self.metrics.n_out += 1
                 yield entry
 
+    def iter_batches(self, size: int = 256, layer: Optional[int] = None,
+                     complexity=None) -> Iterator[List[DatasetEntry]]:
+        """Stream matching entries in fixed-size batches.
+
+        The batched form of :meth:`iter_entries`: at most one decoded
+        shard plus one pending batch is in memory, and callers get
+        list-at-a-time ergonomics instead of a one-record Python loop.
+        The final batch may be short; batch boundaries are independent
+        of shard boundaries.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        batch: List[DatasetEntry] = []
+        for entry in self.iter_entries(layer=layer, complexity=complexity):
+            batch.append(entry)
+            if len(batch) >= size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
     def select(self, layer: Optional[int] = None,
                complexity=None) -> List[DatasetEntry]:
         """Matching entries, materialised, in store (= input) order."""

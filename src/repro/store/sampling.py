@@ -67,6 +67,17 @@ class SamplingService:
     def layer_sizes(self) -> Dict[int, int]:
         return self.reader.manifest.layer_sizes()
 
+    def stream_batches(self, batch_size: int = 256,
+                       layer: Optional[int] = None) -> Iterator[List[DatasetEntry]]:
+        """Store-order batches straight off the shards, memory-bounded.
+
+        The streaming analogue of :meth:`layer` / full iteration: backed
+        by :meth:`StoreReader.iter_batches`, so at most one shard plus
+        one batch is resident — the feed for streaming curation and
+        scan-style evaluation passes that don't need shuffling.
+        """
+        return self.reader.iter_batches(size=batch_size, layer=layer)
+
     # -- serving modes -------------------------------------------------
 
     def curriculum_phases(self, shuffle_within: bool = True,

@@ -1,0 +1,77 @@
+"""GitHubScrapeSimulator.iter_scrape: the streaming scrape.
+
+scrape() is now implemented on top of iter_scrape(), so the two must
+emit identical populations for the same seed; the candidate_window
+variant bounds the duplicate pool for unbounded streams.
+"""
+
+import pytest
+
+from repro.corpus.github_sim import GitHubScrapeSimulator
+
+
+def flatten(batches):
+    return [f for batch in batches for f in batch]
+
+
+class TestIterScrape:
+    @pytest.mark.parametrize("batch_size", [1, 17, 100, 1000])
+    def test_identical_to_scrape(self, batch_size):
+        baseline = GitHubScrapeSimulator(seed=9).scrape(300)
+        streamed = flatten(GitHubScrapeSimulator(seed=9).iter_scrape(
+            300, batch_size=batch_size))
+        assert len(streamed) == len(baseline)
+        for a, b in zip(baseline, streamed):
+            assert a.path == b.path
+            assert a.content == b.content
+            assert a.truth_status == b.truth_status
+            assert a.truth_duplicate_of == b.truth_duplicate_of
+
+    def test_batch_shapes(self):
+        batches = list(GitHubScrapeSimulator(seed=1).iter_scrape(
+            250, batch_size=64))
+        assert [len(b) for b in batches] == [64, 64, 64, 58]
+
+    def test_incremental_consumption_matches_one_shot(self):
+        """Two iter_scrape calls on one simulator continue the same
+        population a single longer scrape would produce."""
+        one_shot = GitHubScrapeSimulator(seed=4).scrape(200)
+        sim = GitHubScrapeSimulator(seed=4)
+        first = flatten(sim.iter_scrape(120, batch_size=50))
+        second = flatten(sim.iter_scrape(80, batch_size=50))
+        assert [f.path for f in first + second] == [
+            f.path for f in one_shot]
+
+    def test_validation(self):
+        sim = GitHubScrapeSimulator(seed=0)
+        with pytest.raises(ValueError):
+            next(sim.iter_scrape(10, batch_size=0))
+        with pytest.raises(ValueError):
+            next(sim.iter_scrape(10, candidate_window=0))
+
+
+class TestCandidateWindow:
+    def test_bounded_pool_still_produces_population(self):
+        sim = GitHubScrapeSimulator(seed=2)
+        files = flatten(sim.iter_scrape(400, batch_size=64,
+                                        candidate_window=32))
+        assert len(files) == 400
+        assert len(sim._candidates) <= 32
+
+    def test_duplicates_reference_recent_files_only(self):
+        sim = GitHubScrapeSimulator(seed=2)
+        files = flatten(sim.iter_scrape(600, batch_size=64,
+                                        candidate_window=16))
+        paths = [f.path for f in files]
+        for index, f in enumerate(files):
+            if f.truth_duplicate_of is None:
+                continue
+            origin = paths.index(f.truth_duplicate_of)
+            # The referenced file is one of the (at most 16) eligible
+            # files emitted most recently before this duplicate.
+            eligible_between = [
+                g for g in files[origin + 1:index]
+                if g.truth_status in ("clean", "dependency")
+                and len(g.content) > 40
+            ]
+            assert len(eligible_between) < 16

@@ -1,0 +1,154 @@
+"""Band-partitioned distributed dedup ≡ the sequential algorithm.
+
+The map-reduce decomposition (:func:`deduplicate_partitioned` and the
+pieces it is built from) must reproduce :func:`deduplicate` exactly —
+kept indices, representative mapping, *and* the candidate-pairs-checked
+count — for every partition count and every deterministic band-key →
+partition assignment, including adversarially random ones.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset.dedup import (
+    MinHasher,
+    band_candidate_pairs,
+    deduplicate,
+    deduplicate_partitioned,
+    merge_band_candidates,
+    resolve_duplicates,
+    signature_band_keys,
+    tokenize_for_dedup,
+)
+from repro.pipeline import ParallelExecutor
+
+# A tiny vocabulary so random corpora collide often: near-duplicates,
+# exact duplicates, and unrelated files all occur.
+_WORDS = ["module", "wire", "assign", "input", "output", "reg",
+          "always", "endmodule"]
+
+
+def _code(rng: random.Random) -> str:
+    n = rng.randint(4, 24)
+    return " ".join(rng.choice(_WORDS) for _ in range(n))
+
+
+def corpus_strategy():
+    return st.builds(
+        lambda seed, n: [_code(random.Random(seed * 1000 + i))
+                         for i in range(n)],
+        st.integers(0, 50), st.integers(0, 40))
+
+
+class TestBandKeys:
+    def test_band_count_and_determinism(self):
+        hasher = MinHasher(64)
+        signature = hasher.signature(tokenize_for_dedup(
+            "module m wire a assign b endmodule"))
+        keys = signature_band_keys(signature, 16)
+        assert len(keys) == 16
+        assert keys == signature_band_keys(signature, 16)
+        assert [band for band, _ in keys] == list(range(16))
+
+    def test_bands_must_divide_permutations(self):
+        hasher = MinHasher(64)
+        signature = hasher.signature(frozenset({"a b c"}))
+        with pytest.raises(ValueError):
+            signature_band_keys(signature, 7)
+
+    def test_identical_signatures_share_every_key(self):
+        hasher = MinHasher(64)
+        shingles = tokenize_for_dedup("module m wire a assign b endmodule")
+        first = signature_band_keys(hasher.signature(shingles), 16)
+        second = signature_band_keys(hasher.signature(shingles), 16)
+        assert first == second
+
+
+class TestMapSide:
+    def test_pairs_are_sorted_unique_ascending(self):
+        keyed = [((0, "k"), 3), ((0, "k"), 1), ((0, "k"), 3),
+                 ((0, "k"), 0), ((1, "j"), 5)]
+        pairs = band_candidate_pairs(keyed)
+        assert pairs == [(0, 1), (0, 3), (1, 3)]
+
+    def test_merge_dedups_across_partitions(self):
+        merged = merge_band_candidates([[(0, 2), (1, 2)],
+                                        [(0, 2), (0, 4)]])
+        assert merged == {2: [0, 1], 4: [0]}
+
+    def test_empty(self):
+        assert band_candidate_pairs([]) == []
+        assert merge_band_candidates([[], []]) == {}
+
+
+def assert_reports_equal(partitioned, sequential):
+    assert partitioned.kept_indices == sequential.kept_indices
+    assert partitioned.duplicate_of == sequential.duplicate_of
+    assert (partitioned.candidate_pairs_checked
+            == sequential.candidate_pairs_checked)
+
+
+class TestEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(corpus_strategy(), st.integers(1, 20))
+    def test_any_partition_count(self, codes, n_partitions):
+        sequential = deduplicate(codes)
+        partitioned = deduplicate_partitioned(
+            codes, n_partitions=n_partitions)
+        assert_reports_equal(partitioned, sequential)
+
+    @settings(max_examples=30, deadline=None)
+    @given(corpus_strategy(), st.integers(1, 8), st.integers(0, 1000))
+    def test_random_band_assignment(self, codes, n_partitions,
+                                    assignment_seed):
+        """Not just round-robin: ANY deterministic key → partition
+        function must give identical decisions, because collisions are
+        found per key and unioned."""
+        def partition_of(key):
+            return random.Random(
+                f"{assignment_seed}:{key[0]}:{key[1]}"
+            ).randrange(n_partitions)
+
+        sequential = deduplicate(codes)
+        partitioned = deduplicate_partitioned(
+            codes, n_partitions=n_partitions, partition_of=partition_of)
+        assert_reports_equal(partitioned, sequential)
+
+    @settings(max_examples=10, deadline=None)
+    @given(corpus_strategy())
+    def test_executor_mapper(self, codes):
+        executor = ParallelExecutor(mode="thread", max_workers=4)
+        sequential = deduplicate(codes)
+        partitioned = deduplicate_partitioned(
+            codes, n_partitions=4, mapper=executor.map)
+        assert_reports_equal(partitioned, sequential)
+
+    def test_threshold_respected(self):
+        codes = ["module m wire a assign b endmodule"] * 3
+        strict = deduplicate_partitioned(codes, threshold=1.0)
+        assert strict.duplicate_of == {1: 0, 2: 0}
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            deduplicate_partitioned(["a"], n_partitions=0)
+        with pytest.raises(ValueError):
+            deduplicate_partitioned(["a"], bands=7)
+
+
+class TestResolve:
+    def test_resolve_mirrors_sequential_decisions(self):
+        rng = random.Random(11)
+        codes = [_code(rng) for _ in range(30)]
+        hasher = MinHasher(64)
+        shingles = [tokenize_for_dedup(code) for code in codes]
+        keyed = []
+        for index, shingle_set in enumerate(shingles):
+            for key in signature_band_keys(
+                    hasher.signature(shingle_set), 16):
+                keyed.append((key, index))
+        adjacency = merge_band_candidates([band_candidate_pairs(keyed)])
+        report = resolve_duplicates(range(len(codes)), adjacency,
+                                    lambda i: shingles[i])
+        assert_reports_equal(report, deduplicate(codes, hasher=hasher))

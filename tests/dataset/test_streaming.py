@@ -1,0 +1,248 @@
+"""Golden equivalence of the streaming curate path.
+
+:class:`StreamingCurationPipeline` must reproduce the in-memory
+:class:`CurationPipeline` byte-for-byte — entries, layer assignment,
+funnel, drop histograms, dedup keep/drop decisions — under every
+executor mode, batch size, spill mode, and across a kill + resume.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.corpus.github_sim import GitHubScrapeSimulator
+from repro.corpus.keywords import build_keyword_database
+from repro.corpus.llm_sim import SimulatedCommercialLLM
+from repro.dataset.pipeline import CurationPipeline
+from repro.dataset.streaming import (
+    StreamingCurationPipeline,
+    chain_batches,
+    generated_batches,
+    raw_file_batches,
+)
+from repro.obs import Observability
+from repro.pipeline import ParallelExecutor
+from repro.resilience import Checkpointer, Resilience
+
+SEED = 0
+N_FILES = 240
+N_PROMPTS = 3
+
+
+def make_raw_files():
+    return GitHubScrapeSimulator(seed=SEED).scrape(N_FILES)
+
+
+def make_generated():
+    db = build_keyword_database()
+    llm = SimulatedCommercialLLM(seed=SEED + 1)
+    rng = random.Random(SEED + 2)
+    generated = []
+    for _ in range(N_PROMPTS):
+        generated.extend(llm.generate_batch(db.sample(rng), n_queries=8))
+    return generated
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_raw_files(), make_generated()
+
+
+@pytest.fixture(scope="module")
+def golden(corpus):
+    raw_files, generated = corpus
+    return CurationPipeline(
+        seed=SEED, executor=ParallelExecutor.serial()
+    ).run(raw_files, generated)
+
+
+def dataset_bytes(dataset) -> bytes:
+    return "\n".join(
+        json.dumps(entry.to_dict(), sort_keys=True) for entry in dataset
+    ).encode("utf-8")
+
+
+def assert_equivalent(result, golden):
+    assert dataset_bytes(result.dataset) == dataset_bytes(golden.dataset)
+    assert (result.report.funnel.__dict__
+            == golden.report.funnel.__dict__)
+    assert result.report.layers.sizes == golden.report.layers.sizes
+    assert (result.report.layers.complexity_coverage
+            == golden.report.layers.complexity_coverage)
+    assert (result.report.layers.missing_complexities
+            == golden.report.layers.missing_complexities)
+    assert (result.report.n_collected_github
+            == golden.report.n_collected_github)
+    assert result.report.n_generated_llm == golden.report.n_generated_llm
+    # Per-stage counts and drop histograms (wall times differ).
+    for mine, theirs in zip(result.report.trace.stages,
+                            golden.report.trace.stages):
+        assert mine.name == theirs.name
+        assert mine.n_in == theirs.n_in
+        assert mine.n_out == theirs.n_out
+        assert dict(mine.drops) == dict(theirs.drops)
+
+
+class TestGoldenParity:
+    def test_serial(self, corpus, golden):
+        raw_files, generated = corpus
+        result = StreamingCurationPipeline(seed=SEED).run(
+            raw_files, generated)
+        assert_equivalent(result, golden)
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 10_000])
+    def test_batch_size_invariant(self, corpus, golden, batch_size):
+        raw_files, generated = corpus
+        result = StreamingCurationPipeline(
+            seed=SEED, batch_size=batch_size).run(raw_files, generated)
+        assert_equivalent(result, golden)
+
+    @pytest.mark.parametrize("n_partitions", [1, 3, 16])
+    def test_partition_count_invariant(self, corpus, golden, n_partitions):
+        raw_files, generated = corpus
+        result = StreamingCurationPipeline(
+            seed=SEED, n_partitions=n_partitions).run(raw_files, generated)
+        assert_equivalent(result, golden)
+
+    def test_thread_executor(self, corpus, golden):
+        raw_files, generated = corpus
+        result = StreamingCurationPipeline(
+            seed=SEED, batch_size=32,
+            executor=ParallelExecutor(mode="thread", max_workers=4),
+        ).run(raw_files, generated)
+        assert_equivalent(result, golden)
+
+    def test_process_executor(self, corpus, golden):
+        raw_files, generated = corpus
+        executor = ParallelExecutor(mode="process", max_workers=2)
+        result = StreamingCurationPipeline(
+            seed=SEED, batch_size=64, executor=executor,
+        ).run(raw_files, generated)
+        assert_equivalent(result, golden)
+        assert not executor.fell_back
+
+    def test_disk_spill(self, corpus, golden, tmp_path):
+        raw_files, generated = corpus
+        spill = tmp_path / "spill"
+        result = StreamingCurationPipeline(
+            seed=SEED, batch_size=32, spill_dir=spill,
+        ).run(raw_files, generated)
+        assert_equivalent(result, golden)
+        leftovers = [p for p in spill.rglob("*") if p.is_file()]
+        assert leftovers == []
+
+    def test_trace_is_streaming_branded(self, corpus):
+        raw_files, generated = corpus
+        result = StreamingCurationPipeline(seed=SEED, batch_size=32).run(
+            raw_files, generated)
+        trace = result.report.trace
+        assert trace.pipeline == "curation-stream"
+        assert trace.meta["streaming"]["batch_size"] == 32
+        assert trace.meta["streaming"]["spilled"] is False
+
+
+class TestStreamSources:
+    def test_lazy_scrape_source(self, golden):
+        """A true batch stream (nothing materialised) matches the
+        golden output — iter_scrape emits the same population as
+        scrape for the same seed."""
+        scraper = GitHubScrapeSimulator(seed=SEED)
+        source = chain_batches(
+            raw_file_batches(scraper.iter_scrape(N_FILES, batch_size=50)),
+            generated_batches(make_generated(), batch_size=50),
+        )
+        result = StreamingCurationPipeline(seed=SEED, batch_size=50).run_stream(
+            source, source_token="test-lazy")
+        assert_equivalent(result, golden)
+
+    def test_curate_to_store(self, golden, tmp_path):
+        from repro.store import StoreReader
+
+        scraper = GitHubScrapeSimulator(seed=SEED)
+        source = chain_batches(
+            raw_file_batches(scraper.iter_scrape(N_FILES, batch_size=64)),
+            generated_batches(make_generated(), batch_size=64),
+        )
+        out = StreamingCurationPipeline(seed=SEED, batch_size=64).curate_to_store(
+            source, tmp_path / "store", source_token="test-store")
+        assert out.manifest.n_entries == len(golden.dataset)
+        stored = StoreReader(tmp_path / "store").read_all()
+        assert dataset_bytes(stored) == dataset_bytes(golden.dataset)
+        assert (out.report.funnel.__dict__
+                == golden.report.funnel.__dict__)
+
+    def test_observability_spans_and_rss(self, corpus):
+        raw_files, generated = corpus
+        obs = Observability()
+        StreamingCurationPipeline(seed=SEED, obs=obs).run(
+            raw_files, generated)
+        report = obs.run_report().to_dict()
+        names = [span["name"] for span in report["spans"]]
+        for expected in ("stream.filter_sign", "stream.dedup",
+                         "stream.label"):
+            assert expected in names
+        assert "proc.rss_peak_bytes" in report["metrics"]["gauges"]
+
+
+class _Boom(BaseException):
+    """Tears through every retry/fallback layer, like a SIGKILL."""
+
+
+class _CrashAfter:
+    """Wrap a phase worker to crash after ``n`` successful batches."""
+
+    def __init__(self, fn, n):
+        self.fn = fn
+        self.remaining = n
+
+    def __call__(self, payload):
+        if self.remaining == 0:
+            raise _Boom()
+        self.remaining -= 1
+        return self.fn(payload)
+
+
+class TestCrashResume:
+    def run_streaming(self, corpus, journal, batch_size=24):
+        raw_files, generated = corpus
+        res = Resilience(checkpointer=Checkpointer(journal, interval=4))
+        pipeline = StreamingCurationPipeline(
+            seed=SEED, batch_size=batch_size, resilience=res)
+        return pipeline.run(raw_files, generated), res
+
+    @pytest.mark.parametrize("target,n_ok", [("_filter_sign_batch", 3),
+                                             ("_label_batch", 2)])
+    def test_resume_after_crash(self, corpus, golden, tmp_path,
+                                monkeypatch, target, n_ok):
+        import repro.dataset.streaming as streaming_mod
+
+        journal = tmp_path / "journal"
+        crasher = _CrashAfter(getattr(streaming_mod, target), n_ok)
+        monkeypatch.setattr(streaming_mod, target, crasher)
+        with pytest.raises(_Boom):
+            self.run_streaming(corpus, journal)
+        monkeypatch.undo()
+
+        result, res = self.run_streaming(corpus, journal)
+        assert_equivalent(result, golden)
+        assert res.summary()["resumed_batches"] > 0
+
+    def test_finished_journal_reruns_from_scratch(self, corpus, golden,
+                                                  tmp_path):
+        journal = tmp_path / "journal"
+        first, _ = self.run_streaming(corpus, journal)
+        assert_equivalent(first, golden)
+        again, res = self.run_streaming(corpus, journal)
+        assert_equivalent(again, golden)
+        assert res.summary()["resumed_batches"] == 0
+
+    def test_different_config_does_not_resume(self, corpus, golden,
+                                              tmp_path):
+        """The checkpoint signature covers the streaming config, so a
+        journal from one batch size never feeds a run with another."""
+        journal = tmp_path / "journal"
+        self.run_streaming(corpus, journal, batch_size=24)
+        result, res = self.run_streaming(corpus, journal, batch_size=48)
+        assert_equivalent(result, golden)
+        assert res.summary()["resumed_batches"] == 0

@@ -1,0 +1,47 @@
+"""Process peak-RSS sampling (repro.obs.proc) and its span wiring."""
+
+from repro.obs import Observability, rss_peak_bytes
+from repro.obs.proc import _rss_peak_from_proc, _rss_peak_from_rusage
+
+
+class TestRssPeakBytes:
+    def test_returns_plausible_peak(self):
+        peak = rss_peak_bytes()
+        assert peak is not None
+        # A Python interpreter needs at least a few MB and fits in 1 TB.
+        assert 1 << 20 < peak < 1 << 40
+
+    def test_monotone_within_process(self):
+        first = rss_peak_bytes()
+        blob = bytearray(8 << 20)
+        second = rss_peak_bytes()
+        del blob
+        assert second >= first
+
+    def test_fallback_agrees_with_proc(self):
+        """Where /proc exists, both sources must be in the same ballpark
+        (the rusage fallback is what non-Linux platforms get)."""
+        via_proc = _rss_peak_from_proc()
+        via_rusage = _rss_peak_from_rusage()
+        assert via_rusage is not None and via_rusage > 0
+        if via_proc is not None:
+            ratio = via_proc / via_rusage
+            assert 0.5 < ratio < 2.0
+
+
+class TestSpanSampling:
+    def test_live_span_records_gauge(self):
+        obs = Observability()
+        with obs.span("work"):
+            pass
+        report = obs.run_report().to_dict()
+        gauges = report["metrics"]["gauges"]
+        assert "proc.rss_peak_bytes" in gauges
+        assert gauges["proc.rss_peak_bytes"] > 0
+
+    def test_noop_obs_records_nothing(self):
+        obs = Observability.noop()
+        with obs.span("work"):
+            pass
+        assert not obs.enabled
+        assert obs.registry.to_dict().get("gauges", {}) == {}

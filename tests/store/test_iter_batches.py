@@ -1,0 +1,77 @@
+"""Batched streaming reads: StoreReader.iter_batches and the
+SamplingService.stream_batches feed for streaming curation."""
+
+import pytest
+
+from repro.dataset.pipeline import build_pyranet
+from repro.store import SamplingService, ShardWriter, StoreReader
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("store")
+    dataset = build_pyranet(n_github_files=120, n_llm_prompts=2,
+                            seed=5).dataset
+    ShardWriter(directory, max_shard_bytes=16 * 1024).write(dataset)
+    return directory, dataset
+
+
+class TestIterBatches:
+    def test_batches_concatenate_to_full_stream(self, store):
+        directory, dataset = store
+        reader = StoreReader(directory)
+        batches = list(reader.iter_batches(size=16))
+        flat = [entry for batch in batches for entry in batch]
+        assert [e.entry_id for e in flat] == [e.entry_id for e in dataset]
+
+    def test_batch_sizes(self, store):
+        directory, dataset = store
+        reader = StoreReader(directory)
+        batches = list(reader.iter_batches(size=16))
+        assert all(len(batch) == 16 for batch in batches[:-1])
+        assert 0 < len(batches[-1]) <= 16
+        assert sum(len(b) for b in batches) == len(dataset)
+
+    def test_layer_filter_matches_select(self, store):
+        directory, _ = store
+        reader = StoreReader(directory)
+        layer = reader.manifest.trainable_layers()[0]
+        flat = [entry
+                for batch in reader.iter_batches(size=8, layer=layer)
+                for entry in batch]
+        assert ([e.entry_id for e in flat]
+                == [e.entry_id for e in
+                    StoreReader(directory).select(layer=layer)])
+        assert all(e.layer == layer for e in flat)
+
+    def test_size_must_be_positive(self, store):
+        directory, _ = store
+        reader = StoreReader(directory)
+        with pytest.raises(ValueError):
+            next(reader.iter_batches(size=0))
+
+    def test_oversized_batch_is_single_short_batch(self, store):
+        directory, dataset = store
+        reader = StoreReader(directory)
+        batches = list(reader.iter_batches(size=10 ** 6))
+        assert len(batches) == 1
+        assert len(batches[0]) == len(dataset)
+
+
+class TestSamplingServiceStream:
+    def test_stream_batches_delegates_to_reader(self, store):
+        directory, dataset = store
+        service = SamplingService(StoreReader(directory), seed=5)
+        flat = [entry for batch in service.stream_batches(batch_size=32)
+                for entry in batch]
+        assert [e.entry_id for e in flat] == [e.entry_id for e in dataset]
+
+    def test_stream_batches_layer_filter(self, store):
+        directory, _ = store
+        service = SamplingService(StoreReader(directory), seed=5)
+        layer = service.trainable_layers()[0]
+        flat = [entry
+                for batch in service.stream_batches(batch_size=8,
+                                                    layer=layer)
+                for entry in batch]
+        assert flat and all(e.layer == layer for e in flat)
