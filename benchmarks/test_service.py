@@ -1,0 +1,245 @@
+"""Service load generator — jobs/s, latency percentiles, client scaling.
+
+Boots the real HTTP service (socket, worker threads, durable queue
+journal) and drives it with N concurrent closed-loop clients, each
+submitting ``probe`` jobs over HTTP and polling to completion.  Numbers
+emitted to ``BENCH_service.json`` (uploaded as a CI artifact):
+
+* **jobs/s** — completed jobs per wall second at each client count;
+* **p50 / p99 latency** — submit-to-done, as one client experiences it;
+* **client scaling** — throughput at 1 client vs the widest point;
+* **overhead split** — mean in-worker handler wall time vs end-to-end
+  latency (the difference is queueing + HTTP + polling overhead).
+
+Deliberately free of ``pytest-benchmark``: the CI smoke job runs this
+file both as a test and as a plain script (``python
+benchmarks/test_service.py --quick``) in environments where only the
+core test deps are installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+REPORT_PATH = "BENCH_service.json"
+
+#: Digest-chain length per probe job (the simulated unit of work).
+SPIN = 200
+
+#: Floors asserted at every preset — deliberately loose (CI boxes are
+#: slow and shared); the JSON artifact carries the real trajectory.
+JOBS_PER_S_FLOOR = 2.0
+P99_CEILING_S = 10.0
+
+#: preset -> (jobs per client, client counts, worker threads).
+PRESETS = {
+    "quick": (6, (1, 4), 4),
+    "standard": (20, (1, 2, 4, 8), 4),
+    "full": (40, (1, 2, 4, 8, 16), 8),
+}
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100])."""
+    ordered = sorted(samples)
+    index = max(0, min(len(ordered) - 1,
+                       round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def drive_clients(base_url: str, n_clients: int,
+                  jobs_per_client: int) -> Dict[str, Any]:
+    """N closed-loop HTTP clients, each submit->wait ``jobs_per_client``
+    times; returns wall time and per-job latencies."""
+    from repro.service import ServiceClient
+
+    barrier = threading.Barrier(n_clients + 1)
+    latencies: List[List[float]] = [[] for _ in range(n_clients)]
+    errors: List[BaseException] = []
+
+    def client_loop(index: int) -> None:
+        client = ServiceClient(base_url, timeout=30.0)
+        barrier.wait()
+        for number in range(jobs_per_client):
+            started = time.perf_counter()
+            sub = client.submit(
+                "probe", {"spin": SPIN},
+                idempotency_key=f"bench-{n_clients}c-{index}-{number}")
+            record = client.wait(sub["job_id"], timeout=60, poll=0.002)
+            latencies[index].append(time.perf_counter() - started)
+            if record["status"] != "done":
+                errors.append(RuntimeError(
+                    f"job failed under load: {record['error']}"))
+                return
+
+    threads = [threading.Thread(target=client_loop, args=(i,),
+                                name=f"bench-client-{i}")
+               for i in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    flat = [sample for per_client in latencies for sample in per_client]
+    return {
+        "clients": n_clients,
+        "jobs": len(flat),
+        "wall_s": round(wall_s, 3),
+        "jobs_per_s": round(len(flat) / wall_s, 2),
+        "latency_p50_s": round(percentile(flat, 50), 4),
+        "latency_p99_s": round(percentile(flat, 99), 4),
+        "latency_mean_s": round(statistics.fmean(flat), 4),
+    }
+
+
+def run_service_benchmark(preset: str,
+                          workdir: Path) -> Dict[str, Any]:
+    from repro.obs import Observability
+    from repro.service import PyraNetService, serve_in_thread
+
+    jobs_per_client, client_counts, n_workers = PRESETS[preset]
+    obs = Observability()
+    service = PyraNetService(workdir / "svc", n_workers=n_workers,
+                             obs=obs, poll_interval=0.002)
+    server, thread = serve_in_thread(service)
+    base_url = f"http://127.0.0.1:{server.port}"
+    try:
+        # Warm-up: one job end to end before the clock starts.
+        warm = drive_clients(base_url, 1, 1)
+        points = [drive_clients(base_url, n, jobs_per_client)
+                  for n in client_counts]
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop(drain_queue=True)
+        thread.join(timeout=10)
+
+    registry = obs.registry
+    handler_hist = registry.histogram("service.job.latency_s")
+    handler_mean_s = (handler_hist.total / handler_hist.count
+                      if handler_hist.count else 0.0)
+    widest = points[-1]
+    return {
+        "schema": "pyranet-bench-service/v1",
+        "preset": preset,
+        "spin": SPIN,
+        "workers": n_workers,
+        "warmup_s": warm["wall_s"],
+        "points": points,
+        "scaling": {
+            "clients": [point["clients"] for point in points],
+            "jobs_per_s": [point["jobs_per_s"] for point in points],
+            "throughput_ratio": round(
+                widest["jobs_per_s"] / points[0]["jobs_per_s"], 2),
+        },
+        "overhead": {
+            "handler_mean_s": round(handler_mean_s, 4),
+            "end_to_end_mean_s": widest["latency_mean_s"],
+        },
+        "counters": {
+            name: registry.counter(name).value
+            for name in ("service.jobs.submitted",
+                         "service.jobs.finished",
+                         "service.jobs.failed",
+                         "service.http.requests",
+                         "service.http.errors")
+        },
+        "floors": {"jobs_per_s": JOBS_PER_S_FLOOR,
+                   "p99_s": P99_CEILING_S},
+    }
+
+
+def summary_lines(payload: Dict[str, Any]) -> list:
+    lines = [
+        f"Service load benchmark (preset {payload['preset']}, "
+        f"{payload['workers']} workers, spin {payload['spin']})",
+    ]
+    for point in payload["points"]:
+        lines.append(
+            f"  {point['clients']:>2} client(s): "
+            f"{point['jobs_per_s']:7.1f} jobs/s   "
+            f"p50 {point['latency_p50_s'] * 1000:7.1f} ms   "
+            f"p99 {point['latency_p99_s'] * 1000:7.1f} ms "
+            f"({point['jobs']} jobs in {point['wall_s']:.2f}s)")
+    overhead = payload["overhead"]
+    lines.append(
+        f"  handler mean {overhead['handler_mean_s'] * 1000:.1f} ms vs "
+        f"end-to-end mean {overhead['end_to_end_mean_s'] * 1000:.1f} ms")
+    lines.append(
+        f"  throughput scaling 1 -> {payload['points'][-1]['clients']} "
+        f"clients: {payload['scaling']['throughput_ratio']:.2f}x")
+    return lines
+
+
+def check_floors(payload: Dict[str, Any]) -> None:
+    assert payload["counters"]["service.jobs.failed"] == 0, (
+        "jobs failed under load")
+    assert payload["counters"]["service.http.errors"] == 0, (
+        "HTTP errors under load")
+    wide = [point for point in payload["points"]
+            if point["clients"] >= 4]
+    assert wide, "no measurement at >= 4 concurrent clients"
+    for point in wide:
+        assert point["jobs_per_s"] >= JOBS_PER_S_FLOOR, (
+            f"{point['clients']} clients: {point['jobs_per_s']} jobs/s "
+            f"below floor {JOBS_PER_S_FLOOR}")
+        assert point["latency_p99_s"] <= P99_CEILING_S, (
+            f"{point['clients']} clients: p99 "
+            f"{point['latency_p99_s']}s above ceiling {P99_CEILING_S}s")
+
+
+def write_report(payload: Dict[str, Any],
+                 path: str = REPORT_PATH) -> None:
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def test_service_load(scale, tmp_path, capsys):
+    preset = {"fast": "quick", "standard": "standard",
+              "full": "full"}[scale.name]
+    payload = run_service_benchmark(preset, tmp_path)
+    write_report(payload)
+    with capsys.disabled():
+        print()
+        for line in summary_lines(payload):
+            print(line)
+    check_floors(payload)
+
+
+def main() -> None:
+    import tempfile
+
+    parser = argparse.ArgumentParser(
+        description="Load-test the job service over HTTP; write "
+                    "BENCH_service.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="small load (CI smoke scale)")
+    parser.add_argument("--full", action="store_true",
+                        help="widest client sweep")
+    parser.add_argument("--json", default=REPORT_PATH, metavar="PATH",
+                        help=f"report path (default {REPORT_PATH})")
+    args = parser.parse_args()
+    preset = ("full" if args.full
+              else "quick" if args.quick else "standard")
+    with tempfile.TemporaryDirectory() as workdir:
+        payload = run_service_benchmark(preset, Path(workdir))
+    for line in summary_lines(payload):
+        print(line)
+    write_report(payload, args.json)
+    print(f"wrote {args.json}")
+    check_floors(payload)
+
+
+if __name__ == "__main__":
+    main()

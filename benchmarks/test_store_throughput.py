@@ -27,10 +27,11 @@ def test_store_throughput(benchmark, pyranet, tmp_path, capsys):
     store_dir = tmp_path / "store"
 
     writer = ShardWriter(store_dir, max_shard_bytes=16 * 1024)
+    write_start = time.perf_counter()
     manifest = benchmark.pedantic(
         writer.write, args=(dataset,), rounds=1, iterations=1
     )
-    write_s = manifest.meta["write_wall_time_s"]
+    write_s = time.perf_counter() - write_start
 
     # Cold streaming read (one shard in memory at a time).
     start = time.perf_counter()

@@ -37,6 +37,11 @@ Every ``examples/*.py`` accepts the same flags:
     it into the run (resilience drills: transient faults, delays,
     simulated crashes).
 
+Service scripts (``serve.py``) additionally take the flags added by
+:func:`add_service_flags` — ``--port`` (0 = OS-assigned) and
+``--queue-dir`` (the persistent service root; reopening it resumes the
+same queue), with ``--workers`` doubling as the worker-pool width.
+
 Keeping the surface identical means any example can be diffed against
 any other run with the same tooling:
 
@@ -91,6 +96,25 @@ def build_parser(description: str,
     parser.add_argument(
         "--fault-plan", metavar="PATH", default=None,
         help="inject the FaultPlan JSON schedule at PATH into the run")
+    return parser
+
+
+def add_service_flags(parser: argparse.ArgumentParser,
+                      default_port: int = 8642) -> argparse.ArgumentParser:
+    """The extra flags a long-running service script needs on top of
+    :func:`build_parser` (which already provides ``--workers``)."""
+    parser.add_argument(
+        "--port", type=int, default=default_port, metavar="N",
+        help=f"HTTP listen port; 0 = OS-assigned (default "
+             f"{default_port})")
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="HTTP listen address (default 127.0.0.1)")
+    parser.add_argument(
+        "--queue-dir", metavar="PATH", default=".pyranet-service",
+        help="service root: queue journal, per-job checkpoints and "
+             "named stores live here; reopening it resumes the same "
+             "queue (default .pyranet-service)")
     return parser
 
 

@@ -162,6 +162,26 @@ class Checkpointer:
     def finish(self, payload: Any = None) -> None:
         self._append({"kind": "finish", "payload": payload})
 
+    def prune_unverified(self) -> int:
+        """Delete journal files after the verified prefix.
+
+        Replay already stops at the first torn/corrupt entry, so the
+        tail is dead weight — worse, new entries appended after it
+        would sit beyond the truncation point and never replay.
+        Callers that append to a reopened journal (the service job
+        queue) prune first so the journal stays contiguous.  Returns
+        the number of files removed.
+        """
+        paths = self._journal_paths()
+        verified = sum(1 for _ in self._iter_entries())
+        removed = 0
+        for path in paths[verified:]:
+            path.unlink()
+            removed += 1
+        if removed:
+            self._seq = verified
+        return removed
+
     def clear(self) -> None:
         """Delete every journal entry (and stray tmp files)."""
         if not self.directory.is_dir():

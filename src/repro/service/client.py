@@ -1,0 +1,123 @@
+"""A tiny stdlib client for the service HTTP API.
+
+Used by the load-generator benchmark, the end-to-end tests, and the
+README quickstart; anything speaking JSON-over-HTTP works just as well
+(every endpoint is ``curl``-able).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+#: Job statuses the client treats as settled.
+TERMINAL = ("done", "failed")
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response, with the decoded body when there is one."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Talk to one :class:`~repro.service.http.ServiceHTTPServer`.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8642`` (no trailing slash).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- job API --------------------------------------------------------
+
+    def submit(self, job_type: str,
+               params: Optional[Dict[str, Any]] = None,
+               idempotency_key: Optional[str] = None) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"type": job_type, "params": params or {}}
+        if idempotency_key is not None:
+            body["idempotency_key"] = idempotency_key
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def report(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/report")
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job settles; returns the final record.
+
+        Raises :class:`TimeoutError` if it does not settle in time.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] in TERMINAL:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['status']!r} after "
+                    f"{timeout}s")
+            time.sleep(poll)
+
+    # -- service / store API --------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def run_report(self) -> Dict[str, Any]:
+        return self._request("GET", "/report")
+
+    def stores(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/stores")["stores"]
+
+    def facets(self, store: str) -> Dict[str, Any]:
+        return self._request("GET", f"/stores/{store}/facets")
+
+    def sample(self, store: str, n: int = 8,
+               layer: Optional[int] = None,
+               batch_size: int = 64) -> Dict[str, Any]:
+        query = f"n={n}&batch_size={batch_size}"
+        if layer is not None:
+            query += f"&layer={layer}"
+        return self._request("GET", f"/stores/{store}/sample?{query}")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", "/shutdown", {})
+
+    # -- plumbing -------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            self.base_url + path, method=method,
+            headers={"Content-Type": "application/json"},
+            data=(json.dumps(body).encode("utf-8")
+                  if body is not None else None))
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+                message = detail.get("error", str(detail))
+            except Exception:
+                message = exc.reason
+            raise ServiceError(exc.code, message) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: "
+                                  f"{exc.reason}") from exc

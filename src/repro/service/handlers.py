@@ -1,0 +1,273 @@
+"""Job-type adapters: every existing workload as a queue-drainable job.
+
+Each handler is a thin, *idempotent* function over one of the repo's
+one-shot entry points — :func:`repro.dataset.pipeline.build_pyranet`,
+:meth:`repro.core.PyraNet.finetune`, :meth:`repro.core.PyraNet.evaluate`
+— plus a ``probe`` type whose only work is a seeded digest chain (the
+load-generator's measuring stick for pure service overhead).
+
+Idempotency and resumability are structural, not per-handler effort:
+
+* every job owns a private checkpoint directory
+  (``<jobs_root>/<job_id>/checkpoint``), so its curation/eval pipeline
+  journals batches through :mod:`repro.resilience` and a re-run after
+  a worker death *resumes* — replaying committed batches byte-identical
+  instead of recomputing them;
+* all outputs are deterministic functions of the job parameters (seeded
+  corpora, content-addressed store shards, manifest-written-last), so
+  even a full re-run lands the same bytes in the same places.
+
+Handlers receive ``(job, ctx, obs)`` where ``obs`` is a *per-execution*
+:class:`~repro.obs.Observability` handle — its merged RunReport becomes
+the job's ``/jobs/<id>/report`` payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from ..obs import Observability
+from ..pipeline import ParallelExecutor
+from ..resilience import Checkpointer, FaultPlan, Resilience
+from .jobs import Job, params_digest
+
+#: Store names are path components; anything else is rejected.
+_STORE_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+@dataclass
+class JobContext:
+    """What every handler may touch: the service's on-disk layout plus
+    shared execution machinery.
+
+    Args:
+        jobs_root: per-job scratch homes (``<jobs_root>/<job_id>/`` —
+            checkpoint journal, any intermediate artifacts).
+        stores_root: named sharded stores (``<stores_root>/<name>/``),
+            the read side the query/sample endpoints serve.
+        fault_plan: deterministic fault schedule injected into every
+            job's resilience runtime (drills; ``None`` in production).
+        executor: intra-job fan-out for curation/eval stages; ``None``
+            keeps each subsystem's default.
+        durable: fsync job checkpoints (matches the queue's setting).
+    """
+
+    jobs_root: Path
+    stores_root: Path
+    fault_plan: Optional[FaultPlan] = None
+    executor: Optional[ParallelExecutor] = None
+    durable: bool = True
+
+    def job_dir(self, job_id: str) -> Path:
+        path = self.jobs_root / job_id
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def store_dir(self, name: str) -> Path:
+        if not _STORE_NAME.match(name or ""):
+            raise ValueError(
+                f"invalid store name {name!r} (want "
+                "[A-Za-z0-9][A-Za-z0-9._-]{0,63})")
+        return self.stores_root / name
+
+    def job_resilience(self, job: Job, obs: Observability) -> Resilience:
+        """The per-job resilience runtime: a private checkpoint journal
+        (what makes a killed job resume byte-identical) plus the
+        service-wide fault plan."""
+        checkpointer = Checkpointer(self.job_dir(job.job_id) / "checkpoint",
+                                    durable=self.durable)
+        return Resilience(checkpointer=checkpointer,
+                          fault_plan=self.fault_plan, obs=obs)
+
+
+def dataset_digest(dataset: Any) -> str:
+    """One digest over every row of a curated dataset — the cheap
+    byte-identity witness job results carry."""
+    digest = hashlib.blake2b(digest_size=16)
+    for entry in dataset:
+        digest.update(repr(sorted(entry.to_dict().items()))
+                      .encode("utf-8", "replace"))
+    return digest.hexdigest()
+
+
+# -- the job types ------------------------------------------------------
+
+
+def run_curate_job(job: Job, ctx: JobContext,
+                   obs: Observability) -> Dict[str, Any]:
+    """``curate``: synthesize + curate a PyraNet dataset, optionally
+    sharding it into a named store.
+
+    Params: ``n_github_files``, ``n_llm_prompts``,
+    ``n_queries_per_prompt``, ``dedup_threshold``, ``seed``, and
+    ``store`` (a store name to write; omit for curate-and-report-only).
+    """
+    from ..dataset.pipeline import build_pyranet
+    from ..store import write_store
+
+    p = job.params
+    seed = int(p.get("seed", 0))
+    outcome = build_pyranet(
+        n_github_files=int(p.get("n_github_files", 120)),
+        n_llm_prompts=int(p.get("n_llm_prompts", 4)),
+        n_queries_per_prompt=int(p.get("n_queries_per_prompt", 4)),
+        seed=seed,
+        dedup_threshold=float(p.get("dedup_threshold", 0.8)),
+        executor=ctx.executor,
+        obs=obs,
+        resilience=ctx.job_resilience(job, obs),
+    )
+    dataset = outcome.dataset
+    summary: Dict[str, Any] = {
+        "n_entries": len(dataset),
+        "layers": {str(layer): count for layer, count
+                   in sorted(dataset.layer_sizes().items())},
+        "dataset_digest": dataset_digest(dataset),
+    }
+    store = p.get("store")
+    if store:
+        manifest = write_store(
+            dataset, ctx.store_dir(store),
+            meta={"seed": seed, "job_id": job.job_id,
+                  "source": "service.curate"},
+            obs=obs)
+        summary["store"] = store
+        summary["n_shards"] = len(manifest.shards)
+        summary["manifest_digest"] = hashlib.blake2b(
+            manifest.to_json(indent=2).encode("utf-8"),
+            digest_size=16).hexdigest()
+    return summary
+
+
+def _facade(job: Job, ctx: JobContext, obs: Observability):
+    from ..core import PyraNet
+
+    p = job.params
+    return PyraNet(
+        seed=int(p.get("seed", 0)),
+        n_samples=int(p.get("n_samples", 4)),
+        n_test_vectors=int(p.get("n_test_vectors", 12)),
+        executor=ctx.executor,
+        obs=obs,
+        resilience=ctx.job_resilience(job, obs),
+    )
+
+
+def _store_service(name: str, ctx: JobContext, obs: Observability, seed: int):
+    from ..core import PyraNet
+
+    return PyraNet.load_store(ctx.store_dir(name), seed=seed, obs=obs)
+
+
+def run_finetune_job(job: Job, ctx: JobContext,
+                     obs: Observability) -> Dict[str, Any]:
+    """``finetune``: train a recipe over a named store.
+
+    Params: ``store`` (required), ``profile``, ``recipe``, ``epochs``,
+    ``seed``.  Models are in-memory stand-ins, so the result is the
+    training summary, not a weights artifact.
+    """
+    from ..model.generator import CODELLAMA_7B
+
+    p = job.params
+    store = p.get("store")
+    if not store:
+        raise ValueError("finetune job needs params['store']")
+    pn = _facade(job, ctx, obs)
+    source = _store_service(store, ctx, obs, seed=int(p.get("seed", 0)))
+    profile = p.get("profile", CODELLAMA_7B.name)
+    recipe = p.get("recipe", "architecture")
+    pn.finetune(profile, recipe=recipe, dataset=source,
+                epochs=int(p.get("epochs", 1)))
+    return {
+        "profile": profile,
+        "recipe": recipe,
+        "epochs": int(p.get("epochs", 1)),
+        "store": store,
+        "n_entries": len(source),
+        "layers_trained": source.trainable_layers(),
+    }
+
+
+def run_eval_job(job: Job, ctx: JobContext,
+                 obs: Observability) -> Dict[str, Any]:
+    """``eval``: the VerilogEval-style loop over a suite.
+
+    Params: ``suite`` (``machine``/``human``), ``profile``, ``recipe``
+    (``baseline`` needs no dataset; any other recipe requires
+    ``store``), ``n_problems``, ``n_samples``, ``seed``.
+    """
+    import json
+
+    from ..model.generator import CODELLAMA_7B
+
+    p = job.params
+    pn = _facade(job, ctx, obs)
+    profile = p.get("profile", CODELLAMA_7B.name)
+    recipe = p.get("recipe", "baseline")
+    if recipe == "baseline":
+        model = pn.base_model(profile)
+    else:
+        store = p.get("store")
+        if not store:
+            raise ValueError(
+                f"eval job with recipe {recipe!r} needs params['store']")
+        source = _store_service(store, ctx, obs,
+                                seed=int(p.get("seed", 0)))
+        model = pn.finetune(profile, recipe=recipe, dataset=source)
+    n_problems = p.get("n_problems")
+    report = pn.evaluate(
+        model, suite=p.get("suite", "machine"),
+        n_problems=int(n_problems) if n_problems is not None else None,
+        model_name=f"{profile}:{recipe}")
+    results = [result.to_dict() for result in report.results]
+    # Digest over the deterministic core (per-problem outcomes), not
+    # the trace (wall times) — the byte-identity witness for resumes.
+    report_digest = hashlib.blake2b(
+        json.dumps(results, sort_keys=True).encode("utf-8"),
+        digest_size=16).hexdigest()
+    return {
+        "suite": report.suite,
+        "model": report.model_name,
+        "summary": report.summary((1, 5, 10)),
+        "n_problems": len(results),
+        "results": results,
+        "report_digest": report_digest,
+    }
+
+
+def run_probe_job(job: Job, ctx: JobContext,
+                  obs: Observability) -> Dict[str, Any]:
+    """``probe``: a no-I/O digest chain — the benchmark's unit of pure
+    service overhead.  Params: ``spin`` (chain length), anything else
+    is folded into the digest."""
+    p = job.params
+    spin = max(0, int(p.get("spin", 0)))
+    digest = params_digest(p).encode("ascii")
+    for _ in range(spin):
+        digest = hashlib.blake2b(digest, digest_size=16).hexdigest() \
+            .encode("ascii")
+    obs.counter("service.probe.spins").inc(spin)
+    return {"digest": digest.decode("ascii"), "spin": spin}
+
+
+#: name -> handler; extend via :func:`register_handler`.
+HANDLERS: Dict[str, Callable[[Job, JobContext, Observability],
+                             Dict[str, Any]]] = {
+    "curate": run_curate_job,
+    "finetune": run_finetune_job,
+    "eval": run_eval_job,
+    "probe": run_probe_job,
+}
+
+
+def register_handler(
+    name: str,
+    handler: Callable[[Job, JobContext, Observability], Dict[str, Any]],
+) -> None:
+    """Make ``name`` submittable as a job type."""
+    HANDLERS[name] = handler

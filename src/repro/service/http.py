@@ -1,0 +1,235 @@
+"""The HTTP face of the service: a thin JSON codec over
+:class:`~repro.service.core.PyraNetService`.
+
+Stdlib only (``http.server.ThreadingHTTPServer``): one thread per
+request, all real state behind the service object's locks.  Routes::
+
+    GET  /healthz                      liveness + queue/metric snapshot
+    GET  /report                       the service's merged RunReport
+    GET  /jobs                         job listing (submission order)
+    POST /jobs                         submit {"type", "params",
+                                       "idempotency_key"?} -> 202
+    GET  /jobs/<id>                    full job record
+    GET  /jobs/<id>/report             per-job RunReport + dead-letter
+    GET  /stores                       named stores
+    GET  /stores/<name>/facets         (layer, complexity) histogram
+    GET  /stores/<name>/sample         ?n=&layer=&batch_size=
+    POST /shutdown                     graceful drain + exit
+
+Every request runs inside a ``service.http.request`` span and lands in
+``service.http.requests`` / ``service.http.<route>`` counters and the
+``service.http.latency_s`` histogram, so HTTP traffic shows up in the
+same RunReport as the jobs it caused.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .core import PyraNetService, UnknownJobError, UnknownStoreError
+
+_JOB = re.compile(r"^/jobs/([A-Za-z0-9_-]+)$")
+_JOB_REPORT = re.compile(r"^/jobs/([A-Za-z0-9_-]+)/report$")
+_STORE_FACETS = re.compile(r"^/stores/([A-Za-z0-9._-]+)/facets$")
+_STORE_SAMPLE = re.compile(r"^/stores/([A-Za-z0-9._-]+)/sample$")
+
+#: Submission bodies larger than this are rejected outright.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """The bound server; ``.port`` is the actual listening port (use
+    ``port=0`` to let the OS pick)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int],
+                 service: PyraNetService, quiet: bool = True) -> None:
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # -- request entry points -------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        service = self.server.service
+        started = time.perf_counter()
+        parsed = urlparse(self.path)
+        route = "<unmatched>"
+        try:
+            with service.obs.span("service.http.request", method=method,
+                                  path=parsed.path):
+                route, status, payload = self._route(
+                    method, parsed.path, parse_qs(parsed.query))
+        except UnknownJobError as exc:
+            status, payload = 404, {"error": f"unknown job {exc.args[0]!r}"}
+        except UnknownStoreError as exc:
+            status, payload = 404, {"error": f"unknown store {exc.args[0]!r}"}
+        except ValueError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # a handler bug must not kill the server
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        service.obs.counter("service.http.requests").inc()
+        service.obs.counter(f"service.http.{method} {route}").inc()
+        if status >= 400:
+            service.obs.counter("service.http.errors").inc()
+        service.obs.histogram("service.http.latency_s").observe(
+            time.perf_counter() - started)
+        self._send(status, payload)
+
+    # -- routing --------------------------------------------------------
+
+    def _route(self, method: str, path: str,
+               query: Dict[str, Any]) -> Tuple[str, int, Dict[str, Any]]:
+        """Returns ``(route template, status, payload)``."""
+        service = self.server.service
+        if method == "GET":
+            if path == "/healthz":
+                return "/healthz", 200, service.healthz()
+            if path == "/report":
+                return "/report", 200, service.run_report()
+            if path == "/jobs":
+                return "/jobs", 200, {"jobs": service.jobs()}
+            match = _JOB_REPORT.match(path)
+            if match:
+                return ("/jobs/<id>/report", 200,
+                        service.job_report(match.group(1)))
+            match = _JOB.match(path)
+            if match:
+                return "/jobs/<id>", 200, service.job(match.group(1))
+            if path == "/stores":
+                return "/stores", 200, {"stores": service.stores()}
+            match = _STORE_FACETS.match(path)
+            if match:
+                return ("/stores/<name>/facets", 200,
+                        service.facets(match.group(1)))
+            match = _STORE_SAMPLE.match(path)
+            if match:
+                return ("/stores/<name>/sample", 200,
+                        service.sample(
+                            match.group(1),
+                            n=_int_arg(query, "n", 8),
+                            layer=_opt_int_arg(query, "layer"),
+                            batch_size=_int_arg(query, "batch_size", 64)))
+        elif method == "POST":
+            if path == "/jobs":
+                body = self._read_json()
+                job_type = body.get("type")
+                if not isinstance(job_type, str) or not job_type:
+                    raise ValueError("body needs a string 'type'")
+                params = body.get("params") or {}
+                if not isinstance(params, dict):
+                    raise ValueError("'params' must be an object")
+                key = body.get("idempotency_key")
+                if key is not None and not isinstance(key, str):
+                    raise ValueError("'idempotency_key' must be a string")
+                return ("/jobs", 202,
+                        service.submit(job_type, params,
+                                       idempotency_key=key))
+            if path == "/shutdown":
+                # Stop serving from a helper thread so this response
+                # can still be written before the listener dies.
+                threading.Thread(target=self._shutdown,
+                                 daemon=True).start()
+                return "/shutdown", 202, {"status": "stopping"}
+        return "<unmatched>", 404, {"error": f"no route for "
+                                             f"{method} {path}"}
+
+    def _shutdown(self) -> None:
+        self.server.service.stop(reason="http-shutdown")
+        self.server.shutdown()
+
+    # -- plumbing -------------------------------------------------------
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"body too large ({length} bytes)")
+        blob = self.rfile.read(length) if length else b""
+        if not blob:
+            raise ValueError("empty body (want a JSON object)")
+        try:
+            body = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"body is not valid JSON: {exc}")
+        if not isinstance(body, dict):
+            raise ValueError("body must be a JSON object")
+        return body
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(blob)))
+            self.end_headers()
+            self.wfile.write(blob)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+
+def serve(service: PyraNetService, host: str = "127.0.0.1",
+          port: int = 0, quiet: bool = True) -> ServiceHTTPServer:
+    """Bind a server for ``service`` (workers started; listener not yet
+    serving — call ``serve_forever()`` or drive it from a thread)."""
+    server = ServiceHTTPServer((host, port), service, quiet=quiet)
+    service.start()
+    return server
+
+
+def serve_in_thread(
+    service: PyraNetService, host: str = "127.0.0.1", port: int = 0,
+) -> Tuple[ServiceHTTPServer, threading.Thread]:
+    """Convenience for tests/benchmarks: a served instance on a
+    background thread.  Returns ``(server, thread)``; stop with
+    ``server.shutdown()`` + ``service.stop()``."""
+    server = serve(service, host=host, port=port)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="pyranet-http", daemon=True)
+    thread.start()
+    return server, thread
+
+
+def _int_arg(query: Dict[str, Any], name: str, default: int) -> int:
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        return int(values[0])
+    except ValueError:
+        raise ValueError(f"query arg {name!r} must be an integer")
+
+
+def _opt_int_arg(query: Dict[str, Any], name: str) -> Optional[int]:
+    values = query.get(name)
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError:
+        raise ValueError(f"query arg {name!r} must be an integer")

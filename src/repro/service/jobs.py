@@ -1,0 +1,148 @@
+"""Job records: the unit of work the service queues and executes.
+
+A :class:`Job` is a plain, JSON-able record — type name, parameter
+dict, idempotency key, lifecycle status — and nothing else.  All
+execution machinery lives in :mod:`~repro.service.handlers` (what a
+job *does*) and :mod:`~repro.service.workers` (how it runs); the job
+record itself must survive pickling into the queue journal and JSON
+encoding over HTTP unchanged.
+
+Identity and idempotency
+------------------------
+
+``job_id`` derives from the job type and idempotency key alone
+(:func:`job_id_for`), so the same logical submission names the same
+job in every process that ever touches the queue — the property the
+exactly-once submission guarantee and crash-recovery both rest on.
+Submissions without an explicit key get a unique auto-key derived from
+the submission sequence number, i.e. *no* dedup: two identical
+anonymous submissions are two jobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Lifecycle states a job moves through (terminal: ``done``/``failed``).
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+_ID_DIGEST_SIZE = 8
+
+
+def params_digest(params: Dict[str, Any]) -> str:
+    """Stable digest of a parameter dict (sorted-key JSON)."""
+    blob = json.dumps(params, sort_keys=True, ensure_ascii=False,
+                      default=repr)
+    return hashlib.blake2b(blob.encode("utf-8"),
+                           digest_size=_ID_DIGEST_SIZE).hexdigest()
+
+
+def job_id_for(job_type: str, idempotency_key: str) -> str:
+    """The deterministic job id for one (type, idempotency key) pair."""
+    digest = hashlib.blake2b(
+        f"{job_type}|{idempotency_key}".encode("utf-8"),
+        digest_size=_ID_DIGEST_SIZE).hexdigest()
+    return f"job-{digest}"
+
+
+@dataclass
+class Job:
+    """One queued unit of work.
+
+    Attributes:
+        job_id: deterministic id (see :func:`job_id_for`).
+        type: handler name (``curate`` / ``finetune`` / ``eval`` /
+            ``probe``).
+        params: handler parameters, JSON-able.
+        idempotency_key: submission dedup key; resubmitting the same
+            (type, key) returns this job instead of enqueueing again.
+        seq: submission order, assigned by the queue.
+        status: one of :data:`JOB_STATUSES`.
+        attempts: execution attempts so far (recovered runs increment).
+        worker: name of the worker that last claimed the job.
+        error: terminal error text (``failed`` only).
+        quarantine: the dead-letter marker dict for a quarantined job
+            (:meth:`repro.resilience.Quarantined.to_dict` shape).
+        result: handler summary dict (``done`` only).
+        report: the job execution's own merged
+            :class:`~repro.obs.RunReport` as a dict — what
+            ``/jobs/<id>/report`` serves.
+        wall_s: wall time of the finishing attempt.
+        recovered: times the job was re-queued after a worker death.
+    """
+
+    job_id: str
+    type: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    idempotency_key: str = ""
+    seq: int = 0
+    status: str = "queued"
+    attempts: int = 0
+    worker: str = ""
+    error: str = ""
+    quarantine: Dict[str, Any] = field(default_factory=dict)
+    result: Dict[str, Any] = field(default_factory=dict)
+    report: Dict[str, Any] = field(default_factory=dict)
+    wall_s: float = 0.0
+    recovered: int = 0
+
+    def summary(self) -> Dict[str, Any]:
+        """The compact listing row (``GET /jobs``): no report payload."""
+        return {
+            "job_id": self.job_id,
+            "type": self.type,
+            "status": self.status,
+            "seq": self.seq,
+            "attempts": self.attempts,
+            "recovered": self.recovered,
+            "error": self.error,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "type": self.type,
+            "params": dict(self.params),
+            "idempotency_key": self.idempotency_key,
+            "seq": self.seq,
+            "status": self.status,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "error": self.error,
+            "quarantine": dict(self.quarantine),
+            "result": dict(self.result),
+            "report": dict(self.report),
+            "wall_s": self.wall_s,
+            "recovered": self.recovered,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Job":
+        return cls(
+            job_id=data["job_id"],
+            type=data["type"],
+            params=dict(data.get("params", {})),
+            idempotency_key=data.get("idempotency_key", ""),
+            seq=data.get("seq", 0),
+            status=data.get("status", "queued"),
+            attempts=data.get("attempts", 0),
+            worker=data.get("worker", ""),
+            error=data.get("error", ""),
+            quarantine=dict(data.get("quarantine", {})),
+            result=dict(data.get("result", {})),
+            report=dict(data.get("report", {})),
+            wall_s=data.get("wall_s", 0.0),
+            recovered=data.get("recovered", 0),
+        )
+
+
+def auto_key(seq: int, job_type: str, params: Dict[str, Any]) -> str:
+    """The unique key for a submission that brought none.
+
+    Includes ``seq`` so identical anonymous submissions stay distinct
+    jobs — idempotent collapsing is opt-in via an explicit key.
+    """
+    return f"auto:{seq}:{params_digest(params)}:{job_type}"

@@ -1,0 +1,281 @@
+"""The persistent job queue: event-sourced on the checkpoint journal.
+
+Queue state is never stored directly — it is the *fold* of an
+append-only event journal (``submit`` / ``start`` / ``finish`` /
+``fail`` / ``requeue`` / ``shutdown``), each event written through
+:class:`repro.resilience.Checkpointer`'s digest-prefixed atomic entry
+format.  That buys the queue the journal's crash contract for free:
+
+* a kill at any instant leaves either a fully verified event or no
+  event — never a torn one;
+* a torn/corrupt entry *truncates* the journal on replay (everything
+  after it is untrusted), so the worst a crash can do is forget recent
+  events — and every event is safe to forget: an unrecorded ``start``
+  re-runs an idempotent job, an unrecorded ``finish`` re-runs a job
+  whose outputs are content-addressed and land byte-identical.
+
+Reopening the queue replays the journal and then runs *recovery*: any
+job that has a ``start`` but no terminal event was in flight when its
+worker died, and is re-queued (bounded by ``max_recoveries``, after
+which it is failed as a crash-looper rather than poisoning the pool
+forever).  Exactly-once *submission* is enforced here too: an
+idempotency key maps to one deterministic job id for all time, so N
+racing submissions of the same key journal one ``submit`` event and
+return the same job.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..obs import Observability, resolve
+from ..resilience.checkpoint import Checkpointer
+from .jobs import Job, auto_key, job_id_for
+
+PathLike = Union[str, Path]
+
+#: Signature binding a journal directory to this queue format; a
+#: directory journaled by an incompatible future format is wiped, not
+#: misread.
+QUEUE_SIGNATURE = "pyranet/job-queue/v1"
+
+#: Re-queue a crashed job at most this many times before failing it.
+DEFAULT_MAX_RECOVERIES = 3
+
+
+class JobQueue:
+    """Crash-safe FIFO of :class:`~repro.service.jobs.Job` records.
+
+    Args:
+        directory: journal home; reopening the same directory resumes
+            the same queue (killed workers' jobs are re-queued).
+        obs: observability handle; transitions maintain the
+            ``service.queue.depth`` gauge, ``service.jobs.*`` counters
+            and the ``service.job.latency_s`` histogram.
+        durable: fsync journal entries on commit (the service default;
+            benchmarks may trade durability for submit throughput).
+        max_recoveries: crash-recovery attempts per job before it is
+            failed as a crash-looper.
+    """
+
+    def __init__(self, directory: PathLike, obs: Optional[Observability] = None,
+                 durable: bool = True,
+                 max_recoveries: int = DEFAULT_MAX_RECOVERIES) -> None:
+        self.directory = Path(directory)
+        self.obs = resolve(obs)
+        self.max_recoveries = max_recoveries
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._by_key: Dict[Tuple[str, str], str] = {}
+        self._queued: "deque[str]" = deque()
+        self._seq = 0
+        self._events = 0
+        self._ckpt = Checkpointer(self.directory, durable=durable)
+        self._ckpt.begin(QUEUE_SIGNATURE)
+        # Drop any torn tail now: replay stops at the first corrupt
+        # entry, and events appended *after* one would otherwise sit
+        # beyond the truncation point and never replay.
+        self._ckpt.prune_unverified()
+        self._replay()
+        self._recover()
+        self._set_depth()
+
+    # -- journal replay / recovery --------------------------------------
+
+    def _replay(self) -> None:
+        """Fold the verified journal into in-memory queue state."""
+        for entry in self._ckpt.entries():
+            if entry.get("kind") != "stage":
+                continue
+            self._events += 1
+            event = entry.get("name")
+            payload = entry.get("payload") or {}
+            if event == "submit":
+                job = Job.from_dict(payload["job"])
+                self._jobs[job.job_id] = job
+                self._by_key[(job.type, job.idempotency_key)] = job.job_id
+                self._seq = max(self._seq, job.seq + 1)
+            elif event == "start":
+                job = self._jobs.get(payload.get("job_id", ""))
+                if job is not None:
+                    job.status = "running"
+                    job.attempts = payload.get("attempt", job.attempts + 1)
+                    job.worker = payload.get("worker", "")
+            elif event == "requeue":
+                job = self._jobs.get(payload.get("job_id", ""))
+                if job is not None:
+                    job.status = "queued"
+                    job.recovered = payload.get("recovered", job.recovered)
+            elif event == "finish":
+                job = self._jobs.get(payload.get("job_id", ""))
+                if job is not None:
+                    job.status = "done"
+                    job.result = dict(payload.get("result", {}))
+                    job.report = dict(payload.get("report", {}))
+                    job.wall_s = payload.get("wall_s", 0.0)
+            elif event == "fail":
+                job = self._jobs.get(payload.get("job_id", ""))
+                if job is not None:
+                    job.status = "failed"
+                    job.error = payload.get("error", "")
+                    job.quarantine = dict(payload.get("quarantine", {}))
+                    job.report = dict(payload.get("report", {}))
+                    job.wall_s = payload.get("wall_s", 0.0)
+            # "shutdown" events are informational markers only.
+        for job in sorted(self._jobs.values(), key=lambda j: j.seq):
+            if job.status == "queued":
+                self._queued.append(job.job_id)
+
+    def _recover(self) -> None:
+        """Re-queue (or crash-loop-fail) jobs a dead worker left running."""
+        for job in sorted(self._jobs.values(), key=lambda j: j.seq):
+            if job.status != "running":
+                continue
+            if job.recovered >= self.max_recoveries:
+                job.status = "failed"
+                job.error = (f"crash-looped: worker died "
+                             f"{job.recovered + 1} times")
+                self._append("fail", {"job_id": job.job_id,
+                                      "error": job.error,
+                                      "quarantine": {}, "report": {},
+                                      "wall_s": 0.0})
+                self.obs.counter("service.jobs.failed").inc()
+                continue
+            job.status = "queued"
+            job.recovered += 1
+            self._append("requeue", {"job_id": job.job_id,
+                                     "recovered": job.recovered})
+            # Recovered jobs re-enter ahead of later submissions, in
+            # their original order (they were claimed earliest).
+            self._queued.appendleft(job.job_id)
+            self.obs.counter("service.jobs.recovered").inc()
+
+    # -- the write side -------------------------------------------------
+
+    def submit(self, job_type: str, params: Optional[Dict[str, Any]] = None,
+               idempotency_key: Optional[str] = None) -> Tuple[Job, bool]:
+        """Enqueue one job; returns ``(job, created)``.
+
+        A submission whose (type, idempotency key) already names a job
+        — queued, running, or terminal — returns that job with
+        ``created=False`` and journals nothing: exactly-once admission
+        under any number of racing submitters.
+        """
+        params = dict(params or {})
+        with self._lock:
+            key = (idempotency_key if idempotency_key is not None
+                   else auto_key(self._seq, job_type, params))
+            existing = self._by_key.get((job_type, key))
+            if existing is not None:
+                self.obs.counter("service.jobs.deduped").inc()
+                return self._jobs[existing], False
+            job = Job(job_id=job_id_for(job_type, key), type=job_type,
+                      params=params, idempotency_key=key, seq=self._seq)
+            self._seq += 1
+            self._jobs[job.job_id] = job
+            self._by_key[(job_type, key)] = job.job_id
+            self._queued.append(job.job_id)
+            self._append("submit", {"job": job.to_dict()})
+            self.obs.counter("service.jobs.submitted").inc()
+            self._set_depth()
+            return job, True
+
+    def claim(self, worker: str = "") -> Optional[Job]:
+        """Pop the next queued job and mark it running (journaled)."""
+        with self._lock:
+            if not self._queued:
+                return None
+            job = self._jobs[self._queued.popleft()]
+            job.status = "running"
+            job.attempts += 1
+            job.worker = worker
+            self._append("start", {"job_id": job.job_id, "worker": worker,
+                                   "attempt": job.attempts})
+            self.obs.counter("service.jobs.claimed").inc()
+            self._set_depth()
+            return job
+
+    def finish(self, job_id: str, result: Optional[Dict[str, Any]] = None,
+               report: Optional[Dict[str, Any]] = None,
+               wall_s: float = 0.0) -> Job:
+        with self._lock:
+            job = self._require(job_id)
+            job.status = "done"
+            job.result = dict(result or {})
+            job.report = dict(report or {})
+            job.wall_s = wall_s
+            self._append("finish", {"job_id": job_id, "result": job.result,
+                                    "report": job.report, "wall_s": wall_s})
+            self.obs.counter("service.jobs.finished").inc()
+            self.obs.histogram("service.job.latency_s").observe(wall_s)
+            self._set_depth()
+            return job
+
+    def fail(self, job_id: str, error: str,
+             quarantine: Optional[Dict[str, Any]] = None,
+             report: Optional[Dict[str, Any]] = None,
+             wall_s: float = 0.0) -> Job:
+        with self._lock:
+            job = self._require(job_id)
+            job.status = "failed"
+            job.error = error
+            job.quarantine = dict(quarantine or {})
+            job.report = dict(report or {})
+            job.wall_s = wall_s
+            self._append("fail", {"job_id": job_id, "error": error,
+                                  "quarantine": job.quarantine,
+                                  "report": job.report, "wall_s": wall_s})
+            self.obs.counter("service.jobs.failed").inc()
+            self._set_depth()
+            return job
+
+    def journal_shutdown(self, reason: str = "graceful") -> None:
+        """Append a shutdown marker so the journal records a clean exit
+        (replay ignores it; operators reading the journal do not)."""
+        with self._lock:
+            self._append("shutdown", {"reason": reason,
+                                      "counts": self._counts()})
+
+    # -- the read side --------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every known job, in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._queued)
+
+    def counts(self) -> Dict[str, int]:
+        """status -> job count (all four statuses always present)."""
+        with self._lock:
+            return self._counts()
+
+    # -- internals ------------------------------------------------------
+
+    def _counts(self) -> Dict[str, int]:
+        counts = {"queued": 0, "running": 0, "done": 0, "failed": 0}
+        for job in self._jobs.values():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+    def _require(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return job
+
+    def _append(self, event: str, payload: Dict[str, Any]) -> None:
+        self._ckpt.record_stage(self._events, event, payload)
+        self._events += 1
+
+    def _set_depth(self) -> None:
+        self.obs.gauge("service.queue.depth").set(len(self._queued))

@@ -77,6 +77,40 @@ class StoreManifest:
                     histogram[label] = histogram.get(label, 0) + count
         return histogram
 
+    def facets(self) -> Dict[str, Any]:
+        """The full (layer, complexity) histogram as one stable,
+        JSON-ready document.
+
+        Key order is part of the contract: layers appear in numeric
+        order (as strings, since they are JSON keys) and every
+        complexity mapping carries all four labels in canonical
+        ``Basic`` -> ``Expert`` order, zeros included — so two stores
+        with the same contents facet to byte-identical JSON.
+        """
+        from ..dataset.records import Complexity
+
+        labels = [member.name.capitalize() for member in Complexity]
+        layers: Dict[str, Dict[str, Any]] = {}
+        for layer in sorted(self.layer_sizes()):
+            merged: Dict[str, int] = {}
+            for info in self.shards:
+                for name, count in info.histogram.get(str(layer),
+                                                      {}).items():
+                    label = name.capitalize()
+                    merged[label] = merged.get(label, 0) + count
+            layers[str(layer)] = {
+                "n_entries": sum(merged.values()),
+                "complexity": {label: merged.get(label, 0)
+                               for label in labels},
+            }
+        totals = self.complexity_histogram()
+        return {
+            "n_entries": self.n_entries,
+            "layers": layers,
+            "complexity": {label: totals.get(label, 0)
+                           for label in labels},
+        }
+
     # -- serialisation -------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:

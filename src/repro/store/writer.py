@@ -72,11 +72,13 @@ class ShardWriter:
     def write(self, entries: Iterable[DatasetEntry],
               meta: Optional[dict] = None) -> StoreManifest:
         """Shard ``entries`` into the store directory; returns the manifest."""
+        start = time.perf_counter()
         with self.obs.span("store.write",
                            directory=str(self.directory)) as span:
             manifest = self._write(entries, meta)
             span.meta["n_entries"] = manifest.n_entries
             span.meta["n_shards"] = len(manifest.shards)
+            span.meta["wall_s"] = round(time.perf_counter() - start, 6)
         counters = self.obs.registry
         counters.counter("store.write.entries").inc(manifest.n_entries)
         counters.counter("store.write.shards").inc(len(manifest.shards))
@@ -86,7 +88,6 @@ class ShardWriter:
     def _write(self, entries: Iterable[DatasetEntry],
                meta: Optional[dict] = None) -> StoreManifest:
         self.directory.mkdir(parents=True, exist_ok=True)
-        start = time.perf_counter()
         manifest = StoreManifest()
         buffer: List[DatasetEntry] = []
         lines: List[bytes] = []
@@ -124,9 +125,13 @@ class ShardWriter:
             buffered_bytes += len(line)
         flush()
 
+        # Only deterministic facts may enter the manifest: it is a
+        # content artifact, and the same dataset must produce the same
+        # manifest bytes in every process (the service's byte-identical
+        # job-resume contract rests on this).  Timings live in the
+        # ``store.write`` span, not here.
         manifest.meta.update({
             "max_shard_bytes": self.max_shard_bytes,
-            "write_wall_time_s": round(time.perf_counter() - start, 6),
         })
         if meta:
             manifest.meta.update(meta)

@@ -1,0 +1,191 @@
+"""End-to-end acceptance: the real service process, really killed.
+
+Boots ``examples/serve.py`` as a subprocess, submits curate -> eval
+jobs over HTTP, SIGKILLs the process mid-curation, restarts it on the
+same service root, and asserts the finished store and the evaluation
+report are byte-identical to an uninterrupted control run.
+"""
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultRule
+from repro.service import ServiceClient
+
+pytestmark = pytest.mark.faults
+
+REPO = Path(__file__).resolve().parents[2]
+SERVE = REPO / "examples" / "serve.py"
+
+CURATE = {
+    "n_github_files": 60,
+    "n_llm_prompts": 2,
+    "n_queries_per_prompt": 2,
+    "seed": 9,
+    "store": "e2e",
+}
+EVAL = {
+    "recipe": "architecture",
+    "store": "e2e",
+    "n_problems": 6,
+    "seed": 9,
+}
+
+
+def start_server(root, fault_plan_path=None, timeout=30.0):
+    """Boot serve.py on an OS-assigned port; returns (proc, client)."""
+    env = {**os.environ,
+           "PYTHONPATH": str(REPO / "src"),
+           "PYTHONUNBUFFERED": "1"}
+    argv = [sys.executable, str(SERVE), "--port", "0", "--workers", "1",
+            "--queue-dir", str(root)]
+    if fault_plan_path is not None:
+        argv += ["--fault-plan", str(fault_plan_path)]
+    proc = subprocess.Popen(argv, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True,
+                            cwd=str(REPO / "examples"), env=env)
+    deadline = time.monotonic() + timeout
+    port = None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise AssertionError(
+                f"server died on boot (rc={proc.returncode})")
+        if "listening on http://" in line:
+            port = int(line.rsplit(":", 1)[1])
+            break
+    assert port, "server never printed its port"
+    return proc, ServiceClient(f"http://127.0.0.1:{port}", timeout=30.0)
+
+
+def stop_server(proc, client):
+    try:
+        client.shutdown()
+    except Exception:
+        pass
+    try:
+        proc.wait(timeout=15)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=15)
+
+
+def run_jobs(client):
+    """Submit curate then eval, wait for both, return their records."""
+    curate = client.submit("curate", CURATE, idempotency_key="curate-e2e")
+    curated = client.wait(curate["job_id"], timeout=120)
+    assert curated["status"] == "done", curated["error"]
+    ev = client.submit("eval", EVAL, idempotency_key="eval-e2e")
+    evaluated = client.wait(ev["job_id"], timeout=120)
+    assert evaluated["status"] == "done", evaluated["error"]
+    return curated, evaluated
+
+
+def store_fingerprint(root):
+    store = Path(root) / "stores" / "e2e"
+    return {
+        path.name: hashlib.blake2b(path.read_bytes(),
+                                   digest_size=16).hexdigest()
+        for path in sorted(store.iterdir()) if path.is_file()
+    }
+
+
+def slowdown_plan(tmp_path) -> Path:
+    """A delay schedule that stretches curation into a multi-second
+    window so the kill reliably lands mid-job."""
+    plan = FaultPlan([FaultRule(site="stage.syntax_check", kind="delay",
+                                ordinals=tuple(range(400)),
+                                delay_s=0.25)])
+    path = tmp_path / "slow-plan.json"
+    path.write_text(plan.to_json(indent=2), encoding="utf-8")
+    return path
+
+
+def test_kill_dash_nine_mid_curation_resumes_byte_identical(tmp_path):
+    # Control: the uninterrupted run.
+    control_root = tmp_path / "control"
+    proc, client = start_server(control_root)
+    try:
+        control_curated, control_evaluated = run_jobs(client)
+    finally:
+        stop_server(proc, client)
+    control_store = store_fingerprint(control_root)
+
+    # Interrupted: same submissions, but the process is SIGKILLed while
+    # the curation job is demonstrably mid-flight (running, with
+    # checkpoint batches already journaled).
+    victim_root = tmp_path / "victim"
+    proc, client = start_server(victim_root,
+                                fault_plan_path=slowdown_plan(tmp_path))
+    curate = client.submit("curate", CURATE, idempotency_key="curate-e2e")
+    job_ckpt = victim_root / "jobs" / curate["job_id"] / "checkpoint"
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        record = client.job(curate["job_id"])
+        if (record["status"] == "running"
+                and list(job_ckpt.glob("journal-*.ckpt"))):
+            break
+        time.sleep(0.05)
+    else:
+        pytest.fail("curation never reached a mid-flight checkpoint")
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=15)
+    assert not (victim_root / "stores" / "e2e").exists()
+
+    # Restart on the same root, no fault plan: the journaled job is
+    # recovered, resumes from its checkpoint, and the eval submission
+    # proceeds as if nothing happened.
+    proc, client = start_server(victim_root)
+    try:
+        record = client.job(curate["job_id"])
+        assert record["status"] in ("queued", "running")
+        assert record["recovered"] == 1
+        curated, evaluated = run_jobs(client)
+        assert curated["recovered"] == 1
+    finally:
+        stop_server(proc, client)
+
+    # The acceptance bar: byte-identical store, identical digests,
+    # identical eval outcomes.
+    assert store_fingerprint(victim_root) == control_store
+    assert (curated["result"]["dataset_digest"]
+            == control_curated["result"]["dataset_digest"])
+    assert (curated["result"]["manifest_digest"]
+            == control_curated["result"]["manifest_digest"])
+    assert (evaluated["result"]["report_digest"]
+            == control_evaluated["result"]["report_digest"])
+    assert (json.dumps(evaluated["result"]["summary"], sort_keys=True)
+            == json.dumps(control_evaluated["result"]["summary"],
+                          sort_keys=True))
+
+
+def test_graceful_restart_serves_finished_jobs(tmp_path):
+    """A clean stop/start on the same root: terminal jobs, results and
+    dedup keys all survive; resubmission does not re-run."""
+    root = tmp_path / "svc"
+    proc, client = start_server(root)
+    try:
+        sub = client.submit("probe", {"spin": 3}, idempotency_key="p")
+        first = client.wait(sub["job_id"], timeout=30)
+    finally:
+        stop_server(proc, client)
+
+    proc, client = start_server(root)
+    try:
+        record = client.job(sub["job_id"])
+        assert record["status"] == "done"
+        assert record["result"] == first["result"]
+        again = client.submit("probe", {"spin": 3}, idempotency_key="p")
+        assert again["created"] is False
+        assert again["job_id"] == sub["job_id"]
+    finally:
+        stop_server(proc, client)

@@ -1,0 +1,180 @@
+"""Service fault drills: worker crashes, torn journals, dead letters.
+
+The acceptance property throughout: a job interrupted by a simulated
+``kill -9`` (plus, for good measure, a torn queue-journal entry) and
+re-run on a reopened service produces a store and result digests
+byte-identical to an uninterrupted run.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.obs import Observability
+from repro.resilience import FaultPlan, FaultRule, Resilience, SimulatedCrash
+from repro.service import PyraNetService
+from repro.service.workers import DEFAULT_JOB_RETRY, JOB_SITE
+
+pytestmark = pytest.mark.faults
+
+CURATE_PARAMS = {
+    "n_github_files": 60,
+    "n_llm_prompts": 2,
+    "n_queries_per_prompt": 2,
+    "seed": 11,
+    "store": "drill",
+}
+KEY = "curate-drill"
+
+
+def make_service(root, fault_plan=None):
+    obs = Observability()
+    resilience = Resilience(retry=DEFAULT_JOB_RETRY,
+                            fault_plan=fault_plan, obs=obs)
+    return PyraNetService(root, n_workers=1, obs=obs,
+                          resilience=resilience)
+
+
+def store_fingerprint(store_dir):
+    """name -> content digest for every file in a store directory."""
+    return {
+        path.name: hashlib.blake2b(path.read_bytes(),
+                                   digest_size=16).hexdigest()
+        for path in sorted(store_dir.iterdir()) if path.is_file()
+    }
+
+
+def run_uninterrupted(root):
+    service = make_service(root)
+    sub = service.submit("curate", CURATE_PARAMS, idempotency_key=KEY)
+    assert service.pool.run_pending() == 1
+    record = service.job(sub["job_id"])
+    assert record["status"] == "done", record["error"]
+    service.stop()
+    return record, store_fingerprint(root / "stores" / "drill")
+
+
+class TestCrashRecovery:
+    def crash_plan(self):
+        # Kill the worker dead partway through the syntax stage — after
+        # earlier stages have journaled batches, before the store write.
+        return FaultPlan([FaultRule(site="stage.syntax_check",
+                                    kind="crash", ordinals=(5,))])
+
+    def test_killed_job_resumes_byte_identical(self, tmp_path):
+        golden, golden_store = run_uninterrupted(tmp_path / "clean")
+
+        crashed = make_service(tmp_path / "svc",
+                               fault_plan=self.crash_plan())
+        sub = crashed.submit("curate", CURATE_PARAMS,
+                             idempotency_key=KEY)
+        with pytest.raises(SimulatedCrash):
+            crashed.pool.run_pending()
+        # The worker died mid-job: journaled as running, store unwritten,
+        # but the job's own checkpoint journal survives.
+        assert crashed.queue.get(sub["job_id"]).status == "running"
+        job_ckpt = tmp_path / "svc" / "jobs" / sub["job_id"] / "checkpoint"
+        assert list(job_ckpt.glob("journal-*.ckpt"))
+        assert not (tmp_path / "svc" / "stores" / "drill").exists()
+
+        # Reopen (no fault plan — the "new process"): the job is
+        # re-queued and resumes from its checkpoint.
+        reopened = make_service(tmp_path / "svc")
+        record = reopened.job(sub["job_id"])
+        assert record["status"] == "queued"
+        assert record["recovered"] == 1
+        assert reopened.pool.run_pending() == 1
+
+        final = reopened.job(sub["job_id"])
+        assert final["status"] == "done", final["error"]
+        assert final["result"]["dataset_digest"] == \
+            golden["result"]["dataset_digest"]
+        assert final["result"]["manifest_digest"] == \
+            golden["result"]["manifest_digest"]
+        assert (store_fingerprint(tmp_path / "svc" / "stores" / "drill")
+                == golden_store)
+        reopened.stop()
+
+    def test_crash_plus_torn_queue_journal(self, tmp_path):
+        """The double failure: the worker dies AND the queue's last
+        journal entry (the claim) is torn.  Replay forgets the claim,
+        the job is still queued, and the re-run is byte-identical."""
+        golden, golden_store = run_uninterrupted(tmp_path / "clean")
+
+        crashed = make_service(tmp_path / "svc",
+                               fault_plan=self.crash_plan())
+        sub = crashed.submit("curate", CURATE_PARAMS,
+                             idempotency_key=KEY)
+        with pytest.raises(SimulatedCrash):
+            crashed.pool.run_pending()
+
+        journal = sorted(
+            (tmp_path / "svc" / "queue").glob("journal-*.ckpt"))[-1]
+        blob = journal.read_bytes()
+        journal.write_bytes(blob[:len(blob) // 2])
+
+        reopened = make_service(tmp_path / "svc")
+        record = reopened.job(sub["job_id"])
+        assert record["status"] == "queued"
+        assert record["recovered"] == 0  # the claim was forgotten, not died
+        assert reopened.pool.run_pending() == 1
+
+        final = reopened.job(sub["job_id"])
+        assert final["status"] == "done", final["error"]
+        assert final["result"]["dataset_digest"] == \
+            golden["result"]["dataset_digest"]
+        assert (store_fingerprint(tmp_path / "svc" / "stores" / "drill")
+                == golden_store)
+        reopened.stop()
+
+
+class TestSeededFaultAbsorption:
+    def test_seeded_transient_faults_change_nothing(self, tmp_path):
+        """A seeded schedule of transient stage faults is absorbed by
+        the job's retry shields — same bytes as the clean run."""
+        golden, golden_store = run_uninterrupted(tmp_path / "clean")
+
+        plan = FaultPlan.seeded(
+            seed=CURATE_PARAMS["seed"],
+            sites=["stage.syntax_check", "stage.rank_label"],
+            n_faults=2, max_ordinal=10)
+        service = make_service(tmp_path / "svc", fault_plan=plan)
+        sub = service.submit("curate", CURATE_PARAMS,
+                             idempotency_key=KEY)
+        assert service.pool.run_pending() == 1
+        record = service.job(sub["job_id"])
+        assert record["status"] == "done", record["error"]
+        assert record["result"]["dataset_digest"] == \
+            golden["result"]["dataset_digest"]
+        assert (store_fingerprint(tmp_path / "svc" / "stores" / "drill")
+                == golden_store)
+        assert plan.report()  # the faults really fired
+        service.stop()
+
+
+class TestDeadLetterPath:
+    def test_persistent_fault_dead_letters_into_job_report(self, tmp_path):
+        """A job whose every attempt faults is quarantined: failed in
+        the queue, dead-lettered in the runtime, and both surface in
+        ``/jobs/<id>/report``."""
+        plan = FaultPlan([FaultRule(
+            site=JOB_SITE, ordinals=tuple(range(DEFAULT_JOB_RETRY.max_attempts)),
+            exception="RuntimeError", message="wedged dependency")])
+        service = make_service(tmp_path, fault_plan=plan)
+        sub = service.submit("probe", {"spin": 1}, idempotency_key="p")
+        assert service.pool.run_pending() == 1
+
+        report = service.job_report(sub["job_id"])
+        assert report["status"] == "failed"
+        assert "wedged dependency" in report["error"]
+        assert report["quarantine"]["site"] == JOB_SITE
+        assert report["quarantine"]["attempts"] == \
+            DEFAULT_JOB_RETRY.max_attempts
+        assert report["dead_letter_total"] == 1
+        assert report["resilience"]["quarantined"] == 1
+
+        # The pool survived: the next job runs clean.
+        ok = service.submit("probe", {"spin": 1}, idempotency_key="q")
+        assert service.pool.run_pending() == 1
+        assert service.job(ok["job_id"])["status"] == "done"
+        service.stop()

@@ -1,0 +1,179 @@
+"""HTTP API tests: a real socket on an OS-assigned port."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import Observability
+from repro.service import (
+    PyraNetService,
+    ServiceClient,
+    ServiceError,
+    serve_in_thread,
+)
+
+
+@pytest.fixture
+def served(tmp_path):
+    service = PyraNetService(tmp_path / "svc", n_workers=2,
+                             obs=Observability(), durable=False,
+                             poll_interval=0.01)
+    server, thread = serve_in_thread(service)
+    client = ServiceClient(f"http://127.0.0.1:{server.port}",
+                           timeout=10.0)
+    yield service, server, client
+    server.shutdown()
+    server.server_close()
+    service.stop()
+    thread.join(timeout=5)
+
+
+class TestRoutes:
+    def test_healthz(self, served):
+        _, _, client = served
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers_running"] is True
+
+    def test_submit_and_wait(self, served):
+        _, _, client = served
+        sub = client.submit("probe", {"spin": 3}, idempotency_key="p")
+        assert sub["created"] is True
+        record = client.wait(sub["job_id"], timeout=10)
+        assert record["status"] == "done"
+        assert record["result"]["spin"] == 3
+
+    def test_duplicate_submission_over_http(self, served):
+        _, _, client = served
+        first = client.submit("probe", {"spin": 1}, idempotency_key="k")
+        again = client.submit("probe", {"spin": 1}, idempotency_key="k")
+        assert again["job_id"] == first["job_id"]
+        assert again["created"] is False
+
+    def test_jobs_listing_and_report(self, served):
+        _, _, client = served
+        sub = client.submit("probe", {"spin": 1})
+        client.wait(sub["job_id"], timeout=10)
+        assert sub["job_id"] in [row["job_id"] for row in client.jobs()]
+        report = client.report(sub["job_id"])
+        assert report["status"] == "done"
+        assert report["report"]["spans"]
+
+    def test_run_report_and_http_metrics(self, served):
+        service, _, client = served
+        client.healthz()
+        report = client.run_report()
+        requests = service.obs.registry.counter(
+            "service.http.requests").value
+        assert requests >= 1
+        assert (service.obs.registry.histogram(
+            "service.http.latency_s").count >= 1)
+        assert any(span["name"] == "service.http.request"
+                   for span in report["spans"])
+
+    def test_store_endpoints_over_http(self, served):
+        _, _, client = served
+        sub = client.submit(
+            "curate",
+            {"n_github_files": 30, "n_llm_prompts": 2,
+             "n_queries_per_prompt": 2, "store": "http-store"},
+            idempotency_key="c")
+        record = client.wait(sub["job_id"], timeout=120)
+        assert record["status"] == "done", record["error"]
+
+        assert [row["name"] for row in client.stores()] == ["http-store"]
+        facets = client.facets("http-store")
+        assert facets["n_entries"] == record["result"]["n_entries"]
+        sample = client.sample("http-store", n=2)
+        assert sample["n"] == 2 and len(sample["rows"]) == 2
+
+
+class TestErrorMapping:
+    def test_unknown_route_is_404(self, served):
+        _, _, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_is_404(self, served):
+        _, _, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("job-doesnotexist")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client.report("job-doesnotexist")
+        assert excinfo.value.status == 404
+
+    def test_unknown_store_is_404(self, served):
+        _, _, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.facets("ghost")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_type_is_400(self, served):
+        _, _, client = served
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("mine-bitcoin", {})
+        assert excinfo.value.status == 400
+        assert "unknown job type" in str(excinfo.value)
+
+    def test_malformed_bodies_are_400(self, served):
+        _, server, _ = served
+        url = f"http://127.0.0.1:{server.port}/jobs"
+
+        def post(blob: bytes) -> int:
+            request = urllib.request.Request(url, data=blob,
+                                             method="POST")
+            try:
+                with urllib.request.urlopen(request, timeout=10):
+                    return 200
+            except urllib.error.HTTPError as exc:
+                return exc.code
+
+        assert post(b"") == 400                       # empty
+        assert post(b"not json") == 400               # undecodable
+        assert post(b"[1, 2]") == 400                 # not an object
+        assert post(b"{}") == 400                     # no type
+        assert post(json.dumps(
+            {"type": "probe", "params": "x"}).encode()) == 400
+        assert post(json.dumps(
+            {"type": "probe", "idempotency_key": 7}).encode()) == 400
+
+    def test_bad_query_arg_is_400(self, served):
+        _, server, client = served
+        sub = client.submit(
+            "curate",
+            {"n_github_files": 30, "n_llm_prompts": 2,
+             "n_queries_per_prompt": 2, "store": "q"},
+            idempotency_key="c")
+        client.wait(sub["job_id"], timeout=120)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/stores/q/sample?n=banana")
+        assert excinfo.value.status == 400
+
+    def test_errors_bump_the_error_counter(self, served):
+        service, _, client = served
+        with pytest.raises(ServiceError):
+            client.job("job-doesnotexist")
+        assert (service.obs.registry.counter(
+            "service.http.errors").value >= 1)
+
+
+class TestShutdownRoute:
+    def test_shutdown_drains_and_journals(self, tmp_path):
+        service = PyraNetService(tmp_path / "svc", n_workers=2,
+                                 durable=False, poll_interval=0.01)
+        server, thread = serve_in_thread(service)
+        client = ServiceClient(f"http://127.0.0.1:{server.port}",
+                               timeout=10.0)
+        sub = client.submit("probe", {"spin": 2})
+        assert client.shutdown() == {"status": "stopping"}
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        server.server_close()
+        # The in-flight job finished and the exit was journaled.
+        assert service.job(sub["job_id"])["status"] in ("done", "queued")
+        events = [entry["name"] for entry in service.queue._ckpt.entries()
+                  if entry.get("kind") == "stage"]
+        assert events[-1] == "shutdown"

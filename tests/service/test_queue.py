@@ -1,0 +1,263 @@
+"""Unit tests for job records and the persistent job queue."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.service import Job, JobQueue, job_id_for, params_digest
+from repro.service.jobs import auto_key
+
+
+class TestJobRecords:
+    def test_job_id_is_deterministic(self):
+        assert job_id_for("curate", "k1") == job_id_for("curate", "k1")
+        assert job_id_for("curate", "k1") != job_id_for("curate", "k2")
+        assert job_id_for("curate", "k1") != job_id_for("eval", "k1")
+        assert job_id_for("curate", "k1").startswith("job-")
+
+    def test_params_digest_ignores_key_order(self):
+        assert (params_digest({"a": 1, "b": 2})
+                == params_digest({"b": 2, "a": 1}))
+        assert params_digest({"a": 1}) != params_digest({"a": 2})
+
+    def test_dict_round_trip(self):
+        job = Job(job_id="job-x", type="probe", params={"spin": 3},
+                  idempotency_key="k", seq=4, status="failed",
+                  attempts=2, worker="w", error="boom",
+                  quarantine={"site": "s"}, result={"n": 1},
+                  report={"spans": []}, wall_s=1.5, recovered=1)
+        assert Job.from_dict(job.to_dict()) == job
+
+    def test_summary_has_no_payloads(self):
+        job = Job(job_id="job-x", type="probe",
+                  result={"big": "x" * 100}, report={"big": "y" * 100})
+        row = job.summary()
+        assert "result" not in row and "report" not in row
+        assert row["job_id"] == "job-x"
+
+    def test_auto_keys_are_unique_per_seq(self):
+        assert (auto_key(0, "probe", {"a": 1})
+                != auto_key(1, "probe", {"a": 1}))
+
+
+class TestQueueBasics:
+    def test_submit_claim_finish(self, tmp_path):
+        queue = JobQueue(tmp_path, durable=False)
+        job, created = queue.submit("probe", {"spin": 1},
+                                    idempotency_key="k")
+        assert created and job.status == "queued" and job.seq == 0
+        assert queue.depth() == 1
+
+        claimed = queue.claim(worker="w0")
+        assert claimed.job_id == job.job_id
+        assert claimed.status == "running" and claimed.attempts == 1
+        assert queue.depth() == 0
+
+        queue.finish(job.job_id, result={"ok": True}, wall_s=0.5)
+        final = queue.get(job.job_id)
+        assert final.status == "done" and final.result == {"ok": True}
+        assert queue.counts() == {"queued": 0, "running": 0,
+                                  "done": 1, "failed": 0}
+
+    def test_fifo_order(self, tmp_path):
+        queue = JobQueue(tmp_path, durable=False)
+        ids = [queue.submit("probe", {"n": i})[0].job_id
+               for i in range(5)]
+        assert [queue.claim().job_id for _ in range(5)] == ids
+        assert queue.claim() is None
+
+    def test_fail_records_error_and_quarantine(self, tmp_path):
+        queue = JobQueue(tmp_path, durable=False)
+        job, _ = queue.submit("probe", {})
+        queue.claim()
+        queue.fail(job.job_id, error="ValueError: no",
+                   quarantine={"site": "service.job"})
+        final = queue.get(job.job_id)
+        assert final.status == "failed"
+        assert final.error == "ValueError: no"
+        assert final.quarantine == {"site": "service.job"}
+
+    def test_idempotent_submission_dedupes(self, tmp_path):
+        queue = JobQueue(tmp_path, durable=False)
+        first, created = queue.submit("probe", {"spin": 1},
+                                      idempotency_key="same")
+        again, dup = queue.submit("probe", {"spin": 999},
+                                  idempotency_key="same")
+        assert created and not dup
+        assert again.job_id == first.job_id
+        assert again.params == {"spin": 1}  # the original submission wins
+        assert queue.depth() == 1
+
+    def test_same_key_different_type_is_a_different_job(self, tmp_path):
+        queue = JobQueue(tmp_path, durable=False)
+        a, _ = queue.submit("probe", {}, idempotency_key="k")
+        b, created = queue.submit("curate", {}, idempotency_key="k")
+        assert created and a.job_id != b.job_id
+
+    def test_anonymous_submissions_never_dedupe(self, tmp_path):
+        queue = JobQueue(tmp_path, durable=False)
+        a, _ = queue.submit("probe", {"spin": 1})
+        b, created = queue.submit("probe", {"spin": 1})
+        assert created and a.job_id != b.job_id
+        assert queue.depth() == 2
+
+    def test_unknown_job_operations_raise(self, tmp_path):
+        queue = JobQueue(tmp_path, durable=False)
+        assert queue.get("job-nope") is None
+        with pytest.raises(KeyError):
+            queue.finish("job-nope")
+        with pytest.raises(KeyError):
+            queue.fail("job-nope", error="x")
+
+    def test_depth_gauge_tracks_queue(self, tmp_path):
+        obs = Observability()
+        queue = JobQueue(tmp_path, obs=obs, durable=False)
+        gauge = obs.registry.gauge("service.queue.depth")
+        queue.submit("probe", {})
+        queue.submit("probe", {})
+        assert gauge.value == 2
+        job = queue.claim()
+        assert gauge.value == 1
+        queue.finish(job.job_id)
+        assert gauge.value == 1
+        queue.claim()
+        assert gauge.value == 0
+
+
+class TestQueuePersistence:
+    def test_reopen_restores_state(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        done, _ = queue.submit("probe", {"spin": 1}, idempotency_key="a")
+        queue.claim()
+        queue.finish(done.job_id, result={"digest": "d"}, wall_s=0.1)
+        failed, _ = queue.submit("probe", {}, idempotency_key="b")
+        queue.claim()
+        queue.fail(failed.job_id, error="boom")
+        queued, _ = queue.submit("probe", {}, idempotency_key="c")
+        queue.journal_shutdown("test")
+
+        reopened = JobQueue(tmp_path)
+        assert reopened.counts() == {"queued": 1, "running": 0,
+                                     "done": 1, "failed": 1}
+        assert reopened.get(done.job_id).result == {"digest": "d"}
+        assert reopened.get(failed.job_id).error == "boom"
+        assert reopened.claim().job_id == queued.job_id
+
+    def test_reopen_keeps_dedup_keys(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit("probe", {}, idempotency_key="k")
+        reopened = JobQueue(tmp_path)
+        again, created = reopened.submit("probe", {},
+                                         idempotency_key="k")
+        assert not created and again.job_id == job.job_id
+
+    def test_seq_continues_across_reopen(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit("probe", {})
+        reopened = JobQueue(tmp_path)
+        job, _ = reopened.submit("probe", {})
+        assert job.seq == 1
+
+    def test_running_job_is_requeued_on_reopen(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit("probe", {}, idempotency_key="k")
+        queue.claim(worker="doomed")
+        # Simulate the worker dying: no terminal event, just reopen.
+        reopened = JobQueue(tmp_path)
+        recovered = reopened.get(job.job_id)
+        assert recovered.status == "queued"
+        assert recovered.recovered == 1
+        assert reopened.depth() == 1
+
+    def test_recovered_job_goes_to_the_front(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first, _ = queue.submit("probe", {}, idempotency_key="a")
+        queue.submit("probe", {}, idempotency_key="b")
+        queue.claim()  # first is now running
+        reopened = JobQueue(tmp_path)
+        assert reopened.claim().job_id == first.job_id
+
+    def test_crash_looper_is_failed_after_max_recoveries(self, tmp_path):
+        job_id = None
+        for round_number in range(3):
+            queue = JobQueue(tmp_path, max_recoveries=2)
+            job = queue.claim()
+            if job is None:
+                job, _ = queue.submit("probe", {}, idempotency_key="k")
+                queue.claim()
+            job_id = job.job_id
+            # "crash": drop the queue with the job still running
+        final = JobQueue(tmp_path, max_recoveries=2)
+        record = final.get(job_id)
+        assert record.status == "failed"
+        assert "crash-looped" in record.error
+        assert final.depth() == 0
+
+    def test_recovery_counter(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit("probe", {})
+        queue.claim()
+        obs = Observability()
+        JobQueue(tmp_path, obs=obs)
+        assert obs.registry.counter("service.jobs.recovered").value == 1
+
+
+class TestTornJournal:
+    def _journal_files(self, tmp_path):
+        return sorted(tmp_path.glob("journal-*.ckpt"))
+
+    def test_torn_tail_entry_is_forgotten(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        kept, _ = queue.submit("probe", {}, idempotency_key="kept")
+        torn, _ = queue.submit("probe", {}, idempotency_key="torn")
+        # Tear the last journal entry (the second submit) in half, as a
+        # crash mid-write would without the atomic rename.
+        last = self._journal_files(tmp_path)[-1]
+        blob = last.read_bytes()
+        last.write_bytes(blob[:len(blob) // 2])
+
+        reopened = JobQueue(tmp_path)
+        assert reopened.get(kept.job_id) is not None
+        assert reopened.get(torn.job_id) is None  # forgotten, not mangled
+        assert reopened.depth() == 1
+
+    def test_corrupt_tail_entry_is_forgotten(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit("probe", {}, idempotency_key="kept")
+        queue.submit("probe", {}, idempotency_key="flipped")
+        last = self._journal_files(tmp_path)[-1]
+        blob = bytearray(last.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        last.write_bytes(bytes(blob))
+
+        reopened = JobQueue(tmp_path)
+        assert reopened.depth() == 1
+
+    def test_events_after_a_torn_entry_survive_the_next_reopen(
+            self, tmp_path):
+        """The queue prunes the torn tail so post-reopen events are not
+        appended beyond the replay truncation point."""
+        queue = JobQueue(tmp_path)
+        queue.submit("probe", {}, idempotency_key="torn")
+        last = self._journal_files(tmp_path)[-1]
+        blob = last.read_bytes()
+        last.write_bytes(blob[:len(blob) // 2])
+
+        middle = JobQueue(tmp_path)
+        fresh, _ = middle.submit("probe", {}, idempotency_key="fresh")
+
+        final = JobQueue(tmp_path)
+        assert final.get(fresh.job_id) is not None
+        assert final.depth() == 1
+
+    def test_forgotten_submit_is_safe_to_resubmit(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit("probe", {"spin": 2},
+                              idempotency_key="k")
+        last = self._journal_files(tmp_path)[-1]
+        last.write_bytes(b"")
+
+        reopened = JobQueue(tmp_path)
+        again, created = reopened.submit("probe", {"spin": 2},
+                                         idempotency_key="k")
+        assert created  # the journal forgot it, so this is a new submit
+        assert again.job_id == job.job_id  # …but the identity is stable

@@ -1,0 +1,95 @@
+"""StoreManifest.facets(): the faceted-query document and its key order."""
+
+import json
+
+from repro.dataset.records import (
+    Complexity,
+    CompileStatus,
+    DatasetEntry,
+    PyraNetDataset,
+)
+from repro.store import StoreManifest, write_store
+
+CANONICAL = ["Basic", "Intermediate", "Advanced", "Expert"]
+
+
+def make_dataset():
+    """Layers out of insertion order, two-digit layer, sparse complexity."""
+    dataset = PyraNetDataset()
+    rows = [
+        (12, Complexity.EXPERT), (2, Complexity.BASIC),
+        (10, Complexity.INTERMEDIATE), (1, Complexity.ADVANCED),
+        (2, Complexity.BASIC), (10, Complexity.EXPERT),
+    ]
+    for i, (layer, complexity) in enumerate(rows):
+        dataset.add(DatasetEntry(
+            entry_id=f"e{i}",
+            code=f"module m{i}(); endmodule",
+            description=f"unit {i}",
+            complexity=complexity,
+            compile_status=CompileStatus.CLEAN,
+            layer=layer,
+        ))
+    return dataset
+
+
+def facets_of(tmp_path, **write_kwargs):
+    write_store(make_dataset(), tmp_path, **write_kwargs)
+    return StoreManifest.load(tmp_path).facets()
+
+
+class TestFacets:
+    def test_totals_and_per_layer_counts(self, tmp_path):
+        facets = facets_of(tmp_path)
+        assert facets["n_entries"] == 6
+        assert facets["complexity"] == {
+            "Basic": 2, "Intermediate": 1, "Advanced": 1, "Expert": 2}
+        assert facets["layers"]["2"] == {
+            "n_entries": 2,
+            "complexity": {"Basic": 2, "Intermediate": 0,
+                           "Advanced": 0, "Expert": 0}}
+        assert facets["layers"]["10"]["n_entries"] == 2
+        assert sum(bucket["n_entries"]
+                   for bucket in facets["layers"].values()) == 6
+
+    def test_layer_keys_in_numeric_order(self, tmp_path):
+        facets = facets_of(tmp_path)
+        keys = list(facets["layers"])
+        assert keys == ["1", "2", "10", "12"]  # numeric, not lexicographic
+
+    def test_complexity_keys_in_canonical_order(self, tmp_path):
+        facets = facets_of(tmp_path)
+        assert list(facets["complexity"]) == CANONICAL
+        for bucket in facets["layers"].values():
+            assert list(bucket["complexity"]) == CANONICAL
+
+    def test_zero_counts_are_present_not_missing(self, tmp_path):
+        facets = facets_of(tmp_path)
+        bucket = facets["layers"]["12"]["complexity"]
+        assert bucket["Basic"] == 0 and bucket["Expert"] == 1
+
+    def test_stable_across_shard_layouts(self, tmp_path):
+        """The facet document depends on contents, not shard geometry."""
+        one = facets_of(tmp_path / "wide")
+        many = facets_of(tmp_path / "narrow", max_shard_bytes=64)
+        assert one == many
+        assert (json.dumps(one, sort_keys=False)
+                == json.dumps(many, sort_keys=False))
+
+    def test_empty_store(self, tmp_path):
+        write_store(PyraNetDataset(), tmp_path)
+        facets = StoreManifest.load(tmp_path).facets()
+        assert facets == {
+            "n_entries": 0,
+            "layers": {},
+            "complexity": {"Basic": 0, "Intermediate": 0,
+                           "Advanced": 0, "Expert": 0}}
+
+    def test_agrees_with_existing_indexes(self, tmp_path):
+        write_store(make_dataset(), tmp_path)
+        manifest = StoreManifest.load(tmp_path)
+        facets = manifest.facets()
+        assert facets["complexity"] == manifest.complexity_histogram()
+        assert ({int(k): v["n_entries"] for k, v
+                 in facets["layers"].items()}
+                == manifest.layer_sizes())
