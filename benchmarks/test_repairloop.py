@@ -1,0 +1,152 @@
+"""Repair loop: fix-rate vs budget curve and loop throughput.
+
+Two numbers this PR is accountable for, emitted to
+``BENCH_repairloop.json`` (uploaded as a CI artifact):
+
+* **Fix rate vs budget** — the repair-trajectory source run at repair
+  budgets r ∈ {0, 1, 2, 4} over the same mutated candidate set.  The
+  curve must be monotone non-decreasing (more budget never loses a
+  fix), r=0 must fix nothing, and by r=4 at least
+  :data:`FIX_RATE_FLOOR` of the initially-broken candidates must be
+  repaired (syntax damage is rule-fixable; only functional corruption
+  legitimately resists the rule-based repairer).
+* **Loop throughput** — committed repair iterations per second at the
+  r=2 point (check + propose + re-check per iteration), the unit cost
+  a corpus-scale trajectory run pays.
+
+Deliberately free of ``pytest-benchmark``: the CI smoke job runs this
+file both as a test and as a plain script (``python
+benchmarks/test_repairloop.py --quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.corpus.repair_source import repair_trajectories
+
+#: Budgets the fix-rate curve sweeps.
+BUDGETS = (0, 1, 2, 4)
+#: Hard floor for the r=4 fix rate over initially-broken candidates.
+FIX_RATE_FLOOR = 0.5
+#: Hard floor for committed iterations per second (CI smoke machines).
+ITERATIONS_PER_S_FLOOR = 5.0
+
+REPORT_PATH = "BENCH_repairloop.json"
+
+
+def run_repairloop_benchmark(n_candidates: int,
+                             seed: int = 0) -> Dict[str, Any]:
+    """Sweep the budget axis over one candidate set."""
+    curve: List[Dict[str, Any]] = []
+    iterations_per_s = 0.0
+    for budget in BUDGETS:
+        started = time.perf_counter()
+        result = repair_trajectories(
+            n_candidates=n_candidates, seed=seed, budget=budget)
+        wall_s = time.perf_counter() - started
+        summary = result.summary()
+        point = {
+            "budget": budget,
+            "fix_rate": summary["fix_rate"],
+            "n_fixed": summary["n_fixed"],
+            "n_records": summary["n_records"],
+            "total_iterations": summary["total_iterations"],
+            "wall_s": round(wall_s, 3),
+        }
+        if budget == 2 and summary["total_iterations"]:
+            iterations_per_s = round(
+                summary["total_iterations"] / wall_s, 2)
+        curve.append(point)
+    return {
+        "schema": "pyranet-bench-repairloop/v1",
+        "n_candidates": n_candidates,
+        "seed": seed,
+        "curve": curve,
+        "iterations_per_s": iterations_per_s,
+        "floors": {"fix_rate_at_max_budget": FIX_RATE_FLOOR,
+                   "iterations_per_s": ITERATIONS_PER_S_FLOOR},
+    }
+
+
+def summary_lines(payload: Dict[str, Any]) -> list:
+    lines = [
+        f"Repair-loop benchmark ({payload['n_candidates']} mutated "
+        f"candidates, seed {payload['seed']})",
+    ]
+    for point in payload["curve"]:
+        lines.append(
+            f"  r={point['budget']}: fix rate {point['fix_rate']:5.2f} "
+            f"({point['n_fixed']:>2} fixed, "
+            f"{point['total_iterations']:>3} iterations, "
+            f"{point['wall_s']:6.2f}s)")
+    lines.append(
+        f"  loop throughput at r=2: "
+        f"{payload['iterations_per_s']:.1f} iterations/s "
+        f"(floor {payload['floors']['iterations_per_s']:.0f})")
+    return lines
+
+
+def check_floors(payload: Dict[str, Any]) -> None:
+    rates = [point["fix_rate"] for point in payload["curve"]]
+    assert rates == sorted(rates), (
+        f"fix rate not monotone in budget: {rates}")
+    assert rates[0] == 0.0, (
+        f"budget 0 repaired something: {rates[0]}")
+    assert rates[-1] >= FIX_RATE_FLOOR, (
+        f"r={BUDGETS[-1]} fix rate {rates[-1]} below floor "
+        f"{FIX_RATE_FLOOR}")
+    assert payload["iterations_per_s"] >= ITERATIONS_PER_S_FLOOR, (
+        f"loop throughput {payload['iterations_per_s']} it/s below "
+        f"floor {ITERATIONS_PER_S_FLOOR}")
+
+
+def write_report(payload: Dict[str, Any],
+                 path: str = REPORT_PATH) -> None:
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def test_repairloop_bench(scale, capsys):
+    n_candidates = {"fast": 24, "standard": 48, "full": 96}[scale.name]
+    payload = run_repairloop_benchmark(n_candidates)
+    payload["scale"] = scale.name
+    write_report(payload)
+    with capsys.disabled():
+        print()
+        for line in summary_lines(payload):
+            print(line)
+    check_floors(payload)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the repair loop's fix-rate/budget curve "
+                    "and iteration throughput; write "
+                    "BENCH_repairloop.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="small candidate set (CI smoke scale)")
+    parser.add_argument(
+        "--n-candidates", type=int, default=None, metavar="N",
+        help="explicit candidate count (overrides --quick)")
+    parser.add_argument(
+        "--json", default=REPORT_PATH, metavar="PATH",
+        help=f"report path (default {REPORT_PATH})")
+    args = parser.parse_args()
+    n_candidates = args.n_candidates or (24 if args.quick else 48)
+    payload = run_repairloop_benchmark(n_candidates)
+    payload["scale"] = "quick" if args.quick else "cli"
+    for line in summary_lines(payload):
+        print(line)
+    write_report(payload, args.json)
+    print(f"wrote {args.json}")
+    check_floors(payload)
+
+
+if __name__ == "__main__":
+    main()

@@ -118,6 +118,24 @@ def run_service_benchmark(preset: str,
         warm = drive_clients(base_url, 1, 1)
         points = [drive_clients(base_url, n, jobs_per_client)
                   for n in client_counts]
+        # One real eval job through the EvalConfig-routed payload
+        # (repair_budget included) — the service path PRs are
+        # accountable for, not just probe overhead.
+        from repro.service import ServiceClient
+
+        eval_client = ServiceClient(base_url, timeout=120.0)
+        started = time.perf_counter()
+        sub = eval_client.submit(
+            "eval", {"suite": "machine", "n_problems": 2,
+                     "n_samples": 2, "seed": 0, "repair_budget": 1},
+            idempotency_key="bench-eval")
+        record = eval_client.wait(sub["job_id"], timeout=120, poll=0.01)
+        eval_job = {
+            "wall_s": round(time.perf_counter() - started, 3),
+            "status": record["status"],
+            "repair_budget": record["result"].get("repair_budget"),
+            "fix_rate_curve": record["result"].get("fix_rate_curve"),
+        }
     finally:
         server.shutdown()
         server.server_close()
@@ -136,6 +154,7 @@ def run_service_benchmark(preset: str,
         "workers": n_workers,
         "warmup_s": warm["wall_s"],
         "points": points,
+        "eval_job": eval_job,
         "scaling": {
             "clients": [point["clients"] for point in points],
             "jobs_per_s": [point["jobs_per_s"] for point in points],
@@ -178,10 +197,16 @@ def summary_lines(payload: Dict[str, Any]) -> list:
     lines.append(
         f"  throughput scaling 1 -> {payload['points'][-1]['clients']} "
         f"clients: {payload['scaling']['throughput_ratio']:.2f}x")
+    eval_job = payload["eval_job"]
+    lines.append(
+        f"  eval job (repair_budget={eval_job['repair_budget']}): "
+        f"{eval_job['status']} in {eval_job['wall_s']:.2f}s")
     return lines
 
 
 def check_floors(payload: Dict[str, Any]) -> None:
+    assert payload["eval_job"]["status"] == "done", (
+        "EvalConfig-routed eval job failed")
     assert payload["counters"]["service.jobs.failed"] == 0, (
         "jobs failed under load")
     assert payload["counters"]["service.http.errors"] == 0, (

@@ -28,6 +28,7 @@ from ..baselines.rtlcoder import finetune_rtlcoder
 from ..dataset.corrupt import shuffle_labels
 from ..dataset.pipeline import CurationResult, build_pyranet
 from ..dataset.records import PyraNetDataset
+from ..eval.config import EvalConfig
 from ..eval.harness import EvalProblem, EvalReport, evaluate_model
 from ..eval.problems.human import build_human_problems
 from ..eval.problems.machine import build_machine_problems
@@ -295,11 +296,47 @@ class PyraNet:
             problems = problems[:n_problems]
         return evaluate_model(
             model, problems,
+            self.eval_config(model_name=model_name),
+            executor=self.executor,
+            cache=self._eval_cache,
+            obs=self.obs,
+            resilience=self.resilience,
+        )
+
+    def eval_config(self, **overrides) -> EvalConfig:
+        """This driver's evaluation parameters as one
+        :class:`~repro.eval.EvalConfig` (the seed offset included)."""
+        config = EvalConfig(
             n_samples=self.n_samples,
             temperature=self.temperature,
             seed=self.seed + 3,
             n_test_vectors=self.n_test_vectors,
-            model_name=model_name,
+        )
+        return config.with_overrides(**overrides) if overrides else config
+
+    def evaluate_repair(
+        self,
+        model: FineTunable,
+        suite: str = "machine",
+        repair_budget: int = 2,
+        n_problems: Optional[int] = None,
+        model_name: Optional[str] = None,
+        repairer=None,
+    ):
+        """The repair-budget evaluation scenario: pass@k after up to
+        ``repair_budget`` feedback-driven repair retries per failed
+        sample.  Returns a
+        :class:`~repro.eval.repair_eval.RepairEvalReport`."""
+        from ..eval.repair_eval import evaluate_with_repair
+
+        problems = self.problems(suite)
+        if n_problems is not None:
+            problems = problems[:n_problems]
+        config = self.eval_config(model_name=model_name,
+                                  repair_budget=repair_budget)
+        return evaluate_with_repair(
+            model, problems, config,
+            repairer=repairer,
             executor=self.executor,
             cache=self._eval_cache,
             obs=self.obs,

@@ -25,6 +25,11 @@ from .llm_sim import (
     SimulatedCommercialLLM,
     strip_markdown_fences,
 )
+from .repair_source import (
+    RepairTrajectoryResult,
+    repair_trajectories,
+    repair_trajectory_batches,
+)
 
 __all__ = [
     "DesignSpec", "GoldenModel", "PortDef",
@@ -36,4 +41,6 @@ __all__ = [
     "craft_prompt",
     "GeneratedSample", "LLMExchange", "SimulatedCommercialLLM",
     "strip_markdown_fences",
+    "RepairTrajectoryResult", "repair_trajectories",
+    "repair_trajectory_batches",
 ]

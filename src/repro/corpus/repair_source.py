@@ -1,0 +1,220 @@
+"""Repair-trajectory corpus source: broken→fixed pairs from the loop.
+
+CraftRTL's observation (PAPERS.md): targeted code-repair data is the
+highest-leverage synthetic-data trick.  This source manufactures it
+end to end — generate a clean design, break it with the corpus
+mutators, drive the :mod:`repro.repairloop` until it is fixed, and
+emit the *fixed* code under a repair prompt that embeds the broken
+source and its compiler diagnostics.  Each emitted record is a
+standard ``(content, provenance)`` source record with
+``origin="repair"``, so the stream flows through the normal (batch or
+streaming) curation pipeline, into sharded stores, and out through the
+service's faceted queries like any other origin.
+
+Candidate fan-out goes through a :class:`~repro.pipeline.ParallelExecutor`;
+every candidate derives its own RNG from ``(seed, index)`` so the
+transcript set is byte-identical across serial, thread, and process
+executors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..obs import Observability, resolve
+from ..pipeline import ParallelExecutor
+from ..repairloop import RepairFeedback, RepairLoop, RepairTranscript
+from ..resilience import Checkpointer, Resilience
+from ..verilog import check
+from . import mutate
+from .templates import generate_random_design
+
+#: (content, provenance) — the shape every curation source yields.
+_SourceRecord = Tuple[str, Dict[str, Any]]
+
+
+def candidate_seed(seed: int, index: int) -> int:
+    """Stable 64-bit RNG seed for one (run, candidate) pair."""
+    digest = hashlib.blake2b(
+        f"repair:{seed}:{index}".encode("ascii"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _candidate_worker(args: Tuple) -> Dict[str, Any]:
+    """One candidate, start to finish (module-level: process-pool
+    safe).  Regenerates the design locally from the derived seed so
+    nothing unpicklable crosses the executor boundary."""
+    seed, index, budget, n_test_vectors, functional_fraction, ckpt = args
+    rng = random.Random(candidate_seed(seed, index))
+    design = generate_random_design(rng)
+    functional = rng.random() < functional_fraction
+    if functional:
+        broken = mutate.corrupt_function(design.source, rng)
+    else:
+        broken = mutate.break_syntax(design.source, rng)
+    resilience = None
+    if ckpt:
+        resilience = Resilience(
+            checkpointer=Checkpointer(Path(ckpt) / f"cand-{index:04d}"))
+    loop = RepairLoop(budget=budget, n_test_vectors=n_test_vectors,
+                      seed=seed, resilience=resilience)
+    transcript = loop.run(
+        broken.source,
+        spec=design.spec if functional else None,
+        candidate_id=f"cand-{index}",
+        description=design.description)
+    return {
+        "index": index,
+        "module_name": design.spec.module_name,
+        "description": design.description,
+        "mutations": list(broken.applied),
+        "kind": "functional" if functional else "syntax",
+        "transcript": transcript.to_dict(),
+    }
+
+
+def repair_prompt(description: str, broken: str,
+                  transcript: RepairTranscript) -> str:
+    """The training prompt for one fixed trajectory: the task, the
+    broken source, and the diagnostics the loop started from."""
+    report = check(broken)
+    feedback = RepairFeedback.from_check(report) \
+        if report.status != "clean" else RepairFeedback(kind="functional")
+    actions = ", ".join(transcript.actions()) or "none"
+    return (
+        f"Repair the broken Verilog module below. {description}\n"
+        f"{feedback.render()}\n"
+        f"// applied repairs: {actions}\n"
+        f"// broken source:\n{broken}"
+    )
+
+
+@dataclass
+class RepairTrajectoryResult:
+    """Everything one trajectory run produced."""
+
+    n_candidates: int
+    payloads: List[Dict[str, Any]] = field(default_factory=list)
+    records: List[_SourceRecord] = field(default_factory=list)
+
+    @property
+    def n_fixed(self) -> int:
+        return sum(1 for p in self.payloads
+                   if p["transcript"]["fixed"]
+                   and p["transcript"]["iterations"])
+
+    def fix_rate(self) -> float:
+        # ``fixed_at == 0`` marks a candidate the mutation failed to
+        # actually break (e.g. landed on an acceptable dependency
+        # status) — not the loop's doing, so not in the denominator.
+        broken = [p for p in self.payloads
+                  if p["transcript"]["fixed_at"] != 0]
+        if not broken:
+            return 0.0
+        return (sum(1 for p in broken if p["transcript"]["fixed"])
+                / len(broken))
+
+    def transcripts(self) -> List[RepairTranscript]:
+        return [RepairTranscript.from_dict(p["transcript"])
+                for p in self.payloads]
+
+    def summary(self) -> Dict[str, Any]:
+        iterations = [len(p["transcript"]["iterations"])
+                      for p in self.payloads]
+        return {
+            "n_candidates": self.n_candidates,
+            "n_records": len(self.records),
+            "n_fixed": self.n_fixed,
+            "fix_rate": round(self.fix_rate(), 4),
+            "total_iterations": sum(iterations),
+        }
+
+
+def repair_trajectories(
+    n_candidates: int = 32,
+    seed: int = 0,
+    budget: int = 2,
+    n_test_vectors: int = 8,
+    functional_fraction: float = 0.25,
+    executor: Optional[ParallelExecutor] = None,
+    obs: Optional[Observability] = None,
+    resilience: Optional[Resilience] = None,
+) -> RepairTrajectoryResult:
+    """Run the repair loop over ``n_candidates`` mutated designs.
+
+    Args:
+        n_candidates: how many clean designs to generate and break.
+        seed: master seed; candidate RNGs derive via
+            :func:`candidate_seed` (executor-independent results).
+        budget: repair iterations per candidate.
+        n_test_vectors: functional-check vectors for corrupted
+            (compilable-but-wrong) candidates.
+        functional_fraction: fraction of candidates broken with
+            :func:`~repro.corpus.mutate.corrupt_function` (the rest get
+            :func:`~repro.corpus.mutate.break_syntax`).
+        executor: candidate fan-out; default in-process serial.
+        obs: trajectory counters + the ``repair.iterations`` histogram
+            land in this handle's registry.
+        resilience: with a checkpointer, every candidate's loop
+            journals its iterations under
+            ``<journal>/cand-<index>`` and a killed run resumes
+            byte-identically.
+    """
+    obs = resolve(obs)
+    pool = executor if executor is not None else ParallelExecutor.serial()
+    ckpt_dir = ""
+    if resilience is not None and resilience.checkpointer is not None:
+        ckpt_dir = str(resilience.checkpointer.directory)
+    args = [(seed, index, budget, n_test_vectors, functional_fraction,
+             ckpt_dir) for index in range(n_candidates)]
+    with obs.span("repair.trajectories", n_candidates=n_candidates,
+                  budget=budget) as span:
+        payloads = list(pool.map(_candidate_worker, args))
+        result = RepairTrajectoryResult(n_candidates=n_candidates,
+                                        payloads=payloads)
+        for payload in payloads:
+            transcript = RepairTranscript.from_dict(payload["transcript"])
+            obs.histogram("repair.iterations").observe(
+                transcript.n_iterations())
+            if not (transcript.fixed and transcript.iterations):
+                continue  # unfixed, or was never actually broken
+            prompt = repair_prompt(payload["description"],
+                                   transcript.original, transcript)
+            result.records.append((transcript.final_code, {
+                "origin": "repair",
+                "path": (f"repair/{payload['module_name']}_"
+                         f"{payload['index']:04d}.v"),
+                "description": prompt,
+            }))
+        span.meta["n_fixed"] = result.n_fixed
+        span.meta["n_records"] = len(result.records)
+    obs.counter("repair.trajectories.candidates").inc(n_candidates)
+    obs.counter("repair.trajectories.fixed").inc(result.n_fixed)
+    return result
+
+
+def repair_trajectory_batches(
+    n_candidates: int = 32,
+    seed: int = 0,
+    budget: int = 2,
+    batch_size: int = 16,
+    **kwargs: Any,
+) -> Iterator[List[_SourceRecord]]:
+    """The trajectory records as source batches for the streaming
+    curate path (:func:`repro.dataset.streaming.chain_batches`
+    compatible)."""
+    result = repair_trajectories(n_candidates=n_candidates, seed=seed,
+                                 budget=budget, **kwargs)
+    batch: List[_SourceRecord] = []
+    for record in result.records:
+        batch.append(record)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

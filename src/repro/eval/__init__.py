@@ -1,5 +1,6 @@
 """Evaluation: functional testing, pass@k, problem suites, reports."""
 
+from .config import DEFAULT_KS, EvalConfig
 from .functional import Mismatch, TestOutcome, run_functional_test
 from .passk import mean_pass_at_k, pass_at_k
 from .harness import (
@@ -7,14 +8,22 @@ from .harness import (
     EvalReport,
     ProblemResult,
     evaluate_model,
+    resolve_config,
     sample_seed,
+)
+from .repair_eval import (
+    RepairEvalReport,
+    RepairProblemResult,
+    evaluate_with_repair,
 )
 from .report import render_gains_table, render_pyramid, render_table
 
 __all__ = [
+    "DEFAULT_KS", "EvalConfig",
     "Mismatch", "TestOutcome", "run_functional_test",
     "mean_pass_at_k", "pass_at_k",
     "EvalProblem", "EvalReport", "ProblemResult", "evaluate_model",
-    "sample_seed",
+    "resolve_config", "sample_seed",
+    "RepairEvalReport", "RepairProblemResult", "evaluate_with_repair",
     "render_table", "render_gains_table", "render_pyramid",
 ]

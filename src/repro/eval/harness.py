@@ -34,7 +34,9 @@ from ..pipeline import (
     ResultCache,
     StagedPipeline,
 )
+from ..obs.reportable import warn_deprecated
 from ..resilience.runtime import Resilience
+from .config import EvalConfig
 from .functional import TestOutcome, run_functional_test
 from .passk import mean_pass_at_k, pass_at_k
 
@@ -157,18 +159,49 @@ def sample_seed(seed: int, problem_index: int, sample_index: int) -> int:
     return int.from_bytes(digest, "little")
 
 
+#: Legacy declarative kwargs and the EvalConfig field each maps onto.
+_LEGACY_CONFIG_KWARGS = ("n_samples", "temperature", "seed",
+                         "n_test_vectors", "model_name")
+
+
+def resolve_config(config: Optional[EvalConfig],
+                   legacy: Dict[str, object],
+                   caller: str = "evaluate_model") -> EvalConfig:
+    """Fold a possibly-legacy call surface into one :class:`EvalConfig`.
+
+    ``legacy`` holds declarative kwargs from the pre-config signature
+    (``n_samples=...``, ``seed=...``); each maps 1:1 onto a config
+    field and emits a :class:`DeprecationWarning`.  Mixing them with an
+    explicit ``config`` is a :class:`TypeError` — one source of truth.
+    """
+    unknown = set(legacy) - set(_LEGACY_CONFIG_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"{caller}() got unexpected keyword arguments "
+            f"{sorted(unknown)}")
+    if legacy:
+        if config is not None:
+            raise TypeError(
+                f"{caller}() takes either a config or legacy keyword "
+                f"arguments, not both (got config plus "
+                f"{sorted(legacy)})")
+        warn_deprecated(
+            f"passing {sorted(legacy)} to {caller}() is deprecated; "
+            "build an EvalConfig and pass it as the config argument")
+        return EvalConfig(**legacy)  # type: ignore[arg-type]
+    return config if config is not None else EvalConfig()
+
+
 def evaluate_model(
     model: FineTunable,
     problems: Iterable[EvalProblem],
-    n_samples: int = 10,
-    temperature: float = 0.8,
-    seed: int = 0,
-    n_test_vectors: int = 32,
-    model_name: Optional[str] = None,
+    config: Optional[EvalConfig] = None,
+    *,
     executor: Optional[ParallelExecutor] = None,
     cache: Optional[ResultCache] = None,
     obs: Optional[Observability] = None,
     resilience: Optional[Resilience] = None,
+    **legacy,
 ) -> EvalReport:
     """Run the full sampling + functional-check loop.
 
@@ -177,12 +210,12 @@ def evaluate_model(
         problems: the benchmark suite — any iterable (a list, or a
             lazy stream such as a generator over a problem store);
             drained once before fan-out.
-        n_samples: completions per problem (n of the pass@k estimator).
-        temperature: sampling temperature.
-        seed: master seed; per-sample seeds derive deterministically
-            via :func:`sample_seed`, so results are independent of
-            execution order and worker count.
-        n_test_vectors: stimulus vectors/cycles per functional test.
+        config: the declarative parameters as one frozen
+            :class:`EvalConfig` (sample count, temperature, seed,
+            vectors, report label); ``None`` means defaults.  The old
+            per-kwarg spelling (``n_samples=...``, ``seed=...``) still
+            works through a deprecation shim that maps 1:1 onto a
+            config.
         executor: per-problem fan-out; defaults to a thread pool
             (override with ``REPRO_PIPELINE_MODE=serial``).
         cache: functional-test outcome cache; pass a shared instance to
@@ -195,10 +228,15 @@ def evaluate_model(
             the run journals per-problem batches and resumes a killed
             evaluation without re-sampling finished problems.
     """
+    config = resolve_config(config, legacy)
+    n_samples = config.n_samples
+    temperature = config.temperature
+    seed = config.seed
+    n_test_vectors = config.n_test_vectors
     problems = list(problems)
     obs = resolve(obs)
     suite = problems[0].suite if problems else "empty"
-    name = model_name or getattr(
+    name = config.model_name or getattr(
         getattr(model, "profile", None), "name", type(model).__name__
     )
     outcome_cache = cache if cache is not None else ResultCache()

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.reportable import report_json, strip_schema
 from ..verilog import check
 from ..verilog.syntax_checker import CheckResult
 
@@ -30,7 +31,9 @@ _GARBAGE_RE = re.compile(r"[@#%$&]{2,}|[^\x09\x0a\x0d\x20-\x7e]+")
 
 @dataclass
 class RepairResult:
-    """Outcome of a repair session."""
+    """Outcome of a repair session (:class:`~repro.obs.Reportable`)."""
+
+    schema = "pyranet/repair-result/v1"
 
     code: str
     fixed: bool
@@ -38,17 +41,63 @@ class RepairResult:
     actions: List[str] = field(default_factory=list)
     final_status: str = "syntax"
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "fixed": self.fixed,
+            "iterations": self.iterations,
+            "actions": list(self.actions),
+            "final_status": self.final_status,
+        }
 
-def _insert_semicolon(code: str, line: int) -> Optional[str]:
-    """Insert ``;`` at the end of the line before the error."""
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return report_json(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RepairResult":
+        data = strip_schema(data)
+        return cls(
+            code=data["code"],
+            fixed=data["fixed"],
+            iterations=data.get("iterations", 0),
+            actions=list(data.get("actions", [])),
+            final_status=data.get("final_status", "syntax"),
+        )
+
+
+#: Line endings a ``;`` must never be appended after.
+_NO_SEMI_SUFFIXES = (";", "begin", "end", "(", ",")
+
+
+def _insert_semicolon(code: str, line: int,
+                      column: int = 0) -> Optional[str]:
+    """Insert ``;`` where the diagnostic's span says the parser choked.
+
+    With a real column (> 1) the offending token sits mid-line, so the
+    missing ``;`` belongs immediately before it — which also repairs a
+    single-line module whose error is reported on line 1, where the old
+    fixed ``(line-2, line-1)`` candidates had nowhere to go.  With no
+    column (or a token at the start of the line) the statement that
+    lost its ``;`` ended on the nearest preceding non-blank line.
+    """
     lines = code.split("\n")
-    for candidate in (line - 2, line - 1):
-        if 0 <= candidate < len(lines):
-            text = lines[candidate].rstrip()
-            if text and not text.endswith((";", "begin", "end", "(",
-                                           ",")):
-                lines[candidate] = text + ";"
-                return "\n".join(lines)
+    if not (1 <= line <= len(lines)):
+        return None
+    index = line - 1
+    text = lines[index]
+    if column > 1:
+        head = text[:column - 1].rstrip()
+        if head and not head.endswith(_NO_SEMI_SUFFIXES):
+            lines[index] = head + "; " + text[column - 1:]
+            return "\n".join(lines)
+    for candidate in range(index - 1, -1, -1):
+        previous = lines[candidate].rstrip()
+        if not previous:
+            continue  # blank line: keep walking up to the statement
+        if previous.endswith(_NO_SEMI_SUFFIXES):
+            return None
+        lines[candidate] = previous + ";"
+        return "\n".join(lines)
     return None
 
 
@@ -115,7 +164,8 @@ def repair(code: str, max_iterations: int = 4) -> RepairResult:
             result.final_status = report.status
             return result
         error = report.syntax_errors[0]
-        attempt = self_reflect_once(current, error.message, error.line)
+        attempt = self_reflect_once(current, error.message, error.line,
+                                    getattr(error, "column", 0))
         if attempt is None or attempt[0] == current:
             break
         current, action = attempt
@@ -129,14 +179,16 @@ def repair(code: str, max_iterations: int = 4) -> RepairResult:
 
 
 def self_reflect_once(
-    code: str, error_message: str, error_line: int
+    code: str, error_message: str, error_line: int,
+    error_column: int = 0,
 ) -> Optional[Tuple[str, str]]:
     """One repair step from one compiler diagnostic."""
     message = error_message.lower()
     candidates: List[Tuple[str, Optional[str]]] = []
     if "';'" in message or "expected ';'" in message:
         candidates.append(("insert_semicolon",
-                           _insert_semicolon(code, error_line)))
+                           _insert_semicolon(code, error_line,
+                                             error_column)))
     if "unexpected" in message or "expected" in message:
         candidates.append(("fix_typos", _fix_keyword_typos(code)))
         candidates.append(("balance_begin_end", _balance_begin_end(code)))
@@ -148,7 +200,7 @@ def self_reflect_once(
     candidates.append(("strip_garbage", _strip_garbage(code)))
     candidates.append(("append_endmodule", _balance_endmodule(code)))
     candidates.append(("insert_semicolon",
-                       _insert_semicolon(code, error_line)))
+                       _insert_semicolon(code, error_line, error_column)))
     for action, attempt in candidates:
         if attempt is not None and attempt != code:
             return attempt, action

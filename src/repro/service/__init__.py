@@ -33,7 +33,17 @@ from .handlers import (
     register_handler,
 )
 from .http import ServiceHTTPServer, serve, serve_in_thread
-from .jobs import Job, job_id_for, params_digest
+from .jobs import (
+    Job,
+    JobType,
+    get_job_type,
+    job_id_for,
+    job_type_names,
+    params_digest,
+    register_job_type,
+    unregister_job_type,
+    validate_payload,
+)
 from .queue import JobQueue, QUEUE_SIGNATURE
 from .workers import WorkerPool, default_resilience
 
@@ -42,6 +52,7 @@ __all__ = [
     "Job",
     "JobContext",
     "JobQueue",
+    "JobType",
     "PyraNetService",
     "QUEUE_SIGNATURE",
     "ServiceClient",
@@ -52,9 +63,14 @@ __all__ = [
     "WorkerPool",
     "dataset_digest",
     "default_resilience",
+    "get_job_type",
     "job_id_for",
+    "job_type_names",
     "params_digest",
     "register_handler",
+    "register_job_type",
     "serve",
     "serve_in_thread",
+    "unregister_job_type",
+    "validate_payload",
 ]

@@ -30,6 +30,7 @@ from ..resilience import Resilience
 from ..store import SamplingService, StoreManifest, StoreReader
 from ..store.manifest import MANIFEST_NAME
 from .handlers import HANDLERS, JobContext
+from .jobs import validate_payload
 from .jobs import Job
 from .queue import JobQueue
 from .workers import WorkerPool, default_resilience
@@ -119,6 +120,7 @@ class PyraNetService:
         if job_type not in HANDLERS:
             raise ValueError(f"unknown job type {job_type!r}; known: "
                              f"{sorted(HANDLERS)}")
+        validate_payload(job_type, params or {})
         job, created = self.queue.submit(job_type, params,
                                          idempotency_key=idempotency_key)
         return {"job_id": job.job_id, "created": created,

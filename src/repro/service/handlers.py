@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import re
+from collections.abc import MutableMapping
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
@@ -33,7 +34,14 @@ from typing import Any, Callable, Dict, Optional
 from ..obs import Observability
 from ..pipeline import ParallelExecutor
 from ..resilience import Checkpointer, FaultPlan, Resilience
-from .jobs import Job, params_digest
+from .jobs import (
+    Job,
+    get_job_type,
+    job_type_names,
+    params_digest,
+    register_job_type,
+    unregister_job_type,
+)
 
 #: Store names are path components; anything else is rejected.
 _STORE_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
@@ -199,7 +207,13 @@ def run_eval_job(job: Job, ctx: JobContext,
 
     Params: ``suite`` (``machine``/``human``), ``profile``, ``recipe``
     (``baseline`` needs no dataset; any other recipe requires
-    ``store``), ``n_problems``, ``n_samples``, ``seed``.
+    ``store``), ``n_problems``, ``n_samples``, ``seed``, and
+    ``repair_budget`` — nonzero runs the repair-retry scenario
+    (:func:`repro.eval.repair_eval.evaluate_with_repair`) and the
+    summary gains the fix-rate curve.  The payload is resolved into
+    one :class:`~repro.eval.EvalConfig` (echoed under ``config``);
+    ``repair_budget=0`` results are byte-identical to the pre-config
+    route.
     """
     import json
 
@@ -220,17 +234,30 @@ def run_eval_job(job: Job, ctx: JobContext,
                                 seed=int(p.get("seed", 0)))
         model = pn.finetune(profile, recipe=recipe, dataset=source)
     n_problems = p.get("n_problems")
-    report = pn.evaluate(
-        model, suite=p.get("suite", "machine"),
-        n_problems=int(n_problems) if n_problems is not None else None,
-        model_name=f"{profile}:{recipe}")
-    results = [result.to_dict() for result in report.results]
+    budget = int(p.get("repair_budget", 0))
+    config = pn.eval_config(model_name=f"{profile}:{recipe}",
+                            repair_budget=budget)
+    if budget > 0:
+        report = pn.evaluate_repair(
+            model, suite=p.get("suite", "machine"),
+            repair_budget=budget,
+            n_problems=(int(n_problems) if n_problems is not None
+                        else None),
+            model_name=config.model_name)
+        results = [result.to_dict() for result in report.results]
+    else:
+        report = pn.evaluate(
+            model, suite=p.get("suite", "machine"),
+            n_problems=(int(n_problems) if n_problems is not None
+                        else None),
+            model_name=config.model_name)
+        results = [result.to_dict() for result in report.results]
     # Digest over the deterministic core (per-problem outcomes), not
     # the trace (wall times) — the byte-identity witness for resumes.
     report_digest = hashlib.blake2b(
         json.dumps(results, sort_keys=True).encode("utf-8"),
         digest_size=16).hexdigest()
-    return {
+    summary = {
         "suite": report.suite,
         "model": report.model_name,
         "summary": report.summary((1, 5, 10)),
@@ -238,6 +265,12 @@ def run_eval_job(job: Job, ctx: JobContext,
         "results": results,
         "report_digest": report_digest,
     }
+    if budget > 0:
+        summary["config"] = config.to_dict()
+        summary["repair_budget"] = budget
+        summary["fix_rate_curve"] = [
+            round(rate, 4) for rate in report.fix_rate_curve()]
+    return summary
 
 
 def run_probe_job(job: Job, ctx: JobContext,
@@ -255,19 +288,152 @@ def run_probe_job(job: Job, ctx: JobContext,
     return {"digest": digest.decode("ascii"), "spin": spin}
 
 
-#: name -> handler; extend via :func:`register_handler`.
-HANDLERS: Dict[str, Callable[[Job, JobContext, Observability],
-                             Dict[str, Any]]] = {
-    "curate": run_curate_job,
-    "finetune": run_finetune_job,
-    "eval": run_eval_job,
-    "probe": run_probe_job,
-}
+def run_repair_job(job: Job, ctx: JobContext,
+                   obs: Observability) -> Dict[str, Any]:
+    """``repair``: manufacture repair-trajectory training data.
+
+    Runs the :mod:`repro.repairloop` over mutated synthetic designs
+    (:func:`repro.corpus.repair_trajectories`), streams the fixed
+    broken→fixed pairs through the streaming curation path, and —
+    with a ``store`` param — lands them in a named sharded store whose
+    facets carry the ``repair`` origin.
+
+    Params: ``n_candidates``, ``seed``, ``budget``,
+    ``n_test_vectors``, ``functional_fraction``, ``dedup_threshold``,
+    and ``store`` (omit for run-and-report-only).
+    """
+    from ..corpus.repair_source import repair_trajectories
+    from ..dataset.streaming import StreamingCurationPipeline
+
+    p = job.params
+    seed = int(p.get("seed", 0))
+    trajectories = repair_trajectories(
+        n_candidates=int(p.get("n_candidates", 32)),
+        seed=seed,
+        budget=int(p.get("budget", 2)),
+        n_test_vectors=int(p.get("n_test_vectors", 8)),
+        functional_fraction=float(p.get("functional_fraction", 0.25)),
+        executor=ctx.executor,
+        obs=obs,
+        resilience=Resilience(
+            checkpointer=Checkpointer(
+                ctx.job_dir(job.job_id) / "repair-checkpoint",
+                durable=ctx.durable),
+            fault_plan=ctx.fault_plan, obs=obs),
+    )
+    summary: Dict[str, Any] = trajectories.summary()
+    pipeline = StreamingCurationPipeline(
+        dedup_threshold=float(p.get("dedup_threshold", 0.8)),
+        seed=seed, executor=ctx.executor, obs=obs,
+        resilience=ctx.job_resilience(job, obs))
+    token = f"repair:{job.job_id}:{params_digest(p)}"
+    store = p.get("store")
+    if store:
+        outcome = pipeline.curate_to_store(
+            iter([trajectories.records] if trajectories.records else []),
+            ctx.store_dir(store), source_token=token,
+            store_meta={"seed": seed, "job_id": job.job_id,
+                        "source": "service.repair"})
+        facets = outcome.manifest.facets()
+        summary["store"] = store
+        summary["n_entries"] = facets["n_entries"]
+        summary["origins"] = facets["origins"]
+        summary["n_shards"] = len(outcome.manifest.shards)
+    else:
+        result = pipeline.run_stream(
+            iter([trajectories.records] if trajectories.records else []),
+            source_token=token)
+        summary["n_entries"] = len(result.dataset)
+        summary["dataset_digest"] = dataset_digest(result.dataset)
+    return summary
+
+
+# -- registration -------------------------------------------------------
+
+
+class _RunnerView(MutableMapping):
+    """``HANDLERS``: the historical name→runner mapping, now a live
+    view over the :func:`repro.service.jobs.register_job_type`
+    registry.  Mutation flows through (``HANDLERS[name] = fn`` is
+    :func:`register_job_type` without a schema; ``pop`` unregisters),
+    so code written against either surface sees one set of types."""
+
+    def __getitem__(self, name: str):
+        job_type = get_job_type(name)
+        if job_type is None:
+            raise KeyError(name)
+        return job_type.runner
+
+    def __setitem__(self, name: str, runner) -> None:
+        register_job_type(name, runner)
+
+    def __delitem__(self, name: str) -> None:
+        unregister_job_type(name)
+
+    def __iter__(self):
+        return iter(job_type_names())
+
+    def __len__(self) -> int:
+        return len(job_type_names())
+
+    def __repr__(self) -> str:
+        return f"HANDLERS({job_type_names()})"
+
+
+#: name -> handler; extend via :func:`register_handler` (or, with a
+#: payload schema, :func:`repro.service.jobs.register_job_type`).
+HANDLERS: MutableMapping = _RunnerView()
 
 
 def register_handler(
     name: str,
     handler: Callable[[Job, JobContext, Observability], Dict[str, Any]],
 ) -> None:
-    """Make ``name`` submittable as a job type."""
-    HANDLERS[name] = handler
+    """Make ``name`` submittable as a job type (schema-less; prefer
+    :func:`repro.service.jobs.register_job_type` for new types)."""
+    register_job_type(name, handler)
+
+
+_COMMON_SCHEMA = {
+    "seed": {"type": "int", "doc": "master seed"},
+}
+
+register_job_type("curate", run_curate_job, payload_schema={
+    **_COMMON_SCHEMA,
+    "n_github_files": {"type": "int"},
+    "n_llm_prompts": {"type": "int"},
+    "n_queries_per_prompt": {"type": "int"},
+    "dedup_threshold": {"type": "float"},
+    "store": {"type": "str", "doc": "store name to shard into"},
+})
+register_job_type("finetune", run_finetune_job, payload_schema={
+    **_COMMON_SCHEMA,
+    "store": {"type": "str", "required": True},
+    "profile": {"type": "str"},
+    "recipe": {"type": "str"},
+    "epochs": {"type": "int"},
+})
+register_job_type("eval", run_eval_job, payload_schema={
+    **_COMMON_SCHEMA,
+    "suite": {"type": "str"},
+    "profile": {"type": "str"},
+    "recipe": {"type": "str"},
+    "store": {"type": "str"},
+    "n_problems": {"type": "int"},
+    "n_samples": {"type": "int"},
+    "n_test_vectors": {"type": "int"},
+    "repair_budget": {"type": "int",
+                      "doc": "repair retries per failed sample"},
+})
+register_job_type("probe", run_probe_job, payload_schema={
+    "spin": {"type": "int", "doc": "digest-chain length"},
+})
+register_job_type("repair", run_repair_job, payload_schema={
+    **_COMMON_SCHEMA,
+    "n_candidates": {"type": "int"},
+    "budget": {"type": "int", "doc": "repair iterations per candidate"},
+    "n_test_vectors": {"type": "int"},
+    "functional_fraction": {"type": "float"},
+    "dedup_threshold": {"type": "float"},
+    "store": {"type": "str", "doc": "store name to shard into"},
+})

@@ -17,6 +17,18 @@ exactly-once submission guarantee and crash-recovery both rest on.
 Submissions without an explicit key get a unique auto-key derived from
 the submission sequence number, i.e. *no* dedup: two identical
 anonymous submissions are two jobs.
+
+The job-type registry
+---------------------
+
+What a type name *means* — which runner executes it and what its
+payload looks like — lives here too, in one
+:func:`register_job_type` registry.  Workers, the submit path, and
+the HTTP surface all resolve types through it, so a new workload
+plugs in with one call instead of edits across three modules.  The
+:data:`~repro.service.handlers.HANDLERS` mapping in
+:mod:`~repro.service.handlers` remains as a mutable name→runner view
+over this registry for existing callers.
 """
 
 from __future__ import annotations
@@ -24,7 +36,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 #: Lifecycle states a job moves through (terminal: ``done``/``failed``).
 JOB_STATUSES = ("queued", "running", "done", "failed")
@@ -146,3 +158,106 @@ def auto_key(seq: int, job_type: str, params: Dict[str, Any]) -> str:
     jobs — idempotent collapsing is opt-in via an explicit key.
     """
     return f"auto:{seq}:{params_digest(params)}:{job_type}"
+
+
+# -- the job-type registry ----------------------------------------------
+
+#: Python types a payload-schema ``type`` name maps onto.  ``float``
+#: accepts ints (the JSON decoder hands ``2`` for ``2.0``); ``int``
+#: rejects bools (a submitted ``true`` is never a count).
+_SCHEMA_TYPES: Dict[str, tuple] = {
+    "int": (int,),
+    "float": (int, float),
+    "str": (str,),
+    "bool": (bool,),
+    "dict": (dict,),
+    "list": (list, tuple),
+}
+
+
+@dataclass(frozen=True)
+class JobType:
+    """One registered job type: its runner plus the payload contract.
+
+    ``payload_schema`` maps parameter names to
+    ``{"type": <name>, "required": bool, "doc": str}`` rows (all keys
+    optional).  Validation is deliberately permissive — undeclared
+    parameters pass through untouched so registering a schema for an
+    existing type cannot reject payloads it previously accepted.
+    """
+
+    name: str
+    runner: Callable[..., Dict[str, Any]]
+    payload_schema: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self, params: Dict[str, Any]) -> None:
+        """Raise ``ValueError`` on a payload that breaks the schema."""
+        for key, spec in self.payload_schema.items():
+            if key not in params:
+                if spec.get("required"):
+                    raise ValueError(
+                        f"{self.name} job needs params[{key!r}]")
+                continue
+            want = spec.get("type")
+            if want is None:
+                continue
+            accepted = _SCHEMA_TYPES.get(want)
+            if accepted is None:
+                continue
+            value = params[key]
+            if isinstance(value, bool) and want != "bool":
+                raise ValueError(
+                    f"{self.name} job params[{key!r}] wants {want}, "
+                    f"got bool")
+            if not isinstance(value, accepted):
+                raise ValueError(
+                    f"{self.name} job params[{key!r}] wants {want}, "
+                    f"got {type(value).__name__}")
+
+
+_JOB_TYPES: Dict[str, JobType] = {}
+
+
+def register_job_type(
+    name: str,
+    runner: Callable[..., Dict[str, Any]],
+    payload_schema: Optional[Dict[str, Any]] = None,
+) -> JobType:
+    """Make ``name`` submittable: bind its runner and payload schema.
+
+    Re-registering a name replaces the previous binding (tests swap
+    runners in and out); returns the registered :class:`JobType`.
+    """
+    job_type = JobType(name=name, runner=runner,
+                       payload_schema=dict(payload_schema or {}))
+    _JOB_TYPES[name] = job_type
+    return job_type
+
+
+def unregister_job_type(name: str) -> JobType:
+    """Remove ``name`` from the registry (raises ``KeyError`` if
+    absent); returns the removed binding."""
+    return _JOB_TYPES.pop(name)
+
+
+def get_job_type(name: str) -> Optional[JobType]:
+    """The registered :class:`JobType`, or ``None``."""
+    return _JOB_TYPES.get(name)
+
+
+def job_type_names() -> List[str]:
+    """Registered type names, sorted."""
+    return sorted(_JOB_TYPES)
+
+
+def validate_payload(name: str, params: Dict[str, Any]) -> None:
+    """Validate ``params`` against ``name``'s registered schema.
+
+    Unknown types raise the same ``unknown job type`` error the
+    submit path raises, with the known names listed.
+    """
+    job_type = _JOB_TYPES.get(name)
+    if job_type is None:
+        raise ValueError(f"unknown job type {name!r}; known: "
+                         f"{job_type_names()}")
+    job_type.validate(params)

@@ -77,6 +77,15 @@ class StoreManifest:
                     histogram[label] = histogram.get(label, 0) + count
         return histogram
 
+    def origin_histogram(self) -> Dict[str, int]:
+        """Per-origin row counts across all shards, name-sorted —
+        stable JSON key order, matching the facet contract."""
+        histogram: Dict[str, int] = {}
+        for info in self.shards:
+            for name, count in getattr(info, "origins", {}).items():
+                histogram[name] = histogram.get(name, 0) + count
+        return {name: histogram[name] for name in sorted(histogram)}
+
     def facets(self) -> Dict[str, Any]:
         """The full (layer, complexity) histogram as one stable,
         JSON-ready document.
@@ -109,6 +118,7 @@ class StoreManifest:
             "layers": layers,
             "complexity": {label: totals.get(label, 0)
                            for label in labels},
+            "origins": self.origin_histogram(),
         }
 
     # -- serialisation -------------------------------------------------

@@ -87,6 +87,7 @@ class ShardInfo:
     byte_size: int
     raw_size: int
     histogram: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    origins: Dict[str, int] = field(default_factory=dict)
 
     def covers(self, layer: Optional[int] = None, complexity=None) -> bool:
         """Could this shard contain rows matching the filters?"""
@@ -114,6 +115,7 @@ class ShardInfo:
             "raw_size": self.raw_size,
             "histogram": {layer: dict(counts)
                           for layer, counts in self.histogram.items()},
+            "origins": dict(self.origins),
         }
 
     @classmethod
@@ -126,6 +128,7 @@ class ShardInfo:
             raw_size=data["raw_size"],
             histogram={layer: dict(counts)
                        for layer, counts in data.get("histogram", {}).items()},
+            origins=dict(data.get("origins", {})),
         )
 
 
@@ -137,3 +140,12 @@ def build_histogram(entries: Sequence[DatasetEntry]) -> Dict[str, Dict[str, int]
         key = entry.complexity.name
         bucket[key] = bucket.get(key, 0) + 1
     return histogram
+
+
+def build_origins(entries: Sequence[DatasetEntry]) -> Dict[str, int]:
+    """The per-origin row counts of ``entries`` (``github`` / ``llm``
+    / ``generated`` / ``repair`` / ...), name-sorted for stable JSON."""
+    origins: Dict[str, int] = {}
+    for entry in entries:
+        origins[entry.origin] = origins.get(entry.origin, 0) + 1
+    return {name: origins[name] for name in sorted(origins)}

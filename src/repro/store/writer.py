@@ -26,7 +26,14 @@ from ..resilience.atomic import atomic_write_bytes
 from ..resilience.runtime import Resilience
 from ..resilience.runtime import resolve as resolve_resilience
 from .manifest import StoreManifest
-from .shard import ShardInfo, build_histogram, encode_entry, encode_shard, shard_name
+from .shard import (
+    ShardInfo,
+    build_histogram,
+    build_origins,
+    encode_entry,
+    encode_shard,
+    shard_name,
+)
 
 PathLike = Union[str, Path]
 
@@ -107,6 +114,7 @@ class ShardWriter:
                 byte_size=len(payload),
                 raw_size=raw_size,
                 histogram=build_histogram(buffer),
+                origins=build_origins(buffer),
             ))
             manifest.n_entries += len(buffer)
             manifest.total_bytes += len(payload)

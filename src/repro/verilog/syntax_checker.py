@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
 
 from . import ast_nodes as ast
 from .lexer import LexError
@@ -53,18 +53,32 @@ class Category(enum.Enum):
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One reported problem."""
+    """One reported problem.
+
+    ``column`` is 1-based where known (lexer/parser errors carry one);
+    0 means the producer had no column information.
+    """
 
     severity: Severity
     category: Category
     message: str
     line: int = 0
+    column: int = 0
 
     def __str__(self) -> str:
         return (
             f"{self.line}: {self.severity.value}: "
             f"[{self.category.value}] {self.message}"
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "severity": self.severity.value,
+            "category": self.category.value,
+            "message": self.message,
+            "line": self.line,
+            "column": self.column,
+        }
 
 
 @dataclass
@@ -432,9 +446,10 @@ def check(
         tree = parse(pre.text)
     except (ParseError, LexError) as exc:
         line = getattr(exc, "line", 0)
+        column = getattr(exc, "col", 0)
         result.diagnostics.append(
             Diagnostic(Severity.ERROR, Category.SYNTAX,
-                       getattr(exc, "message", str(exc)), line)
+                       getattr(exc, "message", str(exc)), line, column)
         )
         return result
     result.source = tree

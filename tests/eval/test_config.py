@@ -1,0 +1,100 @@
+"""EvalConfig: validation, serialisation, and the legacy-kwarg shim."""
+
+import json
+
+import pytest
+
+from repro.eval.config import DEFAULT_KS, EvalConfig
+from repro.eval.harness import evaluate_model, resolve_config
+from repro.eval.problems.machine import build_machine_problems
+from tests.eval.test_harness import OracleModel
+
+
+class TestConfigObject:
+    def test_defaults(self):
+        config = EvalConfig()
+        assert config.n_samples == 10
+        assert config.repair_budget == 0
+        assert config.ks == DEFAULT_KS
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            EvalConfig().n_samples = 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            EvalConfig(n_samples=0)
+        with pytest.raises(ValueError, match="n_test_vectors"):
+            EvalConfig(n_test_vectors=0)
+        with pytest.raises(ValueError, match="repair_budget"):
+            EvalConfig(repair_budget=-1)
+
+    def test_ks_list_coerced_to_tuple(self):
+        assert EvalConfig(ks=[1, 2]).ks == (1, 2)
+
+    def test_with_overrides(self):
+        base = EvalConfig(seed=3)
+        changed = base.with_overrides(repair_budget=2, n_samples=4)
+        assert changed.repair_budget == 2
+        assert changed.n_samples == 4
+        assert changed.seed == 3
+        assert base.repair_budget == 0  # original untouched
+
+    def test_round_trip(self):
+        config = EvalConfig(n_samples=4, temperature=0.5, seed=9,
+                            repair_budget=3, model_name="m")
+        again = EvalConfig.from_json(config.to_json())
+        assert again == config
+
+    def test_from_dict_ignores_unknown_and_schema(self):
+        config = EvalConfig.from_dict({
+            "schema": EvalConfig.schema, "n_samples": 2,
+            "not_a_field": True})
+        assert config.n_samples == 2
+
+    def test_golden_bytes(self):
+        assert EvalConfig(n_samples=2, seed=1).to_json() == (
+            '{"ks": [1, 5, 10], "model_name": null, "n_samples": 2, '
+            '"n_test_vectors": 32, "repair_budget": 0, "seed": 1, '
+            '"temperature": 0.8}')
+
+
+class TestResolveConfig:
+    def test_plain_config_passthrough(self):
+        config = EvalConfig(n_samples=3)
+        assert resolve_config(config, {}) is config
+
+    def test_no_args_yields_defaults(self):
+        assert resolve_config(None, {}) == EvalConfig()
+
+    def test_legacy_kwargs_warn_and_map(self):
+        with pytest.warns(DeprecationWarning, match="EvalConfig"):
+            config = resolve_config(None, {"n_samples": 3, "seed": 7})
+        assert config == EvalConfig(n_samples=3, seed=7)
+
+    def test_config_plus_legacy_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_config(EvalConfig(), {"n_samples": 3})
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="bogus"):
+            resolve_config(None, {"bogus": 1})
+
+
+class TestLegacyParity:
+    def test_legacy_call_matches_config_call(self):
+        problems = build_machine_problems()[:2]
+        model = OracleModel(problems)
+        config_report = evaluate_model(
+            model, problems,
+            EvalConfig(n_samples=2, seed=4, n_test_vectors=6))
+        with pytest.warns(DeprecationWarning):
+            legacy_report = evaluate_model(
+                model, problems, n_samples=2, seed=4, n_test_vectors=6)
+        config_results = json.dumps(
+            [result.to_dict() for result in config_report.results],
+            sort_keys=True)
+        legacy_results = json.dumps(
+            [result.to_dict() for result in legacy_report.results],
+            sort_keys=True)
+        assert config_results == legacy_results

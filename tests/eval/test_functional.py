@@ -112,3 +112,47 @@ class TestRobustness:
                 "  assign cout = 1'b0;\nendmodule")
         outcome = run_functional_test(lazy, adder.spec, n_vectors=4)
         assert not outcome.passed
+
+
+class TestOutcomeReport:
+    """TestOutcome/Mismatch as Reportable documents."""
+
+    def _outcome(self):
+        from repro.eval.functional import Mismatch, TestOutcome
+
+        return TestOutcome(
+            passed=False, failure_kind="mismatch",
+            detail="1/4 vectors wrong", vectors_run=4,
+            mismatches=[Mismatch(vector_index=2, output="y",
+                                 expected=1, actual=0,
+                                 inputs={"a": 1})])
+
+    def test_round_trip(self):
+        from repro.eval.functional import TestOutcome
+
+        outcome = self._outcome()
+        again = TestOutcome.from_dict(outcome.to_dict())
+        assert again.to_json() == outcome.to_json()
+        assert again.mismatches[0].vector_index == 2
+
+    def test_golden_bytes(self):
+        assert self._outcome().to_json() == (
+            '{"detail": "1/4 vectors wrong", '
+            '"failure_kind": "mismatch", '
+            '"mismatches": [{"actual": 0, "expected": 1, '
+            '"inputs": {"a": 1}, "output": "y", "vector_index": 2}], '
+            '"passed": false, "vectors_run": 4}')
+
+    def test_schema_identifier(self):
+        from repro.eval.functional import TestOutcome
+
+        assert TestOutcome.schema == "pyranet/test-outcome/v1"
+
+    def test_live_outcome_serialises(self, adder):
+        from repro.eval.functional import TestOutcome, run_functional_test
+
+        outcome = run_functional_test(
+            "not verilog", adder.spec, n_vectors=4)
+        again = TestOutcome.from_dict(outcome.to_dict())
+        assert again.to_json() == outcome.to_json()
+        assert not again.passed

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.eval.config import EvalConfig
 from repro.eval.harness import (
     EvalReport,
     ProblemResult,
@@ -95,21 +96,24 @@ class TestProblemSuites:
 class TestEvaluateModel:
     def test_oracle_scores_100(self):
         problems = build_machine_problems()[:5]
-        report = evaluate_model(OracleModel(problems), problems,
-                                n_samples=3, n_test_vectors=8)
+        report = evaluate_model(
+            OracleModel(problems), problems,
+            EvalConfig(n_samples=3, n_test_vectors=8))
         assert report.pass_at(1) == pytest.approx(100.0)
 
     def test_junk_scores_0(self):
         problems = build_machine_problems()[:5]
-        report = evaluate_model(JunkModel(), problems, n_samples=3,
-                                n_test_vectors=8)
+        report = evaluate_model(
+            JunkModel(), problems,
+            EvalConfig(n_samples=3, n_test_vectors=8))
         assert report.pass_at(1) == 0.0
         assert report.failure_histogram().get("parse", 0) > 0
 
     def test_report_summary_shape(self):
         problems = build_machine_problems()[:3]
-        report = evaluate_model(JunkModel(), problems, n_samples=10,
-                                n_test_vectors=4)
+        report = evaluate_model(
+            JunkModel(), problems,
+            EvalConfig(n_samples=10, n_test_vectors=4))
         summary = report.summary()
         assert set(summary) == {"pass@1", "pass@5", "pass@10"}
 
@@ -118,11 +122,13 @@ class TestEvaluateModel:
 
         problems = build_machine_problems()[:4]
         model = ConditionalCodeModel(CODELLAMA_7B, seed=5)
-        a = evaluate_model(model, problems, n_samples=4, seed=9,
-                           n_test_vectors=8)
+        a = evaluate_model(
+            model, problems,
+            EvalConfig(n_samples=4, seed=9, n_test_vectors=8))
         model2 = ConditionalCodeModel(CODELLAMA_7B, seed=5)
-        b = evaluate_model(model2, problems, n_samples=4, seed=9,
-                           n_test_vectors=8)
+        b = evaluate_model(
+            model2, problems,
+            EvalConfig(n_samples=4, seed=9, n_test_vectors=8))
         assert a.summary() == b.summary()
 
     def test_problem_result_pass_at(self):
@@ -133,21 +139,21 @@ class TestEvaluateModel:
         from repro.model.generator import CODELLAMA_7B, ConditionalCodeModel
 
         problems = build_machine_problems()[:6]
+        config = EvalConfig(n_samples=4, seed=9, n_test_vectors=8)
         serial = evaluate_model(
             ConditionalCodeModel(CODELLAMA_7B, seed=5), problems,
-            n_samples=4, seed=9, n_test_vectors=8,
-            executor=ParallelExecutor.serial())
+            config, executor=ParallelExecutor.serial())
         threaded = evaluate_model(
             ConditionalCodeModel(CODELLAMA_7B, seed=5), problems,
-            n_samples=4, seed=9, n_test_vectors=8,
-            executor=ParallelExecutor(mode="thread", max_workers=4))
+            config, executor=ParallelExecutor(mode="thread", max_workers=4))
         assert [r.to_dict() for r in serial.results] == [
             r.to_dict() for r in threaded.results]
 
     def test_trace_reports_fanout_and_cache(self):
         problems = build_machine_problems()[:4]
-        report = evaluate_model(JunkModel(), problems, n_samples=5,
-                                n_test_vectors=4)
+        report = evaluate_model(
+            JunkModel(), problems,
+            EvalConfig(n_samples=5, n_test_vectors=4))
         trace = report.trace
         assert trace is not None
         stage = trace.stage("sample+simulate")
@@ -161,17 +167,17 @@ class TestEvaluateModel:
     def test_shared_cache_reused_across_models(self):
         problems = build_machine_problems()[:3]
         cache = ResultCache()
-        first = evaluate_model(JunkModel(), problems, n_samples=3,
-                               n_test_vectors=4, cache=cache)
-        second = evaluate_model(JunkModel(), problems, n_samples=3,
-                                n_test_vectors=4, cache=cache)
+        config = EvalConfig(n_samples=3, n_test_vectors=4)
+        first = evaluate_model(JunkModel(), problems, config, cache=cache)
+        second = evaluate_model(JunkModel(), problems, config, cache=cache)
         assert second.trace.stage("sample+simulate").cache_misses == 0
         assert first.summary() == second.summary()
 
     def test_report_json_round_trip(self):
         problems = build_machine_problems()[:3]
-        report = evaluate_model(JunkModel(), problems, n_samples=4,
-                                n_test_vectors=4)
+        report = evaluate_model(
+            JunkModel(), problems,
+            EvalConfig(n_samples=4, n_test_vectors=4))
         restored = EvalReport.from_json(report.to_json())
         assert restored.suite == report.suite
         assert restored.model_name == report.model_name

@@ -1,0 +1,167 @@
+"""pass@k(repair_budget): parity at r=0, monotonicity, round trips."""
+
+import json
+import random
+
+import pytest
+
+from repro.corpus.templates import generate_design
+from repro.eval.config import EvalConfig
+from repro.eval.harness import evaluate_model
+from repro.eval.problems.machine import build_machine_problems
+from repro.eval.repair_eval import (
+    RepairEvalReport,
+    RepairProblemResult,
+    evaluate_with_repair,
+)
+from repro.model.interfaces import FineTunable, TrainStats
+
+
+class BreakyOracleModel(FineTunable):
+    """Emits the reference solution with 0–2 semicolons removed,
+    chosen by the per-sample RNG — so some samples fail at first and
+    need exactly that many repair iterations to pass."""
+
+    def __init__(self, problems):
+        self._sources = {}
+        for problem in problems:
+            design = generate_design(
+                problem.spec.family, random.Random(0),
+                params=problem.spec.params,
+                module_name=problem.spec.module_name)
+            self._sources[problem.description] = design.source
+
+    def train_batch(self, examples, loss_weight):
+        return TrainStats()
+
+    def generate(self, description, temperature=0.8, rng=None,
+                 module_header=None):
+        source = self._sources.get(
+            description, "module top_module(); endmodule")
+        breaks = (rng or random.Random(0)).choice([0, 1, 1, 2])
+        for _ in range(breaks):
+            index = source.rindex(";")
+            source = source[:index] + source[index + 1:]
+        return source
+
+
+@pytest.fixture(scope="module")
+def problems():
+    return build_machine_problems()[:3]
+
+
+@pytest.fixture(scope="module")
+def model(problems):
+    return BreakyOracleModel(problems)
+
+
+def _results_json(results):
+    return json.dumps([result.to_dict() for result in results],
+                      sort_keys=True)
+
+
+CONFIG = EvalConfig(n_samples=4, seed=2, n_test_vectors=6)
+
+
+class TestZeroBudgetParity:
+    def test_r0_byte_identical_to_evaluate_model(self, problems, model):
+        classic = evaluate_model(model, problems, CONFIG)
+        repair = evaluate_with_repair(
+            model, problems, CONFIG.with_overrides(repair_budget=0))
+        assert _results_json(repair.base_results()) == \
+            _results_json(classic.results)
+
+    def test_base_results_stable_under_budget(self, problems, model):
+        """More budget never changes the r=0 column."""
+        classic = evaluate_model(model, problems, CONFIG)
+        repaired = evaluate_with_repair(
+            model, problems, CONFIG.with_overrides(repair_budget=2))
+        assert _results_json(repaired.base_results()) == \
+            _results_json(classic.results)
+
+
+class TestMonotonicity:
+    def test_pass_rate_non_decreasing_in_budget(self, problems, model):
+        rates = []
+        for budget in (0, 1, 2, 3):
+            report = evaluate_with_repair(
+                model, problems,
+                CONFIG.with_overrides(repair_budget=budget))
+            rates.append(report.pass_at(1))
+        assert rates == sorted(rates)
+        # The broken-oracle model is always rescuable within budget 2.
+        assert rates[-1] > rates[0]
+
+    def test_passed_at_cumulative_per_problem(self, problems, model):
+        report = evaluate_with_repair(
+            model, problems, CONFIG.with_overrides(repair_budget=3))
+        for result in report.results:
+            assert result.passed_at == sorted(result.passed_at)
+            assert len(result.passed_at) == 4
+            assert result.n_repaired >= 0
+
+    def test_fix_rate_curve_monotone_in_unit_interval(self, problems,
+                                                      model):
+        report = evaluate_with_repair(
+            model, problems, CONFIG.with_overrides(repair_budget=2))
+        curve = report.fix_rate_curve()
+        assert len(curve) == 3
+        assert curve == sorted(curve)
+        assert all(0.0 <= rate <= 1.0 for rate in curve)
+        assert curve[0] == 0.0  # zero iterations fix nothing
+
+    def test_full_budget_rescues_all_breaks(self, problems, model):
+        """Every break is 1–2 missing semicolons: budget 2 fixes all."""
+        report = evaluate_with_repair(
+            model, problems, CONFIG.with_overrides(repair_budget=2))
+        assert report.pass_at(1) == 100.0
+
+
+class TestReportShape:
+    def test_round_trip(self, problems, model):
+        report = evaluate_with_repair(
+            model, problems, CONFIG.with_overrides(repair_budget=2))
+        again = RepairEvalReport.from_json(report.to_json())
+        assert _results_json(again.results) == \
+            _results_json(report.results)
+        assert again.repair_budget == 2
+        assert again.config == report.config
+
+    def test_summary_at_budget_levels(self, problems, model):
+        report = evaluate_with_repair(
+            model, problems, CONFIG.with_overrides(repair_budget=2))
+        classic = report.summary(ks=(1,), budget=0)["pass@1"]
+        repaired = report.summary(ks=(1,))["pass@1"]
+        assert repaired >= classic
+
+    def test_deterministic(self, problems, model):
+        config = CONFIG.with_overrides(repair_budget=1)
+        first = evaluate_with_repair(model, problems, config)
+        second = evaluate_with_repair(model, problems, config)
+        assert _results_json(first.results) == \
+            _results_json(second.results)
+
+
+class TestRepairProblemResult:
+    def test_pass_at_budget_argument(self):
+        result = RepairProblemResult(
+            problem_id="p", n_samples=4, passed_at=[1, 2, 4])
+        assert result.pass_at(1, budget=0) < result.pass_at(1, budget=2)
+        assert result.pass_at(1) == result.pass_at(1, budget=2)
+        # Budgets beyond the recorded curve clamp to the last entry.
+        assert result.pass_at(1, budget=99) == result.pass_at(1)
+
+    def test_round_trip(self):
+        result = RepairProblemResult(
+            problem_id="p", n_samples=4, passed_at=[1, 3],
+            failure_kinds={"mismatch": 3})
+        again = RepairProblemResult.from_dict(result.to_dict())
+        assert again.to_dict() == result.to_dict()
+
+    def test_base_result_projection(self):
+        result = RepairProblemResult(
+            problem_id="p", n_samples=4, passed_at=[2, 4],
+            failure_kinds={"mismatch": 2})
+        base = result.base_result()
+        assert base.n_passed == 2
+        assert base.failure_kinds == {"mismatch": 2}

@@ -6,7 +6,7 @@ import pytest
 
 from repro.corpus import mutate
 from repro.corpus.templates import generate_design, generate_random_design
-from repro.model.repair import repair
+from repro.model.repair import RepairResult, _insert_semicolon, repair
 from repro.verilog import check
 
 
@@ -55,6 +55,64 @@ class TestRepairRules:
     def test_gives_up_on_hopeless_input(self):
         result = repair(")))((( nonsense", max_iterations=3)
         assert not result.fixed
+
+
+class TestInsertSemicolon:
+    """The column-driven insertion path (regression: the old
+    heuristic patched only the line *above* the diagnostic, so a
+    missing semicolon reported on line 1 was unfixable)."""
+
+    def test_line_one_error_fixed_via_column(self):
+        code = "module m(input a, output y); assign y = a endmodule\n"
+        report = check(code)
+        diag = report.diagnostics[0]
+        assert diag.line == 1 and diag.column > 1
+        result = repair(code)
+        assert result.fixed, result.actions
+        assert check(result.code).status == "clean"
+
+    def test_column_splices_within_line(self):
+        code = "module m(input a, output y); assign y = a endmodule\n"
+        diag = check(code).diagnostics[0]
+        fixed = _insert_semicolon(code, diag.line, diag.column)
+        assert fixed is not None
+        assert "assign y = a; endmodule" in fixed
+
+    def test_no_column_falls_back_to_previous_line(self):
+        code = "module m(input a, output y);\n  assign y = a\nendmodule\n"
+        fixed = _insert_semicolon(code, 3, 0)
+        assert fixed is not None
+        assert fixed.split("\n")[1].endswith(";")
+
+    def test_out_of_range_line_is_refused(self):
+        assert _insert_semicolon("module m;\nendmodule\n", 99) is None
+        assert _insert_semicolon("module m;\nendmodule\n", 0) is None
+
+    def test_never_doubles_a_semicolon(self):
+        code = "module m(input a, output y);\n  assign y = a;\nendmodule\n"
+        assert _insert_semicolon(code, 3, 0) is None
+
+
+class TestRepairResultReport:
+    def test_round_trip(self):
+        result = RepairResult(
+            code="module m; endmodule", fixed=True, iterations=2,
+            actions=["insert_semicolon", "strip_garbage"],
+            final_status="clean")
+        again = RepairResult.from_dict(result.to_dict())
+        assert again.to_json() == result.to_json()
+
+    def test_golden_bytes(self):
+        result = RepairResult(
+            code="module m; endmodule", fixed=True, iterations=2,
+            actions=["insert_semicolon"], final_status="clean")
+        assert result.to_json() == (
+            '{"actions": ["insert_semicolon"], '
+            '"code": "module m; endmodule", '
+            '"final_status": "clean", "fixed": true, "iterations": 2}')
+
+    def test_schema_identifier(self):
+        assert RepairResult.schema == "pyranet/repair-result/v1"
 
 
 class TestRepairOverMutations:

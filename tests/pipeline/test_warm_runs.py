@@ -11,6 +11,7 @@ recompute" because a miss is what triggers a compute.
 
 from repro.corpus import GitHubScrapeSimulator
 from repro.dataset import CurationPipeline
+from repro.eval.config import EvalConfig
 from repro.eval.harness import evaluate_model
 from repro.eval.problems.machine import build_machine_problems
 from repro.model.interfaces import FineTunable, TrainStats
@@ -89,8 +90,9 @@ class TestEvalWarmRun:
                                 disk=DiskCache(tmp_path / "eval",
                                                obs=obs))
             report = evaluate_model(
-                TinyModel(), problems, n_samples=3, seed=3,
-                n_test_vectors=8, cache=cache, obs=obs)
+                TinyModel(), problems,
+                EvalConfig(n_samples=3, seed=3, n_test_vectors=8),
+                cache=cache, obs=obs)
             return report, obs.run_report().metrics["counters"]
 
         cold_report, cold = run_once()

@@ -1,0 +1,68 @@
+"""RepairFeedback: construction, rendering, golden bytes."""
+
+from repro.eval.functional import Mismatch
+from repro.eval.functional import TestOutcome as FunctionalOutcome
+from repro.repairloop import RepairFeedback
+from repro.verilog import check
+
+BROKEN = "module m(input a, output y);\n  assign y = ~a\nendmodule\n"
+
+
+class TestFromCheck:
+    def test_syntax_failure_kind(self):
+        feedback = RepairFeedback.from_check(check(BROKEN))
+        assert feedback.kind == "syntax"
+        assert feedback.diagnostics
+        error = feedback.first_error()
+        assert error is not None
+        assert error["severity"] == "error"
+        assert error["line"] >= 1
+
+    def test_diagnostics_carry_columns(self):
+        feedback = RepairFeedback.from_check(check(BROKEN))
+        assert all("column" in diag for diag in feedback.diagnostics)
+
+    def test_render_names_location(self):
+        feedback = RepairFeedback.from_check(check(BROKEN))
+        text = feedback.render()
+        assert "// syntax failure" in text
+        assert "line" in text
+
+
+class TestFromOutcome:
+    def test_functional_kind_with_counterexamples(self):
+        outcome = FunctionalOutcome(
+            passed=False, failure_kind="mismatch", detail="1/4 wrong",
+            vectors_run=4,
+            mismatches=[Mismatch(vector_index=2, output="y",
+                                 expected=1, actual=0,
+                                 inputs={"a": 1})])
+        feedback = RepairFeedback.from_outcome(outcome)
+        assert feedback.kind == "functional"
+        text = feedback.render()
+        assert "vector 2" in text
+        assert "expected 1" in text
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        feedback = RepairFeedback.from_check(check(BROKEN))
+        again = RepairFeedback.from_dict(feedback.to_dict())
+        assert again.to_json() == feedback.to_json()
+
+    def test_golden_bytes(self):
+        """Committed wire shape: sorted keys, exact layout."""
+        feedback = RepairFeedback(
+            kind="syntax",
+            diagnostics=[{"severity": "error", "category": "parse",
+                          "message": "expected ';'", "line": 2,
+                          "column": 3}])
+        assert feedback.to_json() == (
+            '{"diagnostics": [{"category": "parse", "column": 3, '
+            '"line": 2, "message": "expected \'' + ";" + '\'", '
+            '"severity": "error"}], "kind": "syntax", "outcome": null}')
+
+    def test_schema_tolerated_in_from_dict(self):
+        data = {"schema": RepairFeedback.schema, "kind": "functional",
+                "diagnostics": [], "outcome": None}
+        assert RepairFeedback.from_dict(data).kind == "functional"

@@ -1,0 +1,192 @@
+"""The repair loop: determinism, budgets, checkpoint/kill/resume."""
+
+import random
+
+import pytest
+
+from repro.corpus import mutate
+from repro.corpus.templates import generate_design
+from repro.obs import Observability
+from repro.repairloop import (
+    ModelRepairer,
+    RepairLoop,
+    RepairTranscript,
+    RuleBasedRepairer,
+)
+from repro.repairloop.loop import ITERATION_SITE, loop_seed
+from repro.resilience import (
+    Checkpointer,
+    FaultPlan,
+    FaultRule,
+    Resilience,
+    SimulatedCrash,
+)
+from repro.verilog import check
+
+
+def _design(seed=0):
+    return generate_design("up_counter", random.Random(seed))
+
+
+def _drop_last_semicolons(source, count):
+    """Remove the last ``count`` semicolons (one repair each)."""
+    for _ in range(count):
+        index = source.rindex(";")
+        source = source[:index] + source[index + 1:]
+    return source
+
+
+class TestLoopSeed:
+    def test_stable(self):
+        assert loop_seed(7, "cand", 1) == loop_seed(7, "cand", 1)
+
+    def test_distinct_across_axes(self):
+        seeds = {loop_seed(7, "cand", 1), loop_seed(7, "cand", 2),
+                 loop_seed(7, "other", 1), loop_seed(8, "cand", 1)}
+        assert len(seeds) == 4
+
+
+class TestSyntaxRepair:
+    def test_fixes_single_missing_semicolon(self):
+        broken = _drop_last_semicolons(_design().source, 1)
+        transcript = RepairLoop(budget=2).run(broken, candidate_id="c")
+        assert transcript.fixed
+        assert transcript.fixed_at == 1
+        assert transcript.initial_status == "syntax"
+        assert check(transcript.final_code).status != "syntax"
+        assert transcript.iterations[0].action == "insert_semicolon"
+        assert transcript.iterations[0].repairer == "rule-based"
+
+    def test_two_breaks_take_two_iterations(self):
+        broken = _drop_last_semicolons(_design().source, 2)
+        short = RepairLoop(budget=1).run(broken, candidate_id="c")
+        full = RepairLoop(budget=3).run(broken, candidate_id="c")
+        assert not short.fixed
+        assert full.fixed
+        assert full.fixed_at == 2
+
+    def test_already_clean_needs_no_iterations(self):
+        source = _design().source
+        transcript = RepairLoop(budget=2).run(source, candidate_id="c")
+        assert transcript.fixed
+        assert transcript.fixed_at == 0
+        assert transcript.n_iterations() == 0
+        assert transcript.final_code == source
+
+    def test_budget_zero_never_repairs(self):
+        broken = _drop_last_semicolons(_design().source, 1)
+        transcript = RepairLoop(budget=0).run(broken, candidate_id="c")
+        assert not transcript.fixed
+        assert transcript.n_iterations() == 0
+        assert transcript.final_code == broken
+
+    def test_rule_based_declines_functional_feedback(self):
+        from repro.repairloop import RepairContext, RepairFeedback
+
+        repairer = RuleBasedRepairer()
+        feedback = RepairFeedback(kind="functional")
+        assert repairer.propose("module m; endmodule", feedback,
+                                RepairContext(),
+                                random.Random(0)) is None
+
+
+class TestFunctionalRepair:
+    def test_model_repairer_regenerates_to_pass(self):
+        design = _design()
+        broken = mutate.corrupt_function(
+            design.source, random.Random(3))
+
+        class OracleStub:
+            def generate(self, description, temperature=0.8, rng=None,
+                         module_header=None):
+                return design.source
+
+        loop = RepairLoop(budget=2, n_test_vectors=8,
+                          repairer=ModelRepairer(OracleStub()))
+        transcript = loop.run(broken.source, spec=design.spec,
+                              candidate_id="c",
+                              description=design.description)
+        assert transcript.fixed
+        assert transcript.final_status == "pass"
+        assert transcript.iterations[-1].status == "pass"
+
+    def test_functional_failure_feedback_kind(self):
+        design = _design()
+        broken = mutate.corrupt_function(design.source, random.Random(3))
+        transcript = RepairLoop(budget=1, n_test_vectors=8).run(
+            broken.source, spec=design.spec, candidate_id="c")
+        # Rule-based repairer has nothing for functional damage.
+        assert not transcript.fixed
+        assert transcript.initial_status == "fail"
+
+
+class TestDeterminism:
+    def test_repeated_runs_byte_identical(self):
+        broken = _drop_last_semicolons(_design().source, 2)
+        first = RepairLoop(budget=3, seed=11).run(broken,
+                                                  candidate_id="c")
+        second = RepairLoop(budget=3, seed=11).run(broken,
+                                                   candidate_id="c")
+        assert first.to_json() == second.to_json()
+
+    def test_transcript_round_trip(self):
+        broken = _drop_last_semicolons(_design().source, 1)
+        transcript = RepairLoop(budget=2).run(broken, candidate_id="c")
+        again = RepairTranscript.from_dict(transcript.to_dict())
+        assert again.to_json() == transcript.to_json()
+        assert RepairTranscript.from_json(
+            transcript.to_json()).to_json() == transcript.to_json()
+
+
+class TestKillResume:
+    def test_resumed_loop_byte_identical(self, tmp_path):
+        broken = _drop_last_semicolons(_design().source, 2)
+        golden = RepairLoop(budget=3, seed=5).run(broken,
+                                                  candidate_id="c")
+        assert golden.fixed and golden.n_iterations() == 2
+
+        journal = tmp_path / "journal"
+        # Crash on the second live iteration: the first is already
+        # journaled, so the resume must replay it, not recompute.
+        plan = FaultPlan([FaultRule(site=ITERATION_SITE, kind="crash",
+                                    ordinals=(1,))])
+        doomed = Resilience(checkpointer=Checkpointer(journal),
+                            fault_plan=plan)
+        with pytest.raises(SimulatedCrash):
+            RepairLoop(budget=3, seed=5, resilience=doomed).run(
+                broken, candidate_id="c")
+
+        obs = Observability()
+        revived = Resilience(checkpointer=Checkpointer(journal))
+        resumed = RepairLoop(budget=3, seed=5, resilience=revived,
+                             obs=obs).run(broken, candidate_id="c")
+        assert resumed.to_json() == golden.to_json()
+        assert obs.registry.counter(
+            "repair.iterations.replayed").value == 1
+
+    def test_signature_mismatch_starts_fresh(self, tmp_path):
+        broken = _drop_last_semicolons(_design().source, 1)
+        journal = tmp_path / "journal"
+        first = Resilience(checkpointer=Checkpointer(journal))
+        RepairLoop(budget=2, seed=5, resilience=first).run(
+            broken, candidate_id="c")
+        # Different seed → different signature → no stale replay.
+        second = Resilience(checkpointer=Checkpointer(journal))
+        transcript = RepairLoop(budget=2, seed=6,
+                                resilience=second).run(
+            broken, candidate_id="c")
+        assert transcript.seed == 6
+        assert transcript.fixed
+
+
+class TestObservability:
+    def test_span_and_histogram_recorded(self):
+        obs = Observability()
+        broken = _drop_last_semicolons(_design().source, 1)
+        RepairLoop(budget=2, obs=obs).run(broken, candidate_id="c")
+        spans = [span for span in obs.tracer.export()
+                 if span["name"] == "repair.loop"]
+        assert spans and spans[0]["meta"]["fixed"] is True
+        histogram = obs.registry.histogram("repair.iterations")
+        assert histogram.count == 1
+        assert obs.registry.counter("repair.loop.fixed").value == 1

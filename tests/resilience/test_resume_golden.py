@@ -12,6 +12,7 @@ import pytest
 
 from repro.corpus.github_sim import GitHubScrapeSimulator
 from repro.dataset.pipeline import CurationPipeline
+from repro.eval.config import EvalConfig
 from repro.eval.harness import evaluate_model
 from repro.eval.problems.machine import build_machine_problems
 from repro.model.interfaces import FineTunable, TrainStats
@@ -160,10 +161,10 @@ class TestEvalResume:
     def test_killed_eval_resumes_identically(self, tmp_path):
         problems = build_machine_problems()[:4]
         model = _JunkModel()
-        kwargs = dict(n_samples=3, seed=11, n_test_vectors=8,
-                      executor=ParallelExecutor.serial())
+        config = EvalConfig(n_samples=3, seed=11, n_test_vectors=8)
+        kwargs = dict(executor=ParallelExecutor.serial())
 
-        golden = evaluate_model(model, problems, **kwargs)
+        golden = evaluate_model(model, problems, config, **kwargs)
 
         journal = tmp_path / "journal"
         plan = FaultPlan([FaultRule(site="stage.sample+simulate",
@@ -171,11 +172,12 @@ class TestEvalResume:
         doomed = Resilience(checkpointer=Checkpointer(journal, interval=1),
                             fault_plan=plan)
         with pytest.raises(SimulatedCrash):
-            evaluate_model(model, problems, resilience=doomed, **kwargs)
+            evaluate_model(model, problems, config, resilience=doomed,
+                           **kwargs)
 
         revived = Resilience(checkpointer=Checkpointer(journal, interval=1))
-        resumed = evaluate_model(model, problems, resilience=revived,
-                                 **kwargs)
+        resumed = evaluate_model(model, problems, config,
+                                 resilience=revived, **kwargs)
 
         golden_rows = [r.to_dict() for r in golden.results]
         resumed_rows = [r.to_dict() for r in resumed.results]

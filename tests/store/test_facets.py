@@ -83,7 +83,23 @@ class TestFacets:
             "n_entries": 0,
             "layers": {},
             "complexity": {"Basic": 0, "Intermediate": 0,
-                           "Advanced": 0, "Expert": 0}}
+                           "Advanced": 0, "Expert": 0},
+            "origins": {}}
+
+    def test_origin_counts(self, tmp_path):
+        facets = facets_of(tmp_path)
+        # make_dataset leaves DatasetEntry.origin at its default.
+        assert facets["origins"] == {"github": 6}
+
+    def test_origin_keys_name_sorted(self, tmp_path):
+        dataset = make_dataset()
+        for i, origin in enumerate(["repair", "llm", "generated"]):
+            dataset.entries[i].origin = origin
+        write_store(dataset, tmp_path)
+        facets = StoreManifest.load(tmp_path).facets()
+        assert list(facets["origins"]) == sorted(facets["origins"])
+        assert facets["origins"] == {
+            "generated": 1, "github": 3, "llm": 1, "repair": 1}
 
     def test_agrees_with_existing_indexes(self, tmp_path):
         write_store(make_dataset(), tmp_path)
