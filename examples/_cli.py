@@ -23,6 +23,10 @@ Every ``examples/*.py`` accepts the same flags:
 ``--store-dir PATH``
     write/read the sharded dataset store where the script has one
     (scripts with nothing to store say so and continue);
+``--families``
+    write the curation run's design-family report as ``families.json``
+    next to the store (or the working directory without ``--store-dir``;
+    scripts that run no curation say so and continue);
 ``--cache-dir PATH``
     persist content-addressed stage results (syntax checks, rankings,
     simulation outcomes) under PATH, so re-running the script over an
@@ -85,6 +89,11 @@ def build_parser(description: str,
     parser.add_argument(
         "--store-dir", metavar="PATH", default=None,
         help="write/read the sharded dataset store at PATH")
+    parser.add_argument(
+        "--families", action="store_true",
+        help="write the design-family report (families.json) next to "
+             "the store (scripts without a curation run say so and "
+             "continue)")
     parser.add_argument(
         "--cache-dir", metavar="PATH", default=None,
         help="persist content-addressed stage results under PATH; "
@@ -215,3 +224,10 @@ def note_unused_cache(args: argparse.Namespace) -> None:
     if args.cache_dir:
         print(f"(--cache-dir {args.cache_dir}: this example has no "
               "cached stages to persist; ignored)")
+
+
+def note_unused_families(args: argparse.Namespace) -> None:
+    """For scripts with no curation run: acknowledge the flag."""
+    if getattr(args, "families", False):
+        print("(--families: this example runs no curation, so there is "
+              "no family report to write; ignored)")

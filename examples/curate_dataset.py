@@ -26,7 +26,9 @@ picks up from its last checkpoint; ``--fault-plan PATH`` injects a
 deterministic fault schedule (resilience drills); ``--stream`` curates
 through the memory-bounded streaming path (the scrape is consumed
 lazily, output is byte-identical) and ``--workers N`` fans its fused
-stage workers out over an N-process pool.
+stage workers out over an N-process pool; ``--families`` writes the
+run's design-family report (near-duplicate variant graphs with
+detection evidence) as ``families.json`` next to the store.
 """
 
 import random
@@ -138,6 +140,17 @@ def main() -> None:
 
     _cli.write_report(args, result.report)
 
+    family_report = result.report.families
+    if family_report is not None and family_report.n_families:
+        print(f"\ndesign families: {family_report.n_families} families, "
+              f"{family_report.n_variants} near-duplicate variant(s); "
+              f"size histogram {family_report.size_histogram()}")
+        biggest = max(family_report.families, key=lambda fam: fam.size)
+        print(f"  e.g. {biggest.family_id}: canonical "
+              f"{biggest.canonical_path or biggest.canonical_entry_id!r} "
+              f"+ {len(biggest.variants)} variant(s), evidence "
+              f"{[ev.kind for ev in biggest.variants[0].evidence]}")
+
     if args.store_dir:
         print(f"\n4) Sharding into the content-addressed store "
               f"({args.store_dir})…")
@@ -157,6 +170,27 @@ def main() -> None:
         phases = service.curriculum_phases()
         print(f"   curriculum off the shards: {len(phases)} phases, "
               f"first {[p.label for p in phases[:4]]}")
+
+        print("   families facet:", manifest.facets()["families"])
+
+        split = service.split(eval_fraction=0.1)
+        print(f"   family-atomic split: {split.n_train} train / "
+              f"{split.n_eval} eval rows over {split.n_groups} groups "
+              "(no family straddles the split)")
+
+    if args.families:
+        if family_report is None:
+            print("\n(--families: this run produced no family report; "
+                  "ignored)")
+        else:
+            from pathlib import Path
+
+            target = (Path(args.store_dir) if args.store_dir
+                      else Path(".")) / "families.json"
+            target.write_text(family_report.to_json(indent=2) + "\n",
+                              encoding="utf-8")
+            print(f"\nwrote family report to {target} "
+                  f"({family_report.n_families} families)")
 
     _cli.write_trace(args, obs, example="curate_dataset")
 

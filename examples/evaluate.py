@@ -40,6 +40,7 @@ def main() -> None:
     args = parser.parse_args()
     obs = _cli.observability_from(args)
     _cli.note_unused_store(args)
+    _cli.note_unused_families(args)
     _cli.note_unused_stream(args)
 
     pyranet = PyraNet(seed=args.seed, n_samples=args.n_samples,

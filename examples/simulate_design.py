@@ -88,6 +88,7 @@ def main() -> None:
         default_seed=0).parse_args()
     obs = _cli.observability_from(args)
     _cli.note_unused_store(args)
+    _cli.note_unused_families(args)
     _cli.note_unused_cache(args)
     if args.parallel:
         print("(--parallel: simulation is cycle-sequential; ignored)")

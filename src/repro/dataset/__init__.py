@@ -11,7 +11,17 @@ from .dedup import (
 )
 from .ranking import RankingResult, rank_code, score_code
 from .complexity import classify_code, classify_metrics, complexity_score
-from .describe import describe_module, describe_source
+from .describe import describe_blocks, describe_module, describe_source, family_description
+from .families import (
+    Evidence,
+    Family,
+    FamilyForest,
+    FamilyIndex,
+    FamilyReport,
+    FamilyVariant,
+    build_family_artifacts,
+    module_names,
+)
 from .layering import LayerReport, assign_layers, layer_for
 from .pipeline import CurationPipeline, CurationResult, build_pyranet
 from .streaming import (
@@ -31,7 +41,11 @@ __all__ = [
     "jaccard", "tokenize_for_dedup",
     "RankingResult", "rank_code", "score_code",
     "classify_code", "classify_metrics", "complexity_score",
-    "describe_module", "describe_source",
+    "describe_blocks", "describe_module", "describe_source",
+    "family_description",
+    "Evidence", "Family", "FamilyForest", "FamilyIndex",
+    "FamilyReport", "FamilyVariant", "build_family_artifacts",
+    "module_names",
     "LayerReport", "assign_layers", "layer_for",
     "CurationPipeline", "CurationResult", "build_pyranet",
     "StreamingCurationPipeline", "StreamingStoreResult",

@@ -109,6 +109,12 @@ class MinHasher:
     def __post_init__(self) -> None:
         self._params = [_perm_params(self.seed, index)
                         for index in range(self.n_perm)]
+        # Work counters: how many signatures were computed and how many
+        # shingles were digested.  Family construction
+        # (:mod:`.families`) reuses signatures instead of re-hashing;
+        # these counters let tests assert that counter-exactly.
+        self.n_signature_calls = 0
+        self.n_shingles_hashed = 0
         if _np is not None:
             self._a = _np.array([a for a, _ in self._params],
                                 dtype=_np.uint64)[:, None]
@@ -116,8 +122,10 @@ class MinHasher:
                                 dtype=_np.uint64)[:, None]
 
     def signature(self, shingles: FrozenSet[str]) -> Tuple[int, ...]:
+        self.n_signature_calls += 1
         if not shingles:
             return tuple([0] * self.n_perm)
+        self.n_shingles_hashed += len(shingles)
         hashes = [_shingle_hash(s) for s in shingles]
         if _np is not None and len(hashes) >= _VECTOR_MIN_SHINGLES:
             lanes = (self._a * _np.array(hashes, dtype=_np.uint64)
@@ -156,10 +164,22 @@ class DedupReport:
     #: Mapping duplicate index -> representative (kept) index.
     duplicate_of: Dict[int, int] = field(default_factory=dict)
     candidate_pairs_checked: int = 0
+    #: The verified Jaccard similarity of each drop decision, keyed by
+    #: the dropped index — exact provenance for every ``(later,
+    #: earlier)`` pair in ``duplicate_of`` (same keys).
+    similarities: Dict[int, float] = field(default_factory=dict)
 
     @property
     def n_removed(self) -> int:
         return len(self.duplicate_of)
+
+    def drop_pairs(self) -> List[Tuple[int, int, float]]:
+        """Every drop decision as ``(later, earlier, similarity)``,
+        ascending by the dropped index — the audit trail of *which*
+        kept entry caused each drop."""
+        return [(later, self.duplicate_of[later],
+                 self.similarities.get(later, 0.0))
+                for later in sorted(self.duplicate_of)]
 
 
 def deduplicate(
@@ -168,6 +188,8 @@ def deduplicate(
     n_perm: int = 64,
     bands: int = 16,
     hasher: Optional[MinHasher] = None,
+    shingle_sets: Optional[Sequence[FrozenSet[str]]] = None,
+    signatures: Optional[Sequence[Tuple[int, ...]]] = None,
 ) -> DedupReport:
     """Drop near-duplicates by Jaccard threshold.
 
@@ -185,6 +207,11 @@ def deduplicate(
             can pin LSH behaviour against alternative signature
             schemes; candidate *verification* is always exact Jaccard,
             so the hasher only affects which pairs get checked.
+        shingle_sets / signatures: precomputed per-code shingle sets
+            and MinHash signatures (both or neither).  Callers that
+            need the signatures for other work — family clustering in
+            :mod:`.families` — pass them in so no shingle is tokenised
+            or hashed twice.
 
     Returns:
         A :class:`DedupReport` whose ``kept_indices`` preserve input
@@ -196,8 +223,15 @@ def deduplicate(
     if n_perm % bands != 0:
         raise ValueError(f"bands={bands} must divide n_perm={n_perm}")
     rows = n_perm // bands
-    shingle_sets = [tokenize_for_dedup(code) for code in codes]
-    signatures = [hasher.signature(s) for s in shingle_sets]
+    if (shingle_sets is None) != (signatures is None):
+        raise ValueError(
+            "pass shingle_sets and signatures together or not at all")
+    if shingle_sets is None:
+        shingle_sets = [tokenize_for_dedup(code) for code in codes]
+        signatures = [hasher.signature(s) for s in shingle_sets]
+    elif len(shingle_sets) != len(codes) or len(signatures) != len(codes):
+        raise ValueError("precomputed shingle_sets/signatures must "
+                         "cover every code")
 
     report = DedupReport()
     buckets: Dict[Tuple[int, str], List[int]] = {}
@@ -224,6 +258,7 @@ def deduplicate(
                 break
         if duplicate is not None:
             report.duplicate_of[index] = duplicate
+            report.similarities[index] = similarity
             continue
         report.kept_indices.append(index)
         for key in keys:
@@ -350,6 +385,7 @@ def resolve_duplicates(
                 break
         if duplicate is not None:
             report.duplicate_of[index] = duplicate
+            report.similarities[index] = similarity
             continue
         report.kept_indices.append(index)
         kept.add(index)

@@ -12,7 +12,7 @@ must actually talk about *this* code.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..verilog import ast_nodes as ast
 from ..verilog import measure_module
@@ -109,3 +109,99 @@ def describe_source(code: str) -> str:
         return "A Verilog source file with no module declarations."
     descriptions = [describe_module(m) for m in tree.modules[:3]]
     return " ".join(descriptions)
+
+
+# -- block-level granularity (design families) --------------------------
+
+
+def _expr_name(expr) -> str:
+    """A short printable name for an assignment target expression."""
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.Select):
+        return _expr_name(expr.base)
+    if isinstance(expr, ast.Concat):
+        parts = [_expr_name(part) for part in expr.parts]
+        named = [part for part in parts if part]
+        return "{" + ", ".join(named) + "}" if named else ""
+    return ""
+
+
+def _sensitivity_phrase(sensitivity: Optional[ast.SensitivityList]) -> str:
+    if sensitivity is None or sensitivity.star:
+        return "combinational always block (@*)"
+    edges = [item for item in sensitivity.items
+             if item.edge in ("posedge", "negedge")]
+    if edges:
+        triggers = ", ".join(
+            f"{item.edge} {_expr_name(item.expr) or '<expr>'}"
+            for item in edges[:3])
+        return f"clocked always block ({triggers})"
+    return "level-sensitive always block"
+
+
+def _block_phrase(item, module_name: str) -> Optional[str]:
+    """One phrase per behavioural/structural module item; declaration
+    items (nets, parameters) return None — they are interface detail
+    the module-level description already covers."""
+    if isinstance(item, ast.Always):
+        return _sensitivity_phrase(item.sensitivity)
+    if isinstance(item, ast.ContinuousAssign):
+        target = _expr_name(item.target)
+        return (f"continuous assignment driving '{target}'" if target
+                else "continuous assignment")
+    if isinstance(item, ast.Initial):
+        return "initial block (simulation-time initialisation)"
+    if isinstance(item, ast.Instance):
+        return (f"instantiates submodule '{item.module_name}' "
+                f"as '{item.instance_name}'")
+    if isinstance(item, ast.GateInstance):
+        return (f"gate-level primitive '{item.gate_kind}' "
+                f"instance '{item.instance_name}'")
+    if isinstance(item, ast.FunctionDecl):
+        return f"helper function '{item.name}'"
+    if isinstance(item, ast.TaskDecl):
+        return f"task '{item.name}'"
+    if isinstance(item, ast.GenerateFor):
+        return (f"generate-for region replicating logic over "
+                f"genvar '{item.genvar}'")
+    if isinstance(item, ast.GenerateIf):
+        return "conditional generate region"
+    return None
+
+
+#: Caps keeping block lists bounded on pathological inputs.
+_MAX_DESCRIBED_MODULES = 3
+_MAX_BLOCKS = 12
+
+
+def describe_blocks(code: str) -> List[str]:
+    """Block-granularity descriptions: one phrase per behavioural or
+    structural item (always blocks, continuous assigns, instances,
+    generate regions, …) across the first few modules.
+
+    The finer granularity MG-Verilog pairs with module-level summaries;
+    family reports attach both for each canonical member.  Returns
+    ``[]`` when the source does not parse.
+    """
+    try:
+        tree = parse(code)
+    except ParseError:
+        return []
+    blocks: List[str] = []
+    for module in tree.modules[:_MAX_DESCRIBED_MODULES]:
+        prefix = (f"{module.name}: " if len(tree.modules) > 1 else "")
+        for item in module.items:
+            phrase = _block_phrase(item, module.name)
+            if phrase:
+                blocks.append(prefix + phrase)
+            if len(blocks) >= _MAX_BLOCKS:
+                return blocks
+    return blocks
+
+
+def family_description(code: str) -> Dict[str, Any]:
+    """Multi-granularity description for a family's canonical member:
+    the module-level paragraph plus the block-level phrase list."""
+    return {"module": describe_source(code),
+            "blocks": describe_blocks(code)}

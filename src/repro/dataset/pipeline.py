@@ -47,8 +47,8 @@ from ..pipeline import (
 )
 from ..resilience.runtime import Resilience
 from .complexity import classify_code
-from .dedup import dedup_keep_indices
-from .describe import describe_source
+from .describe import describe_source, family_description
+from .families import FamilyIndex, FamilyReport, build_family_artifacts, module_names
 from .filters import FunnelStats, has_module, is_readable, syntax_filter
 from .layering import LayerReport, assign_layers
 from .ranking import score_code
@@ -66,6 +66,9 @@ class PipelineReport:
     n_collected_github: int = 0
     n_generated_llm: int = 0
     trace: Optional[PipelineTrace] = None
+    #: Design-family clustering of the run's dedup decisions (None on
+    #: reports serialised before the subsystem existed).
+    families: Optional[FamilyReport] = None
 
     def summary_lines(self) -> List[str]:
         lines = [
@@ -78,6 +81,10 @@ class PipelineReport:
             f"  (clean {self.funnel.clean}, "
             f"dependency-only {self.funnel.dependency_only})",
         ]
+        if self.families is not None and self.families.n_families:
+            lines.append(
+                f"design families:    {self.families.n_families} "
+                f"({self.families.n_variants} variant(s))")
         for number, size in self.layers.pyramid_rows():
             lines.append(f"layer {number}: {size}")
         return lines
@@ -89,6 +96,8 @@ class PipelineReport:
             "n_collected_github": self.n_collected_github,
             "n_generated_llm": self.n_generated_llm,
             "trace": self.trace.to_dict() if self.trace else None,
+            "families": (self.families.to_dict()
+                         if self.families is not None else None),
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -98,12 +107,15 @@ class PipelineReport:
     def from_dict(cls, data: Dict) -> "PipelineReport":
         data = strip_schema(data)
         trace = data.get("trace")
+        families = data.get("families")
         return cls(
             funnel=FunnelStats.from_dict(data["funnel"]),
             layers=LayerReport.from_dict(data["layers"]),
             n_collected_github=data["n_collected_github"],
             n_generated_llm=data["n_generated_llm"],
             trace=PipelineTrace.from_dict(trace) if trace else None,
+            families=(FamilyReport.from_dict(families)
+                      if families else None),
         )
 
     @classmethod
@@ -166,6 +178,11 @@ class CurationPipeline:
             retry/quarantine shields, batch stages retry whole, and
             when its checkpointer is set the run journals progress and
             resumes byte-identically after a kill.
+        keep_variants: keep dedup-dropped near-duplicates in the
+            dataset as family-tagged variant rows instead of discarding
+            them.  Canonical selection, family ids and similarities are
+            unchanged; the funnel simply stops removing at the dedup
+            stage.
     """
 
     dedup_threshold: float = 0.8
@@ -174,6 +191,7 @@ class CurationPipeline:
     cache: Optional[ResultCache] = None
     obs: Optional[Observability] = None
     resilience: Optional[Resilience] = None
+    keep_variants: bool = False
 
     def run(
         self,
@@ -184,9 +202,10 @@ class CurationPipeline:
         records = self._source_records(raw_files, generated)
         obs = resolve(self.obs)
         layer_holder: Dict[str, LayerReport] = {}
+        family_holder: Dict[str, FamilyIndex] = {}
         engine = StagedPipeline(
             name="curation",
-            stages=self._stages(layer_holder),
+            stages=self._stages(layer_holder, family_holder),
             executor=(self.executor if self.executor is not None
                       else ParallelExecutor.serial()),
             # NB: an *empty* cache is falsy (it has __len__), so this
@@ -194,7 +213,8 @@ class CurationPipeline:
             cache=self.cache if self.cache is not None else ResultCache(),
             obs=obs,
             resilience=self.resilience,
-            checkpoint_extra=(self.seed, self.dedup_threshold),
+            checkpoint_extra=(self.seed, self.dedup_threshold,
+                              self.keep_variants),
         )
         result = engine.run(records=records)
         obs.counter("curation.runs").inc()
@@ -210,12 +230,30 @@ class CurationPipeline:
             # (identical) surviving entries.
             layers = assign_layers([record.value
                                     for record in result.records])
+        family_index = family_holder.get("index")
+        if family_index is None:
+            # Same story for the dedup stage's side channel: replay the
+            # cheap filters over the (identical) source records and
+            # rebuild the family index deterministically.
+            family_index = self._recompute_families(records)
+        for record in result.records:
+            info = record.meta.get("family")
+            if info:
+                family_index.attach_entry(record.index,
+                                          record.value.entry_id)
+                if info["role"] == "canonical":
+                    family_index.attach_descriptions(
+                        record.index, family_description(record.value.code))
+        obs.counter("curation.families").inc(family_index.n_families)
+        obs.counter("curation.family_variants").inc(
+            family_index.n_variants)
         report = PipelineReport(
             funnel=self._funnel_from(result.trace, dataset),
             layers=layers,
             n_collected_github=len(raw_files),
             n_generated_llm=len(generated),
             trace=result.trace,
+            families=family_index.report(),
         )
         return CurationResult(dataset=dataset, report=report)
 
@@ -240,11 +278,11 @@ class CurationPipeline:
             }}))
         return records
 
-    def _stages(self, layer_holder: Dict) -> List:
+    def _stages(self, layer_holder: Dict, family_holder: Dict) -> List:
         return [
             RecordStage("empty_broken", _readable_stage, parallel=False),
             RecordStage("module_decl", _module_stage, parallel=False),
-            BatchStage("dedup", self._dedup_batch),
+            BatchStage("dedup", _make_dedup_batch(self, family_holder)),
             RecordStage("syntax_check", _syntax_stage,
                         cache_namespace="curation/syntax"),
             RecordStage("rank_label", _rank_label_stage,
@@ -257,20 +295,73 @@ class CurationPipeline:
         ]
 
     def _dedup_batch(
-        self, records: List[Record]
+        self, records: List[Record], family_holder: Dict
     ) -> Tuple[List[Record], List[Tuple[Record, str]]]:
         if not records:
+            family_holder["index"] = FamilyIndex.empty(
+                self.seed, self.dedup_threshold)
             return records, []
-        keep = set(dedup_keep_indices(
-            [record.value for record in records], self.dedup_threshold
-        ))
+        by_index = {record.index: record for record in records}
+
+        def meta_for(index: int) -> Dict:
+            record = by_index[index]
+            provenance = record.meta["provenance"]
+            return {"path": provenance["path"],
+                    "origin": provenance["origin"],
+                    "modules": module_names(record.value)}
+
+        report, family_index = build_family_artifacts(
+            [record.value for record in records],
+            [record.index for record in records],
+            meta_for, threshold=self.dedup_threshold, seed=self.seed)
+        family_holder["index"] = family_index
+
+        keep_positions = set(report.kept_indices)
         kept, dropped = [], []
         for position, record in enumerate(records):
-            if position in keep:
+            role = family_index.role_of(record.index)
+            if role:
+                family = family_index.family_of(record.index)
+                record.meta["family"] = {
+                    "id": family.family_id,
+                    "role": role,
+                    "similarity": family_index.similarity_of(record.index),
+                    "n_variants": (len(family.variants)
+                                   if role == "canonical" else 0),
+                }
+            if position in keep_positions or (self.keep_variants
+                                              and role == "variant"):
                 kept.append(record)
             else:
                 dropped.append((record, "duplicate"))
         return kept, dropped
+
+    def _recompute_families(
+        self, records: Sequence[Record]
+    ) -> FamilyIndex:
+        """Rebuild the family index when the dedup stage was restored
+        from a checkpoint journal (its side channel never fired):
+        replay the two cheap filters over the source records and
+        re-run the deterministic clustering."""
+        survivors = [record for record in records
+                     if is_readable(record.value).kept
+                     and has_module(record.value).kept]
+        if not survivors:
+            return FamilyIndex.empty(self.seed, self.dedup_threshold)
+        by_index = {record.index: record for record in survivors}
+
+        def meta_for(index: int) -> Dict:
+            record = by_index[index]
+            provenance = record.meta["provenance"]
+            return {"path": provenance["path"],
+                    "origin": provenance["origin"],
+                    "modules": module_names(record.value)}
+
+        _report, family_index = build_family_artifacts(
+            [record.value for record in survivors],
+            [record.index for record in survivors],
+            meta_for, threshold=self.dedup_threshold, seed=self.seed)
+        return family_index
 
     def _assemble_batch(self, records: List[Record]) -> List[Record]:
         out: List[Record] = []
@@ -301,7 +392,13 @@ class CurationPipeline:
                 source_path=provenance["path"],
                 module_names=list(result.modules),
             )
-            out.append(Record(record.index, entry))
+            family = meta.get("family")
+            if family:
+                entry.family_id = family["id"]
+                entry.family_role = family["role"]
+                entry.n_family_variants = family["n_variants"]
+                entry.family_similarity = family["similarity"]
+            out.append(Record(record.index, entry, dict(meta)))
         return out
 
     @staticmethod
@@ -334,6 +431,14 @@ class CurationPipeline:
         if stage("dedup").n_in:
             funnel.removed["dedup"] = stage("dedup").n_dropped
         return funnel
+
+
+def _make_dedup_batch(pipeline: "CurationPipeline", holder: Dict):
+    """Bind the run's family holder into the dedup batch stage (the
+    same side-channel pattern as the layer stage below)."""
+    def _dedup_batch(records: List[Record]):
+        return pipeline._dedup_batch(records, holder)
+    return _dedup_batch
 
 
 def _make_layer_batch(holder: Dict):
@@ -394,6 +499,7 @@ def build_pyranet(
     workers: Optional[int] = None,
     batch_size: int = 256,
     spill_dir=None,
+    keep_variants: bool = False,
 ) -> CurationResult:
     """One-call PyraNet construction at a configurable scale.
 
@@ -439,6 +545,7 @@ def build_pyranet(
             dedup_threshold=dedup_threshold, seed=seed,
             batch_size=batch_size, executor=executor, obs=obs,
             resilience=resilience, spill_dir=spill_dir,
+            keep_variants=keep_variants,
         )
         source = chain_batches(
             raw_file_batches(
@@ -454,5 +561,6 @@ def build_pyranet(
     pipeline = CurationPipeline(
         dedup_threshold=dedup_threshold, seed=seed,
         executor=executor, cache=cache, obs=obs, resilience=resilience,
+        keep_variants=keep_variants,
     )
     return pipeline.run(raw_files, generated)

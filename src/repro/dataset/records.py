@@ -57,6 +57,16 @@ class DatasetEntry:
     origin: str = "github"
     source_path: str = ""
     module_names: List[str] = field(default_factory=list)
+    #: Design-family membership (see :mod:`.families`).  Empty for
+    #: entries that never collided with a near-duplicate.  ``family_role``
+    #: is ``"canonical"`` (the kept representative) or ``"variant"``
+    #: (a near-duplicate retained under ``keep_variants``);
+    #: ``family_similarity`` is the verified Jaccard similarity of a
+    #: variant to its canonical (0.0 for canonicals).
+    family_id: str = ""
+    family_role: str = ""
+    n_family_variants: int = 0
+    family_similarity: float = 0.0
 
     def to_dict(self) -> Dict:
         data = asdict(self)

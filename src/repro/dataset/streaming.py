@@ -69,7 +69,8 @@ from .dedup import (
     signature_band_keys,
     tokenize_for_dedup,
 )
-from .describe import describe_source
+from .describe import describe_source, family_description
+from .families import FamilyForest, FamilyIndex, forest_from_pairs, module_names
 from .filters import FunnelStats, has_module, is_readable, syntax_filter
 from .layering import Complexity, LayerReport, layer_for
 from .pipeline import CurationResult, PipelineReport
@@ -206,11 +207,16 @@ def _partition_pairs(arg: tuple) -> tuple:
     """Phase 2 map side: one partition's collision pairs, sorted by
     (later, earlier) for the parent's streaming merge, plus per-earlier
     reference counts so the parent can evict shingles without ever
-    materialising the pair set.  Disk-backed partitions write their
-    pairs back to disk — a partition's pairs can be quadratic in its
-    duplicate-cluster sizes (the map side cannot know which members the
-    sequential algorithm would have dropped), so they must never ride
-    home through the parent's memory wholesale."""
+    materialising the pair set, plus the partition's **partial
+    union-find forest** (node -> min-index component root) over those
+    pairs — the parent merges the partial forests into the global LSH
+    collision forest for family clustering, so the quadratic pair set
+    is reduced worker-side to a map linear in the partition's distinct
+    indices.  Disk-backed partitions write their pairs back to disk —
+    a partition's pairs can be quadratic in its duplicate-cluster
+    sizes (the map side cannot know which members the sequential
+    algorithm would have dropped), so they must never ride home
+    through the parent's memory wholesale."""
     kind = arg[0]
     if kind == "mem":
         emissions = arg[1]
@@ -224,23 +230,24 @@ def _partition_pairs(arg: tuple) -> tuple:
                 except EOFError:
                     break
     pairs = band_candidate_pairs(emissions)
+    forest = forest_from_pairs(pairs).compressed()
     pairs.sort(key=lambda pair: (pair[1], pair[0]))
     refcounts: Dict[int, int] = {}
     for earlier, _later in pairs:
         refcounts[earlier] = refcounts.get(earlier, 0) + 1
     counts = sorted(refcounts.items())
     if kind == "mem":
-        return ("mem", pairs, counts)
+        return ("mem", pairs, counts, forest)
     out_path = arg[2]
     with open(out_path, "wb") as handle:
         for start in range(0, len(pairs), 8192):
             pickle.dump(pairs[start:start + 8192], handle, protocol=4)
-    return ("file", out_path, counts)
+    return ("file", out_path, counts, forest)
 
 
 def _pair_stream(result: tuple) -> Iterator[Tuple[int, int]]:
     """Lazily re-read one partition's (later, earlier)-sorted pairs."""
-    kind, data, _counts = result
+    kind, data = result[0], result[1]
     if kind == "mem":
         yield from data
         return
@@ -419,6 +426,9 @@ class StreamingCurationPipeline:
     obs: Optional[Observability] = None
     resilience: Optional[Resilience] = None
     spill_dir: Optional[PathLike] = None
+    #: Keep dedup-dropped near-duplicates as family-tagged variant rows
+    #: (same semantics as :class:`CurationPipeline.keep_variants`).
+    keep_variants: bool = False
 
     # -- public entry points -------------------------------------------
 
@@ -497,7 +507,7 @@ class StreamingCurationPipeline:
             signature = run_signature([], STAGE_NAMES, extra=(
                 "curation-stream", self.seed, self.dedup_threshold,
                 self.batch_size, self.n_partitions, self.n_perm,
-                self.bands, source_token))
+                self.bands, self.keep_variants, source_token))
             state = ckpt.begin(signature)
             if state.fresh:
                 state = None
@@ -535,13 +545,21 @@ class StreamingCurationPipeline:
             phase_started = time.perf_counter()
             with obs.span("stream.dedup",
                           n_partitions=self.n_partitions) as span:
-                duplicate_of, pairs_checked = self._run_dedup(
-                    executor, spill, shuffle)
+                (duplicate_of, pairs_checked, similarities, forest,
+                 family_meta) = self._run_dedup(executor, spill, shuffle)
+                family_index = FamilyIndex.build(
+                    duplicate_of, similarities, forest, family_meta,
+                    seed=self.seed, threshold=self.dedup_threshold)
                 span.meta["n_duplicates"] = len(duplicate_of)
                 span.meta["candidate_pairs_checked"] = pairs_checked
+                span.meta["n_families"] = family_index.n_families
             walls["dedup"] = time.perf_counter() - phase_started
             obs.counter("curation.stream.duplicates").inc(
                 len(duplicate_of))
+            obs.counter("curation.families").inc(
+                family_index.n_families)
+            obs.counter("curation.family_variants").inc(
+                family_index.n_variants)
 
             # Phase 3: fused label, ordered assemble + layering.
             phase_started = time.perf_counter()
@@ -549,7 +567,7 @@ class StreamingCurationPipeline:
             with obs.span("stream.label") as span:
                 for entry in self._run_phase3(
                         executor, spill, duplicate_of, counters,
-                        layers, ckpt, state, res):
+                        layers, ckpt, state, res, family_index):
                     yield entry
                 span.meta["n_entries"] = counters["after_syntax"]
             walls["phase3"] = time.perf_counter() - phase_started
@@ -558,8 +576,12 @@ class StreamingCurationPipeline:
             spill.cleanup()
             shuffle.cleanup()
 
+        # Variant rows survive the dedup stage under keep_variants, so
+        # the trace/funnel arithmetic sees zero dedup drops — exactly
+        # like the in-memory engine's stage metrics in that mode.
+        n_dropped_dedup = 0 if self.keep_variants else len(duplicate_of)
         trace = self._trace(executor, counters, empty_drops, module_drops,
-                            len(duplicate_of), walls,
+                            n_dropped_dedup, walls,
                             time.perf_counter() - started)
         obs.publish_trace(trace)
         obs.counter("curation.runs").inc()
@@ -568,11 +590,12 @@ class StreamingCurationPipeline:
             ckpt.finish({"n_entries": counters["after_syntax"]})
         holder["report"] = PipelineReport(
             funnel=self._funnel(counters, empty_drops, module_drops,
-                                len(duplicate_of)),
+                                n_dropped_dedup),
             layers=layers.finish(),
             n_collected_github=counters["collected"] - counters["n_llm"],
             n_generated_llm=counters["n_llm"],
             trace=trace,
+            families=family_index.report(),
         )
 
     def _run_phase1(self, batches, executor, spill, shuffle, counters,
@@ -635,7 +658,14 @@ class StreamingCurationPipeline:
         when spilling — and ``heapq.merge`` hands the resolve loop one
         index's candidates at a time.  Parent-side dedup state is the
         per-earlier reference counts (ints), the keep/drop verdicts,
-        and the shingle sets still awaited by unresolved pairs.
+        and the shingle sets (plus family metadata) still awaited by
+        unresolved pairs.
+
+        Also merges the workers' partial union-find forests into the
+        global LSH collision forest, records the verified similarity
+        of every drop decision, and captures path/origin/module
+        metadata for each family member at decision time — the family
+        inputs, identical to the in-memory path's.
         """
         results = executor.map(_partition_pairs, shuffle.worker_args())
 
@@ -645,20 +675,25 @@ class StreamingCurationPipeline:
         # count hits zero exactly at the last reference even when two
         # partitions emitted the same pair via different bands.
         refcount: Dict[int, int] = {}
-        for _kind, _data, counts in results:
-            for earlier, count in counts:
+        forest = FamilyForest()
+        for result in results:
+            for earlier, count in result[2]:
                 refcount[earlier] = refcount.get(earlier, 0) + count
+            forest.merge(result[3])
         merged = heapq.merge(
             *(_pair_stream(result) for result in results),
             key=lambda pair: (pair[1], pair[0]))
         pending = next(merged, None)
 
         shingles: Dict[int, Any] = {}
+        kept_meta: Dict[int, Dict[str, Any]] = {}
         kept_status: Dict[int, bool] = {}
         duplicate_of: Dict[int, int] = {}
+        similarities: Dict[int, float] = {}
+        family_meta: Dict[int, Dict[str, Any]] = {}
         pairs_checked = 0
         for payload in spill.iter_payloads():
-            for index, content, _provenance in payload["survivors"]:
+            for index, content, provenance in payload["survivors"]:
                 referenced = index in refcount
                 # Drain this index's candidates from the merged stream:
                 # ascending by earlier, cross-partition duplicates
@@ -675,42 +710,60 @@ class StreamingCurationPipeline:
                 own_shingles = (tokenize_for_dedup(content)
                                 if (referenced or candidates) else None)
                 duplicate = None
+                similarity = 0.0
                 for candidate in candidates:  # ascending
                     if not kept_status.get(candidate, False):
                         continue
                     pairs_checked += 1
-                    if jaccard(own_shingles,
-                               shingles[candidate]) >= self.dedup_threshold:
+                    similarity = jaccard(own_shingles, shingles[candidate])
+                    if similarity >= self.dedup_threshold:
                         duplicate = candidate
                         break
+                if duplicate is not None:
+                    # Capture family metadata now, while the canonical's
+                    # refcounted state is guaranteed to still be alive.
+                    family_meta[index] = {
+                        "path": provenance["path"],
+                        "origin": provenance["origin"],
+                        "modules": module_names(content)}
+                    if duplicate not in family_meta:
+                        family_meta[duplicate] = kept_meta[duplicate]
                 for candidate in consumed:
                     remaining = refcount.get(candidate, 0) - 1
                     if remaining <= 0:
                         refcount.pop(candidate, None)
                         shingles.pop(candidate, None)
+                        kept_meta.pop(candidate, None)
                         kept_status.pop(candidate, None)
                     else:
                         refcount[candidate] = remaining
                 if duplicate is not None:
                     duplicate_of[index] = duplicate
+                    similarities[index] = similarity
                     if referenced:
                         kept_status[index] = False
                     continue
                 if referenced:
                     kept_status[index] = True
                     shingles[index] = own_shingles
+                    kept_meta[index] = {
+                        "path": provenance["path"],
+                        "origin": provenance["origin"],
+                        "modules": module_names(content)}
         shuffle.cleanup()
-        return duplicate_of, pairs_checked
+        return duplicate_of, pairs_checked, similarities, forest, family_meta
 
     def _run_phase3(self, executor, spill, duplicate_of, counters,
-                    layers, ckpt, state, res) -> Iterator[DatasetEntry]:
+                    layers, ckpt, state, res,
+                    family_index) -> Iterator[DatasetEntry]:
         completed = state.completed_batches(1) if state is not None else 0
         resumed = 0
 
         def label_inputs() -> Iterator[tuple]:
             for batch_index, payload in enumerate(spill.iter_payloads()):
                 kept = [item for item in payload["survivors"]
-                        if item[0] not in duplicate_of]
+                        if self.keep_variants
+                        or item[0] not in duplicate_of]
                 yield (batch_index, kept)
 
         def results() -> Iterator[Dict[str, Any]]:
@@ -753,6 +806,20 @@ class StreamingCurationPipeline:
                     source_path=provenance["path"],
                     module_names=modules,
                 )
+                role = family_index.role_of(index)
+                if role:
+                    family = family_index.family_of(index)
+                    entry.family_id = family.family_id
+                    entry.family_role = role
+                    if role == "canonical":
+                        entry.n_family_variants = len(family.variants)
+                    else:
+                        entry.family_similarity = (
+                            family_index.similarity_of(index))
+                    family_index.attach_entry(index, entry.entry_id)
+                    if role == "canonical":
+                        family_index.attach_descriptions(
+                            index, family_description(content))
                 position += 1
                 counters["after_syntax"] += 1
                 if status == "clean":

@@ -125,6 +125,7 @@ def run_curate_job(job: Job, ctx: JobContext,
         n_queries_per_prompt=int(p.get("n_queries_per_prompt", 4)),
         seed=seed,
         dedup_threshold=float(p.get("dedup_threshold", 0.8)),
+        keep_variants=bool(p.get("keep_variants", False)),
         executor=ctx.executor,
         obs=obs,
         resilience=ctx.job_resilience(job, obs),
@@ -136,6 +137,12 @@ def run_curate_job(job: Job, ctx: JobContext,
                    in sorted(dataset.layer_sizes().items())},
         "dataset_digest": dataset_digest(dataset),
     }
+    family_report = outcome.report.families
+    if family_report is not None:
+        summary["families"] = {
+            "n_families": family_report.n_families,
+            "n_variants": family_report.n_variants,
+        }
     store = p.get("store")
     if store:
         manifest = write_store(
@@ -404,6 +411,8 @@ register_job_type("curate", run_curate_job, payload_schema={
     "n_llm_prompts": {"type": "int"},
     "n_queries_per_prompt": {"type": "int"},
     "dedup_threshold": {"type": "float"},
+    "keep_variants": {"type": "bool",
+                      "doc": "keep near-duplicates as family-tagged rows"},
     "store": {"type": "str", "doc": "store name to shard into"},
 })
 register_job_type("finetune", run_finetune_job, payload_schema={

@@ -19,22 +19,33 @@ The persistence layer for production-scale PyraNet datasets:
 from .errors import ManifestError, ShardCorruptionError, StoreError
 from .manifest import MANIFEST_NAME, StoreManifest
 from .reader import CorruptionReport, StoreReader
-from .sampling import SamplingService
-from .shard import ShardInfo, build_histogram, decode_shard, encode_shard, shard_digest, shard_name
+from .sampling import FamilySplit, SamplingService, SplitView
+from .shard import (
+    ShardInfo,
+    build_families,
+    build_histogram,
+    decode_shard,
+    encode_shard,
+    shard_digest,
+    shard_name,
+)
 from .writer import DEFAULT_SHARD_BYTES, ShardWriter, write_store
 
 __all__ = [
     "CorruptionReport",
     "DEFAULT_SHARD_BYTES",
+    "FamilySplit",
     "MANIFEST_NAME",
     "ManifestError",
     "SamplingService",
     "ShardCorruptionError",
     "ShardInfo",
     "ShardWriter",
+    "SplitView",
     "StoreError",
     "StoreManifest",
     "StoreReader",
+    "build_families",
     "build_histogram",
     "decode_shard",
     "encode_shard",

@@ -86,6 +86,28 @@ class StoreManifest:
                 histogram[name] = histogram.get(name, 0) + count
         return {name: histogram[name] for name in sorted(histogram)}
 
+    def family_summary(self) -> Dict[str, Any]:
+        """Design-family totals across all shards: family and variant
+        counts plus the family-size histogram, with numerically
+        ordered size keys (the facet contract's stable key order)."""
+        n_families = 0
+        n_variants = 0
+        n_variant_rows = 0
+        sizes: Dict[int, int] = {}
+        for info in self.shards:
+            summary = getattr(info, "families", {}) or {}
+            n_families += summary.get("n_families", 0)
+            n_variants += summary.get("n_variants", 0)
+            n_variant_rows += summary.get("n_variant_rows", 0)
+            for size, count in summary.get("sizes", {}).items():
+                sizes[int(size)] = sizes.get(int(size), 0) + count
+        return {
+            "n_families": n_families,
+            "n_variants": n_variants,
+            "n_variant_rows": n_variant_rows,
+            "sizes": {str(size): sizes[size] for size in sorted(sizes)},
+        }
+
     def facets(self) -> Dict[str, Any]:
         """The full (layer, complexity) histogram as one stable,
         JSON-ready document.
@@ -119,6 +141,7 @@ class StoreManifest:
             "complexity": {label: totals.get(label, 0)
                            for label in labels},
             "origins": self.origin_histogram(),
+            "families": self.family_summary(),
         }
 
     # -- serialisation -------------------------------------------------

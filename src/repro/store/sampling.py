@@ -18,18 +18,181 @@ Three serving modes, all deterministic for a fixed seed:
   proportional to the PyraNet layer weights (1.0 … 0.1 by default), so
   Layer-1 rows dominate the served stream the way they dominate the
   loss.
+
+The service is also **family-aware**: :meth:`SamplingService.split`
+partitions the store into train/eval sides that never straddle a
+design family (see :mod:`repro.dataset.families`) — two near-identical
+designs can never land on opposite sides of the split, the leakage
+hole a row-level split leaves open.  Each side is served through a
+:class:`SplitView`, which implements the same layered-source protocol
+plus all three serving modes restricted to its rows, so uniform,
+weighted, and curriculum draws are leakage-proof by construction.
 """
 
 from __future__ import annotations
 
+import json
 import random
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from ..dataset.records import DatasetEntry
 from ..finetune.curriculum import Phase, curriculum_phases, random_phases
 from ..finetune.weighting import WeightSchedule, paper_schedule
+from ..obs.reportable import report_json, strip_schema
 from .errors import StoreError
 from .reader import StoreReader
+
+
+@dataclass
+class FamilySplit:
+    """A family-atomic train/eval partition of one store.
+
+    Every design family's members land entirely on one side, so a
+    variant can never leak into eval while its canonical trains.
+    Groups (families, plus each family-free entry as its own
+    singleton) are shuffled with the seeded RNG and assigned to eval
+    until the eval side reaches its target row count; family atomicity
+    means the achieved fraction can overshoot the target by at most
+    one family.
+    """
+
+    schema = "pyranet/family-split/v1"
+
+    seed: int = 0
+    eval_fraction: float = 0.1
+    n_groups: int = 0
+    train_ids: List[str] = field(default_factory=list)
+    eval_ids: List[str] = field(default_factory=list)
+
+    @property
+    def n_train(self) -> int:
+        return len(self.train_ids)
+
+    @property
+    def n_eval(self) -> int:
+        return len(self.eval_ids)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "seed": self.seed,
+            "eval_fraction": self.eval_fraction,
+            "n_groups": self.n_groups,
+            "n_train": self.n_train,
+            "n_eval": self.n_eval,
+            "train_ids": list(self.train_ids),
+            "eval_ids": list(self.eval_ids),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return report_json(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FamilySplit":
+        data = strip_schema(data)
+        return cls(
+            seed=data.get("seed", 0),
+            eval_fraction=data.get("eval_fraction", 0.1),
+            n_groups=data.get("n_groups", 0),
+            train_ids=list(data.get("train_ids", [])),
+            eval_ids=list(data.get("eval_ids", [])),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FamilySplit":
+        return cls.from_dict(json.loads(text))
+
+
+class SplitView:
+    """One side of a :class:`FamilySplit`, as a layered source.
+
+    Wraps the service with an entry-id filter: iteration, per-layer
+    reads, and all three serving modes see only this side's rows.
+    Every draw a trainer can make through a view stays inside the
+    side, so no strategy can straddle the split.
+    """
+
+    def __init__(self, service: "SamplingService",
+                 entry_ids: Sequence[str], seed: int = 0) -> None:
+        self._service = service
+        self._ids = frozenset(entry_ids)
+        self.seed = seed
+        self._layer_cache: Dict[int, List[DatasetEntry]] = {}
+
+    # -- the layered-source protocol -----------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[DatasetEntry]:
+        for entry in self._service:
+            if entry.entry_id in self._ids:
+                yield entry
+
+    def layer(self, number: int) -> List[DatasetEntry]:
+        cached = self._layer_cache.get(number)
+        if cached is None:
+            cached = [entry for entry in self._service.layer(number)
+                      if entry.entry_id in self._ids]
+            self._layer_cache[number] = cached
+        return cached
+
+    def trainable_layers(self) -> List[int]:
+        return [number for number in self._service.trainable_layers()
+                if self.layer(number)]
+
+    def layer_sizes(self) -> Dict[int, int]:
+        return {number: len(self.layer(number))
+                for number in self.trainable_layers()}
+
+    # -- serving modes (restricted to this side) -----------------------
+
+    def curriculum_phases(self, shuffle_within: bool = True,
+                          seed: Optional[int] = None) -> List[Phase]:
+        return curriculum_phases(
+            self, shuffle_within=shuffle_within,
+            seed=self.seed if seed is None else seed)
+
+    def uniform_batches(self, batch_size: int = 64,
+                        seed: Optional[int] = None) -> List[Phase]:
+        return random_phases(
+            self, seed=self.seed if seed is None else seed,
+            batch_size=batch_size)
+
+    def weighted_batches(
+        self,
+        n_batches: int,
+        batch_size: int = 64,
+        seed: Optional[int] = None,
+        schedule: Optional[WeightSchedule] = None,
+    ) -> List[Phase]:
+        """Layer-weighted sampling with replacement over this side
+        only (same draw discipline as the service-wide mode)."""
+        if n_batches <= 0 or batch_size <= 0:
+            raise ValueError("n_batches and batch_size must be positive")
+        schedule = schedule or paper_schedule()
+        sizes = {number: size
+                 for number, size in self.layer_sizes().items()
+                 if number > 0 and size > 0}
+        layers = sorted(sizes)
+        masses = [schedule.weight_for(number) * sizes[number]
+                  for number in layers]
+        if sum(masses) <= 0:
+            raise StoreError(
+                f"no servable rows on this split side: schedule "
+                f"{schedule.name!r} gives zero weight to every "
+                f"populated layer {layers}")
+        rng = random.Random(self.seed if seed is None else seed)
+        n_draws = n_batches * batch_size
+        drawn = rng.choices(layers, weights=masses, k=n_draws)
+        draws = [(number, rng.randrange(sizes[number]))
+                 for number in drawn]
+        stream = [self.layer(number)[index] for number, index in draws]
+        return [
+            Phase(0, None, tuple(stream[start:start + batch_size]))
+            for start in range(0, n_draws, batch_size)
+        ]
 
 
 class SamplingService:
@@ -66,6 +229,62 @@ class SamplingService:
 
     def layer_sizes(self) -> Dict[int, int]:
         return self.reader.manifest.layer_sizes()
+
+    # -- family-aware splitting ----------------------------------------
+
+    def split(self, eval_fraction: float = 0.1,
+              seed: Optional[int] = None) -> FamilySplit:
+        """Partition the store into train/eval without straddling a
+        family.
+
+        Entries sharing a ``family_id`` move as one atomic group;
+        entries without one are singleton groups keyed by entry id.
+        Group keys are sorted, shuffled with the seeded RNG, and
+        assigned whole to the eval side until it holds at least
+        ``round(eval_fraction * n_entries)`` rows.  Deterministic for
+        a fixed store + seed, regardless of shard layout.
+        """
+        if not 0.0 <= eval_fraction <= 1.0:
+            raise ValueError(
+                f"eval_fraction must be in [0, 1], got {eval_fraction}")
+        seed = self.seed if seed is None else seed
+        with self.reader.obs.span("store.serve.split",
+                                  eval_fraction=eval_fraction) as span:
+            groups: Dict[str, List[str]] = {}
+            total = 0
+            for entry in self:
+                family = getattr(entry, "family_id", "")
+                key = family if family else f"solo::{entry.entry_id}"
+                groups.setdefault(key, []).append(entry.entry_id)
+                total += 1
+            keys = sorted(groups)
+            random.Random(seed).shuffle(keys)
+            target = round(eval_fraction * total)
+            train_ids: List[str] = []
+            eval_ids: List[str] = []
+            for key in keys:
+                side = eval_ids if len(eval_ids) < target else train_ids
+                side.extend(groups[key])
+            split = FamilySplit(seed=seed, eval_fraction=eval_fraction,
+                                n_groups=len(groups),
+                                train_ids=train_ids, eval_ids=eval_ids)
+            span.meta["n_groups"] = split.n_groups
+            span.meta["n_train"] = split.n_train
+            span.meta["n_eval"] = split.n_eval
+        return split
+
+    def view(self, entry_ids: Sequence[str],
+             seed: Optional[int] = None) -> SplitView:
+        """A :class:`SplitView` over the given entry ids (typically one
+        side of a :class:`FamilySplit`)."""
+        return SplitView(self, entry_ids,
+                         seed=self.seed if seed is None else seed)
+
+    def train_view(self, split: FamilySplit) -> SplitView:
+        return self.view(split.train_ids, seed=split.seed)
+
+    def eval_view(self, split: FamilySplit) -> SplitView:
+        return self.view(split.eval_ids, seed=split.seed)
 
     def stream_batches(self, batch_size: int = 256,
                        layer: Optional[int] = None) -> Iterator[List[DatasetEntry]]:

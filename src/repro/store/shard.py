@@ -88,6 +88,9 @@ class ShardInfo:
     raw_size: int
     histogram: Dict[str, Dict[str, int]] = field(default_factory=dict)
     origins: Dict[str, int] = field(default_factory=dict)
+    #: Design-family summary of this shard's rows (see
+    #: :func:`build_families`); zeros/empty for family-free shards.
+    families: Dict[str, object] = field(default_factory=dict)
 
     def covers(self, layer: Optional[int] = None, complexity=None) -> bool:
         """Could this shard contain rows matching the filters?"""
@@ -116,6 +119,7 @@ class ShardInfo:
             "histogram": {layer: dict(counts)
                           for layer, counts in self.histogram.items()},
             "origins": dict(self.origins),
+            "families": dict(self.families),
         }
 
     @classmethod
@@ -129,6 +133,7 @@ class ShardInfo:
             histogram={layer: dict(counts)
                        for layer, counts in data.get("histogram", {}).items()},
             origins=dict(data.get("origins", {})),
+            families=dict(data.get("families", {})),
         )
 
 
@@ -149,3 +154,35 @@ def build_origins(entries: Sequence[DatasetEntry]) -> Dict[str, int]:
     for entry in entries:
         origins[entry.origin] = origins.get(entry.origin, 0) + 1
     return {name: origins[name] for name in sorted(origins)}
+
+
+def build_families(entries: Sequence[DatasetEntry]) -> Dict[str, object]:
+    """The design-family summary of ``entries``.
+
+    ``n_families`` counts canonical rows in this shard; ``n_variants``
+    counts the variants those canonicals *declare* (dropped or stored
+    elsewhere); ``n_variant_rows`` counts variant rows physically in
+    this shard (non-zero only for ``keep_variants`` datasets).
+    ``sizes`` histograms family size (canonical + declared variants)
+    with numerically ordered keys for stable JSON.
+    """
+    n_families = 0
+    n_variants = 0
+    n_variant_rows = 0
+    sizes: Dict[int, int] = {}
+    for entry in entries:
+        role = getattr(entry, "family_role", "")
+        if role == "canonical":
+            n_families += 1
+            declared = getattr(entry, "n_family_variants", 0)
+            n_variants += declared
+            size = 1 + declared
+            sizes[size] = sizes.get(size, 0) + 1
+        elif role == "variant":
+            n_variant_rows += 1
+    return {
+        "n_families": n_families,
+        "n_variants": n_variants,
+        "n_variant_rows": n_variant_rows,
+        "sizes": {str(size): sizes[size] for size in sorted(sizes)},
+    }

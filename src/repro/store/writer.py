@@ -28,6 +28,7 @@ from ..resilience.runtime import resolve as resolve_resilience
 from .manifest import StoreManifest
 from .shard import (
     ShardInfo,
+    build_families,
     build_histogram,
     build_origins,
     encode_entry,
@@ -115,6 +116,7 @@ class ShardWriter:
                 raw_size=raw_size,
                 histogram=build_histogram(buffer),
                 origins=build_origins(buffer),
+                families=build_families(buffer),
             ))
             manifest.n_entries += len(buffer)
             manifest.total_bytes += len(payload)

@@ -1,5 +1,6 @@
 """Integration tests for curation: layering, pipeline, corruption, IO."""
 
+import dataclasses
 import random
 
 import pytest
@@ -149,7 +150,15 @@ class TestPipeline:
         assert result.report.funnel == ref_funnel
         assert len(result.dataset) == len(ref_dataset)
         for ours, reference in zip(result.dataset, ref_dataset):
-            assert ours == reference
+            # The seed pipeline predates design-family provenance, so
+            # compare everything but the family tags…
+            assert dataclasses.replace(
+                ours, family_id="", family_role="",
+                n_family_variants=0, family_similarity=0.0) == reference
+            # …and check the tags are internally consistent instead.
+            if ours.family_role:
+                assert ours.family_role == "canonical"
+                assert ours.family_id.startswith(f"fam-{seed}-")
         assert result.report.layers.sizes == ref_layers.sizes
 
     def test_trace_reports_every_stage(self, curated):

@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.corpus import GitHubScrapeSimulator
+from repro.dataset.families import FamilyReport
 from repro.dataset.pipeline import (
     CurationPipeline,
     CurationResult,
@@ -51,7 +52,8 @@ def _golden_trace() -> PipelineTrace:
 
 
 REPORTABLE_CLASSES = [PipelineTrace, StageMetrics, PipelineReport,
-                      CurationResult, EvalReport, StoreManifest, RunReport]
+                      CurationResult, EvalReport, StoreManifest, RunReport,
+                      FamilyReport]
 
 
 class TestProtocol:

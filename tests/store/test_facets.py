@@ -84,7 +84,23 @@ class TestFacets:
             "layers": {},
             "complexity": {"Basic": 0, "Intermediate": 0,
                            "Advanced": 0, "Expert": 0},
-            "origins": {}}
+            "origins": {},
+            "families": {"n_families": 0, "n_variants": 0,
+                         "n_variant_rows": 0, "sizes": {}}}
+
+    def test_family_counts(self, tmp_path):
+        dataset = make_dataset()
+        dataset.entries[0].family_id = "fam-0-000001"
+        dataset.entries[0].family_role = "canonical"
+        dataset.entries[0].n_family_variants = 2
+        dataset.entries[1].family_id = "fam-0-000001"
+        dataset.entries[1].family_role = "variant"
+        dataset.entries[1].family_similarity = 0.9
+        write_store(dataset, tmp_path)
+        facets = StoreManifest.load(tmp_path).facets()
+        assert facets["families"] == {
+            "n_families": 1, "n_variants": 2, "n_variant_rows": 1,
+            "sizes": {"3": 1}}
 
     def test_origin_counts(self, tmp_path):
         facets = facets_of(tmp_path)

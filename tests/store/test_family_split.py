@@ -1,0 +1,132 @@
+"""Family-aware splits: no train/eval split ever straddles a family.
+
+The leakage guard of the families subsystem, property-tested: for any
+seed and eval fraction, every design family lands entirely on one side
+of ``SamplingService.split``, the sides partition the store, and every
+serving strategy (uniform / weighted / curriculum) drawn through a
+``SplitView`` stays inside its side.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import GitHubScrapeSimulator
+from repro.dataset.pipeline import CurationPipeline
+from repro.pipeline import ResultCache
+from repro.store import (
+    FamilySplit,
+    SamplingService,
+    StoreReader,
+    write_store,
+)
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """A store curated with keep_variants, so rows carry family ids."""
+    raw = GitHubScrapeSimulator(seed=9).scrape(200)
+    result = CurationPipeline(seed=9, keep_variants=True).run(raw)
+    directory = tmp_path_factory.mktemp("family-store")
+    write_store(result.dataset, directory)
+    reader = StoreReader(directory, cache=ResultCache())
+    return SamplingService(reader, seed=9)
+
+
+def _family_sides(service, split):
+    """family_id -> set of sides ('train'/'eval') its rows landed on."""
+    eval_ids = set(split.eval_ids)
+    sides = {}
+    for entry in service:
+        if not entry.family_id:
+            continue
+        side = "eval" if entry.entry_id in eval_ids else "train"
+        sides.setdefault(entry.family_id, set()).add(side)
+    return sides
+
+
+class TestLeakageGuard:
+    @given(seed=st.integers(0, 10_000),
+           eval_fraction=st.floats(0.0, 1.0, allow_nan=False))
+    @settings(deadline=None, max_examples=30)
+    def test_no_family_straddles_the_split(self, service, seed,
+                                           eval_fraction):
+        split = service.split(eval_fraction=eval_fraction, seed=seed)
+        assert split.n_train + split.n_eval == len(service)
+        assert not (set(split.train_ids) & set(split.eval_ids))
+        for family_id, sides in _family_sides(service, split).items():
+            assert len(sides) == 1, (
+                f"family {family_id} leaked across the split: {sides}")
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(deadline=None, max_examples=10)
+    def test_every_strategy_draws_inside_its_side(self, service, seed):
+        split = service.split(eval_fraction=0.2, seed=seed)
+        for ids in (split.train_ids, split.eval_ids):
+            view = service.view(ids, seed=seed)
+            allowed = set(ids)
+            phases = (view.curriculum_phases()
+                      + view.uniform_batches(batch_size=16)
+                      + view.weighted_batches(n_batches=3, batch_size=16))
+            for phase in phases:
+                for entry in phase.entries:
+                    assert entry.entry_id in allowed
+
+    def test_split_is_deterministic(self, service):
+        a = service.split(eval_fraction=0.15, seed=42)
+        b = service.split(eval_fraction=0.15, seed=42)
+        assert a.to_json() == b.to_json()
+        c = service.split(eval_fraction=0.15, seed=43)
+        assert c.eval_ids != a.eval_ids
+
+    def test_eval_side_hits_its_target_within_one_family(self, service):
+        total = len(service)
+        split = service.split(eval_fraction=0.2, seed=1)
+        target = round(0.2 * total)
+        largest_family = max(
+            _family_size_histogram(service).values(), default=1)
+        assert target <= split.n_eval < target + largest_family
+
+    def test_fraction_extremes(self, service):
+        assert service.split(eval_fraction=0.0).n_eval == 0
+        assert service.split(eval_fraction=1.0).n_train == 0
+        with pytest.raises(ValueError):
+            service.split(eval_fraction=1.5)
+
+    def test_round_trip(self, service):
+        split = service.split(eval_fraction=0.25, seed=5)
+        restored = FamilySplit.from_json(split.to_json())
+        assert restored.to_json() == split.to_json()
+        assert restored.eval_ids == split.eval_ids
+
+
+def _family_size_histogram(service):
+    sizes = {}
+    for entry in service:
+        if entry.family_id:
+            sizes[entry.family_id] = sizes.get(entry.family_id, 0) + 1
+    return sizes
+
+
+class TestSplitView:
+    def test_view_is_a_layered_source(self, service):
+        split = service.split(eval_fraction=0.2, seed=3)
+        view = service.train_view(split)
+        assert len(view) == split.n_train
+        assert sum(len(view.layer(n))
+                   for n in view.trainable_layers()) <= len(view)
+        ids = {entry.entry_id for entry in view}
+        assert ids == set(split.train_ids)
+
+    def test_views_cover_the_store(self, service):
+        split = service.split(eval_fraction=0.3, seed=8)
+        train = {e.entry_id for e in service.train_view(split)}
+        evald = {e.entry_id for e in service.eval_view(split)}
+        assert not (train & evald)
+        assert train | evald == {e.entry_id for e in service}
+
+    def test_weighted_batches_validate_args(self, service):
+        split = service.split(eval_fraction=0.2, seed=3)
+        view = service.train_view(split)
+        with pytest.raises(ValueError):
+            view.weighted_batches(n_batches=0)
