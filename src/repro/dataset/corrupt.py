@@ -60,3 +60,67 @@ def _derangement(n: int, rng: random.Random) -> List[int]:
         rng.shuffle(permutation)
         if all(permutation[i] != i for i in range(n)):
             return permutation
+
+
+#: Binary-operator substitutions for :func:`operator_mutants` — each
+#: swap preserves syntax but (generically) changes the function, the
+#: classic mutation-testing operator set.
+_OPERATOR_SWAPS = {
+    "+": "-", "-": "+",
+    "&": "|", "|": "&",
+    "^": "~^",
+    "<": ">=", ">": "<=", "<=": ">", ">=": "<",
+    "==": "!=", "!=": "==",
+}
+
+
+def operator_mutants(code: str, max_mutants: int = 8) -> List[str]:
+    """Single-operator mutants of ``code`` (still parseable Verilog).
+
+    Each mutant swaps exactly one binary operator occurrence using the
+    token stream (never raw string replacement, which would corrupt
+    identifiers and literals).  Mutants are returned in source order,
+    at most ``max_mutants`` of them; a file that fails to tokenize, or
+    contains no swappable operator, yields an empty list.
+
+    These are known-inequivalent *candidates* — a swap inside dead
+    code or a self-symmetric context can be a semantic no-op, so
+    consumers asserting inequivalence should check mutants
+    individually (the formal cross-validation test does).
+    """
+    from ..verilog import LexError, ParseError, TokenKind, parse, tokenize
+
+    try:
+        tokens = tokenize(code)
+    except LexError:
+        return []
+    # Tokens carry (1-based) line/col, not byte offsets; precompute
+    # line starts to map them back into the source string.
+    line_starts = [0]
+    for line in code.split("\n")[:-1]:
+        line_starts.append(line_starts[-1] + len(line) + 1)
+    mutants: List[str] = []
+    for token in tokens:
+        if len(mutants) >= max_mutants:
+            break
+        if token.kind is not TokenKind.OPERATOR:
+            continue
+        replacement = _OPERATOR_SWAPS.get(token.text)
+        if replacement is None:
+            continue
+        if token.line - 1 >= len(line_starts):
+            continue
+        start = line_starts[token.line - 1] + token.col - 1
+        end = start + len(token.text)
+        if code[start:end] != token.text:
+            continue
+        mutant = code[:start] + replacement + code[end:]
+        try:
+            # A swap can change the grammar, not just the semantics
+            # (e.g. the '<=' of a non-blocking assignment): keep only
+            # mutants that are still well-formed programs.
+            parse(mutant)
+        except (LexError, ParseError):
+            continue
+        mutants.append(mutant)
+    return mutants

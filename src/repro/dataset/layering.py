@@ -49,6 +49,9 @@ class LayerReport:
     complexity_coverage: Dict[int, Dict[str, int]] = field(
         default_factory=dict)
     missing_complexities: Dict[int, List[str]] = field(default_factory=dict)
+    #: Population of the formally-verified tier (a subset of layer 1,
+    #: not a seventh layer — the pyramid shape is unchanged).
+    n_verified: int = 0
 
     def pyramid_rows(self) -> List[Tuple[int, int]]:
         """(layer, size) rows, best layer first."""
@@ -57,6 +60,7 @@ class LayerReport:
     def to_dict(self) -> Dict:
         return {
             "sizes": {str(k): v for k, v in self.sizes.items()},
+            "n_verified": self.n_verified,
             "complexity_coverage": {
                 str(k): dict(v)
                 for k, v in self.complexity_coverage.items()
@@ -70,6 +74,7 @@ class LayerReport:
     @classmethod
     def from_dict(cls, data: Dict) -> "LayerReport":
         return cls(
+            n_verified=data.get("n_verified", 0),
             sizes={int(k): v for k, v in data.get("sizes", {}).items()},
             complexity_coverage={
                 int(k): dict(v)
@@ -88,6 +93,8 @@ def assign_layers(entries: List[DatasetEntry]) -> LayerReport:
     for entry in entries:
         entry.layer = layer_for(entry)
         report.sizes[entry.layer] = report.sizes.get(entry.layer, 0) + 1
+        if entry.verified:
+            report.n_verified += 1
         coverage = report.complexity_coverage.setdefault(entry.layer, {})
         coverage[entry.complexity.label] = coverage.get(
             entry.complexity.label, 0) + 1

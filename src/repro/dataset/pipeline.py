@@ -53,6 +53,7 @@ from .filters import FunnelStats, has_module, is_readable, syntax_filter
 from .layering import LayerReport, assign_layers
 from .ranking import score_code
 from .records import CompileStatus, DatasetEntry, PyraNetDataset
+from ..verilog.formal import verify_code
 
 
 @dataclass
@@ -154,8 +155,20 @@ def _describe_stage(content: str):
     return Keep(meta={"auto_description": describe_source(content)})
 
 
+def _formal_verify_stage(content: str):
+    verified, detail = verify_code(content)
+    return Keep(meta={"verified": verified, "verified_detail": detail})
+
+
 def _needs_description(record: Record) -> bool:
     return not record.meta["provenance"]["description"]
+
+
+def _formal_candidate(record: Record) -> bool:
+    """The verified tier sits above layer 1: only clean, 20/20 entries
+    are worth the formal check (everything else can never enter it)."""
+    return (record.meta["ranking"] == 20
+            and record.meta["check_result"].status == "clean")
 
 
 @dataclass
@@ -287,6 +300,9 @@ class CurationPipeline:
                         cache_namespace="curation/syntax"),
             RecordStage("rank_label", _rank_label_stage,
                         cache_namespace="curation/rank"),
+            RecordStage("formal_verify", _formal_verify_stage,
+                        cache_namespace="curation/formal",
+                        when=_formal_candidate),
             RecordStage("describe", _describe_stage,
                         cache_namespace="curation/describe",
                         when=_needs_description),
@@ -391,6 +407,8 @@ class CurationPipeline:
                 origin=provenance["origin"],
                 source_path=provenance["path"],
                 module_names=list(result.modules),
+                verified=meta.get("verified", False),
+                verified_detail=meta.get("verified_detail", ""),
             )
             family = meta.get("family")
             if family:

@@ -11,11 +11,17 @@ adder) scores 20/20 here, which the test suite pins down.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..verilog import lint
 from ..verilog.style import StyleReport
+
+try:  # pragma: no cover - exercised via the parity test
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 @dataclass
@@ -31,6 +37,24 @@ class RankingResult:
 PENALTY_TO_POINTS = 2.1
 
 
+def round_half_up(value: float) -> int:
+    """Round with ``.5`` always going up.
+
+    The scoring rule is documented as conventional rounding; Python's
+    built-in ``round`` uses banker's rounding (half-to-even), which
+    would send a raw 16.5 to 16 but 17.5 to 18 — an inconsistency a
+    score consumer can observe at tier boundaries.
+    """
+    return math.floor(value + 0.5)
+
+
+def score_from_penalty(penalty: float,
+                       points_per_penalty: float = PENALTY_TO_POINTS) -> int:
+    """Map a lint penalty total onto the 1–20 scale (half-up)."""
+    raw = 20 - points_per_penalty * penalty
+    return max(1, min(20, round_half_up(raw)))
+
+
 def rank_code(code: str) -> RankingResult:
     """Judge ``code`` and return score + evidence."""
     report = lint(code)
@@ -39,9 +63,7 @@ def rank_code(code: str) -> RankingResult:
             score=0, style_report=report,
             notes=["syntactically incorrect"],
         )
-    penalty = report.penalty
-    score = round(20 - PENALTY_TO_POINTS * penalty)
-    score = max(1, min(20, score))
+    score = score_from_penalty(report.penalty)
     notes = [str(v) for v in report.violations[:8]]
     return RankingResult(score=score, style_report=report, notes=notes)
 
@@ -49,6 +71,34 @@ def rank_code(code: str) -> RankingResult:
 def score_code(code: str) -> int:
     """Just the 0–20 score."""
     return rank_code(code).score
+
+
+def _scores_from_penalties(penalties: Sequence[float],
+                           parse_failed: Sequence[bool]) -> List[int]:
+    """Penalty totals → scores, vectorised when numpy is present.
+
+    Must agree bit-for-bit with :func:`score_from_penalty` /
+    :func:`rank_code` — the parity test pins this.
+    """
+    if _np is not None and len(penalties) >= 8:
+        raw = 20.0 - PENALTY_TO_POINTS * _np.asarray(penalties,
+                                                     dtype=_np.float64)
+        scores = _np.clip(_np.floor(raw + 0.5), 1, 20).astype(_np.int64)
+        failed = _np.asarray(parse_failed, dtype=bool)
+        scores[failed] = 0
+        return [int(s) for s in scores]
+    return [0 if failed else score_from_penalty(penalty)
+            for penalty, failed in zip(penalties, parse_failed)]
+
+
+def score_many(codes: Sequence[str]) -> List[int]:
+    """Scores for a batch: one lint pass per sample, then a single
+    vectorised penalty→score mapping (identical to :func:`score_code`
+    per element)."""
+    reports = [lint(code) for code in codes]
+    return _scores_from_penalties(
+        [report.penalty for report in reports],
+        [report.parse_failed for report in reports])
 
 
 def format_ranking_prompt(code: str) -> str:

@@ -67,6 +67,13 @@ class DatasetEntry:
     family_role: str = ""
     n_family_variants: int = 0
     family_similarity: float = 0.0
+    #: Formal verdict (the ``verified`` tier above layer 1): True when
+    #: :func:`repro.verilog.formal.verify_design` proved the design is
+    #: in the synthesizable subset with all outputs defined on every
+    #: path.  ``verified_detail`` carries the verdict or the
+    #: unsupported/error reason.
+    verified: bool = False
+    verified_detail: str = ""
 
     def to_dict(self) -> Dict:
         data = asdict(self)

@@ -74,15 +74,17 @@ from .families import FamilyForest, FamilyIndex, forest_from_pairs, module_names
 from .filters import FunnelStats, has_module, is_readable, syntax_filter
 from .layering import Complexity, LayerReport, layer_for
 from .pipeline import CurationResult, PipelineReport
-from .ranking import score_code
+from .ranking import score_many
 from .records import CompileStatus, DatasetEntry, PyraNetDataset
+from ..verilog.formal import verify_code
 
 PathLike = Union[str, Path]
 
 #: Stage names, in order — identical to the in-memory pipeline so
 #: funnel reconstruction and trace comparisons work unchanged.
 STAGE_NAMES = ("empty_broken", "module_decl", "dedup", "syntax_check",
-               "rank_label", "describe", "assemble", "layer")
+               "rank_label", "formal_verify", "describe", "assemble",
+               "layer")
 
 _SourceRecord = Tuple[str, Dict[str, Any]]  # (content, provenance)
 
@@ -179,9 +181,11 @@ def _filter_sign_batch(payload: tuple) -> Dict[str, Any]:
 
 def _label_batch(payload: tuple) -> Dict[str, Any]:
     """Phase 3, fused per batch: ``syntax_check → rank_label →
-    describe`` with only plain picklable fields shipped back."""
+    formal_verify → describe`` with only plain picklable fields
+    shipped back.  Scoring runs as one vectorised pass per batch
+    (identical per-element results — the parity test pins it)."""
     batch_index, items = payload
-    labeled: List[tuple] = []
+    survivors: List[tuple] = []
     n_syntax_dropped = 0
     for index, content, provenance in items:
         decision, result = syntax_filter(content)
@@ -193,11 +197,22 @@ def _label_batch(payload: tuple) -> Dict[str, Any]:
         if status == "dependency":
             issues = result.dependency_issues
             detail = issues[0].message if issues else "dependency issues"
+        survivors.append((index, content, provenance, status, detail,
+                          list(result.modules)))
+    scores = score_many([item[1] for item in survivors])
+    labeled: List[tuple] = []
+    for (index, content, provenance, status, detail, modules), ranking \
+            in zip(survivors, scores):
         description = provenance["description"] or describe_source(content)
+        # Same gate as the in-memory stage's ``when`` predicate: only
+        # clean 20/20 entries can enter the verified tier.
+        verified, verified_detail = False, ""
+        if ranking == 20 and status == "clean":
+            verified, verified_detail = verify_code(content)
         labeled.append((
             index, content, provenance, status, detail,
-            score_code(content), classify_code(content), description,
-            list(result.modules),
+            ranking, classify_code(content), description,
+            modules, verified, verified_detail,
         ))
     return {"batch": batch_index, "n_in": len(items),
             "n_syntax_dropped": n_syntax_dropped, "labeled": labeled}
@@ -364,6 +379,8 @@ class _LayerAccumulator:
 
     def add(self, entry: DatasetEntry) -> None:
         entry.layer = layer_for(entry)
+        if entry.verified:
+            self.report.n_verified += 1
         sizes = self.report.sizes
         sizes[entry.layer] = sizes.get(entry.layer, 0) + 1
         coverage = self.report.complexity_coverage.setdefault(
@@ -791,7 +808,8 @@ class StreamingCurationPipeline:
         position = 0
         for out in results():
             for (index, content, provenance, status, detail, ranking,
-                 complexity, description, modules) in out["labeled"]:
+                 complexity, description, modules, verified,
+                 verified_detail) in out["labeled"]:
                 entry = DatasetEntry(
                     entry_id=f"pyranet-{self.seed}-{position:06d}",
                     code=content,
@@ -805,6 +823,8 @@ class StreamingCurationPipeline:
                     origin=provenance["origin"],
                     source_path=provenance["path"],
                     module_names=modules,
+                    verified=verified,
+                    verified_detail=verified_detail,
                 )
                 role = family_index.role_of(index)
                 if role:
@@ -858,6 +878,8 @@ class StreamingCurationPipeline:
                          wall_time_s=walls["phase3"],
                          drops=syntax_drops),
             StageMetrics("rank_label", n_in=after_syntax,
+                         n_out=after_syntax),
+            StageMetrics("formal_verify", n_in=after_syntax,
                          n_out=after_syntax),
             StageMetrics("describe", n_in=after_syntax,
                          n_out=after_syntax),

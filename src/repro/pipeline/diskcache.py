@@ -177,7 +177,11 @@ class DiskCache:
                     entries.append((path.stat().st_mtime_ns, path))
                 except OSError:
                     continue
-            entries.sort()
+            # Stable tie-breaker: coarse-mtime filesystems can stamp a
+            # whole batch with one st_mtime_ns, and glob order is
+            # platform-dependent — sort on (mtime, path) so eviction
+            # picks the same survivors everywhere.
+            entries.sort(key=lambda entry: (entry[0], str(entry[1])))
             evicted = 0
             assert self.max_entries is not None
             for _, path in entries[:max(0, len(entries) - self.max_entries)]:

@@ -20,6 +20,7 @@ without stalling its neighbours (worker-pool shield).
 
 from __future__ import annotations
 
+import hashlib
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -247,13 +248,19 @@ class PyraNetService:
 
     def _sampling(self, store: str) -> SamplingService:
         """A cached reader per store, re-opened when the manifest
-        changes (a curate job rewriting the store invalidates it)."""
+        changes (a curate job rewriting the store invalidates it).
+
+        Keyed on the manifest *content* digest, not mtime: an atomic
+        replace can preserve mtime (os.replace + utime, or a rewrite
+        within filesystem timestamp resolution), which would pin a
+        stale reader forever."""
         path = self._store_dir(store)
-        mtime = (path / MANIFEST_NAME).stat().st_mtime_ns
+        manifest_bytes = (path / MANIFEST_NAME).read_bytes()
+        digest = hashlib.blake2b(manifest_bytes, digest_size=16).hexdigest()
         cached = self._readers.get(store)
-        if cached is not None and cached[0] == mtime:
+        if cached is not None and cached[0] == digest:
             return cached[1]
         reader = StoreReader(path, cache=ResultCache(), obs=self.obs)
         service = SamplingService(reader)
-        self._readers[store] = (mtime, service)
+        self._readers[store] = (digest, service)
         return service

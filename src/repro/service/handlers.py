@@ -355,6 +355,87 @@ def run_repair_job(job: Job, ctx: JobContext,
     return summary
 
 
+def run_formal_job(job: Job, ctx: JobContext,
+                   obs: Observability) -> Dict[str, Any]:
+    """``formal``: (re)compute the verified tier over a named store.
+
+    Streams the store through batched reads, runs the bounded formal
+    check on every clean 20/20 row (the only rows the tier admits),
+    and rewrites the store with the verdicts persisted — shard facets
+    and the manifest's ``verified`` facet update with it.  Elaboration
+    is memoised in a job-local :class:`~repro.pipeline.diskcache.DiskCache`
+    keyed by source digest, so a resumed or repeated job re-elaborates
+    nothing (``formal.memo.hit``/``miss`` counters are exact).
+
+    Params: ``store`` (required), ``bound`` (cycles for sequential
+    designs), ``batch_size`` (rows per batched read).
+    """
+    from ..pipeline import ResultCache
+    from ..pipeline.diskcache import DiskCache
+    from ..store import StoreReader, write_store
+    from ..verilog.formal import verify_design
+    from ..verilog.formal.memo import ElaborationMemo
+
+    p = job.params
+    store = p.get("store")
+    if not store:
+        raise ValueError("formal job needs params['store']")
+    bound = int(p.get("bound", 2))
+    batch_size = int(p.get("batch_size", 256))
+    store_dir = ctx.store_dir(store)
+    reader = StoreReader(store_dir, cache=ResultCache(), obs=obs)
+    manifest = reader.manifest
+    disk = DiskCache(ctx.job_dir(job.job_id) / "elab-cache", obs=obs)
+    memo = ElaborationMemo(disk=disk, obs=obs)
+    stats = {"n_entries": 0, "n_checked": 0, "n_verified": 0}
+
+    def verified_entries():
+        for batch in reader.iter_batches(size=batch_size):
+            for entry in batch:
+                stats["n_entries"] += 1
+                if entry.ranking == 20 and entry.compile_status.value \
+                        == "clean":
+                    stats["n_checked"] += 1
+                    try:
+                        design = memo.elaborate(entry.code)
+                        report = verify_design(design, bound=bound)
+                        verdict = report.status == "verified"
+                        detail = (report.detail if verdict else
+                                  f"{report.status}: {report.detail}")
+                    except Exception as exc:
+                        verdict = False
+                        detail = f"error: {type(exc).__name__}: {exc}"
+                    entry.verified = verdict
+                    entry.verified_detail = detail
+                    if verdict:
+                        stats["n_verified"] += 1
+                else:
+                    entry.verified = False
+                    entry.verified_detail = ""
+                yield entry
+
+    meta = dict(manifest.meta or {})
+    meta.update({"job_id": job.job_id, "source": "service.formal"})
+    new_manifest = write_store(verified_entries(), store_dir,
+                               meta=meta, obs=obs)
+    hits, misses = memo.stats()
+    obs.counter("service.formal.checked").inc(stats["n_checked"])
+    obs.counter("service.formal.verified").inc(stats["n_verified"])
+    return {
+        "store": store,
+        "bound": bound,
+        "n_entries": stats["n_entries"],
+        "n_checked": stats["n_checked"],
+        "n_verified": stats["n_verified"],
+        "memo": {"hits": hits, "misses": misses},
+        "verified_facet": new_manifest.verified_summary(),
+        "n_shards": len(new_manifest.shards),
+        "manifest_digest": hashlib.blake2b(
+            new_manifest.to_json(indent=2).encode("utf-8"),
+            digest_size=16).hexdigest(),
+    }
+
+
 # -- registration -------------------------------------------------------
 
 
@@ -436,6 +517,13 @@ register_job_type("eval", run_eval_job, payload_schema={
 })
 register_job_type("probe", run_probe_job, payload_schema={
     "spin": {"type": "int", "doc": "digest-chain length"},
+})
+register_job_type("formal", run_formal_job, payload_schema={
+    **_COMMON_SCHEMA,
+    "store": {"type": "str", "required": True,
+              "doc": "store whose verified tier to (re)compute"},
+    "bound": {"type": "int", "doc": "cycles checked for sequential designs"},
+    "batch_size": {"type": "int", "doc": "rows per batched store read"},
 })
 register_job_type("repair", run_repair_job, payload_schema={
     **_COMMON_SCHEMA,

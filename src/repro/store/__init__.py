@@ -24,6 +24,7 @@ from .shard import (
     ShardInfo,
     build_families,
     build_histogram,
+    build_verified,
     decode_shard,
     encode_shard,
     shard_digest,
@@ -47,6 +48,7 @@ __all__ = [
     "StoreReader",
     "build_families",
     "build_histogram",
+    "build_verified",
     "decode_shard",
     "encode_shard",
     "shard_digest",

@@ -108,6 +108,18 @@ class StoreManifest:
             "sizes": {str(size): sizes[size] for size in sorted(sizes)},
         }
 
+    def verified_summary(self) -> Dict[str, Any]:
+        """The verified-tier totals across all shards: how many rows
+        carry a positive formal verdict, and the yield against layer 1
+        (the tier it refines).  Zeros materialised for stable JSON."""
+        n_verified = sum(getattr(info, "verified", 0)
+                         for info in self.shards)
+        n_layer_1 = self.layer_sizes().get(1, 0)
+        return {
+            "n_verified": n_verified,
+            "n_layer_1": n_layer_1,
+        }
+
     def facets(self) -> Dict[str, Any]:
         """The full (layer, complexity) histogram as one stable,
         JSON-ready document.
@@ -142,6 +154,7 @@ class StoreManifest:
                            for label in labels},
             "origins": self.origin_histogram(),
             "families": self.family_summary(),
+            "verified": self.verified_summary(),
         }
 
     # -- serialisation -------------------------------------------------

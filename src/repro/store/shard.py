@@ -91,6 +91,9 @@ class ShardInfo:
     #: Design-family summary of this shard's rows (see
     #: :func:`build_families`); zeros/empty for family-free shards.
     families: Dict[str, object] = field(default_factory=dict)
+    #: Rows carrying a positive formal verdict (the verified tier);
+    #: 0 for shards written before the tier existed.
+    verified: int = 0
 
     def covers(self, layer: Optional[int] = None, complexity=None) -> bool:
         """Could this shard contain rows matching the filters?"""
@@ -120,6 +123,7 @@ class ShardInfo:
                           for layer, counts in self.histogram.items()},
             "origins": dict(self.origins),
             "families": dict(self.families),
+            "verified": self.verified,
         }
 
     @classmethod
@@ -134,6 +138,7 @@ class ShardInfo:
                        for layer, counts in data.get("histogram", {}).items()},
             origins=dict(data.get("origins", {})),
             families=dict(data.get("families", {})),
+            verified=data.get("verified", 0),
         )
 
 
@@ -154,6 +159,12 @@ def build_origins(entries: Sequence[DatasetEntry]) -> Dict[str, int]:
     for entry in entries:
         origins[entry.origin] = origins.get(entry.origin, 0) + 1
     return {name: origins[name] for name in sorted(origins)}
+
+
+def build_verified(entries: Sequence[DatasetEntry]) -> int:
+    """Rows with a positive formal verdict in ``entries``."""
+    return sum(1 for entry in entries
+               if getattr(entry, "verified", False))
 
 
 def build_families(entries: Sequence[DatasetEntry]) -> Dict[str, object]:

@@ -31,6 +31,7 @@ from .shard import (
     build_families,
     build_histogram,
     build_origins,
+    build_verified,
     encode_entry,
     encode_shard,
     shard_name,
@@ -117,6 +118,7 @@ class ShardWriter:
                 histogram=build_histogram(buffer),
                 origins=build_origins(buffer),
                 families=build_families(buffer),
+                verified=build_verified(buffer),
             ))
             manifest.n_entries += len(buffer)
             manifest.total_bytes += len(payload)

@@ -8,7 +8,10 @@ Public surface:
   paper's syntax/dependency taxonomy (the Icarus Verilog substitute);
 * :class:`Simulator` — event-driven four-state simulation;
 * :func:`measure` — structural metrics;
-* :func:`lint` — style/efficiency linting.
+* :func:`lint` — style/efficiency linting;
+* :func:`check_equivalence`, :func:`check_properties`,
+  :func:`verify_design` — bounded BDD-based formal checking
+  (:mod:`repro.verilog.formal`).
 """
 
 from .lexer import LexError, Token, TokenKind, tokenize
@@ -28,6 +31,15 @@ from .sim.values import Vec4
 from .sim.runtime import Simulator, build_library
 from .sim.design import ElaborationError
 from .sim.interp import SimulationError, StopSimulation
+from .formal import (
+    ElaborationMemo,
+    FormalReport,
+    FormalUnsupported,
+    check_equivalence,
+    check_properties,
+    verify_code,
+    verify_design,
+)
 
 __all__ = [
     "tokenize", "Token", "TokenKind", "LexError",
@@ -39,4 +51,7 @@ __all__ = [
     "lint", "StyleReport", "Violation",
     "Vec4", "Simulator", "build_library",
     "ElaborationError", "SimulationError", "StopSimulation",
+    "FormalReport", "FormalUnsupported", "ElaborationMemo",
+    "check_equivalence", "check_properties",
+    "verify_design", "verify_code",
 ]

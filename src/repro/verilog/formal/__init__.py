@@ -1,0 +1,39 @@
+"""Bounded formal checking over the elaborated synthesizable subset.
+
+No external solver: designs are bit-blasted into a hash-consed ROBDD
+arena (:mod:`.bdd`) by a symbolic interpreter that mirrors the exact
+four-state simulator semantics with constant folding through the real
+evaluator (:mod:`.sym`).  :mod:`.check` exposes the user-facing
+entry points and the versioned :class:`FormalReport`; :mod:`.memo`
+provides the digest-keyed parse/elaboration memo that keeps the
+curation-tier path cheap on warm runs.
+"""
+
+from .bdd import BDDBudgetError, BDDManager, DEFAULT_NODE_BUDGET
+from .check import (
+    DEFAULT_BOUND,
+    FORMAL_REPORT_SCHEMA,
+    FormalReport,
+    check_equivalence,
+    check_properties,
+    verify_code,
+    verify_design,
+)
+from .memo import ElaborationMemo, memo_key
+from .sym import FormalUnsupported
+
+__all__ = [
+    "BDDBudgetError",
+    "BDDManager",
+    "DEFAULT_BOUND",
+    "DEFAULT_NODE_BUDGET",
+    "ElaborationMemo",
+    "FORMAL_REPORT_SCHEMA",
+    "FormalReport",
+    "FormalUnsupported",
+    "check_equivalence",
+    "check_properties",
+    "memo_key",
+    "verify_code",
+    "verify_design",
+]

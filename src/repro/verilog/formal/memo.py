@@ -1,0 +1,107 @@
+"""Digest-keyed parse/elaboration memo.
+
+Elaboration is the dominant cost on the formal path: the checker only
+needs the flat :class:`~repro.verilog.sim.design.Design`, and two
+byte-identical sources always elaborate to the same one.  The memo
+keys on a content digest of ``(source, top, parameter overrides)`` —
+never on paths or mtimes — so a warm re-curation re-elaborates
+nothing, and the hit/miss counters are exact (one miss per distinct
+source, everything else hits).
+
+Two tiers: a per-process dict, and an optional persistent
+:class:`~repro.pipeline.diskcache.DiskCache` underneath it so warm
+starts survive process boundaries (shard workers, service restarts).
+Designs are plain dataclass trees and pickle cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+from ...obs import Observability, resolve
+from ...pipeline.cache import content_key
+from ...pipeline.diskcache import DiskCache
+from ..parser import ParseError
+from ..sim.design import Design, ElaborationError
+from ..sim.elaborate import elaborate
+from ..sim.runtime import build_library
+
+#: Bump when Design layout or elaboration semantics change; stale
+#: persistent entries then miss instead of deserialising garbage.
+MEMO_SCHEMA = "pyranet/formal-elab-memo/v1"
+
+_MEMO_NAMESPACE = "formal/elaborate"
+
+
+def memo_key(source: str, top: Optional[str] = None,
+             params: Optional[Dict[str, int]] = None) -> str:
+    """Content digest identifying one elaboration, path/mtime-free."""
+    param_part = json.dumps(params or {}, sort_keys=True)
+    return content_key(_MEMO_NAMESPACE, MEMO_SCHEMA, source,
+                       top if top is not None else "\x00last\x00",
+                       param_part)
+
+
+class ElaborationMemo:
+    """Two-tier (dict + optional DiskCache) elaboration memo.
+
+    ``elaborate(source)`` returns the flat design, raising
+    :class:`ParseError`/:class:`ElaborationError` exactly as the
+    uncached path would (errors are not cached).  Counters
+    ``formal.memo.hit`` / ``formal.memo.miss`` are exact.
+    """
+
+    def __init__(self, disk: Optional[DiskCache] = None,
+                 obs: Optional[Observability] = None) -> None:
+        self.disk = disk
+        self._obs = resolve(obs)
+        self._memory: Dict[str, Design] = {}
+        # Local exact tallies: ``stats()`` must be truthful even under
+        # the no-op observability (whose counters discard increments).
+        self._n_hits = 0
+        self._n_misses = 0
+        self._hits = self._obs.counter("formal.memo.hit")
+        self._misses = self._obs.counter("formal.memo.miss")
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def elaborate(self, source: str, top: Optional[str] = None,
+                  params: Optional[Dict[str, int]] = None) -> Design:
+        key = memo_key(source, top, params)
+        design = self._memory.get(key)
+        if design is not None:
+            self._n_hits += 1
+            self._hits.inc()
+            return design
+        if self.disk is not None:
+            status, value = self.disk.get(key)
+            if status == "hit" and isinstance(value, Design):
+                self._memory[key] = value
+                self._n_hits += 1
+                self._hits.inc()
+                return value
+        self._n_misses += 1
+        self._misses.inc()
+        design = _elaborate_source(source, top, params)
+        self._memory[key] = design
+        if self.disk is not None:
+            self.disk.put(key, design)
+        return design
+
+    def stats(self) -> Tuple[int, int]:
+        """(hits, misses) observed by this memo instance, exactly."""
+        return self._n_hits, self._n_misses
+
+
+def _elaborate_source(source: str, top: Optional[str],
+                      params: Optional[Dict[str, int]]) -> Design:
+    library = build_library(source)
+    if not library:
+        raise ElaborationError("no modules in source")
+    name = top if top is not None else list(library)[-1]
+    return elaborate(library, name, params)
+
+
+__all__ = ["ElaborationMemo", "MEMO_SCHEMA", "memo_key"]

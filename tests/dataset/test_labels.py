@@ -12,7 +12,13 @@ from repro.dataset.complexity import (
     complexity_score,
 )
 from repro.dataset.describe import describe_source
-from repro.dataset.ranking import rank_code, score_code
+from repro.dataset.ranking import (
+    rank_code,
+    round_half_up,
+    score_code,
+    score_from_penalty,
+    score_many,
+)
 from repro.dataset.records import Complexity
 from repro.verilog import measure
 
@@ -71,6 +77,53 @@ class TestRanking:
         bad = CLEAN.replace("q <= d", "q = d").replace(
             "q <= {WIDTH{1'b0}}", "q = {WIDTH{1'b0}}")
         assert score_code(bad) < score_code(CLEAN)
+
+
+class TestRounding:
+    """The penalty→score mapping rounds half UP, not half-to-even.
+
+    ``points_per_penalty=2.0`` makes the raw score land exactly on a
+    ``.5`` (floats represent these exactly); the default 2.1 never
+    does, so the boundary is only reachable through the explicit
+    parameter."""
+
+    def test_half_up_at_16_5(self):
+        # raw = 20 - 2.0 * 1.75 = 16.5: banker's rounding would give
+        # 16 (nearest even); the documented rule gives 17.
+        assert score_from_penalty(1.75, 2.0) == 17
+
+    def test_half_up_at_17_5(self):
+        # raw = 17.5: both rules give 18 here — pinning it proves the
+        # fix didn't overshoot into always-up-by-one.
+        assert score_from_penalty(1.25, 2.0) == 18
+
+    def test_round_half_up_primitive(self):
+        assert round_half_up(16.5) == 17
+        assert round_half_up(17.5) == 18
+        assert round_half_up(16.49) == 16
+        assert round_half_up(-0.5) == 0
+
+    def test_clamped_to_1_for_parseable_code(self):
+        assert score_from_penalty(1000.0) == 1
+        assert score_from_penalty(0.0) == 20
+
+
+class TestScoreMany:
+    def test_parity_with_score_code(self):
+        rng = random.Random(4)
+        codes = [CLEAN, "module nope(input a endmodule", ""]
+        for seed in range(9):  # >= 8 samples forces the numpy path
+            design = generate_design("alu", random.Random(seed))
+            codes.append(mutate.degrade_style(design.source, rng,
+                                              rng.random()).source)
+        assert score_many(codes) == [score_code(code) for code in codes]
+
+    def test_parity_on_small_batches(self):
+        codes = [CLEAN, "module nope(input a endmodule"]
+        assert score_many(codes) == [score_code(code) for code in codes]
+
+    def test_empty_batch(self):
+        assert score_many([]) == []
 
 
 class TestComplexity:

@@ -150,11 +150,12 @@ class TestPipeline:
         assert result.report.funnel == ref_funnel
         assert len(result.dataset) == len(ref_dataset)
         for ours, reference in zip(result.dataset, ref_dataset):
-            # The seed pipeline predates design-family provenance, so
-            # compare everything but the family tags…
+            # The seed pipeline predates design-family provenance and
+            # the formal tier, so compare everything but those tags…
             assert dataclasses.replace(
                 ours, family_id="", family_role="",
-                n_family_variants=0, family_similarity=0.0) == reference
+                n_family_variants=0, family_similarity=0.0,
+                verified=False, verified_detail="") == reference
             # …and check the tags are internally consistent instead.
             if ours.family_role:
                 assert ours.family_role == "canonical"
@@ -165,8 +166,8 @@ class TestPipeline:
         trace = curated.report.trace
         names = [m.name for m in trace.stages]
         assert names == ["empty_broken", "module_decl", "dedup",
-                         "syntax_check", "rank_label", "describe",
-                         "assemble", "layer"]
+                         "syntax_check", "rank_label", "formal_verify",
+                         "describe", "assemble", "layer"]
         assert all(m.wall_time_s >= 0.0 for m in trace.stages)
         funnel = curated.report.funnel
         assert trace.stage("empty_broken").n_in == funnel.collected

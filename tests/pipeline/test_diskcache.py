@@ -153,6 +153,35 @@ class TestEviction:
             assert cache.put(f"k{i}", i) == 0
         assert len(cache) == 50
 
+    def _survivors_after_tied_sweep(self, directory):
+        """Fill a cache, stamp every entry with ONE mtime, then force a
+        sweep and report which keys survived."""
+        seed = DiskCache(directory)
+        keys = [f"k{i}" for i in range(6)]
+        for i, key in enumerate(keys):
+            seed.put(key, i)
+        for key in keys:
+            os.utime(seed.path_for(key), ns=(1_000_000, 1_000_000))
+        bounded = DiskCache(directory, max_entries=3)
+        bounded.put("fresh", 99)  # over budget -> sweep with tied mtimes
+        return sorted(key for key in keys
+                      if bounded.get(key)[0] == HIT)
+
+    def test_tied_mtimes_evict_in_path_order(self, tmp_path):
+        """Regression: the sweep sorted on mtime alone, so entries
+        stamped with the same st_mtime_ns (coarse-timestamp
+        filesystems stamp whole batches) were evicted in glob order —
+        platform-dependent survivors.  The (mtime, path) sort makes
+        the choice deterministic: lexicographically-first paths go."""
+        survivors = self._survivors_after_tied_sweep(tmp_path / "a")
+        # 7 entries, budget 3, 'fresh' is newest: the two path-greatest
+        # of the six tied keys survive alongside it.
+        assert survivors == ["k4", "k5"]
+
+    def test_tied_mtimes_same_survivors_every_run(self, tmp_path):
+        assert (self._survivors_after_tied_sweep(tmp_path / "one")
+                == self._survivors_after_tied_sweep(tmp_path / "two"))
+
 
 class TestDurability:
     def test_sync_flushes_without_error(self, tmp_path):

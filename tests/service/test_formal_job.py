@@ -1,0 +1,140 @@
+"""The ``formal`` job type and the sampling-cache digest fix."""
+
+import os
+
+import pytest
+
+from repro.obs import Observability
+from repro.service import PyraNetService
+from repro.store import MANIFEST_NAME, StoreManifest, StoreReader
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = PyraNetService(tmp_path / "svc", n_workers=2,
+                         obs=Observability(), durable=False)
+    yield svc
+    svc.stop()
+
+
+def run_all(service):
+    return service.pool.run_pending()
+
+
+def curate(service, store="unit", seed=5, files=40, key="c"):
+    sub = service.submit(
+        "curate",
+        {"n_github_files": files, "n_llm_prompts": 2,
+         "n_queries_per_prompt": 2, "seed": seed, "store": store},
+        idempotency_key=key)
+    run_all(service)
+    record = service.job(sub["job_id"])
+    assert record["status"] == "done", record["error"]
+    return record
+
+
+class TestFormalJob:
+    def test_formal_job_persists_verdicts(self, service):
+        curate(service)
+        sub = service.submit("formal", {"store": "unit", "bound": 2},
+                             idempotency_key="f")
+        run_all(service)
+        record = service.job(sub["job_id"])
+        assert record["status"] == "done", record["error"]
+        result = record["result"]
+        assert result["store"] == "unit"
+        assert result["n_entries"] > 0
+        assert result["n_checked"] <= result["n_entries"]
+        assert result["n_verified"] <= result["n_checked"]
+        # Memo counters are exact: one miss per distinct checked source.
+        memo = result["memo"]
+        assert memo["hits"] + memo["misses"] == result["n_checked"]
+
+        # The verdicts are on disk, not just in the job result.
+        store_dir = service.context.store_dir("unit")
+        reader = StoreReader(store_dir)
+        entries = list(reader)
+        assert len(entries) == result["n_entries"]
+        flagged = [e for e in entries if e.verified]
+        assert len(flagged) == result["n_verified"]
+        for entry in flagged:
+            assert entry.ranking == 20
+            assert entry.verified_detail
+
+    def test_verified_facet_served_after_formal(self, service):
+        curate(service)
+        before = service.facets("unit")
+        # Curation already populates the tier; the formal job recomputes
+        # it over whatever is in the store.
+        assert set(before["verified"]) == {"n_verified", "n_layer_1"}
+        service.submit("formal", {"store": "unit"}, idempotency_key="f")
+        run_all(service)
+        after = service.facets("unit")
+        assert set(after["verified"]) == {"n_verified", "n_layer_1"}
+        assert (after["verified"]["n_layer_1"]
+                == after["layers"].get("1", {}).get("n_entries", 0))
+        record = [r for r in service.jobs() if r["type"] == "formal"][-1]
+        assert (after["verified"]["n_verified"]
+                == service.job(record["job_id"])["result"]["n_verified"])
+
+    def test_formal_job_is_idempotent(self, service):
+        """Two formal runs over the same rows produce byte-identical
+        shards (content-addressed) and the same verdict counts; only
+        the manifest's job provenance differs."""
+        curate(service)
+        store_dir = service.context.store_dir("unit")
+        observed = []
+        for key in ("f1", "f2"):
+            service.submit("formal", {"store": "unit"},
+                           idempotency_key=key)
+            run_all(service)
+            record = [r for r in service.jobs()
+                      if r["type"] == "formal"][-1]
+            result = service.job(record["job_id"])["result"]
+            manifest = StoreManifest.load(store_dir)
+            observed.append((result["n_verified"],
+                             result["verified_facet"],
+                             [s.digest for s in manifest.shards]))
+        assert observed[0] == observed[1]
+
+    def test_formal_requires_store_param(self, service):
+        with pytest.raises(ValueError):
+            service.submit("formal", {})
+
+    def test_unknown_store_fails_cleanly(self, service):
+        sub = service.submit("formal", {"store": "ghost"},
+                             idempotency_key="g")
+        run_all(service)
+        assert service.job(sub["job_id"])["status"] in ("failed", "dead")
+
+
+class TestSamplingCacheDigest:
+    def test_rewrite_with_equal_mtime_still_refreshes(self, service):
+        """Regression: the cached SamplingService was keyed on manifest
+        st_mtime_ns, so a rewrite that lands on the same timestamp (or
+        restores it) served stale samples.  Content digest keys don't
+        care about timestamps."""
+        curate(service, seed=1, files=30, key="c1")
+        manifest_path = (service.context.store_dir("unit")
+                         / MANIFEST_NAME)
+        first_stat = manifest_path.stat()
+        first = service.sample("unit", n=10_000)  # populates the cache
+
+        curate(service, seed=2, files=50, key="c2")
+        # Force the new manifest onto the old timestamp, byte-exactly
+        # simulating a same-mtime rewrite.
+        os.utime(manifest_path, ns=(first_stat.st_atime_ns,
+                                    first_stat.st_mtime_ns))
+        assert manifest_path.stat().st_mtime_ns == first_stat.st_mtime_ns
+
+        second = service.sample("unit", n=10_000)
+        n_now = StoreManifest.load(manifest_path.parent).n_entries
+        assert second["n"] == n_now
+        assert second["n"] != first["n"]
+
+    def test_unchanged_manifest_reuses_reader(self, service):
+        curate(service)
+        service.sample("unit", n=2)
+        reader_one = service._readers["unit"][1]
+        service.sample("unit", n=2)
+        assert service._readers["unit"][1] is reader_one

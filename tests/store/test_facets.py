@@ -86,7 +86,16 @@ class TestFacets:
                            "Advanced": 0, "Expert": 0},
             "origins": {},
             "families": {"n_families": 0, "n_variants": 0,
-                         "n_variant_rows": 0, "sizes": {}}}
+                         "n_variant_rows": 0, "sizes": {}},
+            "verified": {"n_verified": 0, "n_layer_1": 0}}
+
+    def test_verified_counts(self, tmp_path):
+        dataset = make_dataset()
+        dataset.entries[3].verified = True  # the layer-1 row
+        dataset.entries[3].verified_detail = "verified 2 outputs to bound 5"
+        write_store(dataset, tmp_path)
+        facets = StoreManifest.load(tmp_path).facets()
+        assert facets["verified"] == {"n_verified": 1, "n_layer_1": 1}
 
     def test_family_counts(self, tmp_path):
         dataset = make_dataset()

@@ -1,0 +1,114 @@
+"""The hash-consed ROBDD engine behind the formal tier."""
+
+import itertools
+
+import pytest
+
+from repro.verilog.formal import BDDBudgetError, BDDManager
+from repro.verilog.formal.bdd import FALSE, TRUE
+
+
+def three_vars(mgr):
+    """Literals for vars 0, 1, 2 (allocation order fixes the index)."""
+    return mgr.new_var(), mgr.new_var(), mgr.new_var()
+
+
+class TestAlgebra:
+    def test_constants(self):
+        mgr = BDDManager()
+        assert mgr.not_(TRUE) == FALSE
+        assert mgr.not_(FALSE) == TRUE
+        assert mgr.and_(TRUE, FALSE) == FALSE
+        assert mgr.or_(TRUE, FALSE) == TRUE
+        assert mgr.constant(True) == TRUE
+        assert mgr.constant(False) == FALSE
+
+    def test_var_roundtrip(self):
+        mgr = BDDManager()
+        a = mgr.new_var()
+        assert mgr.not_(mgr.not_(a)) == a
+        assert mgr.and_(a, a) == a
+        assert mgr.or_(a, a) == a
+        assert mgr.xor_(a, a) == FALSE
+        assert mgr.xnor_(a, a) == TRUE
+
+    def test_hash_consing_is_canonical(self):
+        """Structurally equal functions intern to the same node id —
+        equivalence is integer comparison, the engine's whole point."""
+        mgr = BDDManager()
+        a, b, c = three_vars(mgr)
+        # De Morgan
+        lhs = mgr.not_(mgr.and_(a, b))
+        rhs = mgr.or_(mgr.not_(a), mgr.not_(b))
+        assert lhs == rhs
+        # Associativity / commutativity
+        assert mgr.and_(mgr.and_(a, b), c) == mgr.and_(a, mgr.and_(b, c))
+        assert mgr.or_(a, b) == mgr.or_(b, a)
+        # XOR expansion
+        assert mgr.xor_(a, b) == mgr.or_(mgr.and_(a, mgr.not_(b)),
+                                         mgr.and_(mgr.not_(a), b))
+
+    def test_ite_truth_table(self):
+        mgr = BDDManager()
+        a, b, c = three_vars(mgr)
+        node = mgr.ite(a, b, c)
+        for va, vb, vc in itertools.product([False, True], repeat=3):
+            env = {0: va, 1: vb, 2: vc}
+            assert mgr.eval_node(node, env) == (vb if va else vc)
+
+    def test_and_all_or_all(self):
+        mgr = BDDManager()
+        vs = [mgr.new_var() for _ in range(4)]
+        conj = mgr.and_all(vs)
+        disj = mgr.or_all(vs)
+        assert mgr.eval_node(conj, {i: True for i in range(4)})
+        assert not mgr.eval_node(conj, {0: True, 1: True,
+                                        2: True, 3: False})
+        assert not mgr.eval_node(disj, {})
+        assert mgr.eval_node(disj, {2: True})
+        assert mgr.and_all([]) == TRUE
+        assert mgr.or_all([]) == FALSE
+
+
+class TestSat:
+    def test_sat_one_satisfies(self):
+        mgr = BDDManager()
+        a, b, c = three_vars(mgr)
+        node = mgr.and_(mgr.xor_(a, b), mgr.not_(c))
+        assignment = mgr.sat_one(node)
+        assert assignment is not None
+        assert mgr.eval_node(node, assignment)
+
+    def test_sat_one_false_is_none(self):
+        mgr = BDDManager()
+        assert mgr.sat_one(FALSE) is None
+
+    def test_sat_one_true_is_empty(self):
+        mgr = BDDManager()
+        assert mgr.sat_one(TRUE) == {}
+
+    def test_eval_missing_vars_read_false(self):
+        """Don't-care inputs decode to 0, keeping counterexample
+        replays deterministic."""
+        mgr = BDDManager()
+        a = mgr.new_var()
+        assert mgr.eval_node(mgr.not_(a), {}) is True
+        assert mgr.eval_node(a, {}) is False
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        mgr = BDDManager(node_budget=16)
+        with pytest.raises(BDDBudgetError):
+            vs = [mgr.new_var() for _ in range(12)]
+            # A multiplier-style product of sums blows up any order.
+            acc = TRUE
+            for i in range(6):
+                acc = mgr.and_(acc, mgr.or_(vs[i], vs[11 - i]))
+                acc = mgr.xor_(acc, vs[i])
+
+    def test_budget_not_hit_on_small_problems(self):
+        mgr = BDDManager(node_budget=10_000)
+        a = mgr.new_var()
+        b = mgr.new_var()
+        mgr.and_(mgr.or_(a, b), mgr.xor_(a, b))  # no raise
